@@ -1,0 +1,46 @@
+"""Ablation: memory-bandwidth ceiling on the machine model.
+
+The default model is compute-bound (NUMA/SMT knees only), matching the
+paper's reported scaling.  Real graph kernels saturate DRAM bandwidth;
+this ablation adds a ceiling and shows scaling flattening where the
+thread-throughput curve crosses it — a what-if the trace-driven design
+makes free to ask.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_method, run_tarjan_baseline
+from repro.runtime import Machine, MachineConfig
+
+
+def test_bandwidth_ceiling_ablation(benchmark, graphs, emit):
+    g = graphs("twitter").graph
+
+    def run():
+        out = {}
+        for cap in (None, 16.0, 8.0):
+            cfg = MachineConfig(mem_bandwidth_cap=cap)
+            machine = Machine(cfg)
+            _, t_seq = run_tarjan_baseline(g, machine=machine)
+            r = run_method(g, "method2", machine=machine)
+            out[cap] = {
+                p: t_seq / r.times[p] for p in (1, 8, 16, 32)
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(cap or "none")] + [f"{out[cap][p]:.2f}" for p in (1, 8, 16, 32)]
+        for cap in out
+    ]
+    emit(
+        format_table(
+            ["bandwidth cap", "p=1", "p=8", "p=16", "p=32"],
+            rows,
+            title="Ablation: memory-bandwidth ceiling (twitter, method2)",
+        )
+    )
+    # an 8-units/time ceiling flattens scaling at ~8 effective threads
+    assert out[8.0][32] < out[8.0][8] * 1.3
+    # and the uncapped model keeps scaling past it
+    assert out[None][32] > out[8.0][32] * 1.5

@@ -1,0 +1,54 @@
+"""Extension bench: Method 2 in the context of its lineage.
+
+Not a paper artifact — this places the paper's algorithms between
+their ancestor (Fleischer et al.'s pure FW-BW, no Trim) and their
+best-known descendant (Slota et al.'s MultiStep: Trim + one
+max-degree-pivot FW-BW + coloring), plus the standalone coloring
+algorithm, on the simulated 32-thread machine.
+
+Expected shape: fwbw << baseline < method1 <= coloring < multistep
+~<= method2 on small-world graphs (MultiStep trades the WCC+recursion
+machinery for coloring rounds; which side wins depends on the mid-SCC
+tail), with everything degrading on ca-road.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_tarjan_baseline, run_method
+
+METHODS = ("fwbw", "baseline", "method1", "method2", "coloring", "multistep")
+
+
+@pytest.mark.parametrize("name", ["livej", "flickr", "twitter"])
+def test_comparator_lineage(benchmark, graphs, machine, emit, name):
+    g = graphs(name).graph
+
+    def run():
+        _, t_seq = run_tarjan_baseline(g, machine=machine)
+        out = {}
+        for method in METHODS:
+            r = run_method(g, method, machine=machine)
+            out[method] = {
+                p: t_seq / r.times[p] for p in (1, 8, 32)
+            }
+        return out
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [m] + [f"{speedups[m][p]:.2f}" for p in (1, 8, 32)]
+        for m in METHODS
+    ]
+    emit(
+        format_table(
+            ["method", "p=1", "p=8", "p=32"],
+            rows,
+            title=f"[{name}] lineage comparison: speedup vs. Tarjan",
+        )
+    )
+    # lineage ordering at 32 threads
+    assert speedups["fwbw"][32] < speedups["baseline"][32]
+    assert speedups["baseline"][32] < speedups["method2"][32]
+    assert speedups["method1"][32] <= speedups["method2"][32] * 1.02
+    # the follow-on work is competitive with method2
+    assert speedups["multistep"][32] > speedups["baseline"][32]
+    assert speedups["coloring"][32] > speedups["fwbw"][32]

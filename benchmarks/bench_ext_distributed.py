@@ -1,0 +1,113 @@
+"""Extension bench: the paper's future work — distributed FW-BW-Trim.
+
+Section 6: "we plan to implement our algorithm in a distributed
+environment."  This bench runs the BSP implementation
+(`repro.distributed`) and reports:
+
+* rank-scaling of distributed Method 1 (+WCC) on a small-world graph
+  and on the road network,
+* the communication/computation split,
+* the partitioner comparison (block / hash / BFS-locality edge cuts).
+
+Expected shapes: small-world graphs scale sub-linearly and hit a
+communication floor (their edge cut resists every partitioner); the
+road network partitions beautifully (tiny cut) but is *latency-bound*
+across hundreds of supersteps — the distributed mirror of the
+shared-memory barrier pathology of Figure 6(i).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core import strongly_connected_components, same_partition
+from repro.distributed import (
+    Cluster,
+    bfs_partition,
+    block_partition,
+    distributed_method1,
+    edge_cut,
+    hash_partition,
+)
+
+RANKS = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("name", ["livej", "ca-road"])
+def test_distributed_scaling(benchmark, graphs, emit, name):
+    g = graphs(name).graph
+    tarjan = strongly_connected_components(g, "tarjan")
+
+    def run():
+        cluster = Cluster()
+        out = {}
+        for ranks in RANKS:
+            part = bfs_partition(g, ranks)
+            res = distributed_method1(g, part)
+            assert same_partition(res.labels, tarjan.labels)
+            out[ranks] = (cluster.simulate(res.dtrace), res)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results[1][0].total_time
+    rows = [
+        [
+            ranks,
+            f"{base / sim.total_time:.2f}",
+            f"{sim.comm_fraction:.2f}",
+            len(res.dtrace.steps),
+            f"{res.dtrace.total_messages():.0f}",
+        ]
+        for ranks, (sim, res) in results.items()
+    ]
+    emit(
+        format_table(
+            ["ranks", "speedup", "comm frac", "supersteps", "messages"],
+            rows,
+            title=f"[{name}] distributed Method 1 (+WCC), BFS partition",
+        )
+    )
+    if name == "livej":
+        # scales, but communication-floored
+        assert results[16][0].total_time < results[1][0].total_time
+        assert results[16][0].comm_fraction > 0.4
+    else:
+        # latency-bound: hundreds of supersteps, no scaling
+        assert len(results[16][1].dtrace.steps) > 300
+        assert results[16][0].total_time > results[1][0].total_time
+
+
+def test_partitioner_comparison(benchmark, graphs, emit):
+    def run():
+        out = {}
+        for name in ("livej", "ca-road"):
+            g = graphs(name).graph
+            out[name] = {
+                "block": edge_cut(g, block_partition(g.num_nodes, 8)),
+                "hash": edge_cut(g, hash_partition(g.num_nodes, 8, rng=0)),
+                "bfs": edge_cut(g, bfs_partition(g, 8)),
+                "edges": g.num_edges,
+            }
+        return out
+
+    cuts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            d["edges"],
+            d["block"],
+            d["hash"],
+            d["bfs"],
+            f"{d['bfs'] / d['edges']:.2%}",
+        ]
+        for name, d in cuts.items()
+    ]
+    emit(
+        format_table(
+            ["graph", "edges", "block cut", "hash cut", "bfs cut", "bfs cut %"],
+            rows,
+            title="8-rank edge cuts by partitioner",
+        )
+    )
+    # the road network partitions well; the small-world graph does not
+    assert cuts["ca-road"]["bfs"] < cuts["ca-road"]["hash"] / 4
+    assert cuts["livej"]["bfs"] > cuts["livej"]["edges"] * 0.3

@@ -1,0 +1,75 @@
+"""Figure 6: speedup vs. Tarjan for all nine graphs.
+
+One panel per dataset: Baseline / Method 1 / Method 2 speedups over
+the simulated thread sweep {1, 2, 4, 8, 16, 32}.  Every partition is
+verified against Tarjan's before being timed.  The closing summary
+reports the paper's headline statistics: the per-graph 32-thread
+range and the geometric mean over the small-world graphs (paper:
+5.01x–29.41x, geomean 14.05x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_speedup_table, speedup_series
+from repro.generators import dataset_names
+from repro.runtime import STANDARD_THREAD_COUNTS
+
+_collected: dict[str, dict[str, dict[int, float]]] = {}
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_fig6_panel(benchmark, graphs, machine, emit, name):
+    g = graphs(name).graph
+
+    def run():
+        return speedup_series(g, machine=machine)
+
+    series, _runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_speedup_table(name, STANDARD_THREAD_COUNTS, series))
+    from repro.bench import ascii_chart
+
+    emit(
+        ascii_chart(
+            {s.method: s.speedups for s in series},
+            STANDARD_THREAD_COUNTS,
+            title=f"Figure 6 ({name})",
+            y_label="speedup vs. Tarjan",
+        )
+    )
+    _collected[name] = {
+        s.method: dict(zip(s.threads, s.speedups)) for s in series
+    }
+    # the universal shapes
+    m1 = _collected[name]["method1"]
+    m2 = _collected[name]["method2"]
+    base = _collected[name]["baseline"]
+    if name not in ("patents",):  # patents: all methods ~= trim
+        assert base[32] < m2[32] + 1e-9
+    if name not in ("ca-road",):
+        assert m2[32] >= m1[32] * 0.95  # method2 never clearly worse
+
+
+def test_fig6_summary(benchmark, emit):
+    """Headline numbers over the panels already computed."""
+    if len(_collected) < 9:
+        pytest.skip("panel benches did not run")
+
+    def summarize():
+        small_world = [
+            n for n in _collected if n != "ca-road"
+        ]
+        at32 = {n: _collected[n]["method2"][32] for n in small_world}
+        geo = float(np.exp(np.mean(np.log(list(at32.values())))))
+        return at32, geo
+
+    at32, geo = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    lines = [
+        f"method2 @32 threads: min={min(at32.values()):.2f} "
+        f"({min(at32, key=at32.get)}), max={max(at32.values()):.2f} "
+        f"({max(at32, key=at32.get)})",
+        f"geometric mean (small-world graphs): {geo:.2f}  [paper: 14.05]",
+    ]
+    emit("\n".join(lines))
+    assert 8.0 < geo < 22.0
+    assert max(at32.values()) > 15.0

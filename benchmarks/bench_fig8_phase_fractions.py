@@ -1,0 +1,49 @@
+"""Figure 8: fraction of nodes whose SCC is identified per phase.
+
+Runs Method 2 on every dataset and reports how many nodes each phase
+(Trim, Trim2, Par-FWBW, Recur-FWBW) resolved — the paper's stacked
+100 % bars.  Shape checks: Patents is ~100 % Trim (it is a DAG); the
+big-giant graphs attribute their largest share to Par-FWBW; the
+recursive share is largest on the graphs where Method 2 pays off.
+"""
+
+from repro.bench import format_table
+from repro.core import strongly_connected_components
+from repro.generators import dataset_names
+
+
+def compute(graphs):
+    out = {}
+    for name in dataset_names():
+        g = graphs(name).graph
+        r = strongly_connected_components(g, "method2")
+        out[name] = r.phase_fractions()
+    return out
+
+
+def test_fig8_phase_fractions(benchmark, graphs, emit):
+    fractions = benchmark.pedantic(
+        compute, args=(graphs,), rounds=1, iterations=1
+    )
+    phases = ["trim", "trim2", "par_fwbw", "recur_fwbw"]
+    rows = [
+        [name] + [f"{fractions[name].get(ph, 0.0):.3f}" for ph in phases]
+        for name in fractions
+    ]
+    emit(
+        format_table(
+            ["dataset"] + phases,
+            rows,
+            title="Figure 8: fraction of nodes identified per phase (Method 2)",
+        )
+    )
+    # Patents: a DAG — Trim does everything.
+    assert fractions["patents"]["trim"] > 0.999
+    # Giant-SCC-dominated graphs: par_fwbw share ~= giant fraction.
+    assert fractions["twitter"]["par_fwbw"] > 0.7
+    assert fractions["livej"]["par_fwbw"] > 0.7
+    # Flickr leaves a real share for the recursive phase (Section 3.3).
+    assert fractions["flickr"]["recur_fwbw"] > 0.02
+    # fractions account for every node
+    for name, fr in fractions.items():
+        assert abs(sum(fr.values()) - 1.0) < 1e-9, name

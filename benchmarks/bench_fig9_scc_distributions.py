@@ -1,0 +1,82 @@
+"""Figure 9: SCC size distributions of all nine graphs.
+
+Prints, per dataset: SCC count, size-1 count, mid-size count, largest
+SCC, and the head of the size histogram.  Shape checks encode the
+features the paper reads off the figure: a giant component plus
+dominant size-1 mass everywhere except Patents (all trivial) and
+CA-road (many more, larger, mid-size SCCs).
+"""
+
+import numpy as np
+
+from repro.analysis import size_histogram, summarize_scc_structure
+from repro.bench import format_table
+from repro.core import tarjan_scc
+from repro.generators import dataset_names
+
+
+def compute(graphs):
+    out = {}
+    for name in dataset_names():
+        bundle = graphs(name)
+        labels = (
+            bundle.true_labels
+            if bundle.true_labels is not None
+            else tarjan_scc(bundle.graph)
+        )
+        out[name] = (
+            summarize_scc_structure(labels),
+            size_histogram(labels),
+        )
+    return out
+
+
+def test_fig9_distributions(benchmark, graphs, emit):
+    stats = benchmark.pedantic(
+        compute, args=(graphs,), rounds=1, iterations=1
+    )
+    rows = []
+    for name, (summary, hist) in stats.items():
+        head = ", ".join(
+            f"{s}:{hist[s]}" for s in sorted(hist)[:5]
+        )
+        rows.append(
+            [
+                name,
+                summary.num_sccs,
+                summary.trivial_sccs,
+                summary.mid_sccs,
+                summary.largest_scc,
+                head,
+            ]
+        )
+    emit(
+        format_table(
+            ["dataset", "#SCCs", "size-1", "mid", "largest", "histogram head"],
+            rows,
+            title="Figure 9: SCC size distributions",
+        )
+    )
+    for name, (summary, hist) in stats.items():
+        if name == "patents":
+            assert summary.acyclic
+            continue
+        # size-1 SCCs are the most frequent class
+        assert hist[1] == max(hist.values())
+        assert summary.giant_fraction > 0.1
+    # CA-road: more *large* non-giant SCCs (size >= 100) per node than
+    # any small-world graph (Section 5 / Fig. 9(9): "the size of these
+    # SCCs is larger as well").
+    def large_mid_per_node(name):
+        summary, hist = stats[name]
+        big = sum(
+            c for s, c in hist.items() if 100 <= s < summary.largest_scc
+        )
+        return big / summary.num_nodes
+
+    sw_mass = max(
+        large_mid_per_node(n)
+        for n in stats
+        if n not in ("ca-road", "patents")
+    )
+    assert large_mid_per_node("ca-road") > sw_mass

@@ -1,0 +1,55 @@
+"""Section 3.3: the work-queue starvation log.
+
+Regenerates the paper's listing of the first five Recur-FWBW task
+executions under Method 1 on Flickr — tiny SCCs, empty FW/BW sets, a
+barely-moving Remain column — plus the queue-depth observation ("the
+recorded maximum queue depth with single threaded execution is only
+six") and Method 2's contrast (thousands of initial work items after
+Par-WCC; the paper reports ~10,000 on the full-size graph).
+"""
+
+from repro.bench import format_table, run_method
+from repro.generators import generate
+
+
+def compute(graphs, machine):
+    g = graphs("flickr").graph
+    m1 = run_method(g, "method1", machine=machine)
+    m2 = run_method(g, "method2", machine=machine)
+    sim1 = machine.simulate(m1.result.profile.trace, 1)
+    sim2 = machine.simulate(m2.result.profile.trace, 1)
+    return m1, m2, sim1.queue_stats["recur_fwbw"], sim2.queue_stats["recur_fwbw"]
+
+
+def test_sec33_task_log(benchmark, graphs, machine, emit):
+    m1, m2, q1, q2 = benchmark.pedantic(
+        compute, args=(graphs, machine), rounds=1, iterations=1
+    )
+    head = m1.result.profile.task_log[:5]
+    emit(
+        format_table(
+            ["SCC", "FW", "BW", "Remain"],
+            [[e.scc, e.fw, e.bw, e.remain] for e in head],
+            title=(
+                "Section 3.3: first five Recur-FWBW task executions "
+                "(Method 1, flickr surrogate)"
+            ),
+        )
+    )
+    emit(
+        format_table(
+            ["method", "initial items", "max global depth", "max total depth"],
+            [
+                ["method1", q1.initial_items, q1.max_global_depth, q1.max_total_depth],
+                ["method2", q2.initial_items, q2.max_global_depth, q2.max_total_depth],
+            ],
+            title="Work-queue statistics at 1 thread",
+        )
+    )
+    # the published observations
+    giant = m1.result.labels.shape[0] * 0.01
+    for e in head:
+        assert e.scc < giant  # only small SCCs found
+        assert e.fw + e.bw < max(e.remain, 1)  # no real partitioning
+    assert q1.max_total_depth < 20  # starved queue (paper: depth 6)
+    assert q2.initial_items > 20 * q1.initial_items  # WCC floods the queue

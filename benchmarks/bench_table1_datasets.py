@@ -1,0 +1,68 @@
+"""Table 1: the evaluation datasets.
+
+Regenerates the paper's dataset table for the synthetic surrogates:
+name, nodes, edges, largest SCC size and sampled diameter, next to the
+published values (absolute sizes differ by design — the surrogates are
+scaled down; the *fractions* and regime columns must match).
+"""
+
+import numpy as np
+
+from repro.analysis import estimate_diameter
+from repro.bench import format_table
+from repro.core import tarjan_scc
+from repro.generators import DATASETS, dataset_names
+
+
+def compute_rows(graphs):
+    rows = []
+    for name in dataset_names():
+        bundle = graphs(name)
+        g = bundle.graph
+        labels = (
+            bundle.true_labels
+            if bundle.true_labels is not None
+            else tarjan_scc(g)
+        )
+        largest = int(np.bincount(labels).max())
+        diam = estimate_diameter(g, samples=8, rng=0)
+        paper = DATASETS[name].paper
+        rows.append(
+            [
+                name,
+                g.num_nodes,
+                g.num_edges,
+                largest,
+                f"{largest / g.num_nodes:.2f}",
+                f"{paper.largest_scc_frac:.2f}",
+                diam,
+                paper.diameter,
+            ]
+        )
+    return rows
+
+
+def test_table1(benchmark, graphs, emit):
+    rows = benchmark.pedantic(
+        compute_rows, args=(graphs,), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            [
+                "name",
+                "nodes",
+                "edges",
+                "largest SCC",
+                "SCC frac",
+                "paper frac",
+                "diam",
+                "paper diam",
+            ],
+            rows,
+            title="Table 1: dataset surrogates vs. published statistics",
+        )
+    )
+    # shape assertions: fractions track the paper's
+    for row in rows:
+        name, frac, paper_frac = row[0], float(row[4]), float(row[5])
+        assert abs(frac - paper_frac) < 0.15, name

@@ -1,0 +1,56 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Every bench target prints the rows/series of the paper artifact it
+regenerates (visible with ``pytest benchmarks/ --benchmark-only``),
+and wraps its computation in the pytest-benchmark fixture so wall
+times are recorded alongside.
+
+``REPRO_SCALE`` scales the surrogate sizes (default 1.0 — the sizes
+the structural calibrations were done at).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import generate, scale_from_env
+from repro.runtime import Machine
+
+
+@pytest.fixture(scope="session")
+def machine() -> Machine:
+    """The paper's 2-socket / 16-core / 32-thread machine model."""
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return scale_from_env(default=1.0)
+
+
+@pytest.fixture(scope="session")
+def graphs(bench_scale):
+    """Lazily generated surrogate cache shared across bench files."""
+    cache = {}
+
+    def get(name: str, scale: float | None = None):
+        key = (name, scale)
+        if key not in cache:
+            cache[key] = generate(
+                name, scale=bench_scale if scale is None else scale
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a table straight to the terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

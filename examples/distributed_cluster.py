@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's future work, runnable: distributed FW-BW-Trim on a
+simulated cluster.
+
+Section 6 closes with "we plan to implement our algorithm in a
+distributed environment.  Our extensions can be easily implemented in
+such an environment as they only require data from direct neighbors."
+This example runs the BSP implementation over three partitioners and a
+rank sweep, and shows the two distributed failure modes the
+shared-memory paper foreshadows: small-world graphs resist
+partitioning (communication floor), high-diameter graphs multiply
+barrier latency (superstep floor).
+
+Run:  python examples/distributed_cluster.py
+"""
+
+from repro.bench import format_table
+from repro.core import strongly_connected_components, same_partition
+from repro.distributed import (
+    Cluster,
+    bfs_partition,
+    block_partition,
+    distributed_method1,
+    edge_cut,
+    hash_partition,
+)
+from repro.generators import generate
+
+
+def main() -> None:
+    for name, scale in (("livej", 1.0), ("ca-road", 1.0)):
+        bundle = generate(name, scale=scale)
+        g = bundle.graph
+        tarjan = strongly_connected_components(g, "tarjan")
+        print(f"== {name}: {g.num_nodes} nodes, {g.num_edges} edges")
+
+        # partitioner quality at 8 ranks
+        rows = []
+        for label, part in (
+            ("block", block_partition(g.num_nodes, 8)),
+            ("hash", hash_partition(g.num_nodes, 8, rng=0)),
+            ("bfs", bfs_partition(g, 8)),
+        ):
+            cut = edge_cut(g, part)
+            rows.append([label, cut, f"{cut / g.num_edges:.1%}"])
+        print(format_table(["partitioner", "cut edges", "cut %"], rows))
+
+        # rank scaling with the best partitioner
+        cluster = Cluster()
+        rows = []
+        base = None
+        for ranks in (1, 2, 4, 8, 16):
+            res = distributed_method1(g, bfs_partition(g, ranks))
+            assert same_partition(res.labels, tarjan.labels)
+            sim = cluster.simulate(res.dtrace)
+            base = base or sim.total_time
+            rows.append(
+                [
+                    ranks,
+                    f"{base / sim.total_time:.2f}",
+                    f"{sim.comm_fraction:.0%}",
+                    len(res.dtrace.steps),
+                ]
+            )
+        print(
+            format_table(
+                ["ranks", "speedup", "comm", "supersteps"],
+                rows,
+                title="distributed Method 1 (+WCC) scaling",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

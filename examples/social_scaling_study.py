@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scaling study: how the three algorithms behave on YOUR machine model.
+
+The paper evaluates on a fixed 2-socket Xeon.  Because this library's
+timing is trace-driven, the same recorded run can be replayed on any
+machine shape — more sockets, wider SMT, slower interconnect — to ask
+"would Method 2 still win at 64 threads on 4 sockets?".
+
+This example runs the Twitter surrogate once per algorithm and then
+replays the traces on (a) the paper's machine and (b) a hypothetical
+4-socket, 64-thread box with a weaker interconnect.
+
+Run:  python examples/social_scaling_study.py
+"""
+
+from repro import strongly_connected_components
+from repro.bench import format_table
+from repro.generators import generate
+from repro.runtime import Machine, MachineConfig
+
+PAPER = MachineConfig()  # 2 x 8 cores x 2 SMT (Section 5)
+BIG_NUMA = MachineConfig(
+    sockets=4,
+    cores_per_socket=8,
+    smt=2,
+    numa_eff=0.6,  # weaker cross-socket interconnect
+    smt_eff=0.5,
+    sync_base=250.0,  # barriers cost more on 4 sockets
+    sync_per_thread=12.0,
+)
+
+
+def main() -> None:
+    bundle = generate("twitter", scale=0.5)
+    g = bundle.graph
+    print(f"Twitter surrogate: {g.num_nodes} nodes, {g.num_edges} edges\n")
+
+    tarjan = strongly_connected_components(g, "tarjan")
+    runs = {
+        m: strongly_connected_components(g, m)
+        for m in ("baseline", "method1", "method2")
+    }
+
+    for label, cfg, threads in (
+        ("paper machine (2x8x2)", PAPER, (1, 8, 16, 32)),
+        ("hypothetical 4-socket (4x8x2)", BIG_NUMA, (1, 16, 32, 64)),
+    ):
+        machine = Machine(cfg)
+        t_seq = machine.simulate(tarjan.profile.trace, 1).total_time
+        rows = []
+        for method, result in runs.items():
+            speedups = [
+                t_seq
+                / machine.simulate(result.profile.trace, p).total_time
+                for p in threads
+            ]
+            rows.append([method] + [f"{s:.2f}" for s in speedups])
+        print(
+            format_table(
+                ["method"] + [f"p={p}" for p in threads],
+                rows,
+                title=f"speedup vs. Tarjan — {label}",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: parallel SCC detection in small-world graphs.
+
+A production-quality Python reproduction of Hong, Rodia & Olukotun,
+"On Fast Parallel Detection of Strongly Connected Components (SCC) in
+Small-World Graphs" (SC 2013) — the FW-BW-Trim extensions (two-phase
+parallelization, Par-WCC, Trim2), the conventional baseline, the
+sequential optima, synthetic surrogates for the paper's nine
+evaluation graphs, and a trace-driven simulated multiprocessor that
+stands in for the paper's 32-hardware-thread Xeon (see DESIGN.md).
+
+Quickstart::
+
+    from repro import generators, strongly_connected_components
+    from repro.runtime import Machine
+
+    bundle = generators.generate("livej", scale=0.5)
+    result = strongly_connected_components(bundle.graph, method="method2")
+    print(result.num_sccs, result.giant_fraction())
+
+    tarjan = strongly_connected_components(bundle.graph, method="tarjan")
+    machine = Machine()
+    t_seq = machine.simulate(tarjan.profile.trace, threads=1).total_time
+    t_par = machine.simulate(result.profile.trace, threads=32).total_time
+    print("simulated 32-thread speedup:", t_seq / t_par)
+"""
+
+from . import analysis, core, generators, graph, runtime, traversal
+from .core import strongly_connected_components, SCCResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "generators",
+    "graph",
+    "runtime",
+    "traversal",
+    "strongly_connected_components",
+    "SCCResult",
+    "__version__",
+]

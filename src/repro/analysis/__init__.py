@@ -1,0 +1,43 @@
+"""Graph and SCC-structure analysis utilities.
+
+Everything Section 2.2 / Table 1 / Figures 2 & 9 measure: SCC size
+distributions, giant-component fractions, sampled diameters,
+small-world classification, degree power-law fits, and the Broder
+et al. bow-tie decomposition around the giant SCC.
+"""
+
+from .sccstats import (
+    scc_sizes_from_labels,
+    size_histogram,
+    giant_fraction,
+    summarize_scc_structure,
+    SCCStructureSummary,
+)
+from .diameter import estimate_diameter, eccentricity_sample
+from .smallworld import is_small_world, SmallWorldReport, classify_graph
+from .degrees import degree_statistics, powerlaw_fit, DegreeStats
+from .bowtie import bowtie_decomposition, BowTie
+from .clustering import local_clustering, average_clustering
+from .reciprocity import edge_reciprocity, reciprocal_edge_count
+
+__all__ = [
+    "scc_sizes_from_labels",
+    "size_histogram",
+    "giant_fraction",
+    "summarize_scc_structure",
+    "SCCStructureSummary",
+    "estimate_diameter",
+    "eccentricity_sample",
+    "is_small_world",
+    "SmallWorldReport",
+    "classify_graph",
+    "degree_statistics",
+    "powerlaw_fit",
+    "DegreeStats",
+    "bowtie_decomposition",
+    "BowTie",
+    "local_clustering",
+    "average_clustering",
+    "edge_reciprocity",
+    "reciprocal_edge_count",
+]

@@ -1,0 +1,82 @@
+"""SCC size-distribution statistics (Figures 2 and 9).
+
+The paper's structural picture of real-world graphs (Section 2.2):
+one giant SCC of size O(N), size-1 SCCs the most frequent class, and a
+power-law-decaying spectrum in between.  These helpers turn an SCC
+label array into the histogram and summary numbers the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "scc_sizes_from_labels",
+    "size_histogram",
+    "giant_fraction",
+    "summarize_scc_structure",
+    "SCCStructureSummary",
+]
+
+
+def scc_sizes_from_labels(labels: np.ndarray) -> np.ndarray:
+    """SCC sizes (one entry per component) from a label array."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if labels.min() < 0:
+        raise ValueError("labels must be non-negative (complete run)")
+    return np.bincount(labels)
+
+
+def size_histogram(labels: np.ndarray) -> Dict[int, int]:
+    """``{scc_size: count}`` — the Figure 2 / Figure 9 scatter data."""
+    sizes = scc_sizes_from_labels(labels)
+    sizes = sizes[sizes > 0]
+    values, counts = np.unique(sizes, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def giant_fraction(labels: np.ndarray) -> float:
+    """Largest SCC size over node count."""
+    sizes = scc_sizes_from_labels(labels)
+    n = int(np.asarray(labels).shape[0])
+    return float(sizes.max()) / n if n else 0.0
+
+
+@dataclass(frozen=True)
+class SCCStructureSummary:
+    """The Table 1 / Section 2.2 numbers for one graph."""
+
+    num_nodes: int
+    num_sccs: int
+    largest_scc: int
+    giant_fraction: float
+    #: count of size-1 SCCs (the Trim-step fodder).
+    trivial_sccs: int
+    #: count of SCCs with 2 <= size < giant (the Method-2 territory).
+    mid_sccs: int
+    #: True when the graph is a DAG (Patents): every SCC is size 1.
+    acyclic: bool
+
+
+def summarize_scc_structure(labels: np.ndarray) -> SCCStructureSummary:
+    """Summarize an SCC labelling into the paper's headline numbers."""
+    sizes = scc_sizes_from_labels(labels)
+    sizes = sizes[sizes > 0]
+    n = int(np.asarray(labels).shape[0])
+    largest = int(sizes.max()) if sizes.size else 0
+    trivial = int((sizes == 1).sum())
+    mid = int(((sizes >= 2) & (sizes < largest)).sum())
+    return SCCStructureSummary(
+        num_nodes=n,
+        num_sccs=int(sizes.shape[0]),
+        largest_scc=largest,
+        giant_fraction=largest / n if n else 0.0,
+        trivial_sccs=trivial,
+        mid_sccs=mid,
+        acyclic=bool(largest <= 1),
+    )

@@ -1,0 +1,62 @@
+"""Small-world classification.
+
+Section 5 ends with: "in the common case, users have a priori
+knowledge about the property of their graphs, small-world or not" —
+and the methods' profitability hinges on it (CA-road is the
+counterexample).  :func:`is_small_world` provides that a-priori check
+empirically: a graph is small-world when its sampled diameter is
+O(log N), i.e. within ``factor`` of ``log2(N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import CSRGraph
+from .diameter import estimate_diameter
+
+__all__ = ["SmallWorldReport", "is_small_world", "classify_graph"]
+
+
+@dataclass(frozen=True)
+class SmallWorldReport:
+    num_nodes: int
+    diameter_estimate: int
+    log2_n: float
+    #: diameter / log2(N); small-world graphs sit near or below ~2-3.
+    ratio: float
+    small_world: bool
+
+
+def classify_graph(
+    g: CSRGraph,
+    *,
+    factor: float = 4.0,
+    samples: int = 12,
+    rng: np.random.Generator | int | None = 0,
+) -> SmallWorldReport:
+    """Classify ``g`` by the diameter-vs-log(N) criterion."""
+    n = max(g.num_nodes, 2)
+    diam = estimate_diameter(g, samples=samples, rng=rng)
+    log2n = float(np.log2(n))
+    ratio = diam / log2n
+    return SmallWorldReport(
+        num_nodes=g.num_nodes,
+        diameter_estimate=diam,
+        log2_n=log2n,
+        ratio=ratio,
+        small_world=bool(ratio <= factor),
+    )
+
+
+def is_small_world(
+    g: CSRGraph,
+    *,
+    factor: float = 4.0,
+    samples: int = 12,
+    rng: np.random.Generator | int | None = 0,
+) -> bool:
+    """True when the sampled diameter is within ``factor * log2(N)``."""
+    return classify_graph(g, factor=factor, samples=samples, rng=rng).small_world

@@ -1,0 +1,32 @@
+"""Benchmark harness shared by the ``benchmarks/`` targets.
+
+Runners that execute the paper's algorithms on the dataset surrogates,
+replay their traces on the simulated machine, and format the resulting
+tables/series in the layout of the paper's tables and figures.
+"""
+
+from .harness import (
+    MethodRun,
+    SpeedupSeries,
+    run_method,
+    run_tarjan_baseline,
+    speedup_series,
+    breakdown_series,
+    FIG6_METHODS,
+)
+from .tables import format_table, format_speedup_table, print_table
+from .ascii import ascii_chart
+
+__all__ = [
+    "MethodRun",
+    "SpeedupSeries",
+    "run_method",
+    "run_tarjan_baseline",
+    "speedup_series",
+    "breakdown_series",
+    "FIG6_METHODS",
+    "format_table",
+    "format_speedup_table",
+    "print_table",
+    "ascii_chart",
+]

@@ -1,0 +1,65 @@
+"""ASCII line charts for bench output (the Figure 6 curves as text).
+
+No plotting library is available offline, and the figures the paper
+prints are simple per-panel line charts — a character grid renders
+their shape faithfully enough to eyeball the knees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox*+#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[object],
+    *,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render named series over a shared x-axis as an ASCII chart.
+
+    Each series gets a distinct mark; points landing on the same cell
+    show the mark of the later series.  The y-axis starts at 0.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("all series must match the x-axis length")
+    y_max = max(max(v) for v in series.values())
+    y_max = y_max if y_max > 0 else 1.0
+    n = len(x_labels)
+    col_width = max(max(len(str(x)) for x in x_labels) + 1, 6)
+    width = n * col_width
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for i, v in enumerate(values):
+            row = height - 1 - int(round((v / y_max) * (height - 1)))
+            col = i * col_width + col_width // 2
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = y_max * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_val:7.1f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + "".join(str(x).center(col_width) for x in x_labels)
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend + (f"   ({y_label})" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Experiment runners for the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core import strongly_connected_components
+from ..core.result import SCCResult, same_partition
+from ..graph import CSRGraph
+from ..runtime import Machine, STANDARD_THREAD_COUNTS
+
+__all__ = [
+    "MethodRun",
+    "SpeedupSeries",
+    "run_method",
+    "run_tarjan_baseline",
+    "speedup_series",
+    "breakdown_series",
+    "FIG6_METHODS",
+]
+
+#: the three algorithms Figure 6 plots, in legend order.
+FIG6_METHODS = ("baseline", "method1", "method2")
+
+
+@dataclass
+class MethodRun:
+    """One algorithm execution plus its simulated times per threads."""
+
+    method: str
+    result: SCCResult
+    #: simulated total time per thread count.
+    times: Dict[int, float] = field(default_factory=dict)
+    #: simulated per-phase times per thread count.
+    phase_times: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+
+@dataclass
+class SpeedupSeries:
+    """Speedups vs. the sequential baseline (one Figure 6 panel line)."""
+
+    method: str
+    threads: List[int]
+    speedups: List[float]
+
+
+def run_method(
+    g: CSRGraph,
+    method: str,
+    *,
+    machine: Machine | None = None,
+    thread_counts: Sequence[int] = STANDARD_THREAD_COUNTS,
+    **kwargs,
+) -> MethodRun:
+    """Run ``method`` once and simulate it at every thread count."""
+    machine = machine or Machine()
+    result = strongly_connected_components(g, method, **kwargs)
+    run = MethodRun(method=method, result=result)
+    for p in thread_counts:
+        sim = machine.simulate(result.profile.trace, p)
+        run.times[p] = sim.total_time
+        run.phase_times[p] = dict(sim.phase_times)
+    return run
+
+
+def run_tarjan_baseline(
+    g: CSRGraph, *, machine: Machine | None = None, **kwargs
+) -> tuple[SCCResult, float]:
+    """Run Tarjan and return (result, simulated sequential time)."""
+    machine = machine or Machine()
+    result = strongly_connected_components(g, "tarjan", **kwargs)
+    t_seq = machine.simulate(result.profile.trace, 1).total_time
+    return result, t_seq
+
+
+def speedup_series(
+    g: CSRGraph,
+    *,
+    methods: Sequence[str] = FIG6_METHODS,
+    machine: Machine | None = None,
+    thread_counts: Sequence[int] = STANDARD_THREAD_COUNTS,
+    verify: bool = True,
+    **kwargs,
+) -> tuple[List[SpeedupSeries], Dict[str, MethodRun]]:
+    """The Figure 6 computation for one graph.
+
+    Runs Tarjan for the denominator and each parallel method once,
+    optionally verifying every labelling against Tarjan's, and returns
+    the speedup lines plus the raw runs (for the Figure 7 breakdowns).
+    """
+    machine = machine or Machine()
+    tarjan_result, t_seq = run_tarjan_baseline(g, machine=machine)
+    series: List[SpeedupSeries] = []
+    runs: Dict[str, MethodRun] = {}
+    for method in methods:
+        run = run_method(
+            g,
+            method,
+            machine=machine,
+            thread_counts=thread_counts,
+            **kwargs,
+        )
+        if verify and not same_partition(
+            run.result.labels, tarjan_result.labels
+        ):
+            raise AssertionError(
+                f"{method} produced a different SCC partition than Tarjan"
+            )
+        runs[method] = run
+        series.append(
+            SpeedupSeries(
+                method=method,
+                threads=list(thread_counts),
+                speedups=[t_seq / run.times[p] for p in thread_counts],
+            )
+        )
+    return series, runs
+
+
+def breakdown_series(
+    run: MethodRun, thread_counts: Sequence[int] = STANDARD_THREAD_COUNTS
+) -> Dict[str, List[float]]:
+    """Figure 7 stacked-bar data: phase -> time per thread count."""
+    phases: List[str] = []
+    for p in thread_counts:
+        for ph in run.phase_times[p]:
+            if ph not in phases:
+                phases.append(ph)
+    return {
+        ph: [run.phase_times[p].get(ph, 0.0) for p in thread_counts]
+        for ph in phases
+    }

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for benchmark output.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep the layout consistent and readable in
+captured pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_speedup_table", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric-ish columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    dataset: str,
+    thread_counts: Sequence[int],
+    series,
+) -> str:
+    """One Figure 6 panel as text: rows = methods, cols = thread counts."""
+    headers = ["method"] + [f"p={p}" for p in thread_counts]
+    rows = [
+        [s.method] + [f"{x:.2f}" for x in s.speedups] for s in series
+    ]
+    return format_table(
+        headers, rows, title=f"[{dataset}] speedup vs. Tarjan"
+    )
+
+
+def print_table(*args, **kwargs) -> None:
+    print()
+    print(format_table(*args, **kwargs))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

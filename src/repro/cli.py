@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro datasets
+    python -m repro scc --dataset livej --method method2 --threads 32
+    python -m repro scc --input my_edges.txt --method tarjan
+    python -m repro sweep --dataset twitter
+    python -m repro info --dataset ca-road
+
+``scc`` detects SCCs and (for the parallel methods) reports the
+simulated time at the requested thread count; ``sweep`` prints a full
+Figure 6-style panel; ``info`` prints structural statistics without
+running the parallel algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel SCC detection in small-world graphs "
+        "(Hong, Rodia & Olukotun, SC'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument(
+            "--dataset",
+            help="surrogate dataset name (see `repro datasets`)",
+        )
+        src.add_argument(
+            "--input", help="edge-list file (src dst per line)"
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="surrogate scale factor (default: $REPRO_SCALE or 1.0)",
+        )
+
+    p_list = sub.add_parser("datasets", help="list dataset surrogates")
+
+    p_scc = sub.add_parser("scc", help="detect SCCs")
+    add_graph_source(p_scc)
+    p_scc.add_argument(
+        "--method",
+        default="method2",
+        help="algorithm (tarjan, kosaraju, baseline, method1, method2, "
+        "fwbw, coloring, multistep)",
+    )
+    p_scc.add_argument("--seed", type=int, default=0)
+    p_scc.add_argument(
+        "--threads",
+        type=int,
+        default=32,
+        help="simulated thread count for the timing report",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="Figure 6-style speedup panel for one graph"
+    )
+    add_graph_source(p_sweep)
+    p_sweep.add_argument(
+        "--methods",
+        default="baseline,method1,method2",
+        help="comma-separated method list",
+    )
+
+    p_info = sub.add_parser("info", help="structural statistics")
+    add_graph_source(p_info)
+
+    p_dist = sub.add_parser(
+        "distributed",
+        help="distributed (BSP) Method 1 rank-scaling report",
+    )
+    add_graph_source(p_dist)
+    p_dist.add_argument(
+        "--ranks",
+        default="1,2,4,8",
+        help="comma-separated rank counts",
+    )
+    p_dist.add_argument(
+        "--partitioner",
+        default="bfs",
+        choices=("block", "hash", "bfs"),
+    )
+
+    return parser
+
+
+def _load_graph(args):
+    from .generators import generate
+    from .graph import read_edge_list
+
+    if args.dataset:
+        bundle = generate(args.dataset, scale=args.scale)
+        return bundle.graph, args.dataset
+    g = read_edge_list(args.input)
+    return g, args.input
+
+
+def _cmd_datasets(args) -> int:
+    from .bench import format_table
+    from .generators import DATASETS
+
+    rows = [
+        [
+            spec.name,
+            spec.paper.nodes,
+            spec.paper.edges,
+            f"{spec.paper.largest_scc_frac:.2f}",
+            "yes" if spec.small_world else "no",
+            spec.description,
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["name", "paper nodes", "paper edges", "giant frac",
+             "small-world", "description"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_scc(args) -> int:
+    from .core import strongly_connected_components
+    from .runtime import Machine
+
+    g, label = _load_graph(args)
+    print(f"graph {label}: {g.num_nodes} nodes, {g.num_edges} edges")
+    kwargs = {}
+    if args.method not in ("tarjan", "kosaraju"):
+        kwargs["seed"] = args.seed
+    result = strongly_connected_components(g, args.method, **kwargs)
+    print(f"method: {args.method}")
+    print(f"SCCs: {result.num_sccs}")
+    print(
+        f"largest SCC: {result.largest_scc_size()} "
+        f"({result.giant_fraction():.1%})"
+    )
+    fractions = result.phase_fractions()
+    if fractions:
+        parts = ", ".join(
+            f"{k}={v:.1%}" for k, v in fractions.items() if v > 0
+        )
+        print(f"resolved per phase: {parts}")
+    if result.profile is not None:
+        machine = Machine()
+        sim = machine.simulate(result.profile.trace, args.threads)
+        print(
+            f"simulated time @{args.threads} threads: "
+            f"{sim.total_time:.0f} edge-units"
+        )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench import format_speedup_table, speedup_series
+    from .runtime import STANDARD_THREAD_COUNTS
+
+    g, label = _load_graph(args)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    series, _ = speedup_series(g, methods=methods)
+    print(format_speedup_table(label, STANDARD_THREAD_COUNTS, series))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .analysis import (
+        classify_graph,
+        degree_statistics,
+        summarize_scc_structure,
+    )
+    from .core import tarjan_scc
+
+    g, label = _load_graph(args)
+    print(f"graph {label}: {g.num_nodes} nodes, {g.num_edges} edges")
+    summary = summarize_scc_structure(tarjan_scc(g))
+    print(f"SCCs: {summary.num_sccs} (largest {summary.largest_scc}, "
+          f"{summary.giant_fraction:.1%}; {summary.trivial_sccs} trivial, "
+          f"{summary.mid_sccs} mid-size)")
+    report = classify_graph(g)
+    print(f"sampled diameter: {report.diameter_estimate} "
+          f"(log2 N = {report.log2_n:.1f}) -> "
+          f"small-world: {report.small_world}")
+    deg = degree_statistics(g)
+    print(f"degrees: mean out {deg.mean_out:.1f}, max out {deg.max_out}, "
+          f"skew {deg.skew:.0f}x, power-law alpha {deg.alpha:.2f}")
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from .bench import format_table
+    from .distributed import (
+        Cluster,
+        bfs_partition,
+        block_partition,
+        distributed_method1,
+        edge_cut,
+        hash_partition,
+    )
+
+    g, label = _load_graph(args)
+    print(f"graph {label}: {g.num_nodes} nodes, {g.num_edges} edges")
+
+    def make_partition(ranks: int):
+        if args.partitioner == "block":
+            return block_partition(g.num_nodes, ranks)
+        if args.partitioner == "hash":
+            return hash_partition(g.num_nodes, ranks, rng=0)
+        return bfs_partition(g, ranks)
+
+    cluster = Cluster()
+    rows = []
+    base = None
+    for ranks in (int(r) for r in args.ranks.split(",")):
+        part = make_partition(ranks)
+        res = distributed_method1(g, part)
+        sim = cluster.simulate(res.dtrace)
+        base = base or sim.total_time
+        rows.append(
+            [
+                ranks,
+                f"{base / sim.total_time:.2f}",
+                f"{sim.comm_fraction:.0%}",
+                edge_cut(g, part),
+                len(res.dtrace.steps),
+            ]
+        )
+    print(
+        format_table(
+            ["ranks", "speedup", "comm", "edge cut", "supersteps"],
+            rows,
+            title=f"distributed method1 (+WCC), {args.partitioner} partition",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "scc": _cmd_scc,
+        "sweep": _cmd_sweep,
+        "info": _cmd_info,
+        "distributed": _cmd_distributed,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

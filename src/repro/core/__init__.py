@@ -1,0 +1,80 @@
+"""The paper's contribution: parallel SCC detection algorithms.
+
+Sequential baselines (Tarjan, Kosaraju), the conventional parallel
+Baseline (Algorithm 3), and the paper's Method 1 / Method 2 pipelines
+with all their building blocks (Par-Trim, Par-Trim2, Par-WCC,
+Par-FWBW, Recur-FWBW).  Entry point:
+:func:`~repro.core.api.strongly_connected_components`.
+"""
+
+from .api import strongly_connected_components, METHODS
+from .baseline import baseline_scc
+from .coloring import coloring_scc, color_propagation_round
+from .fleischer import fwbw_scc
+from .gabow import gabow_scc
+from .kosaraju import kosaraju_scc
+from .method1 import method1_scc
+from .method2 import method2_scc
+from .multistep import multistep_scc
+from .parfwbw import ParFWBWOutcome, par_fwbw
+from .pivot import choose_pivot, PIVOT_STRATEGIES
+from .recurfwbw import (
+    WorkItem,
+    collect_color_sets,
+    recur_fwbw_task,
+    run_recur_phase,
+)
+from .result import SCCResult, canonical_labels, same_partition
+from .state import (
+    SCCState,
+    DONE_COLOR,
+    PHASE_TRIM,
+    PHASE_TRIM2,
+    PHASE_FWBW,
+    PHASE_RECUR,
+    PHASE_COLORING,
+    PHASE_NAMES,
+)
+from .tarjan import tarjan_scc
+from .trim import effective_degrees, par_trim, par_trim_rescan
+from .trim2 import par_trim2
+from .wcc import par_wcc
+
+__all__ = [
+    "strongly_connected_components",
+    "METHODS",
+    "baseline_scc",
+    "coloring_scc",
+    "color_propagation_round",
+    "fwbw_scc",
+    "gabow_scc",
+    "kosaraju_scc",
+    "method1_scc",
+    "method2_scc",
+    "multistep_scc",
+    "ParFWBWOutcome",
+    "par_fwbw",
+    "choose_pivot",
+    "PIVOT_STRATEGIES",
+    "WorkItem",
+    "collect_color_sets",
+    "recur_fwbw_task",
+    "run_recur_phase",
+    "SCCResult",
+    "canonical_labels",
+    "same_partition",
+    "SCCState",
+    "DONE_COLOR",
+    "PHASE_TRIM",
+    "PHASE_TRIM2",
+    "PHASE_FWBW",
+    "PHASE_RECUR",
+    "PHASE_COLORING",
+    "PHASE_NAMES",
+    "tarjan_scc",
+    "effective_degrees",
+    "par_trim",
+    "par_trim_rescan",
+    "par_trim2",
+    "par_wcc",
+]

@@ -1,0 +1,52 @@
+"""The original FW-BW algorithm (Fleischer, Hendrickson, Pınar 2000).
+
+No Trim step, no phase-1 data parallelism — pure recursive FW-BW over
+the work queue.  This is the ancestor the whole paper builds on
+(Section 2.1) and the weakest comparator: on real-world graphs the
+million size-1 SCCs each cost a full (tiny) FW-BW task, and the giant
+SCC serializes one worker, so it loses to everything including the
+Baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from .recurfwbw import run_recur_phase
+from .result import SCCResult
+from .state import SCCState
+
+__all__ = ["fwbw_scc"]
+
+
+def fwbw_scc(
+    g: CSRGraph,
+    *,
+    seed: int | None = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    pivot_strategy: str = "random",
+    queue_k: int = 1,
+    backend: str = "serial",
+    num_threads: int = 4,
+) -> SCCResult:
+    """Pure recursive FW-BW (no Trim), Fleischer et al.'s algorithm."""
+    state = SCCState(g, seed=seed, cost=cost)
+    with state.profile.wall_timer("recur_fwbw"):
+        initial = [(0, np.arange(g.num_nodes, dtype=np.int64))]
+        run_recur_phase(
+            state,
+            initial,
+            queue_k=queue_k,
+            pivot_strategy=pivot_strategy,
+            backend=backend,
+            num_threads=num_threads,
+        )
+    state.check_done()
+    return SCCResult(
+        labels=state.labels,
+        method="fwbw",
+        profile=state.profile,
+        phase_of=state.phase_of,
+    )

@@ -1,0 +1,74 @@
+"""Method 1: two-phase parallelization (Algorithm 6).
+
+Phase 1 (data-level parallelism): Par-Trim, then Par-FWBW — all
+threads cooperate on the same partition via parallel BFS until the
+giant SCC is found — then Par-Trim again, because removing the giant
+SCC exposes fresh trimming opportunities.  Phase 2 (task-level
+parallelism): the conventional Recur-FWBW over the work queue (K = 1),
+seeded by a scan of the surviving colour partitions (Section 4.2's
+deferred set construction).
+"""
+
+from __future__ import annotations
+
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from .parfwbw import par_fwbw
+from .recurfwbw import collect_color_sets, run_recur_phase
+from .result import SCCResult
+from .state import SCCState
+from .trim import par_trim
+
+__all__ = ["method1_scc"]
+
+
+def method1_scc(
+    g: CSRGraph,
+    *,
+    seed: int | None = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    giant_threshold: float = 0.01,
+    max_fwbw_trials: int = 5,
+    pivot_strategy: str = "random",
+    pivot_repr: str = "hybrid",
+    bfs_kernel: str = "level",
+    queue_k: int = 1,
+    backend: str = "serial",
+    num_threads: int = 4,
+) -> SCCResult:
+    """Algorithm 6.  See :func:`repro.core.api.strongly_connected_components`."""
+    state = SCCState(g, seed=seed, cost=cost)
+    # Phase 1: parallelism in trims and traversals.
+    with state.profile.wall_timer("par_trim"):
+        par_trim(state)
+    with state.profile.wall_timer("par_fwbw"):
+        par_fwbw(
+            state,
+            0,
+            giant_threshold=giant_threshold,
+            max_trials=max_fwbw_trials,
+            pivot_strategy=pivot_strategy,
+            bfs_kernel=bfs_kernel,
+        )
+    with state.profile.wall_timer("par_trim"):
+        par_trim(state)
+    # Phase 2: parallelism in recursion.
+    with state.profile.wall_timer("recur_fwbw"):
+        initial = collect_color_sets(state, phase="recur_fwbw")
+        if pivot_repr == "scan":
+            initial = [(c, None) for c, _ in initial]
+        run_recur_phase(
+            state,
+            initial,
+            queue_k=queue_k,
+            pivot_strategy=pivot_strategy,
+            backend=backend,
+            num_threads=num_threads,
+        )
+    state.check_done()
+    return SCCResult(
+        labels=state.labels,
+        method="method1",
+        profile=state.profile,
+        phase_of=state.phase_of,
+    )

@@ -1,0 +1,94 @@
+"""Method 2: the full pipeline (Algorithm 9).
+
+Par-Trim, Par-FWBW (giant SCC), Par-Trim' (Trim, then Trim2 once, then
+Trim again — Trim2 is costlier, so it runs a single time between two
+ordinary trims), Par-WCC (each weakly connected component of the
+shattered remainder becomes its own work item), then Recur-FWBW with
+K = 8 — Method 2 generates enough task parallelism that larger fetch
+batches pay off (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from .parfwbw import par_fwbw
+from .recurfwbw import run_recur_phase
+from .result import SCCResult
+from .state import SCCState
+from .trim import par_trim
+from .trim2 import par_trim2
+from .wcc import par_wcc
+
+__all__ = ["method2_scc"]
+
+
+def method2_scc(
+    g: CSRGraph,
+    *,
+    seed: int | None = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    giant_threshold: float = 0.01,
+    max_fwbw_trials: int = 5,
+    pivot_strategy: str = "random",
+    pivot_repr: str = "hybrid",
+    bfs_kernel: str = "level",
+    queue_k: int = 8,
+    use_trim2: bool = True,
+    wcc_directions: str = "both",
+    wcc_compress: bool = True,
+    backend: str = "serial",
+    num_threads: int = 4,
+) -> SCCResult:
+    """Algorithm 9.  See :func:`repro.core.api.strongly_connected_components`.
+
+    ``use_trim2=False`` drops the Par-Trim2 step (the Section 3.4
+    ablation: expect the WCC step to slow down on chain-heavy graphs).
+    ``wcc_compress=False`` disables WCC pointer jumping, reproducing
+    the paper's slow-convergence behaviour on high-diameter graphs.
+    """
+    state = SCCState(g, seed=seed, cost=cost)
+    # Phase 1: parallelism in trims, traversals and WCC.
+    with state.profile.wall_timer("par_trim"):
+        par_trim(state)
+    with state.profile.wall_timer("par_fwbw"):
+        par_fwbw(
+            state,
+            0,
+            giant_threshold=giant_threshold,
+            max_trials=max_fwbw_trials,
+            pivot_strategy=pivot_strategy,
+            bfs_kernel=bfs_kernel,
+        )
+    # Par-Trim' = Trim, Trim2 (once), Trim.
+    with state.profile.wall_timer("par_trim"):
+        par_trim(state)
+    if use_trim2:
+        with state.profile.wall_timer("par_trim2"):
+            par_trim2(state)
+        with state.profile.wall_timer("par_trim"):
+            par_trim(state)
+    with state.profile.wall_timer("par_wcc"):
+        items = par_wcc(
+            state, directions=wcc_directions, compress=wcc_compress
+        )
+    # Phase 2: parallelism in recursion.
+    with state.profile.wall_timer("recur_fwbw"):
+        initial = items
+        if pivot_repr == "scan":
+            initial = [(c, None) for c, _ in items]
+        run_recur_phase(
+            state,
+            initial,
+            queue_k=queue_k,
+            pivot_strategy=pivot_strategy,
+            backend=backend,
+            num_threads=num_threads,
+        )
+    state.check_done()
+    return SCCResult(
+        labels=state.labels,
+        method="method2",
+        profile=state.profile,
+        phase_of=state.phase_of,
+    )

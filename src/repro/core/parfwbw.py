@@ -1,0 +1,180 @@
+"""Par-FWBW: the data-parallel FW-BW step (phase 1 of Methods 1 and 2).
+
+Section 3.2: the conventional algorithm lets one thread discover the
+giant O(N)-sized SCC while every other thread idles.  Par-FWBW instead
+points *all* threads at the same partition: the forward and backward
+reachable sets of a pivot are computed with parallel BFS (few levels,
+huge frontiers on small-world graphs), the intersection is the pivot's
+SCC, and the process repeats until an SCC covering at least
+``giant_threshold`` of the graph has been found or the trial budget is
+exhausted.
+
+Colour bookkeeping follows Algorithm 5 exactly: the FW pass recolours
+``c -> cfw``; the BW pass recolours ``c -> cbw`` and ``cfw -> cscc``
+(the intersection), pruning everywhere else.  Partitions produced along
+the way (cfw/cbw remainders and the final colour ``c``) stay in the
+colour array; phase 2 picks them up either by a scan (Method 1,
+Section 4.2's deferred set construction) or through Par-WCC (Method 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..traversal.bfs import bfs_color_transform
+from ..traversal.dobfs import direction_optimizing_bfs
+from .pivot import choose_pivot
+from .state import PHASE_FWBW, SCCState
+
+__all__ = ["ParFWBWOutcome", "par_fwbw"]
+
+
+@dataclass
+class _MaskFW:
+    """Adapter giving a dobfs mask the BFSResult.recolored interface."""
+
+    recolored: dict
+
+
+@dataclass
+class ParFWBWOutcome:
+    """What phase 1 left behind."""
+
+    #: True when an SCC of at least the giant threshold was found.
+    found_giant: bool
+    #: size of the largest SCC identified in this step.
+    largest_scc: int
+    #: number of pivot trials performed.
+    trials: int
+    #: colours of partitions that still hold unfinished nodes
+    #: (the final remainder colour plus every cfw/cbw created).
+    open_colors: List[int] = field(default_factory=list)
+
+
+def par_fwbw(
+    state: SCCState,
+    c: int = 0,
+    *,
+    giant_threshold: float = 0.01,
+    max_trials: int = 5,
+    pivot_strategy: str = "random",
+    bfs_kernel: str = "level",
+    phase: str = "par_fwbw",
+) -> ParFWBWOutcome:
+    """Run the parallel FW-BW step on colour ``c``.
+
+    ``giant_threshold`` is the fraction of the original graph's nodes
+    an SCC must reach to count as "the giant" (the paper suggests 1 %);
+    ``max_trials`` bounds the pivot attempts either way.
+
+    ``bfs_kernel`` selects the traversal for the forward pass:
+    ``"level"`` (the paper's level-synchronous BFS) or ``"dobfs"``
+    (Beamer et al.'s direction-optimizing BFS — the Section 4.2
+    "post-graph500 improvements" hook; it computes a reachability mask
+    and then recolours in one sweep).  The backward pass always uses
+    the colour-transforming kernel because it must distinguish the
+    ``cfw``/``c`` transitions.
+    """
+    if bfs_kernel not in ("level", "dobfs"):
+        raise ValueError(f"unknown bfs_kernel {bfs_kernel!r}")
+    if not (0.0 < giant_threshold <= 1.0):
+        raise ValueError("giant_threshold must be in (0, 1]")
+    if max_trials < 1:
+        raise ValueError("max_trials must be >= 1")
+    g, color = state.graph, state.color
+    cost = state.cost
+    n = state.num_nodes
+    threshold_nodes = max(1, int(np.ceil(giant_threshold * n)))
+
+    outcome = ParFWBWOutcome(found_giant=False, largest_scc=0, trials=0)
+    current = c
+    for _ in range(max_trials):
+        # Pivot selection scans the colour array (phase 1 keeps no sets
+        # — Section 4.1 uses the hybrid representation only in phase 2).
+        candidates = np.flatnonzero(color == current)
+        state.trace.parallel_for(
+            phase,
+            work=cost.stream(nodes=n),
+            items=n,
+            schedule="static",
+        )
+        if candidates.size == 0:
+            break
+        outcome.trials += 1
+        pivot = choose_pivot(candidates, pivot_strategy, state.rng, g)
+
+        cfw = state.new_color()
+        cbw = state.new_color()
+        cscc = state.new_color()
+        if bfs_kernel == "dobfs":
+            mask, _res = direction_optimizing_bfs(
+                g,
+                pivot,
+                direction="out",
+                allowed=color == current,
+                trace=state.trace,
+                phase=phase,
+                cost=cost,
+            )
+            # recolouring happens in one sweep after the mask is known
+            # (the pivot is in the mask and still carries `current`).
+            fw_nodes = np.flatnonzero(mask)
+            color[fw_nodes] = cfw
+            state.trace.parallel_for(
+                phase,
+                work=cost.stream(nodes=fw_nodes.size),
+                items=int(max(fw_nodes.size, 1)),
+            )
+            fw = _MaskFW({cfw: fw_nodes})
+        else:
+            fw = bfs_color_transform(
+                g,
+                pivot,
+                {current: cfw},
+                color,
+                direction="out",
+                trace=state.trace,
+                phase=phase,
+                cost=cost,
+            )
+        bw = bfs_color_transform(
+            g,
+            pivot,
+            {current: cbw, cfw: cscc},
+            color,
+            direction="in",
+            trace=state.trace,
+            phase=phase,
+            cost=cost,
+        )
+        scc_nodes = bw.recolored[cscc]
+        state.mark_scc(scc_nodes, PHASE_FWBW)
+        outcome.largest_scc = max(outcome.largest_scc, int(scc_nodes.size))
+        if scc_nodes.size >= threshold_nodes:
+            outcome.found_giant = True
+            outcome.open_colors.extend([cfw, cbw])
+            break
+        # The pivot missed the giant.  The giant SCC now lies in
+        # whichever partition is largest: the pivot's FW set (pivot
+        # upstream of the giant), its BW set (downstream), or the
+        # unreached remainder — so retry there.  Retrying only on the
+        # remainder (a literal reading of "repeat") can never find a
+        # giant sitting in the FW/BW set.
+        fw_size = fw.recolored[cfw].size - scc_nodes.size  # minus the SCC
+        bw_size = bw.recolored[cbw].size
+        remain_size = candidates.size - scc_nodes.size - fw_size - bw_size
+        sizes = {current: remain_size, cfw: fw_size, cbw: bw_size}
+        next_color = max(sizes, key=lambda k: sizes[k])
+        outcome.open_colors.extend(
+            k for k in (cfw, cbw, current) if k != next_color
+        )
+        current = next_color
+    else:
+        outcome.open_colors.append(current)
+    if outcome.found_giant:
+        outcome.open_colors.append(current)
+    state.profile.bump("fwbw_trials", outcome.trials)
+    return outcome

@@ -1,0 +1,208 @@
+"""Recur-FWBW: the task-parallel recursive FW-BW phase (Algorithm 5).
+
+Each task owns one colour (one partition): pick a pivot, compute its
+forward and backward reachable sets by sequential DFS (Section 4.2 —
+parallel BFS has too high a fixed cost for these small partitions),
+detach the intersection as an SCC, and spawn up to three child tasks
+for the FW-only, BW-only and unreached remainders.
+
+Partition representation (Section 4.1's hybrid scheme):
+
+* ``pivot_repr="hybrid"`` — each work item carries an explicit node
+  array (the ``std::set`` analogue); pivot selection and remainder
+  filtering touch only those nodes.
+* ``pivot_repr="scan"`` — work items carry only the colour; every
+  pivot selection scans the full colour array.  The paper reports the
+  hybrid approach is ~10x faster; ``bench_ablation_hybrid_repr.py``
+  reproduces that gap from the recorded work.
+
+Two drivers execute the phase: a serial worklist (default; used for
+trace collection) and the real threaded two-level work queue
+(``backend="threads"``), which exercises the same kernel under true
+concurrent interleavings.  Both record the task spawn tree into the
+trace so the simulated scheduler can replay it at any thread count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.trace import Task
+from ..runtime.workqueue import TwoLevelWorkQueue
+from ..traversal.dfs import dfs_collect_colored
+from .state import PHASE_RECUR, SCCState
+
+__all__ = ["WorkItem", "recur_fwbw_task", "run_recur_phase", "collect_color_sets"]
+
+
+@dataclass
+class WorkItem:
+    """One queue entry: a colour, optionally its node set, its spawner."""
+
+    color: int
+    nodes: Optional[np.ndarray]  # None => scan representation
+    parent: int = -1
+
+
+def recur_fwbw_task(
+    state: SCCState,
+    item: WorkItem,
+    *,
+    pivot_strategy: str = "random",
+) -> Tuple[List[WorkItem], float]:
+    """Execute one Recur-FWBW task; returns (children, task cost)."""
+    g, color = state.graph, state.color
+    cost = state.cost
+    c = item.color
+
+    if item.nodes is None:
+        candidates = np.flatnonzero(color == c)
+        select_cost = cost.stream(nodes=state.num_nodes)
+    else:
+        candidates = item.nodes[color[item.nodes] == c]
+        select_cost = cost.stream(nodes=item.nodes.size)
+    if candidates.size == 0:
+        return [], select_cost
+
+    pivot = state.pick(candidates, pivot_strategy)
+    cfw = state.new_color()
+    cbw = state.new_color()
+    cscc = state.new_color()
+
+    fw_collected, fw_edges = dfs_collect_colored(
+        g.indptr, g.indices, pivot, {c: cfw}, color
+    )
+    bw_collected, bw_edges = dfs_collect_colored(
+        g.in_indptr, g.in_indices, pivot, {c: cbw, cfw: cscc}, color
+    )
+    scc_nodes = np.array(bw_collected[cscc], dtype=np.int64)
+    state.mark_scc(scc_nodes, PHASE_RECUR)
+
+    fw_all = np.array(fw_collected[cfw], dtype=np.int64)
+    fw_only = fw_all[color[fw_all] == cfw]  # SCC members now DONE_COLOR
+    bw_only = np.array(bw_collected[cbw], dtype=np.int64)
+    remain = candidates[color[candidates] == c]
+
+    visited = fw_all.size + bw_only.size + scc_nodes.size
+    task_cost = select_cost + cost.dfs(
+        nodes=visited, edges=fw_edges + bw_edges
+    )
+    state.profile.log_task(
+        int(scc_nodes.size),
+        int(fw_only.size),
+        int(bw_only.size),
+        int(remain.size),
+    )
+
+    children: List[WorkItem] = []
+    hybrid = item.nodes is not None
+    for child_color, child_nodes in (
+        (c, remain),
+        (cfw, fw_only),
+        (cbw, bw_only),
+    ):
+        if child_nodes.size:
+            children.append(
+                WorkItem(
+                    color=child_color,
+                    nodes=child_nodes if hybrid else None,
+                )
+            )
+    return children, task_cost
+
+
+def run_recur_phase(
+    state: SCCState,
+    initial: Sequence[Tuple[int, Optional[np.ndarray]]],
+    *,
+    queue_k: int = 1,
+    phase: str = "recur_fwbw",
+    pivot_strategy: str = "random",
+    backend: str = "serial",
+    num_threads: int = 4,
+) -> int:
+    """Drain the phase-2 work queue; returns the number of tasks run.
+
+    ``initial`` seeds the queue with ``(color, nodes-or-None)`` items.
+    The spawn tree (with per-task costs) is recorded as a
+    :class:`~repro.runtime.trace.TaskDAGRecord` for the simulator.
+    """
+    items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
+    tasks: List[Task] = []
+
+    if backend == "serial":
+        queue: deque[WorkItem] = deque(items)
+        while queue:
+            item = queue.popleft()
+            children, task_cost = recur_fwbw_task(
+                state, item, pivot_strategy=pivot_strategy
+            )
+            idx = len(tasks)
+            tasks.append(Task(cost=task_cost, parent=item.parent))
+            for ch in children:
+                ch.parent = idx
+                queue.append(ch)
+    elif backend == "threads":
+        import threading
+
+        lock = threading.Lock()
+
+        def process(item: WorkItem):
+            children, task_cost = recur_fwbw_task(
+                state, item, pivot_strategy=pivot_strategy
+            )
+            with lock:
+                idx = len(tasks)
+                tasks.append(Task(cost=task_cost, parent=item.parent))
+            for ch in children:
+                ch.parent = idx
+            return children
+
+        TwoLevelWorkQueue(num_threads, k=queue_k).run(items, process)
+    elif backend == "processes":
+        from ..runtime.mp_backend import run_recur_phase_processes
+
+        return run_recur_phase_processes(
+            state,
+            initial,
+            num_workers=num_threads,
+            queue_k=queue_k,
+            phase=phase,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    state.trace.task_dag(phase, tasks, queue_k=queue_k)
+    state.profile.bump("recur_tasks", len(tasks))
+    return len(tasks)
+
+
+def collect_color_sets(
+    state: SCCState, *, phase: str = "collect_sets"
+) -> List[Tuple[int, np.ndarray]]:
+    """Scan unmarked nodes and group them by colour (Section 4.2).
+
+    "We defer the construction of sets until the end of the trimming
+    phase, when we perform a scan of non-marked nodes to construct the
+    initial work items."  One vectorized O(N) sweep, recorded as a
+    static parallel-for.
+    """
+    active = np.flatnonzero(~state.mark)
+    state.trace.parallel_for(
+        phase,
+        work=state.cost.stream(nodes=state.num_nodes),
+        items=state.num_nodes,
+        schedule="static",
+    )
+    if active.size == 0:
+        return []
+    colors_active = state.color[active]
+    values, inverse = np.unique(colors_active, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.searchsorted(inverse[order], np.arange(values.size))
+    grouped = np.split(active[order], boundaries[1:])
+    return [(int(values[i]), grouped[i]) for i in range(values.size)]

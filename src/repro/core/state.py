@@ -1,0 +1,200 @@
+"""Shared algorithm state: the ``Color`` and ``mark`` arrays.
+
+Section 4.1: the CSR graph is never mutated.  Instead, ``mark`` (an
+O(N) boolean array) flags nodes whose SCC has been identified —
+"setting the mark value of a node has the same effect as removing the
+node" — and ``Color`` (an O(N) integer array) encodes the current
+partitioning: nodes of different colours are considered disconnected
+even when an edge exists between them.
+
+:class:`SCCState` adds the reproduction's bookkeeping on top: the
+output label array, per-node phase attribution (Figure 8), the work
+trace, the execution profile, and a seeded RNG for pivot selection.
+All mutating entry points take an internal lock so the phase-2 task
+kernel can run under the real threaded work queue.
+
+Invariant maintained throughout: **a marked node's colour is
+``DONE_COLOR`` (-1)**, which no active partition ever uses, so a
+traversal that filters by colour equality automatically prunes at
+detached nodes without consulting ``mark``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from ..runtime.metrics import ExecutionProfile
+
+__all__ = [
+    "SCCState",
+    "DONE_COLOR",
+    "PHASE_TRIM",
+    "PHASE_TRIM2",
+    "PHASE_FWBW",
+    "PHASE_RECUR",
+    "PHASE_NAMES",
+]
+
+#: colour of detached (marked) nodes; never allocated to a partition.
+DONE_COLOR = -1
+
+#: Figure 8 phase attribution ids.
+PHASE_TRIM = 0
+PHASE_TRIM2 = 1
+PHASE_FWBW = 2
+PHASE_RECUR = 3
+PHASE_COLORING = 4  # extension comparators (coloring / MultiStep)
+PHASE_NAMES = {
+    PHASE_TRIM: "trim",
+    PHASE_TRIM2: "trim2",
+    PHASE_FWBW: "par_fwbw",
+    PHASE_RECUR: "recur_fwbw",
+    PHASE_COLORING: "coloring",
+}
+
+
+class SCCState:
+    """Mutable state threaded through one SCC-detection run."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        seed: int | None = 0,
+        cost: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        n = graph.num_nodes
+        self.graph = graph
+        self.color = np.zeros(n, dtype=np.int64)
+        self.mark = np.zeros(n, dtype=bool)
+        #: SCC id per node; -1 until identified.
+        self.labels = np.full(n, -1, dtype=np.int64)
+        #: phase id (PHASE_*) that identified each node's SCC.
+        self.phase_of = np.full(n, -1, dtype=np.int8)
+        self.cost = cost
+        self.profile = ExecutionProfile()
+        self.rng = np.random.default_rng(seed)
+        self._next_color = 1
+        self._num_sccs = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_sccs(self) -> int:
+        return self._num_sccs
+
+    @property
+    def trace(self):
+        return self.profile.trace
+
+    def new_color(self) -> int:
+        """Allocate a fresh partition colour (thread-safe)."""
+        with self._lock:
+            c = self._next_color
+            self._next_color += 1
+            return c
+
+    def new_colors(self, count: int) -> np.ndarray:
+        """Allocate ``count`` consecutive colours (thread-safe)."""
+        with self._lock:
+            base = self._next_color
+            self._next_color += count
+        return np.arange(base, base + count, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def mark_scc(self, nodes: np.ndarray | Iterable[int], phase: int) -> int:
+        """Detach ``nodes`` as one SCC; returns its label (thread-safe)."""
+        nodes = np.asarray(
+            nodes if isinstance(nodes, np.ndarray) else list(nodes),
+            dtype=np.int64,
+        )
+        if nodes.size == 0:
+            raise ValueError("an SCC cannot be empty")
+        with self._lock:
+            sid = self._num_sccs
+            self._num_sccs += 1
+        self.labels[nodes] = sid
+        self.mark[nodes] = True
+        self.color[nodes] = DONE_COLOR
+        self.phase_of[nodes] = phase
+        return sid
+
+    def mark_singletons(self, nodes: np.ndarray, phase: int) -> None:
+        """Detach each node of ``nodes`` as its own size-1 SCC (vectorized)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return
+        with self._lock:
+            base = self._num_sccs
+            self._num_sccs += int(nodes.size)
+        self.labels[nodes] = np.arange(
+            base, base + nodes.size, dtype=np.int64
+        )
+        self.mark[nodes] = True
+        self.color[nodes] = DONE_COLOR
+        self.phase_of[nodes] = phase
+
+    def mark_pairs(self, a: np.ndarray, b: np.ndarray, phase: int) -> None:
+        """Detach each ``(a[i], b[i])`` pair as a size-2 SCC (vectorized)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.shape != b.shape:
+            raise ValueError("pair arrays must have equal shape")
+        if a.size == 0:
+            return
+        with self._lock:
+            base = self._num_sccs
+            self._num_sccs += int(a.size)
+        ids = np.arange(base, base + a.size, dtype=np.int64)
+        for arr in (a, b):
+            self.labels[arr] = ids
+            self.mark[arr] = True
+            self.color[arr] = DONE_COLOR
+            self.phase_of[arr] = phase
+
+    def color_watermark(self) -> int:
+        """The next colour value that would be allocated (no bump)."""
+        with self._lock:
+            return self._next_color
+
+    def sync_counters(self, num_sccs: int, next_color: int) -> None:
+        """Adopt counter values produced by an external executor
+        (the multiprocessing backend runs its own shared counters)."""
+        with self._lock:
+            if num_sccs < self._num_sccs or next_color < self._next_color:
+                raise ValueError("counters may only move forward")
+            self._num_sccs = num_sccs
+            self._next_color = next_color
+
+    def pick(self, candidates: np.ndarray, strategy: str) -> int:
+        """Pivot selection through the state's seeded RNG (thread-safe)."""
+        from .pivot import choose_pivot  # local import avoids a cycle
+
+        with self._lock:
+            return choose_pivot(candidates, strategy, self.rng, self.graph)
+
+    # ------------------------------------------------------------------
+    def active_nodes(self) -> np.ndarray:
+        """Unmarked node ids (a full O(N) scan — callers record it)."""
+        return np.flatnonzero(~self.mark)
+
+    def unfinished(self) -> int:
+        """Count of nodes whose SCC is not yet identified."""
+        return int(self.num_nodes - self.mark.sum())
+
+    def check_done(self) -> None:
+        """Raise if any node is left without a label (algorithm bug)."""
+        missing = int((self.labels < 0).sum())
+        if missing:
+            raise RuntimeError(
+                f"{missing} nodes left unlabelled after SCC detection"
+            )

@@ -1,0 +1,96 @@
+"""Tarjan's SCC algorithm — the optimal sequential baseline.
+
+Figure 6's y-axis is "speedup compared to the optimal sequential
+algorithm (i.e. Tarjan's)", so this implementation is the denominator
+of every headline number.  Section 4.2's implementation notes are
+honoured:
+
+* the DFS is **iterative** with an explicit machine stack — the
+  recursion depth reaches the size of the largest SCC, O(N) on
+  real-world graphs, which overflows any language runtime's stack;
+* the Tarjan node stack is kept as both a vector and a boolean
+  membership array ("like the Color array and std::set representations
+  ... we implement this stack using both a vector and a boolean array
+  for fast execution").
+
+Work accounting: one sequential record of ``cost.dfs(n, m)`` — every
+node and edge is visited exactly once, at the pointer-chasing rate
+(DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from ..runtime.trace import WorkTrace
+
+__all__ = ["tarjan_scc"]
+
+
+def tarjan_scc(
+    g: CSRGraph,
+    *,
+    trace: WorkTrace | None = None,
+    phase: str = "tarjan",
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> np.ndarray:
+    """Return SCC labels (0-based, in root-finishing order)."""
+    n = g.num_nodes
+    indptr, indices = g.indptr, g.indices
+    index = np.full(n, -1, dtype=np.int64)  # discovery order
+    lowlink = np.zeros(n, dtype=np.int64)
+    labels = np.full(n, -1, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)  # boolean twin of tstack
+    tstack: list[int] = []  # Tarjan's node stack (vector twin)
+    # Explicit DFS stack: (node, next-edge cursor); cursors live in an
+    # array so re-entering a frame resumes where it left off.
+    cursor = np.zeros(n, dtype=np.int64)
+    next_index = 0
+    scc_count = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        dfs: list[int] = [root]
+        index[root] = lowlink[root] = next_index
+        next_index += 1
+        cursor[root] = indptr[root]
+        tstack.append(root)
+        on_stack[root] = True
+        while dfs:
+            u = dfs[-1]
+            ptr = cursor[u]
+            if ptr < indptr[u + 1]:
+                cursor[u] = ptr + 1
+                v = int(indices[ptr])
+                if index[v] == -1:
+                    index[v] = lowlink[v] = next_index
+                    next_index += 1
+                    cursor[v] = indptr[v]
+                    tstack.append(v)
+                    on_stack[v] = True
+                    dfs.append(v)
+                elif on_stack[v]:
+                    if index[v] < lowlink[u]:
+                        lowlink[u] = index[v]
+            else:
+                dfs.pop()
+                if dfs:
+                    parent = dfs[-1]
+                    if lowlink[u] < lowlink[parent]:
+                        lowlink[parent] = lowlink[u]
+                if lowlink[u] == index[u]:
+                    # u is an SCC root: pop its members.
+                    while True:
+                        w = tstack.pop()
+                        on_stack[w] = False
+                        labels[w] = scc_count
+                        if w == u:
+                            break
+                    scc_count += 1
+
+    if trace is not None:
+        trace.sequential(phase, work=cost.dfs(nodes=n, edges=g.num_edges))
+    return labels

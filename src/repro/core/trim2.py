@@ -1,0 +1,128 @@
+"""Par-Trim2: one-shot parallel detection of size-2 SCCs (Algorithm 8).
+
+Figure 4's two patterns: nodes A and B form a tight 2-cycle and either
+(a) nothing else flows *into* the pair, or (b) nothing else flows *out*
+of it.  Formally (in-pattern): if n's colour-restricted in-degree is 1,
+its sole in-neighbour is k, the edge n->k exists, and k's in-degree is
+also 1, then every cycle through n or k is exactly {n, k} — any longer
+cycle would need a second way in.  The out-pattern is the mirror image.
+
+Applied once (not iterated) because it is costlier than Trim; its real
+payoff is cutting chains of weakly connected 2-cycles, which shortens
+the Par-WCC convergence by up to 50 % (Section 3.4) — see
+``benchmarks/bench_ablation_trim2.py``.
+
+Vectorization notes: candidates are nodes with effective degree exactly
+1; their unique valid neighbour falls out of the same edge expansion
+that computed the degrees; the ``n -> k`` / ``k -> n`` closure check
+reuses one more expansion and a pair-match instead of per-pair binary
+searches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..traversal.frontier import expand_frontier
+from .state import PHASE_TRIM2, SCCState
+from .trim import effective_degrees
+
+__all__ = ["par_trim2"]
+
+
+def _pattern_pairs(
+    state: SCCState,
+    nodes: np.ndarray,
+    eff_primary: np.ndarray,
+    *,
+    incoming: bool,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Find (n, k) pairs for one of the two Figure 4 patterns.
+
+    ``incoming=True`` is the in-pattern (eff in-degree 1 on both ends,
+    plus the n->k back edge); ``incoming=False`` mirrors it.
+    Returns (n_array, k_array, edges_scanned).
+    """
+    g, color = state.graph, state.color
+    n_total = g.num_nodes
+    if incoming:
+        nbr_ptr, nbr_idx = g.in_indptr, g.in_indices  # find the 1 in-nbr
+        back_ptr, back_idx = g.indptr, g.indices  # check n -> k
+    else:
+        nbr_ptr, nbr_idx = g.indptr, g.indices
+        back_ptr, back_idx = g.in_indptr, g.in_indices
+
+    cands = nodes[eff_primary[nodes] == 1]
+    if cands.size == 0:
+        return (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            0,
+        )
+    scanned = 0
+    # The unique colour-valid neighbour of each candidate.
+    targets, sources = expand_frontier(
+        nbr_ptr, nbr_idx, cands, return_sources=True
+    )
+    scanned += int(targets.size)
+    valid = color[targets] == color[sources]
+    partner = np.full(n_total, -1, dtype=np.int64)
+    partner[sources[valid]] = targets[valid]  # exactly one write per cand
+    k_of = partner[cands]
+
+    # Closure: does the back edge (n -> k for in-pattern) exist?
+    back_t, back_s = expand_frontier(
+        back_ptr, back_idx, cands, return_sources=True
+    )
+    scanned += int(back_t.size)
+    has_back = np.zeros(n_total, dtype=bool)
+    if back_t.size:
+        match = back_t == partner[back_s]
+        has_back[back_s[match]] = True
+
+    ok = (
+        (k_of >= 0)
+        & has_back[cands]
+        & (eff_primary[k_of] == 1)
+        & (color[k_of] == color[cands])
+    )
+    return cands[ok], k_of[ok], scanned
+
+
+def par_trim2(state: SCCState, *, phase: str = "par_trim2") -> int:
+    """Detect and detach pattern size-2 SCCs; returns nodes detached."""
+    cost = state.cost
+    active = np.flatnonzero(~state.mark)
+    if active.size == 0:
+        state.trace.parallel_for(phase, work=0.0, items=0)
+        return 0
+    eff_out, eff_in, deg_scanned = effective_degrees(state, active)
+    a_in, b_in, s1 = _pattern_pairs(state, active, eff_in, incoming=True)
+    a_out, b_out, s2 = _pattern_pairs(state, active, eff_out, incoming=False)
+    state.trace.parallel_for(
+        phase,
+        work=cost.stream(
+            nodes=2 * active.size, edges=deg_scanned + s1 + s2
+        ),
+        items=int(active.size),
+        schedule="dynamic",
+    )
+    # Each pair is discovered from both endpoints (and possibly by both
+    # patterns); canonicalize as (min, max) and deduplicate.
+    a = np.concatenate([a_in, a_out])
+    b = np.concatenate([b_in, b_out])
+    if a.size == 0:
+        state.profile.bump("trim2_pairs", 0)
+        return 0
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    # A self-loop node whose only colour-valid edge is the loop matches
+    # the pattern with k == n; it is a size-1 SCC, not a pair.
+    selfs = pairs[:, 0] == pairs[:, 1]
+    if selfs.any():
+        state.mark_singletons(pairs[selfs, 0], PHASE_TRIM2)
+        pairs = pairs[~selfs]
+    state.mark_pairs(pairs[:, 0], pairs[:, 1], PHASE_TRIM2)
+    state.profile.bump("trim2_pairs", int(pairs.shape[0]))
+    return int(pairs.shape[0] * 2 + selfs.sum())

@@ -1,0 +1,131 @@
+"""Par-WCC: parallel weakly-connected-component colouring (Algorithm 7).
+
+Section 3.3's fix for the serialized recursive phase: once the giant
+SCC is gone, the remaining graph shatters into many mutually
+disconnected islands, but they all share one colour per FW/BW
+partition, so the work queue sees only a handful of items.  Par-WCC
+splits every current partition into its weakly connected components
+and gives each its own colour — turning ~6 queue items into ~10,000
+(Section 5) — and, as a bonus, hands back each component's node list,
+which is exactly the hybrid set representation phase 2 wants
+(Section 4.1).
+
+The kernel is min-label propagation with pointer jumping, the
+hook-and-compress structure of Algorithm 7.  One published deviation
+(DESIGN.md §2): Algorithm 7 as printed pulls labels over
+*out*-neighbours only, which cannot merge the endpoints of a one-way
+edge whose label order fights the edge direction; we propagate over
+both directions, which is the actual definition of weak connectivity
+given in the text ("mutually reachable by converting directed edges to
+undirected edges").  ``directions="out"`` reproduces the printed
+variant for the demonstration test.
+
+Label propagation respects colours: components never merge across
+partition boundaries, so every SCC stays within one work item.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..traversal.frontier import expand_frontier
+from .state import SCCState
+
+__all__ = ["par_wcc"]
+
+
+def par_wcc(
+    state: SCCState,
+    *,
+    phase: str = "par_wcc",
+    directions: str = "both",
+    compress: bool = True,
+) -> List[Tuple[int, np.ndarray]]:
+    """Recolour every active partition into its WCCs.
+
+    Returns ``[(color, nodes), ...]`` — one entry per WCC, nodes sorted
+    — ready to seed the phase-2 work queue.
+
+    ``compress=False`` disables the per-iteration pointer-jumping
+    round: convergence then takes O(component diameter) hook rounds
+    instead of O(log diameter).  This reproduces the convergence
+    behaviour the paper reports on high-diameter graphs ("the
+    algorithm requires a large number of iterations for convergence
+    when applied on non-small-world graphs", Section 5) — with
+    compression, our Par-WCC is strictly better than the published one
+    on road networks, which shifts Method 2's CA-road result (see
+    EXPERIMENTS.md and ``benchmarks/bench_ablation_wcc_compress.py``).
+    """
+    if directions not in ("both", "out"):
+        raise ValueError("directions must be 'both' or 'out'")
+    g, color, mark = state.graph, state.color, state.mark
+    cost = state.cost
+    active = np.flatnonzero(~mark)
+    if active.size == 0:
+        return []
+
+    # Build the colour-respecting undirected edge list once: it is
+    # reused every iteration, like the CSR itself would be.
+    targets, sources = expand_frontier(
+        g.indptr, g.indices, active, return_sources=True
+    )
+    valid = color[targets] == color[sources]
+    u = sources[valid]
+    v = targets[valid]
+    build_scanned = int(targets.size)
+
+    wcc = np.arange(g.num_nodes, dtype=np.int64)
+    iterations = 0
+    while True:
+        iterations += 1
+        before = wcc[active].copy()
+        # Hook: pull the minimum label across each edge.
+        np.minimum.at(wcc, u, wcc[v])
+        if directions == "both":
+            np.minimum.at(wcc, v, wcc[u])
+        # Compress: one pointer-jumping round (Algorithm 7's second
+        # inner loop) — labels chase their label's label.
+        if compress:
+            wcc[active] = wcc[wcc[active]]
+        edge_work = u.size * (2 if directions == "both" else 1)
+        state.trace.parallel_for(
+            phase,
+            work=cost.stream(
+                nodes=2 * active.size,
+                edges=edge_work + (build_scanned if iterations == 1 else 0),
+            ),
+            items=int(active.size),
+            schedule="dynamic",
+        )
+        if np.array_equal(before, wcc[active]):
+            break
+
+    # Full compression so every node points at its root.
+    while True:
+        jumped = wcc[wcc[active]]
+        if np.array_equal(jumped, wcc[active]):
+            break
+        wcc[active] = jumped
+
+    # One fresh colour per root; group nodes per component.
+    labels = wcc[active]
+    roots, inverse = np.unique(labels, return_inverse=True)
+    colors = state.new_colors(roots.size)
+    color[active] = colors[inverse]
+    state.trace.parallel_for(
+        phase,
+        work=cost.stream(nodes=active.size),
+        items=int(active.size),
+        schedule="static",
+    )
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.searchsorted(inverse[order], np.arange(roots.size))
+    grouped = np.split(active[order], boundaries[1:])
+    state.profile.bump("wcc_invocations")
+    state.profile.bump("wcc_iterations", iterations)
+    state.profile.bump("wcc_components", int(roots.size))
+    return [
+        (int(colors[i]), grouped[i]) for i in range(roots.size)
+    ]

@@ -1,0 +1,50 @@
+"""Distributed-memory extension (the paper's stated future work).
+
+Section 6: "As a next step, we plan to implement our algorithm in a
+distributed environment.  Our extensions can be easily implemented in
+such an environment as they only require data from direct neighbors."
+
+This package builds that next step on the same substitution principle
+as the shared-memory runtime (DESIGN.md §2): the algorithms execute
+once with **per-rank ownership accounting** — every data-parallel
+kernel attributes its work to the rank owning each node and counts a
+message for every frontier/label update that crosses a partition
+boundary — producing a BSP superstep trace that a cluster model
+(per-rank throughput + alpha-beta communication) replays for any rank
+count.  Graph partitioners (block / hash / BFS-locality) control the
+edge cut, which is what the resulting scaling curves trade against
+load balance.
+"""
+
+from .partition import (
+    Partition,
+    block_partition,
+    hash_partition,
+    bfs_partition,
+    edge_cut,
+)
+from .cluster import ClusterConfig, DistTrace, Superstep, Cluster
+from .algorithms import (
+    dist_bfs_reach,
+    dist_trim,
+    dist_wcc,
+    distributed_method1,
+    DistributedResult,
+)
+
+__all__ = [
+    "Partition",
+    "block_partition",
+    "hash_partition",
+    "bfs_partition",
+    "edge_cut",
+    "ClusterConfig",
+    "DistTrace",
+    "Superstep",
+    "Cluster",
+    "dist_bfs_reach",
+    "dist_trim",
+    "dist_wcc",
+    "distributed_method1",
+    "DistributedResult",
+]

@@ -1,0 +1,111 @@
+"""Graph partitioners for the distributed substrate.
+
+The communication volume of every distributed kernel is proportional
+to the number of *cut edges* its frontier touches, so the partitioner
+is the main lever.  Three classic strategies:
+
+* :func:`block_partition` — contiguous node-id ranges.  Good for
+  generators that emit local structure in id order; meaningless for
+  permuted ids.
+* :func:`hash_partition` — uniform random ownership.  Perfect load
+  balance, worst-case cut (~``(R-1)/R`` of all edges) — the standard
+  strawman.
+* :func:`bfs_partition` — contiguous blocks of a BFS ordering of the
+  undirected closure, a cheap locality-aware heuristic in the spirit
+  of what distributed graph systems actually ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..graph.orient import symmetrize
+from ..traversal.bfs import bfs_levels
+
+__all__ = [
+    "Partition",
+    "block_partition",
+    "hash_partition",
+    "bfs_partition",
+    "edge_cut",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Node ownership: ``owner[v]`` is the rank that stores node ``v``."""
+
+    owner: np.ndarray
+    num_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if self.owner.size and (
+            self.owner.min() < 0 or self.owner.max() >= self.num_ranks
+        ):
+            raise ValueError("owner rank out of range")
+
+    def rank_sizes(self) -> np.ndarray:
+        """Nodes owned per rank."""
+        return np.bincount(self.owner, minlength=self.num_ranks)
+
+    def imbalance(self) -> float:
+        """max/mean owned-node count (1.0 = perfectly balanced)."""
+        sizes = self.rank_sizes()
+        mean = sizes.mean() if sizes.size else 0.0
+        return float(sizes.max() / mean) if mean > 0 else 1.0
+
+
+def block_partition(num_nodes: int, num_ranks: int) -> Partition:
+    """Contiguous equal-size id ranges."""
+    bounds = np.linspace(0, num_nodes, num_ranks + 1).round().astype(np.int64)
+    owner = np.zeros(num_nodes, dtype=np.int64)
+    for r in range(num_ranks):
+        owner[bounds[r] : bounds[r + 1]] = r
+    return Partition(owner=owner, num_ranks=num_ranks)
+
+
+def hash_partition(
+    num_nodes: int,
+    num_ranks: int,
+    *,
+    rng: np.random.Generator | int | None = 0,
+) -> Partition:
+    """Uniform random ownership (balanced, maximal cut)."""
+    rng = np.random.default_rng(rng)
+    owner = rng.integers(0, num_ranks, num_nodes).astype(np.int64)
+    return Partition(owner=owner, num_ranks=num_ranks)
+
+
+def bfs_partition(g: CSRGraph, num_ranks: int) -> Partition:
+    """Contiguous blocks of a BFS ordering (locality heuristic).
+
+    BFS runs over the undirected closure from the highest-degree node;
+    unreached fragments are appended in id order.  Neighbouring nodes
+    land in the same block far more often than under hashing, shrinking
+    the cut on graphs with any locality (grids dramatically so).
+    """
+    n = g.num_nodes
+    if n == 0:
+        return Partition(owner=np.zeros(0, dtype=np.int64), num_ranks=num_ranks)
+    und = symmetrize(g)
+    start = int(np.argmax(g.out_degrees() + g.in_degrees()))
+    dist = bfs_levels(und, start)
+    # order: reached nodes by (level, id), then unreached by id
+    key = np.where(dist >= 0, dist, np.iinfo(np.int64).max)
+    order = np.lexsort((np.arange(n), key))
+    bounds = np.linspace(0, n, num_ranks + 1).round().astype(np.int64)
+    owner = np.empty(n, dtype=np.int64)
+    for r in range(num_ranks):
+        owner[order[bounds[r] : bounds[r + 1]]] = r
+    return Partition(owner=owner, num_ranks=num_ranks)
+
+
+def edge_cut(g: CSRGraph, part: Partition) -> int:
+    """Number of edges whose endpoints live on different ranks."""
+    src, dst = g.edge_array()
+    return int((part.owner[src] != part.owner[dst]).sum())

@@ -1,0 +1,41 @@
+"""Synthetic graph generators used as dataset surrogates.
+
+See DESIGN.md §2: the paper's multi-million-node public datasets are
+replaced by scaled-down synthetic graphs that preserve the structural
+properties the algorithms respond to (giant-SCC fraction, power-law
+small-SCC tail, diameter regime, acyclicity, random orientation).
+"""
+
+from .sccstruct import SCCStructureSpec, PlantedGraph, scc_structured_graph
+from .rmat import rmat_graph, rmat_edges
+from .wattsstrogatz import watts_strogatz_graph
+from .road import road_grid_graph, grid_undirected_edges
+from .dag import citation_dag
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    GraphBundle,
+    PaperStats,
+    dataset_names,
+    generate,
+    scale_from_env,
+)
+
+__all__ = [
+    "SCCStructureSpec",
+    "PlantedGraph",
+    "scc_structured_graph",
+    "rmat_graph",
+    "rmat_edges",
+    "watts_strogatz_graph",
+    "road_grid_graph",
+    "grid_undirected_edges",
+    "citation_dag",
+    "DATASETS",
+    "DatasetSpec",
+    "GraphBundle",
+    "PaperStats",
+    "dataset_names",
+    "generate",
+    "scale_from_env",
+]

@@ -1,0 +1,86 @@
+"""R-MAT (recursive matrix) scale-free directed graph generator.
+
+Chakrabarti et al.'s R-MAT model is the standard synthetic stand-in for
+web/social graphs (it is also the Graph500 generator referenced in
+Section 4.2).  Each edge picks one of four adjacency-matrix quadrants
+per recursion level with probabilities ``(a, b, c, d)``; skewed
+probabilities yield the scale-free degree distribution (Section 4.3's
+"a few nodes have a huge number of neighbors").
+
+Edge generation is fully vectorized: all ``m`` edges walk the
+``scale`` recursion levels simultaneously, one vectorized Bernoulli
+draw per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph, from_edge_array
+from .util import as_rng
+
+__all__ = ["rmat_graph", "rmat_edges"]
+
+
+def rmat_edges(
+    scale: int,
+    avg_degree: float,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    noise: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate raw R-MAT edges over ``2**scale`` nodes.
+
+    ``a + b + c`` must be < 1; ``d = 1 - a - b - c``.  ``noise``
+    perturbs the quadrant probabilities per level (the standard
+    "smoothing" that avoids exact self-similarity artifacts).
+    Returns ``(src, dst)`` with duplicates and self-loops retained.
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = as_rng(rng)
+    n = 1 << scale
+    m = int(round(n * avg_degree))
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        bit = np.int64(1 << (scale - level - 1))
+        # jitter quadrant probabilities per level
+        if noise > 0.0:
+            jitter = 1.0 + noise * (rng.random(4) - 0.5)
+            pa, pb, pc, pd = np.array([a, b, c, d]) * jitter
+            s = pa + pb + pc + pd
+            pa, pb, pc = pa / s, pb / s, pc / s
+        else:
+            pa, pb, pc = a, b, c
+        u = rng.random(m)
+        go_right = u >= (pa + pc)  # quadrants b, d set the column bit
+        go_down = (u >= pa) & (u < pa + pc) | (u >= pa + pb + pc)
+        src += bit * go_down
+        dst += bit * go_right
+    return src, dst
+
+
+def rmat_graph(
+    scale: int,
+    avg_degree: float,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    noise: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> CSRGraph:
+    """R-MAT digraph over ``2**scale`` nodes (deduped, no self-loops)."""
+    src, dst = rmat_edges(
+        scale, avg_degree, a=a, b=b, c=c, noise=noise, rng=rng
+    )
+    return from_edge_array(
+        src, dst, 1 << scale, dedup=True, drop_self_loops=True
+    )

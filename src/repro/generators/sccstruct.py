@@ -1,0 +1,276 @@
+"""SCC-structured small-world graph generator with planted ground truth.
+
+Section 2.2 of the paper identifies the SCC structure of real-world
+graphs: one giant SCC of size O(N), a power-law tail of small SCCs
+(size-1 SCCs most frequent), and the small SCCs attached *around* the
+giant one (the Broder et al. bow-tie).  This generator plants exactly
+that structure:
+
+1. Components are drawn first — one giant of ``giant_frac * n`` nodes,
+   ``trivial_frac`` of the remainder as size-1 SCCs, the rest with
+   power-law sizes in ``[2, max_small]``.
+2. Every component of size >= 2 gets an internal Hamiltonian cycle
+   (guaranteeing strong connectivity) plus random internal chords
+   (giving the giant SCC an O(log N) diameter — the small-world
+   rewiring effect of Watts & Strogatz).
+3. Every component receives a continuous *rank*; the giant sits at
+   rank 0.5, IN-side components below, OUT-side above.  Inter-component
+   edges always point from lower rank to higher rank, so the component
+   DAG is acyclic **by construction** and the planted components are
+   exactly the SCCs of the generated graph.
+4. Optional size-2 chains (``chain2_pairs``) reproduce the weakly
+   connected chains of 2-cycles that motivate Trim2 (Section 3.4).
+
+Because the SCC decomposition is known exactly, the generator doubles
+as a correctness oracle for every algorithm in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import CSRGraph, from_edge_array
+from .util import as_rng, sample_power_law_sizes, segmented_uniform
+
+__all__ = ["SCCStructureSpec", "PlantedGraph", "scc_structured_graph"]
+
+
+@dataclass(frozen=True)
+class SCCStructureSpec:
+    """Knobs for :func:`scc_structured_graph`.
+
+    Attributes
+    ----------
+    n: total node count (approximate to within rounding).
+    giant_frac: fraction of nodes in the giant SCC (0 disables it).
+    trivial_frac: fraction of the *non-giant* nodes that are size-1 SCCs.
+    alpha: power-law exponent of non-trivial small SCC sizes.
+    max_small: largest allowed small SCC size.
+    giant_chords: expected extra out-edges per giant-SCC node (beyond
+        the Hamiltonian cycle); controls giant density and diameter.
+    small_chords: same for small SCCs of size >= 3.
+    attach_lambda: expected attachment edges per non-giant component
+        is ``1 + Poisson(attach_lambda)``.
+    giant_bias: probability an attachment edge partners with the giant
+        (vs. a random other component); high bias yields the paper's
+        "small SCCs attached around the giant" picture.
+    disconnect_frac: fraction of components left with no attachment
+        edges at all (the bow-tie's disconnected islands).
+    chain2_pairs: number of 2-cycle pairs arranged into weak chains
+        (Trim2 fodder); drawn from the trivial budget.
+    chain2_len: length (in components) of each 2-cycle chain.
+    permute: randomly relabel nodes so component structure is not
+        readable from node-id order.
+    """
+
+    n: int
+    giant_frac: float = 0.6
+    trivial_frac: float = 0.7
+    alpha: float = 2.3
+    max_small: int = 256
+    giant_chords: float = 2.0
+    small_chords: float = 0.8
+    attach_lambda: float = 1.2
+    giant_bias: float = 0.65
+    disconnect_frac: float = 0.02
+    chain2_pairs: int = 0
+    chain2_len: int = 8
+    permute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be positive")
+        if not (0.0 <= self.giant_frac <= 1.0):
+            raise ValueError("giant_frac must be in [0, 1]")
+        if not (0.0 <= self.trivial_frac <= 1.0):
+            raise ValueError("trivial_frac must be in [0, 1]")
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for a proper tail")
+        if self.max_small < 2:
+            raise ValueError("max_small must be >= 2")
+
+
+@dataclass
+class PlantedGraph:
+    """A generated graph together with its ground-truth SCC structure."""
+
+    graph: CSRGraph
+    #: component id per node; components ARE the true SCCs.
+    labels: np.ndarray
+    #: size of each component, indexed by component id.
+    comp_sizes: np.ndarray
+    #: component id of the giant SCC, or -1 when giant_frac == 0.
+    giant_comp: int
+    spec: SCCStructureSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def num_components(self) -> int:
+        return int(self.comp_sizes.shape[0])
+
+
+def _component_sizes(
+    spec: SCCStructureSpec, rng: np.random.Generator
+) -> tuple[np.ndarray, int, int]:
+    """Draw component sizes; returns (sizes, giant_comp, n_chain2_comps)."""
+    giant = int(round(spec.n * spec.giant_frac))
+    if giant == spec.n and spec.giant_frac < 1.0:
+        giant = spec.n - 1
+    rest = spec.n - giant
+    chain2_nodes = min(2 * spec.chain2_pairs, max(rest - 1, 0) // 2 * 2)
+    n_chain2 = chain2_nodes // 2
+    rest -= chain2_nodes
+    n_triv = int(round(rest * spec.trivial_frac))
+    nontriv_budget = rest - n_triv
+    if nontriv_budget == 1:
+        n_triv += 1
+        nontriv_budget = 0
+    small_sizes = sample_power_law_sizes(
+        rng, nontriv_budget, alpha=spec.alpha, lo=2, hi=spec.max_small
+    )
+    parts = []
+    if giant > 0:
+        parts.append(np.array([giant], dtype=np.int64))
+    parts.append(np.full(n_chain2, 2, dtype=np.int64))
+    parts.append(np.ones(n_triv, dtype=np.int64))
+    parts.append(small_sizes)
+    sizes = np.concatenate(parts) if parts else np.empty(0, np.int64)
+    giant_comp = 0 if giant > 0 else -1
+    return sizes, giant_comp, n_chain2
+
+
+def scc_structured_graph(
+    spec: SCCStructureSpec,
+    rng: np.random.Generator | int | None = None,
+) -> PlantedGraph:
+    """Generate a small-world digraph with planted SCC structure.
+
+    See :class:`SCCStructureSpec` for parameters.  The returned
+    :class:`PlantedGraph` carries exact ground-truth SCC labels.
+    """
+    rng = as_rng(rng)
+    sizes, giant_comp, n_chain2 = _component_sizes(spec, rng)
+    num_comps = sizes.shape[0]
+    n = int(sizes.sum())
+    offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+
+    # --- ranks: giant at 0.5, chain2 comps on the OUT side in chain
+    # order, everything else uniform avoiding a dead zone at 0.5.
+    ranks = rng.random(num_comps) * 0.98 + 0.01
+    ranks = np.where(ranks >= 0.5, ranks + 0.02, ranks)  # keep 0.5 free
+    if giant_comp >= 0:
+        ranks[giant_comp] = 0.5
+    chain2_comps = np.arange(num_comps, dtype=np.int64)
+    if giant_comp >= 0:
+        chain2_comps = chain2_comps[1 : 1 + n_chain2]
+    else:
+        chain2_comps = chain2_comps[:n_chain2]
+    if n_chain2:
+        # Strictly increasing ranks per chain so chain edges follow rank.
+        ranks[chain2_comps] = 0.55 + 0.4 * (
+            np.arange(n_chain2, dtype=np.float64) + rng.random(n_chain2) * 0.5
+        ) / max(n_chain2, 1)
+
+    node_comp = np.repeat(np.arange(num_comps, dtype=np.int64), sizes)
+    idx_in_comp = np.arange(n, dtype=np.int64) - offsets[node_comp]
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+
+    # --- internal Hamiltonian cycles (components of size >= 2)
+    multi = sizes[node_comp] >= 2
+    cyc_src = np.flatnonzero(multi).astype(np.int64)
+    if cyc_src.size:
+        comp = node_comp[cyc_src]
+        last = idx_in_comp[cyc_src] == sizes[comp] - 1
+        cyc_dst = np.where(last, offsets[comp], cyc_src + 1)
+        srcs.append(cyc_src)
+        dsts.append(cyc_dst)
+
+    # --- internal chords
+    for comps_mask, rate in (
+        (node_comp == giant_comp if giant_comp >= 0 else np.zeros(n, bool), spec.giant_chords),
+        (
+            (node_comp != giant_comp) & (sizes[node_comp] >= 3),
+            spec.small_chords,
+        ),
+    ):
+        if rate <= 0:
+            continue
+        nodes = np.flatnonzero(comps_mask).astype(np.int64)
+        if not nodes.size:
+            continue
+        k = rng.poisson(rate, nodes.shape[0])
+        src = np.repeat(nodes, k)
+        if src.size:
+            comp = node_comp[src]
+            dst = segmented_uniform(rng, offsets, sizes, comp)
+            srcs.append(src)
+            dsts.append(dst)
+
+    # --- attachment edges between components (rank-respecting DAG)
+    non_giant = np.flatnonzero(
+        np.arange(num_comps) != giant_comp
+    ).astype(np.int64)
+    if non_giant.size and num_comps >= 2:
+        attached = non_giant[
+            rng.random(non_giant.shape[0]) >= spec.disconnect_frac
+        ]
+        k = 1 + rng.poisson(spec.attach_lambda, attached.shape[0])
+        a = np.repeat(attached, k)
+        use_giant = (
+            (rng.random(a.shape[0]) < spec.giant_bias)
+            if giant_comp >= 0
+            else np.zeros(a.shape[0], bool)
+        )
+        partner = np.where(
+            use_giant,
+            giant_comp,
+            rng.integers(0, num_comps, a.shape[0]),
+        )
+        ok = partner != a
+        a, partner = a[ok], partner[ok]
+        # orient from lower rank to higher rank
+        swap = ranks[a] > ranks[partner]
+        lo_comp = np.where(swap, partner, a)
+        hi_comp = np.where(swap, a, partner)
+        srcs.append(segmented_uniform(rng, offsets, sizes, lo_comp))
+        dsts.append(segmented_uniform(rng, offsets, sizes, hi_comp))
+
+    # --- chain links between consecutive 2-cycle components
+    if n_chain2 >= 2:
+        length = max(2, spec.chain2_len)
+        c = chain2_comps
+        # break the sequence into chains of `length`, linking neighbors
+        link_from = c[:-1]
+        link_to = c[1:]
+        keep = (np.arange(link_from.shape[0]) % length) != (length - 1)
+        link_from, link_to = link_from[keep], link_to[keep]
+        srcs.append(segmented_uniform(rng, offsets, sizes, link_from))
+        dsts.append(segmented_uniform(rng, offsets, sizes, link_to))
+
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+
+    labels = node_comp.copy()
+    if spec.permute and n > 1:
+        perm = rng.permutation(n).astype(np.int64)
+        src = perm[src]
+        dst = perm[dst]
+        new_labels = np.empty(n, dtype=np.int64)
+        new_labels[perm] = labels
+        labels = new_labels
+
+    graph = from_edge_array(src, dst, n, dedup=True, drop_self_loops=True)
+    return PlantedGraph(
+        graph=graph,
+        labels=labels,
+        comp_sizes=sizes,
+        giant_comp=giant_comp,
+        spec=spec,
+    )

@@ -1,0 +1,85 @@
+"""Shared helpers for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "sample_power_law_sizes", "segmented_uniform"]
+
+
+def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce a seed / Generator / None into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def sample_power_law_sizes(
+    rng: np.random.Generator,
+    total: int,
+    *,
+    alpha: float,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Sample integer sizes in ``[lo, hi]`` with ``P(s) ∝ s^-alpha``
+    until they sum to exactly ``total``.
+
+    The last sampled size is clipped to land exactly on ``total``; if
+    the clipped remainder falls below ``lo`` it is merged into the
+    previous size.  Used to draw the power-law tail of small SCC sizes
+    that Figure 2 / Figure 9 exhibit.
+    """
+    if total <= 0:
+        return np.empty(0, dtype=np.int64)
+    if lo > hi or lo < 1:
+        raise ValueError("need 1 <= lo <= hi")
+    if total < lo:
+        # Cannot make a single component of legal size; emit one of size
+        # `total` anyway (callers pass lo=1 except in edge cases).
+        return np.array([total], dtype=np.int64)
+    support = np.arange(lo, hi + 1, dtype=np.float64)
+    weights = support ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    mean = float((support * weights).sum() / weights.sum())
+
+    sizes_parts: list[np.ndarray] = []
+    acc = 0
+    while acc < total:
+        batch = max(64, int((total - acc) / mean * 1.2))
+        draws = lo + np.searchsorted(cdf, rng.random(batch)).astype(np.int64)
+        csum = acc + np.cumsum(draws)
+        cut = int(np.searchsorted(csum, total, side="left"))
+        if cut < batch:
+            draws = draws[: cut + 1]
+            overshoot = int(csum[cut] - total)
+            draws[-1] -= overshoot
+            sizes_parts.append(draws)
+            acc = total
+        else:
+            sizes_parts.append(draws)
+            acc = int(csum[-1])
+    sizes = np.concatenate(sizes_parts)
+    if sizes.shape[0] >= 2 and sizes[-1] < lo:
+        sizes[-2] += sizes[-1]
+        sizes = sizes[:-1]
+    assert int(sizes.sum()) == total
+    return sizes
+
+
+def segmented_uniform(
+    rng: np.random.Generator,
+    seg_offsets: np.ndarray,
+    seg_sizes: np.ndarray,
+    seg_ids: np.ndarray,
+) -> np.ndarray:
+    """For each entry of ``seg_ids`` pick a uniform element of that segment.
+
+    ``seg_offsets[k]``/``seg_sizes[k]`` describe segment ``k`` laid out
+    contiguously in a global id space.  Returns global ids.  This is the
+    workhorse for "pick a random node inside component ``k``" without a
+    Python loop.
+    """
+    sizes = seg_sizes[seg_ids]
+    return seg_offsets[seg_ids] + rng.integers(0, np.maximum(sizes, 1))

@@ -1,0 +1,53 @@
+"""Graph substrate: immutable CSR directed graphs and builders.
+
+The paper (Section 4.1) stores graphs in Compressed Sparse Row (CSR)
+form — one O(N) ``indptr`` array of row starts and one O(M) ``indices``
+array holding all adjacency lists back to back — because it is compact
+and bandwidth-friendly for traversals.  :class:`CSRGraph` mirrors that
+layout with NumPy arrays and adds a lazily-built transpose (in-CSR) for
+backward traversals.
+"""
+
+from .csr import CSRGraph
+from .build import (
+    from_edge_array,
+    from_edge_list,
+    dedup_edges,
+    build_csr_arrays,
+)
+from .orient import orient_undirected, symmetrize
+from .subgraph import induced_subgraph, color_subgraph
+from .io import (
+    read_edge_list,
+    write_edge_list,
+    save_npz,
+    load_npz,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .validate import validate_graph, GraphValidationError
+from .reorder import bfs_order, degree_order, apply_order, locality_score
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "dedup_edges",
+    "build_csr_arrays",
+    "orient_undirected",
+    "symmetrize",
+    "induced_subgraph",
+    "color_subgraph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "read_matrix_market",
+    "write_matrix_market",
+    "validate_graph",
+    "GraphValidationError",
+    "bfs_order",
+    "degree_order",
+    "apply_order",
+    "locality_score",
+]

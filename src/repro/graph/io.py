@@ -1,0 +1,113 @@
+"""Graph I/O: SNAP-style edge-list text files and compact ``.npz``.
+
+The paper's datasets come from SNAP / KONECT edge-list dumps; the text
+reader accepts that format (``#`` comments, whitespace-separated
+``src dst`` per line).  The ``.npz`` format stores the CSR arrays
+directly for fast reload of generated surrogates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .csr import CSRGraph
+from .build import from_edge_array
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    comments: str = "#",
+    num_nodes: int | None = None,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Read a whitespace-separated ``src dst`` edge list.
+
+    Lines starting with ``comments`` are skipped.  Node ids must be
+    non-negative integers; ids need not be contiguous but the graph is
+    built over ``0..max_id``.
+    """
+    import warnings
+
+    with warnings.catch_warnings():
+        # np.loadtxt warns on files with no data rows; an empty edge
+        # list is legitimate here.
+        warnings.simplefilter("ignore", UserWarning)
+        data = np.loadtxt(path, comments=comments, dtype=np.int64, ndmin=2)
+    if data.size == 0:
+        return from_edge_array(
+            np.empty(0, np.int64), np.empty(0, np.int64), num_nodes or 0
+        )
+    if data.shape[1] < 2:
+        raise ValueError("edge list rows must have at least two columns")
+    return from_edge_array(data[:, 0], data[:, 1], num_nodes, dedup=dedup)
+
+
+def write_edge_list(g: CSRGraph, path: PathLike, *, header: str | None = None) -> None:
+    """Write the graph as a ``src dst`` text edge list."""
+    src, dst = g.edge_array()
+    with open(path, "w", encoding="utf-8") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        f.write(f"# nodes: {g.num_nodes} edges: {g.num_edges}\n")
+        np.savetxt(f, np.column_stack([src, dst]), fmt="%d")
+
+
+def save_npz(g: CSRGraph, path: PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(path, indptr=g.indptr, indices=g.indices)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        return CSRGraph(data["indptr"], data["indices"], sorted_rows=True)
+
+
+def read_matrix_market(path: PathLike, *, dedup: bool = True) -> CSRGraph:
+    """Read a MatrixMarket ``coordinate`` file as a directed graph.
+
+    SuiteSparse (the other big public graph repository besides SNAP /
+    KONECT) distributes graphs as ``.mtx``: entry ``(i, j)`` becomes
+    the edge ``i -> j`` (1-based in the file).  ``symmetric`` headers
+    add the mirrored edge.  Values, if present, are ignored — SCC
+    detection is unweighted.
+    """
+    import scipy.io
+
+    mat = scipy.io.mmread(str(path)).tocoo()
+    if mat.shape[0] != mat.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    return from_edge_array(
+        mat.row.astype(np.int64),
+        mat.col.astype(np.int64),
+        mat.shape[0],
+        dedup=dedup,
+    )
+
+
+def write_matrix_market(g: CSRGraph, path: PathLike) -> None:
+    """Write the graph as a MatrixMarket pattern matrix."""
+    import scipy.io
+    import scipy.sparse as sp
+
+    mat = sp.csr_matrix(
+        (np.ones(g.num_edges, dtype=np.int8), g.indices, g.indptr),
+        shape=(g.num_nodes, g.num_nodes),
+    )
+    scipy.io.mmwrite(str(path), mat, field="pattern", symmetry="general")

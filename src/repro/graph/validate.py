@@ -1,0 +1,54 @@
+"""Structural validation for :class:`CSRGraph` instances.
+
+Used by tests and by generators as a post-condition: a malformed CSR
+(unsorted rows, dangling ids, inconsistent transpose) produces silently
+wrong traversals, so catching it early is worth the O(N + M) scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphValidationError", "validate_graph"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when a CSR graph violates a structural invariant."""
+
+
+def validate_graph(g: CSRGraph, *, check_transpose: bool = True) -> None:
+    """Check CSR invariants, raising :class:`GraphValidationError`.
+
+    Checks: indptr monotone with correct endpoints, destinations in
+    range, rows sorted, and (optionally) that the lazily built
+    transpose encodes exactly the same edge set.
+    """
+    indptr, indices = g.indptr, g.indices
+    n = g.num_nodes
+    if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+        raise GraphValidationError("indptr endpoints inconsistent")
+    if n and np.any(np.diff(indptr) < 0):
+        raise GraphValidationError("indptr not monotone")
+    if indices.shape[0]:
+        if indices.min() < 0 or indices.max() >= n:
+            raise GraphValidationError("destination id out of range")
+        row = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        # Rows sorted <=> composite key (row, dst) globally sorted.
+        key = row * np.int64(n + 1) + indices
+        if np.any(np.diff(key) < 0):
+            raise GraphValidationError("adjacency rows not sorted")
+    if check_transpose:
+        src, dst = g.edge_array()
+        tsrc = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(g.in_indptr)
+        )
+        tdst = g.in_indices
+        fwd = np.lexsort((dst, src))
+        bwd = np.lexsort((tsrc, tdst))
+        if not (
+            np.array_equal(src[fwd], tdst[bwd])
+            and np.array_equal(dst[fwd], tsrc[bwd])
+        ):
+            raise GraphValidationError("transpose edge set mismatch")

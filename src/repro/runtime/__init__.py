@@ -1,0 +1,57 @@
+"""Parallel-runtime substrate: the simulated multicore machine.
+
+The paper evaluates on a 2-socket, 16-core, 32-hardware-thread Xeon
+with OpenMP.  This package substitutes for that hardware (DESIGN.md §2):
+algorithms record their parallel structure into a
+:class:`~repro.runtime.trace.WorkTrace`, and
+:class:`~repro.runtime.machine.Machine` replays the trace on a
+configurable machine model — per-socket/SMT throughput, barrier costs,
+and a discrete-event simulation of the two-level work queue.  A real
+:mod:`threading`-based work queue is also provided for executing the
+task phase concurrently (correctness path; the GIL forbids speedup).
+"""
+
+from .cost import CostModel, DEFAULT_COST_MODEL
+from .trace import (
+    ParallelForRecord,
+    SequentialRecord,
+    Task,
+    TaskDAGRecord,
+    WorkTrace,
+    STANDARD_THREAD_COUNTS,
+    static_chunk_maxima,
+)
+from .machine import Machine, MachineConfig, SimResult, PAPER_MACHINE
+from .scheduler import QueueStats, simulate_task_dag
+from .workqueue import TwoLevelWorkQueue, QueueTelemetry
+from .metrics import ExecutionProfile, TaskLogEntry
+from .serialize import save_trace, load_trace, trace_to_dict, trace_from_dict
+from .mp_backend import fork_available, run_recur_phase_processes
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ParallelForRecord",
+    "SequentialRecord",
+    "Task",
+    "TaskDAGRecord",
+    "WorkTrace",
+    "STANDARD_THREAD_COUNTS",
+    "static_chunk_maxima",
+    "Machine",
+    "MachineConfig",
+    "SimResult",
+    "PAPER_MACHINE",
+    "QueueStats",
+    "simulate_task_dag",
+    "TwoLevelWorkQueue",
+    "QueueTelemetry",
+    "ExecutionProfile",
+    "TaskLogEntry",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+    "fork_available",
+    "run_recur_phase_processes",
+]

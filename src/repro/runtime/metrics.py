@@ -1,0 +1,62 @@
+"""Execution profiles: what one algorithm run produced and recorded.
+
+An :class:`ExecutionProfile` bundles the work trace (for the simulated
+machine), measured wall-clock per phase (real Python time, reported for
+transparency but *not* used for the paper's figures — see DESIGN.md),
+named counters (trim iterations, WCC iterations, FW-BW trials, ...),
+and the per-task log that reproduces the Section 3.3 listing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from .trace import WorkTrace
+
+__all__ = ["TaskLogEntry", "ExecutionProfile"]
+
+
+@dataclass(frozen=True)
+class TaskLogEntry:
+    """One Recur-FWBW task execution (the Section 3.3 log columns)."""
+
+    #: size of the SCC identified by this task.
+    scc: int
+    #: size of the forward-only partition produced.
+    fw: int
+    #: size of the backward-only partition produced.
+    bw: int
+    #: size of the unreached remainder partition.
+    remain: int
+
+
+@dataclass
+class ExecutionProfile:
+    """Everything recorded while running one SCC algorithm once."""
+
+    trace: WorkTrace = field(default_factory=WorkTrace)
+    #: measured wall-clock seconds per phase (diagnostic only).
+    wall_times: Dict[str, float] = field(default_factory=dict)
+    #: named counters: trim_iterations, wcc_iterations, fwbw_trials, ...
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: per-task log of the recursive FW-BW phase (Section 3.3).
+    task_log: List[TaskLogEntry] = field(default_factory=list)
+
+    @contextmanager
+    def wall_timer(self, phase: str) -> Iterator[None]:
+        """Accumulate wall-clock time for ``phase`` around a block."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.wall_times[phase] = self.wall_times.get(phase, 0.0) + dt
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def log_task(self, scc: int, fw: int, bw: int, remain: int) -> None:
+        self.task_log.append(TaskLogEntry(scc=scc, fw=fw, bw=bw, remain=remain))

@@ -1,0 +1,210 @@
+"""GIL-free execution: phase-2 tasks on worker *processes*.
+
+The calibration note for this reproduction says it plainly: "GIL
+blocks shared-memory parallel BFS".  Threads cannot run the paper's
+algorithms in parallel under CPython, but processes sharing their
+mutable state through :mod:`multiprocessing.shared_memory` can — the
+``Color``/``mark``/``labels`` arrays live in a shared segment, worker
+processes execute Recur-FWBW tasks against them exactly as the
+paper's OpenMP threads would, and the disjoint-partition property
+(tasks own disjoint colours) provides the same race freedom.
+
+Scope: the task-parallel phase 2 (where the paper's work queue lives).
+Phase 1's data-parallel kernels are single large vectorized NumPy
+calls, which already release the GIL internally where it matters.
+
+Requires a ``fork`` start method (the read-only CSR graph is inherited
+copy-on-write; only the mutable arrays use explicit shared memory).
+On this repo's single-core CI box the backend yields no speedup — the
+point is that the *code path* is real and tested, not simulated.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["run_recur_phase_processes", "fork_available"]
+
+# Globals inherited by forked workers (set immediately before fork).
+_WORKER_CTX: dict = {}
+
+
+def fork_available() -> bool:
+    """True when the 'fork' start method exists (POSIX)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _shm_array(shape, dtype, init: np.ndarray):
+    shm = shared_memory.SharedMemory(create=True, size=max(init.nbytes, 1))
+    arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    arr[:] = init
+    return shm, arr
+
+
+def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
+    """Run one Recur-FWBW task inside a worker process.
+
+    Reads/writes the shared arrays set up in ``_WORKER_CTX``; returns
+    ``(children, task_cost, log_entry)`` to the master.
+    """
+    ctx = _WORKER_CTX
+    g = ctx["graph"]
+    color: np.ndarray = ctx["color"]
+    mark: np.ndarray = ctx["mark"]
+    labels: np.ndarray = ctx["labels"]
+    phase_of: np.ndarray = ctx["phase_of"]
+    scc_counter = ctx["scc_counter"]
+    color_counter = ctx["color_counter"]
+    cost = ctx["cost"]
+    phase_id = ctx["phase_id"]
+
+    from ..traversal.dfs import dfs_collect_colored
+
+    c = color_value
+    if nodes is None:
+        candidates = np.flatnonzero(color == c)
+        select_cost = cost.stream(nodes=color.shape[0])
+    else:
+        candidates = nodes[color[nodes] == c]
+        select_cost = cost.stream(nodes=nodes.size)
+    if candidates.size == 0:
+        return [], select_cost, None
+
+    pivot = int(candidates[0])  # deterministic within a task
+    with color_counter.get_lock():
+        base = color_counter.value
+        color_counter.value += 3
+    cfw, cbw, cscc = base, base + 1, base + 2
+
+    fw_collected, fw_edges = dfs_collect_colored(
+        g.indptr, g.indices, pivot, {c: cfw}, color
+    )
+    bw_collected, bw_edges = dfs_collect_colored(
+        g.in_indptr, g.in_indices, pivot, {c: cbw, cfw: cscc}, color
+    )
+    scc_nodes = np.array(bw_collected[cscc], dtype=np.int64)
+    with scc_counter.get_lock():
+        sid = scc_counter.value
+        scc_counter.value += 1
+    labels[scc_nodes] = sid
+    mark[scc_nodes] = True
+    color[scc_nodes] = -1  # DONE_COLOR
+    phase_of[scc_nodes] = phase_id
+
+    fw_all = np.array(fw_collected[cfw], dtype=np.int64)
+    fw_only = fw_all[color[fw_all] == cfw]
+    bw_only = np.array(bw_collected[cbw], dtype=np.int64)
+    remain = candidates[color[candidates] == c]
+    visited = fw_all.size + bw_only.size + scc_nodes.size
+    task_cost = select_cost + cost.dfs(
+        nodes=visited, edges=fw_edges + bw_edges
+    )
+    children = [
+        (child_color, child_nodes if nodes is not None else None)
+        for child_color, child_nodes in (
+            (c, remain),
+            (cfw, fw_only),
+            (cbw, bw_only),
+        )
+        if child_nodes.size
+    ]
+    log_entry = (
+        int(scc_nodes.size),
+        int(fw_only.size),
+        int(bw_only.size),
+        int(remain.size),
+    )
+    return children, task_cost, log_entry
+
+
+def run_recur_phase_processes(
+    state,
+    initial: Sequence[Tuple[int, Optional[np.ndarray]]],
+    *,
+    num_workers: int = 2,
+    queue_k: int = 1,
+    phase: str = "recur_fwbw",
+) -> int:
+    """Drain the phase-2 queue with real worker processes.
+
+    Semantics match the serial/threads drivers in
+    :mod:`repro.core.recurfwbw` (and the spawn tree is recorded the
+    same way); the mutable state lives in shared memory for the
+    duration and is copied back at the end.
+    """
+    if not fork_available():  # pragma: no cover - non-POSIX only
+        raise RuntimeError("process backend requires the 'fork' start method")
+    from ..core.state import PHASE_RECUR
+    from .trace import Task
+
+    n = state.num_nodes
+    shms = []
+    try:
+        shm_c, color = _shm_array((n,), np.int64, state.color)
+        shm_m, mark = _shm_array((n,), np.bool_, state.mark)
+        shm_l, labels = _shm_array((n,), np.int64, state.labels)
+        shm_p, phase_of = _shm_array((n,), np.int8, state.phase_of)
+        shms = [shm_c, shm_m, shm_l, shm_p]
+        scc_counter = mp.Value("q", state.num_sccs)
+        color_counter = mp.Value("q", int(state.color_watermark()))
+
+        # Arm the fork-inherited context, then fork the pool.
+        _WORKER_CTX.clear()
+        _WORKER_CTX.update(
+            graph=state.graph,
+            color=color,
+            mark=mark,
+            labels=labels,
+            phase_of=phase_of,
+            scc_counter=scc_counter,
+            color_counter=color_counter,
+            cost=state.cost,
+            phase_id=PHASE_RECUR,
+        )
+        # build the transpose BEFORE forking so workers share it
+        state.graph.in_indptr
+
+        ctx = mp.get_context("fork")
+        tasks: List[Task] = []
+        with ctx.Pool(processes=num_workers) as pool:
+            # (parent_index, color, nodes) items; breadth-first dispatch
+            pending = [(-1, c, nd) for c, nd in initial]
+            while pending:
+                batch = pending
+                pending = []
+                futures = [
+                    (
+                        parent,
+                        pool.apply_async(_exec_task, (c, nd)),
+                    )
+                    for parent, c, nd in batch
+                ]
+                for parent, fut in futures:
+                    children, task_cost, log_entry = fut.get()
+                    idx = len(tasks)
+                    tasks.append(Task(cost=task_cost, parent=parent))
+                    if log_entry is not None:
+                        state.profile.log_task(*log_entry)
+                    for c, nd in children:
+                        pending.append((idx, c, nd))
+
+        # copy shared results back into the state
+        state.color[:] = color
+        state.mark[:] = mark
+        state.labels[:] = labels
+        state.phase_of[:] = phase_of
+        state.sync_counters(
+            int(scc_counter.value), int(color_counter.value)
+        )
+        state.trace.task_dag(phase, tasks, queue_k=queue_k)
+        state.profile.bump("recur_tasks", len(tasks))
+        return len(tasks)
+    finally:
+        _WORKER_CTX.clear()
+        for shm in shms:
+            shm.close()
+            shm.unlink()

@@ -1,0 +1,172 @@
+"""Discrete-event simulation of the paper's two-level work queue.
+
+Section 4.3: "our custom work queue implementation ... is composed of
+two levels of queues: a global queue and per-thread private queues.
+Initially, each thread fetches up to K work items from the global queue
+into its local queue; whenever the local queue becomes empty, more work
+is fetched from the global queue.  Each newly generated work item goes
+to a local queue first.  When the size of a local queue grows to 2K,
+K items are moved to the global queue."
+
+:func:`simulate_task_dag` replays a recorded Recur-FWBW task tree under
+that policy for any worker count, with per-worker speeds taken from the
+machine's efficiency curve (so the second socket's and SMT lanes' lower
+throughput shows up in task phases too).  It also records the queue
+depths over time — the diagnostic the paper uses in Section 3.3 to
+expose the serialization pathology ("the recorded maximum queue depth
+with single threaded execution is only six").
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueueStats", "simulate_task_dag"]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Queue diagnostics for one simulated task phase."""
+
+    #: maximum length of the global queue.
+    max_global_depth: int
+    #: maximum total pending items (global + all local queues).
+    max_total_depth: int
+    #: number of tasks executed.
+    tasks: int
+    #: number of global-queue accesses (fetches + spills).
+    global_accesses: int
+    #: total busy time / (workers * makespan); 1.0 = perfect.
+    utilization: float
+    #: number of initial (root) work items.
+    initial_items: int
+
+    def merge(self, other: "QueueStats") -> "QueueStats":
+        """Combine stats of consecutive task phases with one label."""
+        total_busy = (
+            self.utilization * self.tasks + other.utilization * other.tasks
+        )
+        denom = max(self.tasks + other.tasks, 1)
+        return QueueStats(
+            max_global_depth=max(self.max_global_depth, other.max_global_depth),
+            max_total_depth=max(self.max_total_depth, other.max_total_depth),
+            tasks=self.tasks + other.tasks,
+            global_accesses=self.global_accesses + other.global_accesses,
+            utilization=total_busy / denom,
+            initial_items=self.initial_items + other.initial_items,
+        )
+
+
+def simulate_task_dag(record, workers: int, config) -> tuple[float, QueueStats]:
+    """Simulate a :class:`~repro.runtime.trace.TaskDAGRecord`.
+
+    Returns ``(makespan, stats)``.  Deterministic: ties are broken by
+    worker index, tasks preserve spawn order.
+    """
+    tasks = record.tasks
+    n = len(tasks)
+    k = record.queue_k
+    if n == 0:
+        return 0.0, QueueStats(0, 0, 0, 0, 1.0, 0)
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots: list[int] = []
+    for i, t in enumerate(tasks):
+        if t.parent == -1:
+            roots.append(i)
+        else:
+            children[t.parent].append(i)
+
+    effs = config.thread_efficiencies()
+    workers = max(1, min(workers, effs.shape[0]))
+    speed = effs[:workers]
+
+    global_q: deque[int] = deque(roots)
+    local_qs: list[deque[int]] = [deque() for _ in range(workers)]
+    # Event heap of (time, seq, worker, task) completions; seq for
+    # deterministic tie-breaking.
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    now = 0.0
+    busy = np.zeros(workers, dtype=np.float64)
+    idle_workers: deque[int] = deque()
+    done = 0
+    max_global = len(global_q)
+    max_total = len(global_q)
+    global_accesses = 0
+
+    def total_pending() -> int:
+        return len(global_q) + sum(len(q) for q in local_qs)
+
+    def try_dispatch(w: int, at: float) -> bool:
+        """Give worker ``w`` its next task at time ``at``; False if none."""
+        nonlocal seq, global_accesses, max_global
+        overhead = 0.0
+        lq = local_qs[w]
+        if not lq:
+            if not global_q:
+                return False
+            take = min(k, len(global_q))
+            for _ in range(take):
+                lq.append(global_q.popleft())
+            global_accesses += 1
+            overhead += config.queue_global_access
+        task = lq.popleft()
+        overhead += config.queue_local_op
+        duration = overhead + tasks[task].cost / speed[w]
+        heapq.heappush(heap, (at + duration, seq, w, task))
+        seq += 1
+        busy[w] += duration
+        return True
+
+    # t=0: all workers try to grab work.
+    for w in range(workers):
+        if not try_dispatch(w, 0.0):
+            idle_workers.append(w)
+
+    while done < n:
+        if not heap:  # pragma: no cover - defensive: DAG must drain
+            raise RuntimeError("task scheduler deadlocked (bad task DAG)")
+        now, _, w, task = heapq.heappop(heap)
+        done += 1
+        # Spawn children into w's local queue; spill K to global at 2K.
+        lq = local_qs[w]
+        spawned = children[task]
+        post_overhead = 0.0
+        if spawned:
+            post_overhead += config.task_spawn * len(spawned)
+            for c in spawned:
+                lq.append(c)
+                if len(lq) >= 2 * k:
+                    for _ in range(k):
+                        global_q.append(lq.popleft())
+                    global_accesses += 1
+                    post_overhead += config.queue_global_access
+            max_global = max(max_global, len(global_q))
+            max_total = max(max_total, total_pending())
+            # Wake idle workers now that the global queue may have work.
+            while idle_workers and global_q:
+                iw = idle_workers.popleft()
+                if not try_dispatch(iw, now):
+                    idle_workers.append(iw)
+                    break
+        busy[w] += post_overhead
+        if not try_dispatch(w, now + post_overhead):
+            idle_workers.append(w)
+
+    makespan = now
+    util = (
+        float(busy.sum()) / (workers * makespan) if makespan > 0 else 1.0
+    )
+    return makespan, QueueStats(
+        max_global_depth=max_global,
+        max_total_depth=max_total,
+        tasks=n,
+        global_accesses=global_accesses,
+        utilization=util,
+        initial_items=len(roots),
+    )

@@ -1,0 +1,109 @@
+"""Trace serialization: persist work traces as JSON.
+
+Recording a trace takes one full algorithm run; replaying it is
+instant.  Serializing traces lets the benches (and downstream users)
+separate the two — record once on a big machine, sweep machine models
+offline — and gives tests a stable fixture format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from .trace import (
+    ParallelForRecord,
+    SequentialRecord,
+    Task,
+    TaskDAGRecord,
+    WorkTrace,
+)
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: WorkTrace) -> dict:
+    """Lossless dict form of a :class:`WorkTrace`."""
+    records = []
+    for rec in trace:
+        if isinstance(rec, ParallelForRecord):
+            records.append(
+                {
+                    "type": "parallel_for",
+                    "phase": rec.phase,
+                    "work": rec.work,
+                    "items": rec.items,
+                    "schedule": rec.schedule,
+                    "static_chunk_max": {
+                        str(k): v for k, v in rec.static_chunk_max.items()
+                    },
+                }
+            )
+        elif isinstance(rec, SequentialRecord):
+            records.append(
+                {"type": "sequential", "phase": rec.phase, "work": rec.work}
+            )
+        elif isinstance(rec, TaskDAGRecord):
+            records.append(
+                {
+                    "type": "task_dag",
+                    "phase": rec.phase,
+                    "queue_k": rec.queue_k,
+                    "tasks": [[t.cost, t.parent] for t in rec.tasks],
+                }
+            )
+        else:  # pragma: no cover - future-proofing
+            raise TypeError(f"unknown record {type(rec).__name__}")
+    return {"version": _FORMAT_VERSION, "records": records}
+
+
+def trace_from_dict(data: dict) -> WorkTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {data.get('version')!r}"
+        )
+    trace = WorkTrace()
+    for rec in data["records"]:
+        kind = rec["type"]
+        if kind == "parallel_for":
+            trace._records.append(
+                ParallelForRecord(
+                    phase=rec["phase"],
+                    work=float(rec["work"]),
+                    items=int(rec["items"]),
+                    schedule=rec["schedule"],
+                    static_chunk_max={
+                        int(k): float(v)
+                        for k, v in rec["static_chunk_max"].items()
+                    },
+                )
+            )
+        elif kind == "sequential":
+            trace.sequential(rec["phase"], work=float(rec["work"]))
+        elif kind == "task_dag":
+            trace.task_dag(
+                rec["phase"],
+                [Task(cost=float(c), parent=int(p)) for c, p in rec["tasks"]],
+                queue_k=int(rec["queue_k"]),
+            )
+        else:
+            raise ValueError(f"unknown record type {kind!r}")
+    return trace
+
+
+def save_trace(trace: WorkTrace, path: PathLike) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace_to_dict(trace), f)
+
+
+def load_trace(path: PathLike) -> WorkTrace:
+    """Read a trace saved by :func:`save_trace`."""
+    with open(path, encoding="utf-8") as f:
+        return trace_from_dict(json.load(f))

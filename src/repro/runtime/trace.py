@@ -1,0 +1,253 @@
+"""Work traces: the record of *where parallelism exists* in a run.
+
+This is the heart of the reproduction's hardware substitution
+(DESIGN.md §2).  The paper measures wall-clock time on a 32-hardware-
+thread Xeon; we cannot, so every algorithm in :mod:`repro.core` runs
+once (single-threaded, deterministic) and records a trace of its
+parallel structure:
+
+* :class:`ParallelForRecord` — one data-parallel region (a trim sweep,
+  a BFS level, a WCC iteration): how much work, over how many
+  independent items, under which scheduling policy.
+* :class:`SequentialRecord` — inherently serial work (Tarjan's DFS,
+  pivot scans).
+* :class:`TaskDAGRecord` — the Recur-FWBW phase: a tree of tasks,
+  each with a cost, each spawning up to three children (the FW, BW and
+  remainder partitions), exactly the structure the paper's two-level
+  work queue consumes.
+
+:class:`~repro.runtime.machine.Machine` then replays a trace for any
+thread count.  Because the trace is independent of the thread count,
+a single algorithm run yields the whole Figure 6 x-axis.
+
+Work units: **1 unit = one edge inspection by a streaming (vectorized/
+sequential-scan) kernel.**  Node touches and cache-unfriendly kernels
+are converted into edge-units by :class:`~repro.runtime.cost.CostModel`
+at record time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ParallelForRecord",
+    "SequentialRecord",
+    "Task",
+    "TaskDAGRecord",
+    "WorkTrace",
+    "STANDARD_THREAD_COUNTS",
+]
+
+#: Thread counts for which static-chunk imbalance is precomputed; also
+#: the Figure 6 sweep.
+STANDARD_THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ParallelForRecord:
+    """One data-parallel region (``parallel for`` in the paper).
+
+    Attributes
+    ----------
+    phase: phase label for Figure 7 grouping (e.g. ``"par_trim"``).
+    work: total work in edge-units.
+    items: number of independent iterations (parallelism bound).
+    schedule: ``"dynamic"`` or ``"static"`` (Section 4.3: dynamic for
+        neighborhood exploration, static otherwise).
+    static_chunk_max: for static scheduling over skewed per-item work,
+        ``{p: max contiguous-chunk work}`` for the standard thread
+        counts — the load-imbalance floor when each of ``p`` threads
+        takes one contiguous chunk.  Empty for balanced regions.
+    """
+
+    phase: str
+    work: float
+    items: int
+    schedule: str = "dynamic"
+    static_chunk_max: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("dynamic", "static"):
+            raise ValueError(f"bad schedule {self.schedule!r}")
+        if self.work < 0 or self.items < 0:
+            raise ValueError("work and items must be non-negative")
+
+
+@dataclass(frozen=True)
+class SequentialRecord:
+    """Inherently sequential work (runs on one thread at any p)."""
+
+    phase: str
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("work must be non-negative")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One Recur-FWBW task: processes one colour, spawns its children.
+
+    ``parent`` is the index of the spawning task within the same
+    :class:`TaskDAGRecord` (or -1 for tasks seeded into the queue
+    before the phase starts).  Children become runnable only when the
+    parent completes, matching Algorithm 5's push-at-end.
+    """
+
+    cost: float
+    parent: int = -1
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskDAGRecord:
+    """A task-parallel phase: the spawn tree of Recur-FWBW tasks.
+
+    ``queue_k`` is the two-level work queue's batch size (Section 4.3:
+    K = 1 for Baseline and Method 1, K = 8 for Method 2).
+    """
+
+    phase: str
+    tasks: tuple[Task, ...]
+    queue_k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_k < 1:
+            raise ValueError("queue_k must be >= 1")
+        for i, t in enumerate(self.tasks):
+            if t.parent >= i:
+                raise ValueError(
+                    f"task {i} has parent {t.parent} >= its own index; "
+                    "tasks must be listed in spawn order"
+                )
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(t.cost for t in self.tasks))
+
+    @property
+    def num_roots(self) -> int:
+        return sum(1 for t in self.tasks if t.parent == -1)
+
+
+TraceRecord = ParallelForRecord | SequentialRecord | TaskDAGRecord
+
+
+def static_chunk_maxima(
+    item_work: np.ndarray,
+    thread_counts: Sequence[int] = STANDARD_THREAD_COUNTS,
+) -> Dict[int, float]:
+    """Max contiguous-chunk work when splitting items across p threads.
+
+    Models OpenMP ``schedule(static)``: thread ``t`` of ``p`` gets the
+    ``t``-th contiguous block of items.  For scale-free graphs the
+    block containing the hubs dominates — the imbalance Section 4.3
+    fixes with dynamic scheduling.
+    """
+    item_work = np.asarray(item_work, dtype=np.float64)
+    n = item_work.shape[0]
+    if n == 0:
+        return {int(p): 0.0 for p in thread_counts}
+    csum = np.concatenate(([0.0], np.cumsum(item_work)))
+    out: Dict[int, float] = {}
+    for p in thread_counts:
+        bounds = np.linspace(0, n, int(p) + 1).round().astype(np.int64)
+        chunk_sums = csum[bounds[1:]] - csum[bounds[:-1]]
+        out[int(p)] = float(chunk_sums.max())
+    return out
+
+
+class WorkTrace:
+    """An append-only sequence of trace records with phase accounting."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    # -- recording -----------------------------------------------------
+    def parallel_for(
+        self,
+        phase: str,
+        *,
+        work: float,
+        items: int,
+        schedule: str = "dynamic",
+        item_work: np.ndarray | None = None,
+    ) -> None:
+        """Record a data-parallel region.
+
+        Pass ``item_work`` (per-item work array) for *static* regions
+        with skewed items so the imbalance floor can be simulated.
+        """
+        chunk_max: Dict[int, float] = {}
+        if schedule == "static" and item_work is not None:
+            chunk_max = static_chunk_maxima(item_work)
+        self._records.append(
+            ParallelForRecord(
+                phase=phase,
+                work=float(work),
+                items=int(items),
+                schedule=schedule,
+                static_chunk_max=chunk_max,
+            )
+        )
+
+    def sequential(self, phase: str, *, work: float) -> None:
+        self._records.append(SequentialRecord(phase=phase, work=float(work)))
+
+    def task_dag(
+        self, phase: str, tasks: Sequence[Task], *, queue_k: int = 1
+    ) -> None:
+        self._records.append(
+            TaskDAGRecord(phase=phase, tasks=tuple(tasks), queue_k=queue_k)
+        )
+
+    # -- access ----------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    def phases(self) -> list[str]:
+        """Distinct phase labels in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.phase)
+        return list(seen)
+
+    def total_work(self) -> float:
+        """Total work in the trace (edge-units) — the p=∞ lower bound
+        on compute, and the p=1 execution time (minus overheads)."""
+        total = 0.0
+        for r in self._records:
+            if isinstance(r, TaskDAGRecord):
+                total += r.total_work
+            else:
+                total += r.work
+        return total
+
+    def phase_work(self) -> Dict[str, float]:
+        """Work per phase label."""
+        out: Dict[str, float] = {}
+        for r in self._records:
+            w = r.total_work if isinstance(r, TaskDAGRecord) else r.work
+            out[r.phase] = out.get(r.phase, 0.0) + w
+        return out
+
+    def merged(self, other: "WorkTrace") -> "WorkTrace":
+        """Concatenate two traces (used when composing algorithms)."""
+        t = WorkTrace()
+        t._records = list(self._records) + list(other._records)
+        return t

@@ -1,0 +1,141 @@
+"""A real (threaded) two-level work queue.
+
+This is the executable counterpart of the simulated scheduler: the same
+global-queue + per-thread-local-queue policy from Section 4.3, built on
+:mod:`threading`.  Under CPython's GIL it yields no speedup — which is
+precisely the hardware gate this reproduction documents (DESIGN.md §2)
+— but it executes the *same* concurrent code path as the paper's
+OpenMP implementation: local pops without locking (thread-confined
+deques), batched global fetches of K, spills at 2K, and idle-based
+termination detection.  The test suite runs the phase-2 Recur-FWBW
+under this queue to validate that the algorithm is correct under real
+concurrent interleavings, not just in the serial driver.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = ["QueueTelemetry", "TwoLevelWorkQueue"]
+
+
+@dataclass
+class QueueTelemetry:
+    """Observed queue behaviour of one :meth:`TwoLevelWorkQueue.run`."""
+
+    tasks: int = 0
+    max_global_depth: int = 0
+    global_accesses: int = 0
+    per_worker_tasks: list[int] = field(default_factory=list)
+
+
+class TwoLevelWorkQueue:
+    """Two-level work queue (global + per-worker local, batch size K).
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count.
+    k:
+        Batch size: workers fetch up to ``k`` items from the global
+        queue at a time, and spill ``k`` items back when their local
+        queue reaches ``2k`` (Section 4.3).
+    """
+
+    def __init__(self, num_workers: int, k: int = 1) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.num_workers = num_workers
+        self.k = k
+
+    def run(
+        self,
+        initial: Iterable[Any],
+        process: Callable[[Any], Iterable[Any] | None],
+    ) -> QueueTelemetry:
+        """Drain the queue: ``process(item)`` may return child items.
+
+        Blocks until every item (including spawned children) has been
+        processed.  Exceptions raised by ``process`` propagate after
+        all workers stop.
+        """
+        global_q: deque[Any] = deque(initial)
+        lock = threading.Lock()
+        work_available = threading.Condition(lock)
+        pending = len(global_q)  # items enqueued anywhere, not yet done
+        telemetry = QueueTelemetry(
+            max_global_depth=len(global_q),
+            per_worker_tasks=[0] * self.num_workers,
+        )
+        errors: list[BaseException] = []
+        done = threading.Event()
+        if pending == 0:
+            return telemetry
+
+        def worker(wid: int) -> None:
+            nonlocal pending
+            local: deque[Any] = deque()
+            while True:
+                if local:
+                    item = local.popleft()
+                else:
+                    with work_available:
+                        while not global_q and not done.is_set():
+                            work_available.wait()
+                        if done.is_set() and not global_q:
+                            return
+                        take = min(self.k, len(global_q))
+                        for _ in range(take):
+                            local.append(global_q.popleft())
+                        telemetry.global_accesses += 1
+                    item = local.popleft()
+                try:
+                    children = process(item)
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    with work_available:
+                        errors.append(exc)
+                        done.set()
+                        work_available.notify_all()
+                    return
+                telemetry.per_worker_tasks[wid] += 1
+                spawned = list(children) if children else []
+                spill: list[Any] = []
+                for c in spawned:
+                    local.append(c)
+                    if len(local) >= 2 * self.k:
+                        for _ in range(self.k):
+                            spill.append(local.popleft())
+                with work_available:
+                    telemetry.tasks += 1
+                    pending += len(spawned) - 1
+                    if spill:
+                        global_q.extend(spill)
+                        telemetry.global_accesses += 1
+                        work_available.notify_all()
+                    telemetry.max_global_depth = max(
+                        telemetry.max_global_depth, len(global_q)
+                    )
+                    if pending == 0:
+                        done.set()
+                        work_available.notify_all()
+                    if done.is_set() and not local and not global_q:
+                        return
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), daemon=True)
+            for w in range(self.num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        if pending != 0:  # pragma: no cover - invariant check
+            raise RuntimeError(f"work queue exited with {pending} pending items")
+        return telemetry

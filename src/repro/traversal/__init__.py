@@ -1,0 +1,25 @@
+"""Graph traversal kernels.
+
+Section 4.2 of the paper: parallel BFS for the phase-1 reachability
+computations (small-world graphs have few BFS levels with large, fully
+parallel frontiers), plain sequential DFS for the phase-2 per-task
+traversals (the parallel BFS has too high a fixed cost for small
+partitions).  This package provides both, plus the direction-optimizing
+BFS of Beamer et al. [10] as an optional extension.
+"""
+
+from .frontier import expand_frontier
+from .bfs import BFSResult, bfs_levels, bfs_mask, bfs_color_transform
+from .dfs import dfs_collect_colored, dfs_reach_mask
+from .dobfs import direction_optimizing_bfs
+
+__all__ = [
+    "expand_frontier",
+    "BFSResult",
+    "bfs_levels",
+    "bfs_mask",
+    "bfs_color_transform",
+    "dfs_collect_colored",
+    "dfs_reach_mask",
+    "direction_optimizing_bfs",
+]

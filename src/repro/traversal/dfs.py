@@ -1,0 +1,89 @@
+"""Sequential depth-first traversals.
+
+Section 4.2: "for the same computation in the recursive FW-BW step, we
+use DFS instead of BFS ... the BFS implementation, optimized for
+parallel traversal, has a larger fixed cost than simple sequential
+DFS."  Phase-2 partitions are small, so these kernels run a plain
+Python loop over CSR slices; their counted work is charged at the cost
+model's DFS (pointer-chasing) rate when recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["dfs_collect_colored", "dfs_reach_mask"]
+
+
+def dfs_collect_colored(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pivot: int,
+    transitions: Dict[int, int],
+    color: np.ndarray,
+) -> Tuple[Dict[int, List[int]], int]:
+    """DFS twin of :func:`~repro.traversal.bfs.bfs_color_transform`.
+
+    Visits nodes whose colour is a key of ``transitions``, recolours
+    them to the mapped value, continues through them, prunes elsewhere.
+    Returns ``(collected, edges_scanned)`` where ``collected[new]`` is
+    the list of nodes recoloured to ``new`` (in visit order).
+    """
+    pivot_color = int(color[pivot])
+    if pivot_color not in transitions:
+        raise ValueError(
+            f"pivot colour {pivot_color} not in transition map {transitions}"
+        )
+    collected: Dict[int, List[int]] = {new: [] for new in transitions.values()}
+    new_pivot = transitions[pivot_color]
+    color[pivot] = new_pivot
+    collected[new_pivot].append(pivot)
+    stack = [pivot]
+    edges = 0
+    while stack:
+        u = stack.pop()
+        row = indices[indptr[u] : indptr[u + 1]]
+        edges += int(row.shape[0])
+        for v in row:
+            cv = int(color[v])
+            if cv in transitions:
+                nv = transitions[cv]
+                color[v] = nv
+                collected[nv].append(int(v))
+                stack.append(int(v))
+    return collected, edges
+
+
+def dfs_reach_mask(
+    g,
+    source: int,
+    *,
+    direction: str = "out",
+    allowed: np.ndarray | None = None,
+) -> Tuple[np.ndarray, int]:
+    """Reachability mask from ``source`` via iterative DFS.
+
+    ``allowed`` gates visitable nodes (the source is always visited).
+    Returns ``(visited_mask, edges_scanned)``.
+    """
+    if direction == "out":
+        indptr, indices = g.indptr, g.indices
+    elif direction == "in":
+        indptr, indices = g.in_indptr, g.in_indices
+    else:
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    visited = np.zeros(g.num_nodes, dtype=bool)
+    visited[source] = True
+    stack = [int(source)]
+    edges = 0
+    while stack:
+        u = stack.pop()
+        row = indices[indptr[u] : indptr[u + 1]]
+        edges += int(row.shape[0])
+        for v in row:
+            if not visited[v] and (allowed is None or allowed[v]):
+                visited[v] = True
+                stack.append(int(v))
+    return visited, edges

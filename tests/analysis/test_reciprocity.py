@@ -1,0 +1,66 @@
+"""Tests for edge reciprocity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import edge_reciprocity, reciprocal_edge_count
+from repro.graph import from_edge_list, orient_undirected
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2), (2, 1)], 3)
+        assert edge_reciprocity(g) == 1.0
+        assert reciprocal_edge_count(g) == 4
+
+    def test_no_reciprocity(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], 3)
+        assert edge_reciprocity(g) == 0.0
+
+    def test_mixed(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)], 3)
+        assert edge_reciprocity(g) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert edge_reciprocity(from_edge_list([], 3)) == 0.0
+
+    def test_self_loop_is_reciprocal(self):
+        from repro.graph import from_edge_array
+
+        g = from_edge_array(
+            np.array([0]), np.array([0]), 1, dedup=False
+        )
+        assert edge_reciprocity(g) == 1.0
+
+    def test_independent_orientation_near_quarter(self):
+        # independent coin model: P(reverse survives | edge survives)
+        # is 1/3 per *directed* edge: of the three live outcomes
+        # (fwd, bwd, both) with equal mass, "both" holds 2 of the 4
+        # directed edges -> reciprocity = 2*P(both)/(expected edges)
+        # = (2*0.25)/1.0 = 0.5 of edges have partners... measured:
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 3000, 30000)
+        dst = rng.integers(0, 3000, 30000)
+        keep = src != dst
+        g = orient_undirected(src[keep], dst[keep], 3000, rng=1)
+        r = edge_reciprocity(g)
+        assert 0.4 < r < 0.6
+
+    def test_choose_orientation_zero(self):
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, 2000, 10000)
+        dst = rng.integers(0, 2000, 10000)
+        keep = src != dst
+        g = orient_undirected(
+            src[keep], dst[keep], 2000, mode="choose", rng=3
+        )
+        assert edge_reciprocity(g) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from tests.conftest import random_digraph
+
+        g = random_digraph(80, 500, seed=9)
+        ref = nx.reciprocity(g.to_networkx())
+        assert edge_reciprocity(g) == pytest.approx(ref)

@@ -1,0 +1,54 @@
+"""Tests for SCC structure statistics (Figures 2 and 9 data)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    giant_fraction,
+    scc_sizes_from_labels,
+    size_histogram,
+    summarize_scc_structure,
+)
+
+
+LABELS = np.array([0, 0, 0, 0, 1, 2, 2, 3])
+
+
+class TestSizes:
+    def test_sizes(self):
+        assert np.array_equal(scc_sizes_from_labels(LABELS), [4, 1, 2, 1])
+
+    def test_incomplete_labels_rejected(self):
+        with pytest.raises(ValueError):
+            scc_sizes_from_labels(np.array([0, -1]))
+
+    def test_empty(self):
+        assert scc_sizes_from_labels(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_histogram(self):
+        assert size_histogram(LABELS) == {1: 2, 2: 1, 4: 1}
+
+    def test_giant_fraction(self):
+        assert giant_fraction(LABELS) == pytest.approx(0.5)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize_scc_structure(LABELS)
+        assert s.num_nodes == 8
+        assert s.num_sccs == 4
+        assert s.largest_scc == 4
+        assert s.trivial_sccs == 2
+        assert s.mid_sccs == 1
+        assert not s.acyclic
+
+    def test_acyclic_detection(self):
+        s = summarize_scc_structure(np.arange(5))
+        assert s.acyclic
+        assert s.largest_scc == 1
+
+    def test_planted_structure_recovered(self, planted_medium):
+        s = summarize_scc_structure(planted_medium.labels)
+        assert s.giant_fraction == pytest.approx(0.55, abs=0.02)
+        assert s.trivial_sccs > 0
+        assert s.mid_sccs > 0

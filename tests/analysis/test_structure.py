@@ -1,0 +1,112 @@
+"""Tests for diameter estimation, small-world classification, degree
+statistics and the bow-tie decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BowTie,
+    bowtie_decomposition,
+    classify_graph,
+    degree_statistics,
+    estimate_diameter,
+    eccentricity_sample,
+    is_small_world,
+    powerlaw_fit,
+)
+from repro.core import tarjan_scc
+from repro.generators import rmat_graph, watts_strogatz_graph
+from repro.graph import from_edge_list
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        g = from_edge_list([(i, i + 1) for i in range(9)], 10)
+        assert estimate_diameter(g, samples=10) == 9
+
+    def test_directed_vs_undirected(self):
+        # directed path: undirected closure has diameter 9; the plain
+        # directed eccentricity from node 9 is 0 (nothing reachable)
+        g = from_edge_list([(i, i + 1) for i in range(9)], 10)
+        assert estimate_diameter(g, samples=10, undirected=False) <= 9
+
+    def test_eccentricity_sample_shape(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        eccs = eccentricity_sample(g, samples=2, rng=0)
+        assert eccs.shape == (2,)
+
+    def test_empty_graph(self):
+        assert estimate_diameter(from_edge_list([], 0)) == 0
+
+    def test_sampling_is_lower_bound(self):
+        g = from_edge_list([(i, i + 1) for i in range(99)], 100)
+        full = estimate_diameter(g, samples=100)
+        sampled = estimate_diameter(g, samples=3, rng=1)
+        assert sampled <= full
+
+
+class TestSmallWorld:
+    def test_ws_rewired_is_small_world(self):
+        g = watts_strogatz_graph(2000, 3, 0.2, rng=0)
+        assert is_small_world(g)
+
+    def test_lattice_is_not(self):
+        g = watts_strogatz_graph(2000, 2, 0.0, rng=0)
+        assert not is_small_world(g)
+
+    def test_report_fields(self):
+        g = watts_strogatz_graph(500, 3, 0.3, rng=1)
+        rep = classify_graph(g)
+        assert rep.num_nodes == 500
+        assert rep.ratio == pytest.approx(
+            rep.diameter_estimate / rep.log2_n
+        )
+
+
+class TestDegrees:
+    def test_stats_on_star(self):
+        g = from_edge_list([(0, i) for i in range(1, 21)], 21)
+        st = degree_statistics(g)
+        assert st.max_out == 20
+        assert st.max_in == 1
+        assert st.skew > 10
+
+    def test_rmat_is_scale_free_ish(self):
+        g = rmat_graph(12, 8.0, rng=0)
+        st = degree_statistics(g)
+        assert st.skew > 8
+        assert 1.2 < st.alpha < 4.0
+
+    def test_powerlaw_fit_on_synthetic(self):
+        rng = np.random.default_rng(0)
+        # discrete Pareto alpha=2.5
+        u = rng.random(20000)
+        x = np.floor((1 - u) ** (-1 / 1.5)).astype(int)
+        alpha = powerlaw_fit(x, xmin=2)
+        assert 2.2 < alpha < 2.8
+
+    def test_powerlaw_degenerate(self):
+        assert np.isnan(powerlaw_fit(np.array([1, 1, 1])))
+
+
+class TestBowTie:
+    def test_in_core_out(self):
+        # 0 -> {1,2} -> 3, node 4 disconnected
+        g = from_edge_list([(0, 1), (1, 2), (2, 1), (2, 3)], 5)
+        labels = tarjan_scc(g)
+        bt = bowtie_decomposition(g, labels)
+        assert bt.core == 2
+        assert bt.inset == 1
+        assert bt.outset == 1
+        assert bt.other == 1
+        assert bt.total == 5
+
+    def test_fractions_sum_to_one(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)], 4)
+        bt = bowtie_decomposition(g, tarjan_scc(g))
+        assert sum(bt.fractions().values()) == pytest.approx(1.0)
+
+    def test_planted_bowtie_core_dominates(self, planted_medium):
+        bt = bowtie_decomposition(planted_medium.graph, planted_medium.labels)
+        assert bt.core > bt.inset and bt.core > bt.outset
+        assert bt.core / bt.total == pytest.approx(0.55, abs=0.02)

@@ -1,0 +1,133 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list
+
+
+def scipy_scc_labels(g: CSRGraph) -> np.ndarray:
+    """Independent SCC oracle via scipy.sparse.csgraph."""
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import connected_components
+
+    n = g.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    mat = sp.csr_matrix(
+        (np.ones(g.num_edges), g.indices, g.indptr), shape=(n, n)
+    )
+    _, labels = connected_components(mat, directed=True, connection="strong")
+    return labels.astype(np.int64)
+
+
+def scipy_wcc_labels(g: CSRGraph) -> np.ndarray:
+    """Independent WCC oracle via scipy.sparse.csgraph."""
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import connected_components
+
+    n = g.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    mat = sp.csr_matrix(
+        (np.ones(g.num_edges), g.indices, g.indptr), shape=(n, n)
+    )
+    _, labels = connected_components(mat, directed=False)
+    return labels.astype(np.int64)
+
+
+def random_digraph(
+    n: int, m: int, seed: int = 0, *, self_loops: bool = False
+) -> CSRGraph:
+    """Uniform random digraph for fuzz-style tests."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    from repro.graph import from_edge_array
+
+    return from_edge_array(
+        src, dst, n, dedup=True, drop_self_loops=not self_loops
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical small graphs (name -> edge list, num_nodes)
+# ---------------------------------------------------------------------------
+SMALL_GRAPHS: dict[str, tuple[list[tuple[int, int]], int]] = {
+    "empty": ([], 0),
+    "single": ([], 1),
+    "isolated3": ([], 3),
+    "self_loop": ([(0, 0)], 1),
+    "edge": ([(0, 1)], 2),
+    "two_cycle": ([(0, 1), (1, 0)], 2),
+    "chain4": ([(0, 1), (1, 2), (2, 3)], 4),
+    "cycle4": ([(0, 1), (1, 2), (2, 3), (3, 0)], 4),
+    "two_cycles_bridge": (
+        [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)],
+        4,
+    ),
+    "figure1b": (
+        # Fig. 1(b) of the paper: cascading trim a <- b <- c; d, e leaves
+        [(0, 1), (1, 2), (2, 3), (2, 4)],
+        5,
+    ),
+    "diamond_dag": ([(0, 1), (0, 2), (1, 3), (2, 3)], 4),
+    "scc_with_tail": (
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)],
+        5,
+    ),
+    "two_cycle_pattern_a": (
+        # Trim2 Fig. 4(a): A<->B with an extra incoming edge.
+        [(0, 1), (1, 0), (2, 0)],
+        3,
+    ),
+    "two_cycle_pattern_b": (
+        # Trim2 Fig. 4(b): A<->B with an extra outgoing edge.
+        [(0, 1), (1, 0), (0, 2)],
+        3,
+    ),
+    "complete4": (
+        [(i, j) for i in range(4) for j in range(4) if i != j],
+        4,
+    ),
+    "star_out": ([(0, i) for i in range(1, 6)], 6),
+    "star_in": ([(i, 0) for i in range(1, 6)], 6),
+    "nested_sccs": (
+        # big cycle 0-1-2-3 plus inner chord cycle and a pendant 2-cycle
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (1, 0),
+            (3, 4),
+            (4, 5),
+            (5, 4),
+        ],
+        6,
+    ),
+}
+
+
+@pytest.fixture(params=sorted(SMALL_GRAPHS))
+def small_graph(request) -> tuple[str, CSRGraph]:
+    name = request.param
+    edges, n = SMALL_GRAPHS[name]
+    return name, from_edge_list(edges, n)
+
+
+@pytest.fixture()
+def planted_medium():
+    """A mid-sized planted graph with known SCC structure."""
+    from repro.generators import SCCStructureSpec, scc_structured_graph
+
+    spec = SCCStructureSpec(
+        n=4000,
+        giant_frac=0.55,
+        trivial_frac=0.6,
+        alpha=2.1,
+        chain2_pairs=60,
+    )
+    return scc_structured_graph(spec, rng=np.random.default_rng(777))

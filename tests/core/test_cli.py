@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestDatasets:
+    def test_lists_all_nine(self, capsys):
+        code, out = run_cli(capsys, "datasets")
+        assert code == 0
+        for name in ("livej", "twitter", "ca-road", "patents"):
+            assert name in out
+
+
+class TestScc:
+    def test_dataset_run(self, capsys):
+        code, out = run_cli(
+            capsys, "scc", "--dataset", "flickr", "--scale", "0.1",
+            "--method", "method2",
+        )
+        assert code == 0
+        assert "SCCs:" in out
+        assert "simulated time @32 threads" in out
+
+    def test_tarjan_no_seed_kwarg(self, capsys):
+        code, out = run_cli(
+            capsys, "scc", "--dataset", "flickr", "--scale", "0.1",
+            "--method", "tarjan",
+        )
+        assert code == 0
+        assert "largest SCC" in out
+
+    def test_threads_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "scc", "--dataset", "baidu", "--scale", "0.1",
+            "--threads", "8",
+        )
+        assert code == 0
+        assert "@8 threads" in out
+
+    def test_edge_list_input(self, capsys, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        code, out = run_cli(capsys, "scc", "--input", str(path))
+        assert code == 0
+        assert "SCCs: 2" in out
+
+    def test_unknown_method_raises(self, capsys):
+        with pytest.raises(ValueError):
+            run_cli(
+                capsys, "scc", "--dataset", "baidu", "--scale", "0.1",
+                "--method", "bogus",
+            )
+
+
+class TestSweep:
+    def test_panel_printed(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "--dataset", "baidu", "--scale", "0.15",
+            "--methods", "method1,method2",
+        )
+        assert code == 0
+        assert "speedup vs. Tarjan" in out
+        assert "method2" in out
+        assert "p=32" in out
+
+
+class TestDistributed:
+    def test_rank_scaling_report(self, capsys):
+        code, out = run_cli(
+            capsys, "distributed", "--dataset", "flickr",
+            "--scale", "0.1", "--ranks", "1,4",
+        )
+        assert code == 0
+        assert "supersteps" in out
+        assert "bfs partition" in out
+
+    def test_partitioner_choice(self, capsys):
+        code, out = run_cli(
+            capsys, "distributed", "--dataset", "baidu",
+            "--scale", "0.1", "--ranks", "2", "--partitioner", "hash",
+        )
+        assert code == 0
+        assert "hash partition" in out
+
+    def test_bad_partitioner_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["distributed", "--dataset", "baidu",
+                 "--partitioner", "psychic"]
+            )
+
+
+class TestInfo:
+    def test_dataset_info(self, capsys):
+        code, out = run_cli(
+            capsys, "info", "--dataset", "patents", "--scale", "0.1"
+        )
+        assert code == 0
+        assert "small-world" in out
+        assert "SCCs:" in out
+
+    def test_requires_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info"])
+
+    def test_mutually_exclusive_sources(self, capsys, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(SystemExit):
+            main(
+                ["info", "--dataset", "livej", "--input", str(path)]
+            )

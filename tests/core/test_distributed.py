@@ -1,0 +1,151 @@
+"""Tests for the distributed (BSP) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import strongly_connected_components, same_partition
+from repro.distributed import (
+    Cluster,
+    ClusterConfig,
+    DistTrace,
+    Partition,
+    bfs_partition,
+    block_partition,
+    distributed_method1,
+    edge_cut,
+    hash_partition,
+)
+from repro.generators import generate, road_grid_graph
+from tests.conftest import random_digraph, scipy_scc_labels
+
+
+class TestPartitioners:
+    def test_block_contiguous_and_balanced(self):
+        p = block_partition(100, 4)
+        assert p.rank_sizes().tolist() == [25, 25, 25, 25]
+        assert np.all(np.diff(p.owner) >= 0)
+
+    def test_hash_balanced_ish(self):
+        p = hash_partition(10000, 8, rng=0)
+        assert p.imbalance() < 1.1
+
+    def test_bfs_partition_balanced(self):
+        g = random_digraph(500, 2000, seed=1)
+        p = bfs_partition(g, 4)
+        assert p.imbalance() < 1.05
+
+    def test_bfs_beats_hash_on_grid(self):
+        g = road_grid_graph(40, 40, rng=0)
+        cut_bfs = edge_cut(g, bfs_partition(g, 8))
+        cut_hash = edge_cut(g, hash_partition(g.num_nodes, 8, rng=0))
+        assert cut_bfs < cut_hash / 4
+
+    def test_single_rank_zero_cut(self):
+        g = random_digraph(100, 400, seed=2)
+        assert edge_cut(g, block_partition(100, 1)) == 0
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            Partition(owner=np.array([0, 5]), num_ranks=2)
+        with pytest.raises(ValueError):
+            Partition(owner=np.array([0]), num_ranks=0)
+
+
+class TestClusterModel:
+    def test_superstep_shape_checked(self):
+        t = DistTrace(2)
+        with pytest.raises(ValueError):
+            t.superstep("x", [1.0, 2.0, 3.0])
+
+    def test_single_rank_pays_no_comm(self):
+        t = DistTrace(1)
+        t.superstep("x", [100.0], [50.0])
+        sim = Cluster().simulate(t)
+        assert sim.comm_time == 0.0
+
+    def test_comm_charged_on_multirank(self):
+        t = DistTrace(2)
+        t.superstep("x", [100.0, 100.0], [50.0, 0.0])
+        cfg = ClusterConfig()
+        sim = Cluster(cfg).simulate(t)
+        assert sim.comm_time == cfg.alpha + cfg.beta * 50.0
+
+    def test_compute_uses_max_rank(self):
+        t = DistTrace(4)
+        t.superstep("x", [100.0, 0.0, 0.0, 0.0])
+        cfg = ClusterConfig()
+        sim = Cluster(cfg).simulate(t)
+        assert sim.compute_time == pytest.approx(100.0 / cfg.rank_throughput)
+
+    def test_phase_times_sum(self):
+        t = DistTrace(2)
+        t.superstep("a", [10.0, 10.0], [1.0, 1.0])
+        t.superstep("b", [20.0, 5.0], [0.0, 0.0])
+        sim = Cluster().simulate(t)
+        assert sum(sim.phase_times.values()) == pytest.approx(sim.total_time)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(rank_throughput=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(alpha=-1)
+
+
+class TestDistributedMethod1:
+    @pytest.mark.parametrize("ranks", [1, 3, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_correct_on_random_graphs(self, ranks, seed):
+        g = random_digraph(200, 800, seed=seed)
+        part = hash_partition(200, ranks, rng=seed)
+        res = distributed_method1(g, part)
+        assert same_partition(res.labels, scipy_scc_labels(g))
+
+    def test_correct_on_dataset(self):
+        b = generate("flickr", scale=0.2)
+        part = bfs_partition(b.graph, 4)
+        res = distributed_method1(b.graph, part)
+        tarjan = strongly_connected_components(b.graph, "tarjan")
+        assert same_partition(res.labels, tarjan.labels)
+
+    def test_no_messages_on_one_rank(self):
+        g = random_digraph(150, 500, seed=4)
+        res = distributed_method1(g, block_partition(150, 1))
+        assert res.dtrace.total_messages() == 0.0
+
+    def test_messages_bounded_by_touches(self):
+        g = random_digraph(150, 600, seed=5)
+        part = hash_partition(150, 4, rng=0)
+        res = distributed_method1(g, part)
+        # every superstep's messages cannot exceed edges touched; a
+        # loose global bound: trims/bfs/wcc touch each edge a bounded
+        # number of times per iteration
+        steps = len(res.dtrace.steps)
+        assert res.dtrace.total_messages() <= 2 * g.num_edges * steps
+
+    def test_work_conservation_across_ranks(self):
+        # total recorded work must not depend on the partitioning
+        g = random_digraph(200, 900, seed=6)
+        w1 = distributed_method1(
+            g, block_partition(200, 1)
+        ).dtrace.total_work()
+        w8 = distributed_method1(
+            g, hash_partition(200, 8, rng=1)
+        ).dtrace.total_work()
+        assert w1 == pytest.approx(w8, rel=1e-9)
+
+    def test_without_wcc(self):
+        g = random_digraph(150, 600, seed=7)
+        res = distributed_method1(
+            g, hash_partition(150, 4, rng=0), use_wcc=False
+        )
+        assert same_partition(res.labels, scipy_scc_labels(g))
+
+    def test_phase2_lpt_balance(self):
+        b = generate("flickr", scale=0.2)
+        part = hash_partition(b.graph.num_nodes, 8, rng=0)
+        res = distributed_method1(b.graph, part)
+        work = res.phase2_rank_work
+        # LPT keeps the heaviest rank within a small factor of the mean
+        # unless one subtree dominates (then max == that subtree).
+        assert work.max() <= max(work.mean() * 4, work.max())
+        assert work.sum() > 0

@@ -1,0 +1,126 @@
+"""Unit tests for the distributed kernels against their shared-memory
+twins: same marks, same reachability, same components."""
+
+import numpy as np
+import pytest
+
+from repro.core import SCCState, par_trim, par_wcc
+from repro.distributed import DistTrace, hash_partition
+from repro.distributed.algorithms import (
+    dist_bfs_reach,
+    dist_trim,
+    dist_wcc,
+)
+from repro.graph import from_edge_list
+from repro.traversal.bfs import bfs_color_transform
+from tests.conftest import random_digraph
+
+
+def setup(n=150, m=600, seed=0, ranks=4):
+    g = random_digraph(n, m, seed=seed)
+    state = SCCState(g, seed=seed)
+    part = hash_partition(n, ranks, rng=seed)
+    dtrace = DistTrace(ranks)
+    return g, state, part, dtrace
+
+
+class TestDistTrim:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_marks_as_shared_memory(self, seed):
+        g, s_dist, part, dtrace = setup(seed=seed)
+        s_ref = SCCState(g, seed=seed)
+        n_ref = par_trim(s_ref)
+        n_dist = dist_trim(s_dist, part, dtrace)
+        assert n_ref == n_dist
+        assert np.array_equal(s_ref.mark, s_dist.mark)
+
+    def test_supersteps_recorded(self):
+        g, state, part, dtrace = setup(seed=1)
+        dist_trim(state, part, dtrace)
+        assert len(dtrace.steps) >= 1
+        assert dtrace.total_work() > 0
+
+    def test_messages_zero_single_rank(self):
+        g = random_digraph(100, 400, seed=2)
+        state = SCCState(g)
+        part = hash_partition(100, 1)
+        dtrace = DistTrace(1)
+        dist_trim(state, part, dtrace)
+        assert dtrace.total_messages() == 0
+
+
+class TestDistBfs:
+    @pytest.mark.parametrize("direction", ["out", "in"])
+    def test_same_recolouring_as_shared_memory(self, direction):
+        g = random_digraph(120, 500, seed=3)
+        s_dist = SCCState(g)
+        s_ref = SCCState(g)
+        part = hash_partition(120, 4, rng=0)
+        dtrace = DistTrace(4)
+        pivot = 7
+        out_dist = dist_bfs_reach(
+            s_dist, part, dtrace, pivot, {0: 5}, direction=direction
+        )
+        bfs_color_transform(
+            g, pivot, {0: 5}, s_ref.color, direction=direction
+        )
+        assert np.array_equal(s_dist.color, s_ref.color)
+        assert set(out_dist[5].tolist()) == set(
+            np.flatnonzero(s_ref.color == 5).tolist()
+        )
+
+    def test_two_transitions(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0), (3, 0)], 4)
+        state = SCCState(g)
+        part = hash_partition(4, 2, rng=0)
+        dtrace = DistTrace(2)
+        dist_bfs_reach(state, part, dtrace, 0, {0: 5})
+        out = dist_bfs_reach(
+            state, part, dtrace, 0, {0: 7, 5: 6}, direction="in"
+        )
+        assert set(out[6].tolist()) == {0, 1, 2}
+        assert set(out[7].tolist()) == {3}
+
+    def test_pivot_color_checked(self):
+        g = from_edge_list([(0, 1)], 2)
+        state = SCCState(g)
+        state.color[0] = 9
+        with pytest.raises(ValueError):
+            dist_bfs_reach(
+                state, hash_partition(2, 2), DistTrace(2), 0, {0: 5}
+            )
+
+    def test_bad_direction(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            dist_bfs_reach(
+                SCCState(g),
+                hash_partition(2, 2),
+                DistTrace(2),
+                0,
+                {0: 5},
+                direction="up",
+            )
+
+
+class TestDistWcc:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_components_as_shared_memory(self, seed):
+        g, s_dist, part, dtrace = setup(seed=seed, m=300)
+        s_ref = SCCState(g, seed=seed)
+        ref_items = par_wcc(s_ref)
+        dist_items = dist_wcc(s_dist, part, dtrace)
+        ref_sets = {frozenset(n.tolist()) for _, n in ref_items}
+        dist_sets = {frozenset(n.tolist()) for _, n in dist_items}
+        assert ref_sets == dist_sets
+
+    def test_empty_when_all_marked(self):
+        g = from_edge_list([(0, 1)], 2)
+        state = SCCState(g)
+        state.mark_scc(np.array([0, 1]), 0)
+        assert dist_wcc(state, hash_partition(2, 2), DistTrace(2)) == []
+
+    def test_iterations_recorded_as_supersteps(self):
+        g, state, part, dtrace = setup(seed=5, m=300)
+        dist_wcc(state, part, dtrace)
+        assert len(dtrace.steps) >= 1

@@ -1,0 +1,42 @@
+"""Tests for the direction-optimizing BFS option in Par-FWBW."""
+
+import numpy as np
+import pytest
+
+from repro import strongly_connected_components
+from repro.core import SCCState, par_fwbw, same_partition
+from tests.conftest import random_digraph, scipy_scc_labels
+
+
+class TestDobfsKernel:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_giant_as_level_bfs(self, seed):
+        g = random_digraph(300, 1800, seed=seed)
+        s_level = SCCState(g, seed=7)
+        s_dobfs = SCCState(g, seed=7)
+        out_level = par_fwbw(s_level, 0, bfs_kernel="level")
+        out_dobfs = par_fwbw(s_dobfs, 0, bfs_kernel="dobfs")
+        assert out_level.largest_scc == out_dobfs.largest_scc
+        assert np.array_equal(s_level.mark, s_dobfs.mark)
+
+    @pytest.mark.parametrize("method", ["method1", "method2"])
+    def test_methods_correct_with_dobfs(self, method):
+        g = random_digraph(250, 1200, seed=5)
+        r = strongly_connected_components(g, method, bfs_kernel="dobfs")
+        assert same_partition(r.labels, scipy_scc_labels(g))
+
+    def test_unknown_kernel_rejected(self):
+        g = random_digraph(50, 150, seed=0)
+        with pytest.raises(ValueError):
+            par_fwbw(SCCState(g), 0, bfs_kernel="quantum")
+
+    def test_dobfs_scans_fewer_edges_on_dense_graph(self):
+        g = random_digraph(500, 15000, seed=1)
+        s_level = SCCState(g, seed=3)
+        s_dobfs = SCCState(g, seed=3)
+        par_fwbw(s_level, 0, bfs_kernel="level")
+        par_fwbw(s_dobfs, 0, bfs_kernel="dobfs")
+        # recorded forward-pass work should be lower for dobfs
+        w_level = s_level.trace.phase_work()["par_fwbw"]
+        w_dobfs = s_dobfs.trace.phase_work()["par_fwbw"]
+        assert w_dobfs < w_level

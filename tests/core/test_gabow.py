@@ -1,0 +1,56 @@
+"""Tests for Gabow's path-based SCC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro import strongly_connected_components
+from repro.core import gabow_scc, kosaraju_scc, same_partition, tarjan_scc
+from repro.graph import from_edge_list
+from repro.runtime import WorkTrace
+from tests.conftest import random_digraph, scipy_scc_labels
+
+
+class TestGabow:
+    def test_small_graphs(self, small_graph):
+        _, g = small_graph
+        assert same_partition(gabow_scc(g), scipy_scc_labels(g))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g = random_digraph(180, 700, seed=seed, self_loops=True)
+        assert same_partition(gabow_scc(g), scipy_scc_labels(g))
+
+    def test_three_sequential_algorithms_agree(self):
+        for seed in range(4):
+            g = random_digraph(150, 600, seed=seed)
+            t = tarjan_scc(g)
+            k = kosaraju_scc(g)
+            b = gabow_scc(g)
+            assert same_partition(t, k)
+            assert same_partition(t, b)
+
+    def test_deep_cycle_no_recursion_limit(self):
+        n = 5000
+        g = from_edge_list([(i, (i + 1) % n) for i in range(n)], n)
+        assert int(gabow_scc(g).max()) == 0
+
+    def test_through_public_api(self):
+        g = random_digraph(120, 500, seed=9)
+        r = strongly_connected_components(g, "gabow")
+        assert same_partition(r.labels, scipy_scc_labels(g))
+        assert r.method == "gabow"
+
+    def test_trace_recorded(self):
+        g = random_digraph(50, 200, seed=1)
+        tr = WorkTrace()
+        gabow_scc(g, trace=tr)
+        assert len(tr) == 1
+        # same work model as Tarjan: one DFS over everything
+        tr2 = WorkTrace()
+        tarjan_scc(g, trace=tr2)
+        assert tr.total_work() == tr2.total_work()
+
+    def test_planted(self, planted_medium):
+        assert same_partition(
+            gabow_scc(planted_medium.graph), planted_medium.labels
+        )

@@ -1,0 +1,103 @@
+"""Tests for the phase-1 parallel FW-BW step."""
+
+import numpy as np
+import pytest
+
+from repro.core import PHASE_FWBW, SCCState, par_fwbw
+from repro.generators import SCCStructureSpec, scc_structured_graph
+from repro.graph import from_edge_list
+from tests.conftest import random_digraph, scipy_scc_labels
+
+
+class TestParFwbw:
+    def test_finds_whole_graph_scc(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], 3)
+        s = SCCState(g)
+        out = par_fwbw(s, 0, giant_threshold=0.5)
+        assert out.found_giant
+        assert out.largest_scc == 3
+        assert s.mark.all()
+        assert np.all(s.phase_of == PHASE_FWBW)
+
+    def test_partitions_coloured_correctly(self):
+        # IN -> SCC -> OUT structure around a 2-cycle core {1,2}; the
+        # maxdegree pivot (node 2) lands in the core on trial one, so
+        # node 0 becomes the BW-only partition and node 3 the FW-only.
+        g = from_edge_list([(0, 1), (1, 2), (2, 1), (2, 3)], 4)
+        s = SCCState(g, seed=0)
+        out = par_fwbw(
+            s, 0, giant_threshold=0.5, pivot_strategy="maxdegree"
+        )
+        assert out.found_giant and out.trials == 1
+        assert s.mark[1] and s.mark[2]
+        assert not s.mark[0] and not s.mark[3]
+        # IN and OUT nodes must now carry different colours
+        assert s.color[0] != s.color[3]
+
+    def test_finds_planted_giant(self):
+        p = scc_structured_graph(
+            SCCStructureSpec(n=2000, giant_frac=0.6, trivial_frac=0.5), 3
+        )
+        s = SCCState(p.graph, seed=1)
+        out = par_fwbw(s, 0, giant_threshold=0.01, max_trials=5)
+        assert out.found_giant
+        assert out.largest_scc >= 0.58 * 2000
+
+    def test_retry_when_pivot_misses(self):
+        # pivot strategy "first" with node 0 upstream of the cycle:
+        # trial 1 finds the singleton {0}, the giant lies in 0's FW
+        # set, and the retry-on-largest-partition logic must find it.
+        edges = [(0, 1)] + [(i, i + 1) for i in range(1, 9)] + [(9, 1)]
+        g = from_edge_list(edges, 10)
+        s = SCCState(g, seed=0)
+        out = par_fwbw(
+            s, 0, giant_threshold=0.5, max_trials=3, pivot_strategy="first"
+        )
+        assert out.found_giant
+        assert out.trials == 2
+        assert out.largest_scc == 9
+
+    def test_gives_up_after_max_trials(self):
+        # all-trivial DAG: no giant exists
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)], 4)
+        s = SCCState(g)
+        out = par_fwbw(s, 0, giant_threshold=0.9, max_trials=2)
+        assert not out.found_giant
+        assert out.trials == 2
+
+    def test_empty_color_noop(self):
+        g = from_edge_list([(0, 1)], 2)
+        s = SCCState(g)
+        s.color[:] = 7  # nothing has colour 0
+        out = par_fwbw(s, 0)
+        assert out.trials == 0
+        assert not out.found_giant
+
+    def test_marked_sccs_are_true_sccs(self):
+        for seed in range(4):
+            g = random_digraph(200, 900, seed=seed)
+            s = SCCState(g, seed=seed)
+            par_fwbw(s, 0, giant_threshold=0.01, max_trials=4)
+            oracle = scipy_scc_labels(g)
+            for sid in range(s.num_sccs):
+                mine = np.flatnonzero(s.labels == sid)
+                theirs = np.flatnonzero(oracle == oracle[mine[0]])
+                assert np.array_equal(mine, theirs)
+
+    def test_parameter_validation(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            par_fwbw(SCCState(g), 0, giant_threshold=0.0)
+        with pytest.raises(ValueError):
+            par_fwbw(SCCState(g), 0, max_trials=0)
+
+    def test_maxdegree_pivot_lands_in_giant_first_try(self):
+        p = scc_structured_graph(
+            SCCStructureSpec(n=3000, giant_frac=0.5, giant_chords=3.0), 5
+        )
+        s = SCCState(p.graph, seed=2)
+        out = par_fwbw(
+            s, 0, giant_threshold=0.01, pivot_strategy="maxdegree"
+        )
+        assert out.found_giant
+        assert out.trials == 1

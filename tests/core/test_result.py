@@ -1,0 +1,115 @@
+"""Tests for SCC results, canonicalization and pivot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PIVOT_STRATEGIES, choose_pivot
+from repro.core.result import SCCResult, canonical_labels, same_partition
+from repro.graph import from_edge_list
+
+
+class TestCanonicalLabels:
+    def test_idempotent(self):
+        labels = np.array([5, 5, 2, 2, 9])
+        c = canonical_labels(labels)
+        assert np.array_equal(canonical_labels(c), c)
+
+    def test_first_occurrence_order(self):
+        assert np.array_equal(
+            canonical_labels(np.array([7, 7, 3, 7, 3])), [0, 0, 1, 0, 1]
+        )
+
+    def test_same_partition_ignores_label_values(self):
+        a = np.array([0, 0, 1, 2])
+        b = np.array([9, 9, 4, 7])
+        assert same_partition(a, b)
+
+    def test_different_partitions_detected(self):
+        assert not same_partition(np.array([0, 0, 1]), np.array([0, 1, 1]))
+
+    def test_shape_mismatch(self):
+        assert not same_partition(np.array([0]), np.array([0, 1]))
+
+
+class TestSCCResult:
+    def r(self):
+        return SCCResult(
+            labels=np.array([0, 0, 0, 1, 2, 2]), method="test"
+        )
+
+    def test_num_sccs(self):
+        assert self.r().num_sccs == 3
+
+    def test_sizes(self):
+        assert np.array_equal(self.r().sizes(), [3, 1, 2])
+
+    def test_largest_and_giant(self):
+        r = self.r()
+        assert r.largest_scc_size() == 3
+        assert r.giant_fraction() == pytest.approx(0.5)
+
+    def test_size_histogram(self):
+        assert self.r().size_histogram() == {1: 1, 2: 1, 3: 1}
+
+    def test_to_sets(self):
+        sets = self.r().to_sets()
+        assert {frozenset(s) for s in sets} == {
+            frozenset({0, 1, 2}),
+            frozenset({3}),
+            frozenset({4, 5}),
+        }
+
+    def test_phase_fractions_empty_without_phase_of(self):
+        assert self.r().phase_fractions() == {}
+
+    def test_simulate_requires_profile(self):
+        with pytest.raises(ValueError):
+            self.r().simulate(8)
+
+    def test_simulate_and_speedup_over(self):
+        from repro import strongly_connected_components
+        from tests.conftest import random_digraph
+
+        # big enough that parallel wins over the sync overhead
+        g = random_digraph(5000, 25000, seed=12)
+        tarjan = strongly_connected_components(g, "tarjan")
+        m2 = strongly_connected_components(g, "method2")
+        assert m2.simulate(32) < m2.simulate(1)
+        sp = m2.speedup_over(tarjan, 32)
+        assert sp == pytest.approx(
+            tarjan.simulate(1) / m2.simulate(32)
+        )
+
+
+class TestChoosePivot:
+    def test_strategies_listed(self):
+        assert set(PIVOT_STRATEGIES) == {"random", "maxdegree", "first"}
+
+    def test_random_in_candidates(self):
+        rng = np.random.default_rng(0)
+        cands = np.array([3, 7, 11])
+        for _ in range(10):
+            assert choose_pivot(cands, "random", rng) in cands
+
+    def test_first(self):
+        rng = np.random.default_rng(0)
+        assert choose_pivot(np.array([9, 1]), "first", rng) == 9
+
+    def test_maxdegree(self):
+        g = from_edge_list([(0, 1), (0, 2), (0, 3), (1, 0)], 4)
+        rng = np.random.default_rng(0)
+        assert choose_pivot(np.arange(4), "maxdegree", rng, g) == 0
+
+    def test_maxdegree_needs_graph(self):
+        with pytest.raises(ValueError):
+            choose_pivot(np.array([0]), "maxdegree", np.random.default_rng(0))
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            choose_pivot(
+                np.array([], dtype=np.int64), "random", np.random.default_rng(0)
+            )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            choose_pivot(np.array([0]), "psychic", np.random.default_rng(0))

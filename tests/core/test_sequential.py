@@ -1,0 +1,70 @@
+"""Tests for the sequential baselines (Tarjan, Kosaraju)."""
+
+import numpy as np
+import pytest
+
+from repro.core import kosaraju_scc, tarjan_scc
+from repro.core.result import same_partition
+from repro.graph import from_edge_list
+from repro.runtime import WorkTrace
+from tests.conftest import SMALL_GRAPHS, random_digraph, scipy_scc_labels
+
+
+@pytest.mark.parametrize("algo", [tarjan_scc, kosaraju_scc])
+class TestAgainstOracle:
+    def test_small_graphs(self, small_graph, algo):
+        _, g = small_graph
+        assert same_partition(algo(g), scipy_scc_labels(g))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed, algo):
+        g = random_digraph(150, 700, seed=seed, self_loops=True)
+        assert same_partition(algo(g), scipy_scc_labels(g))
+
+    def test_labels_complete(self, algo):
+        g = random_digraph(100, 300, seed=42)
+        labels = algo(g)
+        assert labels.min() >= 0
+        assert labels.shape == (100,)
+
+
+class TestTarjanSpecifics:
+    def test_single_giant_cycle_one_scc(self):
+        n = 5000  # recursion-depth stressor: O(N)-deep DFS
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = from_edge_list(edges, n)
+        labels = tarjan_scc(g)
+        assert labels.max() == 0
+
+    def test_labels_in_reverse_topological_order(self):
+        # Tarjan emits an SCC only after all its descendants: in a DAG
+        # a successor's label is always smaller.
+        g = from_edge_list([(0, 1), (1, 2), (0, 2)], 3)
+        labels = tarjan_scc(g)
+        assert labels[2] < labels[1] < labels[0]
+
+    def test_trace_records_sequential_work(self):
+        g = random_digraph(50, 200, seed=1)
+        tr = WorkTrace()
+        tarjan_scc(g, trace=tr)
+        assert len(tr) == 1
+        rec = tr.records[0]
+        assert rec.work > 0
+
+    def test_empty_graph(self):
+        g = from_edge_list([], 0)
+        assert tarjan_scc(g).size == 0
+
+
+class TestKosarajuSpecifics:
+    def test_agrees_with_tarjan(self):
+        for seed in range(4):
+            g = random_digraph(120, 500, seed=seed)
+            assert same_partition(tarjan_scc(g), kosaraju_scc(g))
+
+    def test_trace_records_two_passes(self):
+        g = random_digraph(50, 200, seed=2)
+        tr_t, tr_k = WorkTrace(), WorkTrace()
+        tarjan_scc(g, trace=tr_t)
+        kosaraju_scc(g, trace=tr_k)
+        assert tr_k.total_work() == pytest.approx(2 * tr_t.total_work())

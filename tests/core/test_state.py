@@ -1,0 +1,94 @@
+"""Tests for the Color/mark algorithm state."""
+
+import numpy as np
+import pytest
+
+from repro.core import DONE_COLOR, PHASE_RECUR, PHASE_TRIM, SCCState
+from repro.graph import from_edge_list
+
+
+def make_state(n=6):
+    return SCCState(from_edge_list([(i, (i + 1) % n) for i in range(n)], n))
+
+
+class TestColors:
+    def test_initial_state(self):
+        s = make_state()
+        assert np.all(s.color == 0)
+        assert not s.mark.any()
+        assert np.all(s.labels == -1)
+        assert s.num_sccs == 0
+
+    def test_new_color_unique(self):
+        s = make_state()
+        colors = [s.new_color() for _ in range(10)]
+        assert len(set(colors)) == 10
+        assert DONE_COLOR not in colors
+
+    def test_new_colors_block(self):
+        s = make_state()
+        block = s.new_colors(5)
+        assert block.shape == (5,)
+        assert s.new_color() > block.max()
+
+
+class TestMarking:
+    def test_mark_scc_sets_invariants(self):
+        s = make_state()
+        sid = s.mark_scc(np.array([1, 3]), PHASE_RECUR)
+        assert s.mark[1] and s.mark[3]
+        assert s.color[1] == DONE_COLOR
+        assert s.labels[1] == s.labels[3] == sid
+        assert s.phase_of[1] == PHASE_RECUR
+        assert s.num_sccs == 1
+
+    def test_mark_scc_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_state().mark_scc(np.array([], dtype=np.int64), PHASE_RECUR)
+
+    def test_mark_singletons_distinct_labels(self):
+        s = make_state()
+        s.mark_singletons(np.array([0, 2, 4]), PHASE_TRIM)
+        assert s.num_sccs == 3
+        assert len({int(s.labels[i]) for i in (0, 2, 4)}) == 3
+
+    def test_mark_pairs(self):
+        s = make_state()
+        s.mark_pairs(np.array([0, 2]), np.array([1, 3]), PHASE_TRIM)
+        assert s.num_sccs == 2
+        assert s.labels[0] == s.labels[1]
+        assert s.labels[2] == s.labels[3]
+        assert s.labels[0] != s.labels[2]
+
+    def test_mark_pairs_shape_checked(self):
+        with pytest.raises(ValueError):
+            make_state().mark_pairs(np.array([0]), np.array([1, 2]), PHASE_TRIM)
+
+    def test_unfinished_and_active(self):
+        s = make_state()
+        assert s.unfinished() == 6
+        s.mark_singletons(np.array([0, 1]), PHASE_TRIM)
+        assert s.unfinished() == 4
+        assert np.array_equal(s.active_nodes(), [2, 3, 4, 5])
+
+    def test_check_done_raises_when_incomplete(self):
+        s = make_state()
+        with pytest.raises(RuntimeError):
+            s.check_done()
+
+    def test_check_done_passes_when_complete(self):
+        s = make_state()
+        s.mark_scc(np.arange(6), PHASE_RECUR)
+        s.check_done()
+
+
+class TestPick:
+    def test_pick_deterministic_with_seed(self):
+        a = SCCState(from_edge_list([(0, 1)], 50), seed=5)
+        b = SCCState(from_edge_list([(0, 1)], 50), seed=5)
+        cands = np.arange(50)
+        assert a.pick(cands, "random") == b.pick(cands, "random")
+
+    def test_pick_first(self):
+        s = make_state()
+        assert s.pick(np.array([4, 2, 9]), "first") == 4

@@ -1,0 +1,105 @@
+"""Tests for Par-Trim2 (Algorithm 8, Figure 4 patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PHASE_TRIM2, SCCState, par_trim2
+from repro.graph import from_edge_array, from_edge_list
+from tests.conftest import SMALL_GRAPHS, random_digraph, scipy_scc_labels
+
+
+class TestPatterns:
+    def test_pattern_a_no_other_incoming(self):
+        # Fig 4(a): A<->B, extra edge OUT of the pair is fine.
+        g = from_edge_list([(0, 1), (1, 0), (0, 2)], 3)
+        s = SCCState(g)
+        assert par_trim2(s) == 2
+        assert s.mark[0] and s.mark[1] and not s.mark[2]
+        assert s.labels[0] == s.labels[1]
+        assert s.phase_of[0] == PHASE_TRIM2
+
+    def test_pattern_b_no_other_outgoing(self):
+        # Fig 4(b): A<->B, extra edge INTO the pair is fine.
+        g = from_edge_list([(0, 1), (1, 0), (2, 0)], 3)
+        s = SCCState(g)
+        assert par_trim2(s) == 2
+        assert s.mark[0] and s.mark[1]
+
+    def test_embedded_two_cycle_not_matched(self):
+        # A<->B inside a larger cycle: extra in AND out edges on A, so
+        # neither pattern applies — and indeed {0,1,2} is one SCC.
+        g = from_edge_list([(0, 1), (1, 0), (1, 2), (2, 0)], 3)
+        s = SCCState(g)
+        assert par_trim2(s) == 0
+        assert not s.mark.any()
+
+    def test_plain_two_cycle(self):
+        g = from_edge_list([(0, 1), (1, 0)], 2)
+        s = SCCState(g)
+        assert par_trim2(s) == 2
+
+    def test_chain_of_two_cycles_ends_cut(self):
+        # (0,1) -> (2,3) -> (4,5): the end pairs match Figure 4's
+        # patterns (nothing else in / nothing else out) and are cut in
+        # one pass; the middle pair has both an extra in- and out-edge
+        # and survives (Section 3.4: Trim2 *shortens* the chains the
+        # WCC step must then propagate across).
+        g = from_edge_list(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)],
+            6,
+        )
+        s = SCCState(g)
+        assert par_trim2(s) == 4
+        assert s.mark[0] and s.mark[1] and s.mark[4] and s.mark[5]
+        assert not s.mark[2] and not s.mark[3]
+        assert s.num_sccs == 2
+
+    def test_respects_colors(self):
+        # A<->B plus an in-edge from another partition: the in-edge is
+        # invisible, so the pair still matches pattern (a)/(b).
+        g = from_edge_list([(0, 1), (1, 0), (2, 0), (0, 2)], 3)
+        s = SCCState(g)
+        s.color[2] = 99
+        assert par_trim2(s) == 2
+
+    def test_self_loop_only_node(self):
+        g = from_edge_array(np.array([0]), np.array([0]), 1, dedup=False)
+        s = SCCState(g)
+        detached = par_trim2(s)
+        assert detached == 1
+        assert s.mark[0]
+        assert s.num_sccs == 1
+
+    def test_no_candidates_noop(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], 3)
+        s = SCCState(g)
+        assert par_trim2(s) == 0
+
+    def test_all_marked_noop(self):
+        g = from_edge_list([(0, 1), (1, 0)], 2)
+        s = SCCState(g)
+        s.mark_scc(np.array([0, 1]), PHASE_TRIM2)
+        assert par_trim2(s) == 0
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_only_real_size2_sccs_marked(self, seed):
+        g = random_digraph(120, 400, seed=seed)
+        s = SCCState(g)
+        par_trim2(s)
+        oracle = scipy_scc_labels(g)
+        sizes = np.bincount(oracle)
+        for v in np.flatnonzero(s.mark):
+            sid = oracle[v]
+            assert sizes[sid] == s.labels[s.labels == s.labels[v]].size
+            # marked pair must be the full true SCC
+            mine = np.flatnonzero(s.labels == s.labels[v])
+            theirs = np.flatnonzero(oracle == sid)
+            assert np.array_equal(mine, theirs)
+
+    def test_counter_updated(self):
+        g = from_edge_list([(0, 1), (1, 0)], 2)
+        s = SCCState(g)
+        par_trim2(s)
+        assert s.profile.counters["trim2_pairs"] == 1

@@ -1,0 +1,119 @@
+"""Tests for Par-WCC (Algorithm 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PHASE_TRIM, SCCState, par_wcc
+from repro.graph import from_edge_list
+from tests.conftest import random_digraph, scipy_wcc_labels
+
+
+class TestParWcc:
+    def test_two_islands(self):
+        g = from_edge_list([(0, 1), (2, 3)], 4)
+        s = SCCState(g)
+        items = par_wcc(s)
+        assert len(items) == 2
+        groups = {frozenset(nodes.tolist()) for _, nodes in items}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_one_directional_edge_merges(self):
+        # weak connectivity ignores direction
+        g = from_edge_list([(0, 1), (2, 1)], 3)
+        s = SCCState(g)
+        items = par_wcc(s)
+        assert len(items) == 1
+
+    def test_colors_assigned_uniquely(self):
+        g = from_edge_list([(0, 1), (2, 3), (4, 5)], 6)
+        s = SCCState(g)
+        items = par_wcc(s)
+        colors = [c for c, _ in items]
+        assert len(set(colors)) == 3
+        for c, nodes in items:
+            assert np.all(s.color[nodes] == c)
+
+    def test_marked_nodes_excluded(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        s = SCCState(g)
+        s.mark_singletons(np.array([1]), PHASE_TRIM)
+        items = par_wcc(s)
+        # removing the middle node splits the island in two
+        assert len(items) == 2
+
+    def test_respects_partition_colors(self):
+        # one weak island split across two colours must NOT merge
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        s = SCCState(g)
+        s.color[:2] = 5
+        s.color[2] = 6
+        items = par_wcc(s)
+        assert len(items) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scipy_wcc(self, seed):
+        g = random_digraph(150, 300, seed=seed)
+        s = SCCState(g)
+        items = par_wcc(s)
+        oracle = scipy_wcc_labels(g)
+        mine = {frozenset(nodes.tolist()) for _, nodes in items}
+        theirs: dict[int, set[int]] = {}
+        for v, lab in enumerate(oracle):
+            theirs.setdefault(int(lab), set()).add(v)
+        assert mine == {frozenset(v) for v in theirs.values()}
+
+    def test_empty_when_all_marked(self):
+        g = from_edge_list([(0, 1)], 2)
+        s = SCCState(g)
+        s.mark_scc(np.array([0, 1]), PHASE_TRIM)
+        assert par_wcc(s) == []
+
+    def test_counters(self):
+        g = random_digraph(80, 160, seed=3)
+        s = SCCState(g)
+        items = par_wcc(s)
+        assert s.profile.counters["wcc_components"] == len(items)
+        assert s.profile.counters["wcc_iterations"] >= 1
+
+    def test_iterations_grow_with_diameter(self):
+        # a long path needs more hook/compress rounds than a star
+        path = from_edge_list([(i, i + 1) for i in range(399)], 400)
+        star = from_edge_list([(0, i) for i in range(1, 400)], 400)
+        sp = SCCState(path)
+        ss = SCCState(star)
+        par_wcc(sp)
+        par_wcc(ss)
+        assert (
+            sp.profile.counters["wcc_iterations"]
+            > ss.profile.counters["wcc_iterations"]
+        )
+
+
+class TestOutOnlyDeviation:
+    def test_out_only_variant_can_underconnect(self):
+        """Documents the published Algorithm 7 deviation (DESIGN.md §2).
+
+        With the edge 1 -> 0 only, pulling minima over *out*-neighbours
+        lets node 1 adopt node 0's label, but with the edge 0 -> 1 the
+        one-directional pull can never inform node 1 of node 0's lower
+        label... the printed algorithm relies on symmetric adjacency.
+        """
+        g = from_edge_list([(1, 0)], 2)  # pull works here
+        s = SCCState(g)
+        assert len(par_wcc(s, directions="out")) == 1
+
+        g2 = from_edge_list([(0, 1)], 2)  # pull cannot work here
+        s2 = SCCState(g2)
+        items = par_wcc(s2, directions="out")
+        assert len(items) == 2  # WRONG as WCC — hence the deviation
+
+    def test_both_directions_correct_either_way(self):
+        for edges in ([(0, 1)], [(1, 0)]):
+            g = from_edge_list(edges, 2)
+            s = SCCState(g)
+            assert len(par_wcc(s)) == 1
+
+    def test_bad_directions_rejected(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            par_wcc(SCCState(g), directions="diagonal")

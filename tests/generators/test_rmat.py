@@ -1,0 +1,54 @@
+"""Tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat_edges, rmat_graph
+from repro.graph import validate_graph
+
+
+class TestRmat:
+    def test_node_and_edge_counts(self):
+        g = rmat_graph(10, 8.0, rng=0)
+        assert g.num_nodes == 1024
+        # dedup/self-loop removal shrinks the raw count somewhat
+        assert 0.5 * 1024 * 8 < g.num_edges <= 1024 * 8
+
+    def test_raw_edges_count(self):
+        src, dst = rmat_edges(8, 4.0, rng=1)
+        assert src.shape == dst.shape == (1024,)
+
+    def test_endpoints_in_range(self):
+        src, dst = rmat_edges(9, 6.0, rng=2)
+        assert src.min() >= 0 and src.max() < 512
+        assert dst.min() >= 0 and dst.max() < 512
+
+    def test_skewed_degree_distribution(self):
+        g = rmat_graph(12, 8.0, rng=3)
+        deg = g.out_degrees()
+        # scale-free: max degree far above the mean
+        assert deg.max() > 8 * deg.mean()
+
+    def test_uniform_quadrants_not_skewed(self):
+        g = rmat_graph(12, 8.0, a=0.25, b=0.25, c=0.25, noise=0.0, rng=4)
+        deg = g.out_degrees()
+        assert deg.max() < 6 * max(deg.mean(), 1)
+
+    def test_deterministic(self):
+        assert rmat_graph(8, 4.0, rng=5) == rmat_graph(8, 4.0, rng=5)
+
+    def test_validates(self):
+        validate_graph(rmat_graph(8, 4.0, rng=6))
+
+    def test_scale_zero(self):
+        g = rmat_graph(0, 3.0, rng=7)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0  # only self-loops possible, dropped
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 2.0, a=0.9, b=0.2, c=0.2)
+
+    def test_negative_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(-1, 2.0)

@@ -1,0 +1,111 @@
+"""Tests for the planted SCC-structure generator — including the key
+guarantee that planted components ARE the true SCCs."""
+
+import numpy as np
+import pytest
+
+from repro.generators import SCCStructureSpec, scc_structured_graph
+from repro.graph import validate_graph
+from tests.conftest import scipy_scc_labels
+from repro.core.result import same_partition
+
+
+def build(seed=0, **kw):
+    defaults = dict(n=1500, giant_frac=0.5, trivial_frac=0.6, alpha=2.2)
+    defaults.update(kw)
+    return scc_structured_graph(SCCStructureSpec(**defaults), seed)
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_planted_components_are_exact_sccs(self, seed):
+        p = build(seed=seed, chain2_pairs=25)
+        assert same_partition(p.labels, scipy_scc_labels(p.graph))
+
+    def test_ground_truth_with_no_giant(self):
+        p = build(giant_frac=0.0)
+        assert p.giant_comp == -1
+        assert same_partition(p.labels, scipy_scc_labels(p.graph))
+
+    def test_ground_truth_all_giant(self):
+        p = build(giant_frac=1.0)
+        assert same_partition(p.labels, scipy_scc_labels(p.graph))
+
+    def test_without_permutation(self):
+        p = build(permute=False)
+        assert same_partition(p.labels, scipy_scc_labels(p.graph))
+
+
+class TestStructure:
+    def test_node_count(self):
+        p = build(n=2000)
+        assert p.graph.num_nodes == 2000
+        assert p.labels.shape == (2000,)
+
+    def test_giant_fraction(self):
+        p = build(n=4000, giant_frac=0.7)
+        sizes = np.bincount(p.labels)
+        assert abs(sizes.max() / 4000 - 0.7) < 0.02
+
+    def test_trivial_fraction(self):
+        p = build(n=4000, giant_frac=0.5, trivial_frac=0.9)
+        sizes = np.bincount(p.labels)
+        non_giant = 4000 - sizes.max()
+        assert (sizes == 1).sum() > 0.7 * non_giant
+
+    def test_comp_sizes_consistent_with_labels(self):
+        p = build()
+        observed = np.sort(np.bincount(p.labels))
+        planted = np.sort(p.comp_sizes)
+        assert np.array_equal(observed, planted)
+
+    def test_chain2_creates_size2_sccs(self):
+        p = build(n=2000, chain2_pairs=50, trivial_frac=0.9)
+        sizes = np.bincount(p.labels)
+        assert (sizes == 2).sum() >= 50
+
+    def test_graph_validates(self):
+        validate_graph(build().graph)
+
+    def test_no_self_loops(self):
+        g = build().graph
+        src, dst = g.edge_array()
+        assert not np.any(src == dst)
+
+    def test_deterministic_under_seed(self):
+        a = build(seed=9)
+        b = build(seed=9)
+        assert a.graph == b.graph
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        assert build(seed=1).graph != build(seed=2).graph
+
+    def test_small_world_diameter(self):
+        from repro.analysis import estimate_diameter
+
+        p = build(n=6000, giant_frac=0.8, giant_chords=2.5)
+        diam = estimate_diameter(p.graph, samples=8)
+        assert diam < 5 * np.log2(6000)
+
+
+class TestSpecValidation:
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            SCCStructureSpec(n=0)
+
+    def test_bad_giant_frac(self):
+        with pytest.raises(ValueError):
+            SCCStructureSpec(n=10, giant_frac=1.5)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            SCCStructureSpec(n=10, alpha=0.5)
+
+    def test_bad_max_small(self):
+        with pytest.raises(ValueError):
+            SCCStructureSpec(n=10, max_small=1)
+
+    def test_tiny_graph(self):
+        p = scc_structured_graph(SCCStructureSpec(n=1), 0)
+        assert p.graph.num_nodes == 1

@@ -1,0 +1,122 @@
+"""Tests for Watts–Strogatz, road-grid and citation-DAG generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_diameter
+from repro.generators import (
+    citation_dag,
+    grid_undirected_edges,
+    road_grid_graph,
+    watts_strogatz_graph,
+)
+from repro.graph import validate_graph
+from tests.conftest import scipy_scc_labels
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_at_p0(self):
+        g = watts_strogatz_graph(20, 2, 0.0, rng=0)
+        assert g.num_edges == 40
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(19, 0) and g.has_edge(19, 1)
+
+    def test_p0_is_one_scc(self):
+        g = watts_strogatz_graph(30, 2, 0.0, rng=0)
+        labels = scipy_scc_labels(g)
+        assert labels.max() == 0
+
+    def test_rewiring_shrinks_diameter(self):
+        lattice = watts_strogatz_graph(600, 3, 0.0, rng=1)
+        rewired = watts_strogatz_graph(600, 3, 0.1, rng=1)
+        d0 = estimate_diameter(lattice, samples=6)
+        d1 = estimate_diameter(rewired, samples=6)
+        assert d1 < d0 / 2  # the Watts-Strogatz collapse
+
+    def test_p1_fully_random(self):
+        g = watts_strogatz_graph(100, 2, 1.0, rng=2)
+        # destination spread far beyond the k-neighbourhood
+        src, dst = g.edge_array()
+        gaps = (dst - src) % 100
+        assert (gaps > 10).sum() > 50
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(0, 1, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 10, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 2, 1.5)
+
+    def test_validates(self):
+        validate_graph(watts_strogatz_graph(50, 3, 0.2, rng=3))
+
+
+class TestRoadGrid:
+    def test_grid_edge_count(self):
+        src, dst = grid_undirected_edges(4, 3)
+        # right edges: 3 per row * 3 rows = 9; down: 4 * 2 = 8
+        assert src.shape[0] == 17
+
+    def test_grid_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            grid_undirected_edges(0, 3)
+
+    def test_road_graph_basicsanity(self):
+        g = road_grid_graph(20, 20, rng=0)
+        assert g.num_nodes == 400
+        validate_graph(g)
+
+    def test_keep_prob_thins_edges(self):
+        full = road_grid_graph(30, 30, keep_prob=1.0, rng=1)
+        thin = road_grid_graph(30, 30, keep_prob=0.5, rng=1)
+        assert thin.num_edges < full.num_edges
+
+    def test_keep_prob_validated(self):
+        with pytest.raises(ValueError):
+            road_grid_graph(5, 5, keep_prob=0.0)
+
+    def test_large_diameter_vs_smallworld(self):
+        g = road_grid_graph(40, 40, rng=2)
+        diam = estimate_diameter(g, samples=6)
+        assert diam > 2 * np.log2(1600)  # decidedly not small-world
+
+    def test_mid_size_sccs_exist(self):
+        g = road_grid_graph(50, 50, rng=3)
+        sizes = np.bincount(scipy_scc_labels(g))
+        mid = ((sizes >= 2) & (sizes < sizes.max())).sum()
+        assert mid > 20  # the CA-road trait (Figure 9(9))
+
+
+class TestCitationDag:
+    def test_acyclic_by_construction(self):
+        g = citation_dag(2000, 5.0, rng=0)
+        src, dst = g.edge_array()
+        assert np.all(dst < src)  # strictly backward in time
+
+    def test_all_sccs_trivial(self):
+        g = citation_dag(1000, 4.0, rng=1)
+        sizes = np.bincount(scipy_scc_labels(g))
+        assert sizes.max() == 1  # the Patents trait (Table 1)
+
+    def test_first_node_cites_nothing(self):
+        g = citation_dag(100, 5.0, rng=2)
+        assert g.out_degree(0) == 0
+
+    def test_indegree_skewed_to_old(self):
+        g = citation_dag(5000, 5.0, recency_power=2.0, rng=3)
+        ins = g.in_degrees()
+        assert ins[:500].mean() > ins[2500:].mean()
+
+    def test_avg_degree(self):
+        g = citation_dag(5000, 6.0, rng=4)
+        assert 4.0 < g.num_edges / 5000 < 6.5
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            citation_dag(0)
+
+    def test_validates(self):
+        validate_graph(citation_dag(300, 3.0, rng=5))

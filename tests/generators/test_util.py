@@ -1,0 +1,76 @@
+"""Unit tests for generator helpers."""
+
+import numpy as np
+import pytest
+
+from repro.generators.util import (
+    as_rng,
+    sample_power_law_sizes,
+    segmented_uniform,
+)
+
+
+class TestAsRng:
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_seed(self):
+        a = as_rng(42).random()
+        b = as_rng(42).random()
+        assert a == b
+
+    def test_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestPowerLawSizes:
+    def test_exact_total(self):
+        for total in (1, 7, 100, 12345):
+            sizes = sample_power_law_sizes(
+                as_rng(1), total, alpha=2.2, lo=1, hi=64
+            )
+            assert int(sizes.sum()) == total
+
+    def test_bounds_respected(self):
+        sizes = sample_power_law_sizes(
+            as_rng(2), 5000, alpha=2.0, lo=2, hi=32
+        )
+        # All but possibly merged-tail entries within [lo, hi+lo].
+        assert sizes.min() >= 2
+        assert sizes.max() <= 32 + 2
+
+    def test_skew_toward_small(self):
+        sizes = sample_power_law_sizes(
+            as_rng(3), 20000, alpha=2.5, lo=1, hi=128
+        )
+        assert (sizes == 1).sum() > (sizes >= 10).sum()
+
+    def test_zero_total(self):
+        assert sample_power_law_sizes(as_rng(0), 0, alpha=2.0, lo=1, hi=4).size == 0
+
+    def test_total_below_lo(self):
+        sizes = sample_power_law_sizes(as_rng(0), 1, alpha=2.0, lo=2, hi=4)
+        assert int(sizes.sum()) == 1
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            sample_power_law_sizes(as_rng(0), 10, alpha=2.0, lo=5, hi=4)
+
+
+class TestSegmentedUniform:
+    def test_within_segment(self):
+        offsets = np.array([0, 10, 30])
+        sizes = np.array([10, 20, 5])
+        ids = np.array([0, 1, 2, 1, 0])
+        picks = segmented_uniform(as_rng(4), offsets, sizes, ids)
+        for pick, k in zip(picks, ids):
+            assert offsets[k] <= pick < offsets[k] + sizes[k]
+
+    def test_deterministic_under_seed(self):
+        offsets = np.array([0, 5])
+        sizes = np.array([5, 5])
+        ids = np.zeros(100, dtype=np.int64)
+        a = segmented_uniform(as_rng(7), offsets, sizes, ids)
+        b = segmented_uniform(as_rng(7), offsets, sizes, ids)
+        assert np.array_equal(a, b)

@@ -1,0 +1,131 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list, from_edge_array
+
+
+def simple() -> CSRGraph:
+    return from_edge_list([(0, 1), (0, 2), (1, 2), (2, 0)], 3)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = simple()
+        assert g.num_nodes == 3
+        assert g.num_edges == 4
+        assert len(g) == 3
+
+    def test_indptr_validation_endpoints(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_validation_monotone(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_destination_range_checked(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_negative_destination_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([-1]))
+
+    def test_empty_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_rows_sorted_on_construction(self):
+        g = CSRGraph(np.array([0, 3, 3, 3]), np.array([2, 0, 1]))
+        assert np.array_equal(g.out_neighbors(0), [0, 1, 2])
+
+    def test_arrays_read_only(self):
+        g = simple()
+        with pytest.raises(ValueError):
+            g.indices[0] = 5
+        with pytest.raises(ValueError):
+            g.indptr[0] = 1
+
+    def test_zero_node_graph(self):
+        g = from_edge_list([], 0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+
+class TestNeighborhoods:
+    def test_out_neighbors(self):
+        g = simple()
+        assert np.array_equal(g.out_neighbors(0), [1, 2])
+        assert np.array_equal(g.out_neighbors(1), [2])
+        assert np.array_equal(g.out_neighbors(2), [0])
+
+    def test_in_neighbors(self):
+        g = simple()
+        assert np.array_equal(g.in_neighbors(2), [0, 1])
+        assert np.array_equal(g.in_neighbors(0), [2])
+
+    def test_degrees(self):
+        g = simple()
+        assert np.array_equal(g.out_degrees(), [2, 1, 1])
+        assert np.array_equal(g.in_degrees(), [1, 1, 2])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+
+    def test_has_edge(self):
+        g = simple()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(1, 0)
+        assert not g.has_edge(0, 0)
+
+
+class TestTranspose:
+    def test_reverse_roundtrip(self):
+        g = simple()
+        gr = g.reverse()
+        grr = gr.reverse()
+        assert g == grr
+
+    def test_transpose_edge_set(self):
+        g = simple()
+        src, dst = g.edge_array()
+        gr = g.reverse()
+        rsrc, rdst = gr.edge_array()
+        fwd = set(zip(src.tolist(), dst.tolist()))
+        bwd = set(zip(rdst.tolist(), rsrc.tolist()))
+        assert fwd == bwd
+
+    def test_transpose_rows_sorted(self):
+        g = from_edge_list([(3, 0), (1, 0), (2, 0)], 4)
+        assert np.array_equal(g.in_neighbors(0), [1, 2, 3])
+
+
+class TestExport:
+    def test_edge_array_roundtrip(self):
+        g = simple()
+        src, dst = g.edge_array()
+        g2 = from_edge_array(src, dst, g.num_nodes)
+        assert g == g2
+
+    def test_iter_edges(self):
+        g = simple()
+        assert sorted(g.iter_edges()) == [(0, 1), (0, 2), (1, 2), (2, 0)]
+
+    def test_to_networkx(self):
+        nx_g = simple().to_networkx()
+        assert nx_g.number_of_nodes() == 3
+        assert nx_g.number_of_edges() == 4
+
+    def test_equality_and_hash(self):
+        assert simple() == simple()
+        assert hash(simple()) == hash(simple())
+        other = from_edge_list([(0, 1)], 3)
+        assert simple() != other
+
+    def test_nbytes_grows_with_transpose(self):
+        g = simple()
+        before = g.nbytes()
+        g.in_indptr  # force transpose
+        assert g.nbytes() > before

@@ -1,0 +1,63 @@
+"""Unit tests for graph I/O."""
+
+import numpy as np
+
+from repro.graph import (
+    from_edge_list,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+def sample():
+    return from_edge_list([(0, 1), (1, 2), (2, 0), (3, 1)], 5)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_nodes=5)
+        assert g == g2
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample(), path, header="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+
+    def test_comments_skipped_on_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP-style header\n0 1\n1 0\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.has_edge(1, 0)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path, num_nodes=3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+
+    def test_dedup_on_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+
+class TestNpzIO:
+    def test_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_preserves_isolated_nodes(self, tmp_path):
+        g = from_edge_list([(0, 1)], 10)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).num_nodes == 10

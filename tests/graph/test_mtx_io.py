@@ -1,0 +1,62 @@
+"""Tests for MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def sample():
+    return from_edge_list([(0, 1), (1, 2), (2, 0), (3, 1)], 5)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        g2 = read_matrix_market(path)
+        assert g == g2
+
+    def test_symmetric_header_mirrors_edges(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.has_edge(1, 0) and g.has_edge(0, 1)
+        assert g.has_edge(2, 1) and g.has_edge(1, 2)
+
+    def test_values_ignored(self, tmp_path):
+        path = tmp_path / "w.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "rect.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 1\n"
+            "1 2\n"
+        )
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_preserves_isolated_nodes(self, tmp_path):
+        g = from_edge_list([(0, 1)], 7)
+        path = tmp_path / "iso.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path).num_nodes == 7

@@ -1,0 +1,93 @@
+"""Unit tests for undirected-edge orientation (Table 1 preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, orient_undirected, symmetrize
+
+
+def grid_edges():
+    src = np.array([0, 1, 2, 3, 0, 1])
+    dst = np.array([1, 2, 3, 0, 2, 3])
+    return src, dst
+
+
+class TestChooseMode:
+    def test_one_directed_edge_per_undirected(self):
+        src, dst = grid_edges()
+        g = orient_undirected(src, dst, 4, mode="choose", rng=0)
+        assert g.num_edges == 6
+
+    def test_direction_is_random(self):
+        src = np.zeros(200, dtype=np.int64)
+        dst = np.arange(1, 201, dtype=np.int64)
+        g = orient_undirected(src, dst, 201, mode="choose", rng=1)
+        fwd = g.out_degree(0)
+        assert 50 < fwd < 150  # both directions occur
+
+    def test_duplicates_collapsed_before_orienting(self):
+        # (0,1) appears in both orders; it must orient exactly once.
+        g = orient_undirected(
+            np.array([0, 1]), np.array([1, 0]), 2, mode="choose", rng=0
+        )
+        assert g.num_edges == 1
+
+    def test_p_both_rejected(self):
+        with pytest.raises(ValueError):
+            orient_undirected(
+                np.array([0]), np.array([1]), 2, mode="choose", p_both=0.3
+            )
+
+
+class TestIndependentMode:
+    def test_expected_edge_count(self):
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, 1000, 20000)
+        dst = rng.integers(0, 1000, 20000)
+        keep = src != dst
+        g = orient_undirected(src[keep], dst[keep], 1000, rng=3)
+        # each undirected edge yields 1 directed edge in expectation
+        undirected = len(
+            {(min(a, b), max(a, b)) for a, b in zip(src[keep], dst[keep])}
+        )
+        assert 0.9 * undirected < g.num_edges < 1.1 * undirected
+
+    def test_reciprocal_pairs_exist(self):
+        src = np.repeat(np.arange(500), 1)
+        dst = (src + 1) % 500
+        g = orient_undirected(src, dst, 500, rng=4)
+        src_o, dst_o = g.edge_array()
+        pairs = set(zip(src_o.tolist(), dst_o.tolist()))
+        recip = sum(1 for a, b in pairs if (b, a) in pairs and a < b)
+        assert recip > 0  # ~25% of 500
+
+    def test_p_both_zero_has_no_reciprocal(self):
+        src = np.arange(500)
+        dst = (src + 1) % 500
+        g = orient_undirected(src, dst, 500, p_both=0.0, rng=5)
+        src_o, dst_o = g.edge_array()
+        pairs = set(zip(src_o.tolist(), dst_o.tolist()))
+        assert not any((b, a) in pairs for a, b in pairs)
+
+    def test_p_both_out_of_range(self):
+        with pytest.raises(ValueError):
+            orient_undirected(
+                np.array([0]), np.array([1]), 2, p_both=0.7
+            )
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            orient_undirected(np.array([0]), np.array([1]), 2, mode="bogus")
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        s = symmetrize(g)
+        assert s.has_edge(1, 0)
+        assert s.has_edge(2, 1)
+        assert s.num_edges == 4
+
+    def test_idempotent(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)], 3)
+        assert symmetrize(symmetrize(g)) == symmetrize(g)

@@ -1,0 +1,79 @@
+"""Tests for locality-aware node reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import same_partition, tarjan_scc
+from repro.graph import (
+    apply_order,
+    bfs_order,
+    degree_order,
+    from_edge_list,
+    locality_score,
+)
+from tests.conftest import random_digraph, scipy_scc_labels
+
+
+class TestPermutations:
+    def test_bfs_order_is_permutation(self):
+        g = random_digraph(80, 300, seed=0)
+        perm = bfs_order(g)
+        assert np.array_equal(np.sort(perm), np.arange(80))
+
+    def test_degree_order_hubs_first(self):
+        g = from_edge_list([(0, 1), (2, 1), (3, 1), (1, 0)], 4)
+        perm = degree_order(g)
+        assert perm[0] == 1  # highest total degree
+
+    def test_empty_graph(self):
+        g = from_edge_list([], 0)
+        assert bfs_order(g).size == 0
+
+
+class TestApplyOrder:
+    def test_relabelled_graph_isomorphic(self):
+        g = random_digraph(100, 400, seed=1)
+        perm = bfs_order(g)
+        rg, old_of_new = apply_order(g, perm)
+        assert rg.num_nodes == g.num_nodes
+        assert rg.num_edges == g.num_edges
+        # edge (u, v) exists iff relabelled edge exists
+        src, dst = g.edge_array()
+        new_of_old = np.empty(100, dtype=np.int64)
+        new_of_old[perm] = np.arange(100)
+        for u, v in list(zip(src[:50], dst[:50])):
+            assert rg.has_edge(int(new_of_old[u]), int(new_of_old[v]))
+
+    def test_scc_structure_invariant(self):
+        g = random_digraph(150, 600, seed=2)
+        ref = scipy_scc_labels(g)
+        for order_fn in (bfs_order, degree_order):
+            perm = order_fn(g)
+            rg, _ = apply_order(g, perm)
+            labels_new = tarjan_scc(rg)
+            # translate back: node perm[i] had new id i
+            labels_old = np.empty(150, dtype=np.int64)
+            labels_old[perm] = labels_new
+            assert same_partition(labels_old, ref)
+
+    def test_invalid_permutation_rejected(self):
+        g = from_edge_list([(0, 1)], 3)
+        with pytest.raises(ValueError):
+            apply_order(g, np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            apply_order(g, np.array([0, 1]))
+
+
+class TestLocality:
+    def test_bfs_order_improves_grid_locality(self):
+        # a permuted grid has terrible locality; BFS ordering restores it
+        from repro.generators import road_grid_graph
+
+        g = road_grid_graph(40, 40, rng=0)
+        rng = np.random.default_rng(1)
+        shuffled, _ = apply_order(g, rng.permutation(g.num_nodes))
+        reordered, _ = apply_order(shuffled, bfs_order(shuffled))
+        assert locality_score(reordered) < locality_score(shuffled) / 3
+
+    def test_score_zero_for_empty(self):
+        assert locality_score(from_edge_list([], 5)) == 0.0

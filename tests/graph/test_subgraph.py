@@ -1,0 +1,60 @@
+"""Unit tests for induced-subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import color_subgraph, from_edge_list, induced_subgraph
+
+
+def sample():
+    return from_edge_list(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)], 5
+    )
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = sample()
+        sub, mapping = induced_subgraph(g, np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3  # the 0-1-2 cycle; (2,3) dropped
+        assert np.array_equal(mapping, [0, 1, 2])
+
+    def test_renumbering(self):
+        g = sample()
+        sub, mapping = induced_subgraph(g, np.array([3, 4]))
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 0)
+        assert np.array_equal(mapping, [3, 4])
+
+    def test_duplicate_nodes_collapsed(self):
+        g = sample()
+        sub, mapping = induced_subgraph(g, np.array([1, 1, 2]))
+        assert sub.num_nodes == 2
+        assert np.array_equal(mapping, [1, 2])
+
+    def test_empty_selection(self):
+        g = sample()
+        sub, mapping = induced_subgraph(g, np.array([], dtype=np.int64))
+        assert sub.num_nodes == 0
+        assert mapping.size == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(sample(), np.array([99]))
+
+
+class TestColorSubgraph:
+    def test_matches_color_filter(self):
+        g = sample()
+        color = np.array([7, 7, 7, 3, 3])
+        sub, mapping = color_subgraph(g, color, 7)
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_mark_excludes(self):
+        g = sample()
+        color = np.array([7, 7, 7, 7, 7])
+        mark = np.array([False, False, False, True, True])
+        sub, mapping = color_subgraph(g, color, 7, mark)
+        assert np.array_equal(mapping, [0, 1, 2])

@@ -1,0 +1,36 @@
+"""Unit tests for structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphValidationError, from_edge_list, validate_graph
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, small_graph):
+        _, g = small_graph
+        validate_graph(g)
+
+    def test_unsorted_rows_detected(self):
+        g = from_edge_list([(0, 1), (0, 2)], 3)
+        # Forge an unsorted-row graph by bypassing the sort.
+        bad = CSRGraph.__new__(CSRGraph)
+        bad._indptr = g.indptr
+        idx = g.indices.copy()
+        idx[0], idx[1] = idx[1], idx[0]
+        idx.flags.writeable = False
+        bad._indices = idx
+        bad._in_indptr = None
+        bad._in_indices = None
+        with pytest.raises(GraphValidationError):
+            validate_graph(bad, check_transpose=False)
+
+    def test_transpose_check_runs(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], 3)
+        validate_graph(g, check_transpose=True)
+
+    def test_random_graphs_validate(self):
+        from tests.conftest import random_digraph
+
+        for seed in range(5):
+            validate_graph(random_digraph(60, 240, seed))

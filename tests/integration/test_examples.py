@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; letting them rot is worse
+than the ~15 s these take.  Each is run in-process via runpy with its
+stdout captured and spot-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "SCCs found:" in out
+    assert "verified against Tarjan" in out
+    assert "32 threads" in out
+
+
+def test_web_graph_bowtie(capsys):
+    out = run_example("web_graph_bowtie.py", capsys)
+    assert "bow-tie decomposition" in out
+    assert "small-world" in out
+
+
+def test_social_scaling_study(capsys):
+    out = run_example("social_scaling_study.py", capsys)
+    assert "paper machine" in out
+    assert "4-socket" in out
+
+
+def test_road_network_limits(capsys):
+    out = run_example("road_network_limits.py", capsys)
+    assert "recommended: method2" in out
+    assert "recommended: tarjan" in out
+
+
+@pytest.mark.slow
+def test_distributed_cluster(capsys):
+    out = run_example("distributed_cluster.py", capsys)
+    assert "distributed Method 1" in out
+    assert "partitioner" in out

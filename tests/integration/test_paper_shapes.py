@@ -1,0 +1,185 @@
+"""Calibration shape tests: the paper's qualitative results must hold.
+
+These are the guardrails for the simulated-machine substitution
+(DESIGN.md §2): if a refactor or constant change breaks the Figure 6 /
+Figure 7 / Section 3.3 shapes, these tests fail.  They intentionally
+assert *orderings and ranges*, never exact times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import speedup_series, run_method, run_tarjan_baseline
+from repro.generators import generate
+from repro.runtime import Machine
+
+SCALE = 0.4
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine()
+
+
+def series_for(name, machine, **kwargs):
+    g = generate(name, scale=SCALE).graph
+    series, runs = speedup_series(g, machine=machine, **kwargs)
+    return {s.method: dict(zip(s.threads, s.speedups)) for s in series}, runs
+
+
+@pytest.fixture(scope="module")
+def livej(machine):
+    return series_for("livej", machine)
+
+
+@pytest.fixture(scope="module")
+def flickr(machine):
+    return series_for("flickr", machine)
+
+
+@pytest.fixture(scope="module")
+def twitter(machine):
+    return series_for("twitter", machine)
+
+
+@pytest.fixture(scope="module")
+def caroad(machine):
+    # ca-road's grid sits near its directed-percolation threshold and
+    # is calibrated at base size (see generators.road); use scale 1.0.
+    g = generate("ca-road", scale=1.0).graph
+    series, runs = speedup_series(g, machine=machine)
+    return {s.method: dict(zip(s.threads, s.speedups)) for s in series}, runs
+
+
+@pytest.fixture(scope="module")
+def patents(machine):
+    return series_for("patents", machine)
+
+
+class TestFigure6Shapes:
+    def test_baseline_does_not_scale(self, livej, twitter):
+        """Figure 6/7: the Baseline's recursive phase serializes on the
+        giant SCC, so more threads barely help."""
+        for sp, _ in (livej, twitter):
+            assert sp["baseline"][32] < 2 * sp["baseline"][1]
+            assert sp["baseline"][32] < 1.5
+
+    def test_methods_scale_on_small_world(self, livej, twitter):
+        for sp, _ in (livej, twitter):
+            assert sp["method1"][32] > 3 * sp["method1"][1] / 2
+            assert sp["method2"][32] > 4.0
+            assert sp["method2"][32] > sp["baseline"][32]
+
+    def test_twitter_is_a_top_performer(self, twitter):
+        """Paper: Twitter shows the best speedup (29.41x); ours must at
+        least land in the high-teens-plus band."""
+        assert twitter[0]["method2"][32] > 15.0
+
+    def test_method2_beats_method1_on_flickr(self, flickr):
+        """Section 5: Flickr is a Method-2 showcase (WCC + Trim2)."""
+        assert flickr[0]["method2"][32] > flickr[0]["method1"][32]
+
+    def test_monotone_then_knees(self, twitter):
+        """Speedups grow with threads; marginal gains shrink at the
+        socket (8->16) and SMT (16->32) boundaries."""
+        sp = twitter[0]["method2"]
+        assert sp[1] < sp[2] < sp[4] < sp[8] < sp[16] <= sp[32] * 1.02
+        gain_core = sp[8] / sp[4]
+        gain_numa = sp[16] / sp[8]
+        gain_smt = sp[32] / sp[16]
+        assert gain_core > gain_numa > gain_smt
+
+    def test_caroad_methods_lose_most_of_their_advantage(self, caroad):
+        """Figure 6(i): the non-small-world counterexample.
+
+        With this library's pointer-jumping WCC (O(log d) rounds) the
+        Method 2 penalty is milder than published, so the default
+        assertion is "far below the small-world speedups" rather than
+        strictly < 1 — the strict paper shape is asserted below with
+        the paper-faithful WCC (no compression).
+        """
+        sp = caroad[0]
+        assert sp["baseline"][32] < 0.6
+        assert sp["method1"][32] < 1.0
+        assert sp["method2"][32] < 1.2
+        assert sp["method2"][1] < 0.8  # penalized at 1 thread
+
+    def test_caroad_paper_faithful_wcc_loses_to_tarjan(self, machine):
+        """With Algorithm 7's convergence on high-diameter graphs (no
+        pointer jumping: many more hook rounds), Method 2 falls below
+        Tarjan at the full thread count — the published Figure 6(i)
+        endpoint and the Section 5 explanation ('requires a large
+        number of iterations for convergence')."""
+        g = generate("ca-road", scale=1.0).graph
+        series, runs = speedup_series(
+            g, methods=("method2",), machine=machine, wcc_compress=False
+        )
+        sp = dict(zip(series[0].threads, series[0].speedups))
+        assert sp[32] < 1.0
+        iters = runs["method2"].result.profile.counters["wcc_iterations"]
+        # far more rounds than the small-world graphs' handful
+        assert iters > 20
+
+    def test_patents_resolved_by_trim(self, patents):
+        """Figure 8/9: a DAG is fully handled by the Trim phase and all
+        methods scale about equally."""
+        sp, runs = patents
+        assert sp["method2"][32] > 8.0
+        fr = runs["method2"].result.phase_fractions()
+        assert fr["trim"] > 0.999
+
+
+class TestFigure7Shapes:
+    def test_parfwbw_phase_scales_down(self, livej):
+        """Figure 7: Method 1's Par-FWBW segment shrinks with threads."""
+        _, runs = livej
+        run = runs["method1"]
+        assert (
+            run.phase_times[32]["par_fwbw"]
+            < run.phase_times[1]["par_fwbw"] / 4
+        )
+
+    def test_baseline_recur_does_not_shrink(self, livej):
+        _, runs = livej
+        run = runs["baseline"]
+        assert (
+            run.phase_times[32]["recur_fwbw"]
+            > 0.7 * run.phase_times[1]["recur_fwbw"]
+        )
+
+    def test_method2_recur_shrinks_on_flickr(self, flickr):
+        """Section 5: 'the execution time of the recursive FW-BW phase
+        now scales down in Method 2'."""
+        _, runs = flickr
+        m1 = runs["method1"]
+        m2 = runs["method2"]
+        m1_ratio = m1.phase_times[32]["recur_fwbw"] / m1.phase_times[1]["recur_fwbw"]
+        m2_ratio = m2.phase_times[32]["recur_fwbw"] / m2.phase_times[1]["recur_fwbw"]
+        assert m2_ratio < m1_ratio
+
+
+class TestSection33QueueStarvation:
+    def test_method1_queue_starves_method2_floods(self, machine):
+        g = generate("flickr", scale=SCALE).graph
+        m1 = run_method(g, "method1", machine=machine)
+        m2 = run_method(g, "method2", machine=machine)
+        sim1 = machine.simulate(m1.result.profile.trace, 1)
+        sim2 = machine.simulate(m2.result.profile.trace, 1)
+        q1 = sim1.queue_stats["recur_fwbw"]
+        q2 = sim2.queue_stats["recur_fwbw"]
+        # Method 1 seeds a handful of items; Method 2 one per WCC.
+        assert q1.initial_items < 10
+        assert q2.initial_items > 10 * q1.initial_items
+
+    def test_task_log_shows_no_partitioning(self, machine):
+        """The Section 3.3 listing: early Method-1 recur tasks find tiny
+        SCCs and produce (near-)empty FW/BW partitions."""
+        g = generate("flickr", scale=SCALE).graph
+        m1 = run_method(g, "method1", machine=machine)
+        log = m1.result.profile.task_log
+        head = log[:5]
+        assert len(head) == 5
+        giant = g.num_nodes * 0.01
+        for e in head:
+            assert e.scc < giant
+            assert e.fw + e.bw < e.remain

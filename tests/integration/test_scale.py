@@ -1,0 +1,37 @@
+"""Larger-scale integration: correctness holds beyond toy sizes."""
+
+import numpy as np
+import pytest
+
+from repro import strongly_connected_components
+from repro.core import same_partition
+from repro.generators import generate
+from tests.conftest import scipy_scc_labels
+
+
+@pytest.mark.parametrize("name", ["twitter", "friend"])
+def test_method2_at_double_scale(name):
+    b = generate(name, scale=2.0)
+    g = b.graph
+    assert g.num_nodes >= 100_000
+    r = strongly_connected_components(g, "method2")
+    oracle = (
+        b.true_labels if b.true_labels is not None else scipy_scc_labels(g)
+    )
+    assert same_partition(r.labels, oracle)
+
+
+def test_simulated_speedup_stable_across_scales():
+    """The Figure 6 shapes are not a small-graph artifact: the
+    32-thread speedup moves smoothly with surrogate scale."""
+    from repro.bench import run_method, run_tarjan_baseline
+
+    speedups = []
+    for scale in (0.5, 1.0, 2.0):
+        g = generate("twitter", scale=scale).graph
+        _, t_seq = run_tarjan_baseline(g)
+        r = run_method(g, "method2", thread_counts=(32,))
+        speedups.append(t_seq / r.times[32])
+    assert all(s > 10 for s in speedups)
+    lo, hi = min(speedups), max(speedups)
+    assert hi / lo < 2.0  # no wild scale dependence

@@ -1,0 +1,91 @@
+"""Property-based tests for the distributed substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import same_partition
+from repro.distributed import (
+    Cluster,
+    ClusterConfig,
+    Partition,
+    block_partition,
+    distributed_method1,
+    edge_cut,
+    hash_partition,
+)
+from tests.conftest import scipy_scc_labels
+from tests.property.test_scc_properties import digraphs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    g=digraphs(max_nodes=30, max_edges=120),
+    ranks=st.integers(1, 6),
+    seed=st.integers(0, 100),
+)
+def test_distributed_correct_under_any_partition(g, ranks, seed):
+    part = hash_partition(g.num_nodes, ranks, rng=seed)
+    res = distributed_method1(g, part)
+    assert same_partition(res.labels, scipy_scc_labels(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs(max_nodes=40, max_edges=160), ranks=st.integers(1, 8))
+def test_edge_cut_bounds(g, ranks):
+    part = hash_partition(g.num_nodes, ranks, rng=1)
+    cut = edge_cut(g, part)
+    assert 0 <= cut <= g.num_edges
+    if ranks == 1:
+        assert cut == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs(max_nodes=40, max_edges=160))
+def test_total_work_partition_invariant(g):
+    """Recorded compute must not depend on who owns which node."""
+    w_block = distributed_method1(
+        g, block_partition(g.num_nodes, 4)
+    ).dtrace.total_work()
+    w_hash = distributed_method1(
+        g, hash_partition(g.num_nodes, 4, rng=3)
+    ).dtrace.total_work()
+    assert w_block == w_hash
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(
+        st.lists(
+            st.floats(min_value=0, max_value=1e5),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    sents=st.lists(
+        st.lists(
+            st.floats(min_value=0, max_value=1e4),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_cluster_time_decomposition(works, sents):
+    """total == compute + comm, each non-negative, alpha floors comm."""
+    from repro.distributed import DistTrace
+
+    n = min(len(works), len(sents))
+    trace = DistTrace(3)
+    for w, s in zip(works[:n], sents[:n]):
+        trace.superstep("x", w, s)
+    cfg = ClusterConfig()
+    sim = Cluster(cfg).simulate(trace)
+    import pytest
+
+    assert sim.total_time == pytest.approx(
+        sim.compute_time + sim.comm_time
+    )
+    assert sim.comm_time >= n * cfg.alpha

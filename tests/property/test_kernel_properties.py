@@ -1,0 +1,90 @@
+"""Property-based tests for the building-block kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SCCState, par_trim, par_trim2, par_wcc, par_trim_rescan
+from repro.graph import from_edge_array
+from repro.traversal import expand_frontier
+from tests.conftest import scipy_scc_labels, scipy_wcc_labels
+from tests.property.test_scc_properties import digraphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_trim_marks_only_trivial_sccs(g):
+    s = SCCState(g)
+    par_trim(s)
+    oracle = scipy_scc_labels(g)
+    sizes = np.bincount(oracle)
+    marked = np.flatnonzero(s.mark)
+    assert all(sizes[oracle[v]] == 1 for v in marked)
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_trim_incremental_equals_rescan(g):
+    s1, s2 = SCCState(g), SCCState(g)
+    par_trim(s1)
+    par_trim_rescan(s2)
+    assert np.array_equal(s1.mark, s2.mark)
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_trim2_marks_only_true_small_sccs(g):
+    s = SCCState(g)
+    par_trim2(s)
+    oracle = scipy_scc_labels(g)
+    for v in np.flatnonzero(s.mark):
+        mine = np.flatnonzero(s.labels == s.labels[v])
+        theirs = np.flatnonzero(oracle == oracle[v])
+        assert np.array_equal(mine, theirs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_wcc_matches_oracle(g):
+    s = SCCState(g)
+    items = par_wcc(s)
+    oracle = scipy_wcc_labels(g)
+    mine = {frozenset(nodes.tolist()) for _, nodes in items}
+    theirs: dict[int, set[int]] = {}
+    for v, lab in enumerate(oracle):
+        theirs.setdefault(int(lab), set()).add(v)
+    assert mine == {frozenset(v) for v in theirs.values()}
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs(), data=st.data())
+def test_expand_frontier_matches_reference(g, data):
+    if g.num_nodes == 0:
+        return
+    frontier = data.draw(
+        st.lists(
+            st.integers(0, g.num_nodes - 1), min_size=0, max_size=10
+        )
+    )
+    frontier = np.array(sorted(set(frontier)), dtype=np.int64)
+    t, s = expand_frontier(
+        g.indptr, g.indices, frontier, return_sources=True
+    )
+    ref = [
+        (int(u), int(v))
+        for u in frontier
+        for v in g.out_neighbors(int(u))
+    ]
+    assert list(zip(s.tolist(), t.tolist())) == ref
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_transpose_involution(g):
+    assert g.reverse().reverse() == g
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=digraphs())
+def test_degree_sums_equal_edges(g):
+    assert int(g.out_degrees().sum()) == g.num_edges
+    assert int(g.in_degrees().sum()) == g.num_edges

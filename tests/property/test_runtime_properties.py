@@ -1,0 +1,92 @@
+"""Property-based tests for the runtime simulator's invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import (
+    Machine,
+    MachineConfig,
+    Task,
+    TaskDAGRecord,
+    WorkTrace,
+    simulate_task_dag,
+)
+
+
+@st.composite
+def task_dags(draw, max_tasks=40):
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    tasks = []
+    for i in range(n):
+        parent = draw(st.integers(min_value=-1, max_value=i - 1))
+        cost = draw(st.floats(min_value=0.0, max_value=1000.0))
+        tasks.append(Task(cost=cost, parent=parent))
+    if all(t.parent != -1 for t in tasks):
+        tasks[0] = Task(cost=tasks[0].cost, parent=-1)
+    k = draw(st.sampled_from([1, 2, 8]))
+    return TaskDAGRecord(phase="t", tasks=tuple(tasks), queue_k=k)
+
+
+CFG = MachineConfig()
+
+
+@settings(max_examples=80, deadline=None)
+@given(dag=task_dags(), workers=st.sampled_from([1, 2, 7, 32]))
+def test_all_tasks_complete_and_bounds_hold(dag, workers):
+    makespan, stats = simulate_task_dag(dag, workers, CFG)
+    assert stats.tasks == len(dag.tasks)
+    # makespan at least the critical path of raw costs / fastest worker
+    assert makespan >= max((t.cost for t in dag.tasks), default=0.0)
+    # and at most sequential execution of everything plus overheads:
+    # each task may cause one fetch, one spill and one spawn charge.
+    n = len(dag.tasks)
+    upper = sum(t.cost for t in dag.tasks) / CFG.smt_eff + n * (
+        2 * CFG.queue_global_access + CFG.queue_local_op + CFG.task_spawn
+    )
+    assert makespan <= upper + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=task_dags())
+def test_single_worker_time_is_total_work_plus_overhead(dag):
+    makespan, _ = simulate_task_dag(dag, 1, CFG)
+    assert makespan >= dag.total_work
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    work=st.floats(min_value=0.0, max_value=1e7),
+    items=st.integers(min_value=0, max_value=100000),
+    p=st.sampled_from([1, 2, 8, 16, 32]),
+)
+def test_parallel_for_time_bounds(work, items, p):
+    tr = WorkTrace()
+    tr.parallel_for("x", work=work, items=items)
+    t = Machine().simulate(tr, p).total_time
+    # can never beat perfect scaling; never worse than serial + sync
+    assert t >= work / CFG.throughput(min(max(items, 1), p)) - 1e-9
+    assert t <= work + CFG.sync_cost(p) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(
+        st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=20
+    )
+)
+def test_simulation_additive_over_records(works):
+    tr = WorkTrace()
+    for w in works:
+        tr.sequential("s", work=w)
+    t = Machine().simulate(tr, 8).total_time
+    assert t == sum(works)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag=task_dags())
+def test_monotone_in_workers_roughly(dag):
+    """More workers never hurts by more than queue-overhead noise."""
+    t1, _ = simulate_task_dag(dag, 1, CFG)
+    t8, _ = simulate_task_dag(dag, 8, CFG)
+    overhead_slack = len(dag.tasks) * CFG.queue_global_access + 1e-6
+    assert t8 <= t1 / CFG.numa_eff + overhead_slack

@@ -1,0 +1,91 @@
+"""Property-based tests: every algorithm agrees with the oracle on
+arbitrary digraphs, and SCC partitions satisfy their defining laws."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import strongly_connected_components
+from repro.core import same_partition, tarjan_scc
+from repro.graph import from_edge_array
+from tests.conftest import scipy_scc_labels
+
+
+@st.composite
+def digraphs(draw, max_nodes=40, max_edges=160):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    if edges:
+        arr = np.array(edges, dtype=np.int64)
+        src, dst = arr[:, 0], arr[:, 1]
+    else:
+        src = dst = np.empty(0, dtype=np.int64)
+    return from_edge_array(src, dst, n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=digraphs(), method=st.sampled_from(
+    ["tarjan", "kosaraju", "baseline", "method1", "method2"]
+))
+def test_all_methods_match_oracle(g, method):
+    r = strongly_connected_components(g, method)
+    assert same_partition(r.labels, scipy_scc_labels(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=digraphs())
+def test_scc_members_mutually_reachable(g):
+    """Definition check: nodes share a label iff mutually reachable."""
+    from repro.traversal.dfs import dfs_reach_mask
+
+    labels = tarjan_scc(g)
+    for u in range(min(g.num_nodes, 8)):  # spot-check a prefix of nodes
+        fw, _ = dfs_reach_mask(g, u)
+        bw, _ = dfs_reach_mask(g, u, direction="in")
+        scc_mask = labels == labels[u]
+        assert np.array_equal(scc_mask, fw & bw)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=digraphs())
+def test_condensation_is_acyclic(g):
+    """Contracting SCCs must yield a DAG (the fundamental SCC law)."""
+    labels = tarjan_scc(g)
+    src, dst = g.edge_array()
+    cs, cd = labels[src], labels[dst]
+    inter = cs != cd
+    if not inter.any():
+        return
+    cond = from_edge_array(cs[inter], cd[inter], int(labels.max()) + 1)
+    cond_labels = scipy_scc_labels(cond)
+    sizes = np.bincount(cond_labels)
+    assert sizes.max() == 1  # no cycles among contracted components
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=digraphs(), seed=st.integers(0, 2**16))
+def test_methods_insensitive_to_pivot_seed(g, seed):
+    """The partition must not depend on pivot randomness."""
+    a = strongly_connected_components(g, "method2", seed=seed)
+    b = strongly_connected_components(g, "method2", seed=seed + 1)
+    assert same_partition(a.labels, b.labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs())
+def test_labels_are_dense_and_complete(g):
+    r = strongly_connected_components(g, "method2")
+    assert r.labels.min() >= 0
+    # labels form a dense 0..k-1 range
+    assert np.array_equal(
+        np.unique(r.labels), np.arange(r.num_sccs)
+    )
+    assert int(r.sizes().sum()) == g.num_nodes

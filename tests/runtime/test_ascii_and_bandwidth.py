@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer and the bandwidth-capped model."""
+
+import pytest
+
+from repro.bench import ascii_chart
+from repro.runtime import Machine, MachineConfig, WorkTrace
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        out = ascii_chart(
+            {"a": [1.0, 2.0, 3.0], "b": [0.5, 1.0, 1.5]},
+            [1, 2, 4],
+            title="t",
+        )
+        assert "o=a" in out and "x=b" in out
+        assert out.startswith("t\n")
+        assert "o" in out and "x" in out
+
+    def test_peak_at_top_row(self):
+        out = ascii_chart({"a": [0.0, 10.0]}, [1, 2], height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]  # max value on the top row
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1.0]}, [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, [])
+
+    def test_all_zero_series(self):
+        out = ascii_chart({"a": [0.0, 0.0]}, [1, 2])
+        assert "o" in out  # rendered on the baseline row
+
+
+class TestBandwidthCap:
+    def test_cap_limits_throughput(self):
+        capped = MachineConfig(mem_bandwidth_cap=6.0)
+        assert capped.throughput(32) == 6.0
+        assert capped.throughput(4) == 4.0  # below the ceiling
+
+    def test_default_uncapped(self):
+        cfg = MachineConfig()
+        assert cfg.throughput(32) > 20.0
+
+    def test_capped_parallel_for_flatlines(self):
+        tr = WorkTrace()
+        tr.parallel_for("p", work=1_000_000, items=100_000)
+        m = Machine(MachineConfig(mem_bandwidth_cap=8.0))
+        t8 = m.simulate(tr, 8).total_time
+        t32 = m.simulate(tr, 32).total_time
+        assert t32 >= t8 * 0.95  # no gain past the ceiling
+
+    def test_sequential_unaffected(self):
+        tr = WorkTrace()
+        tr.sequential("s", work=100.0)
+        m = Machine(MachineConfig(mem_bandwidth_cap=2.0))
+        assert m.simulate(tr, 32).total_time == 100.0

@@ -1,0 +1,92 @@
+"""Tests for the bench harness and table/chart formatting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG6_METHODS,
+    breakdown_series,
+    format_speedup_table,
+    format_table,
+    run_method,
+    run_tarjan_baseline,
+    speedup_series,
+)
+from repro.runtime import Machine, STANDARD_THREAD_COUNTS
+from tests.conftest import random_digraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_digraph(300, 1500, seed=8)
+
+
+class TestRunners:
+    def test_run_method_times_all_threads(self, graph):
+        run = run_method(graph, "method2")
+        assert set(run.times) == set(STANDARD_THREAD_COUNTS)
+        assert run.times[1] > run.times[32]
+
+    def test_run_tarjan_baseline(self, graph):
+        result, t_seq = run_tarjan_baseline(graph)
+        assert t_seq > 0
+        assert result.method == "tarjan"
+
+    def test_speedup_series_verifies(self, graph):
+        series, runs = speedup_series(graph)
+        assert [s.method for s in series] == list(FIG6_METHODS)
+        for s in series:
+            assert len(s.speedups) == len(STANDARD_THREAD_COUNTS)
+            assert all(x > 0 for x in s.speedups)
+
+    def test_speedup_series_detects_bad_partition(self, graph, monkeypatch):
+        import repro.bench.harness as harness
+
+        class FakeResult:
+            def __init__(self, labels):
+                self.labels = labels
+
+        real = harness.same_partition
+        monkeypatch.setattr(
+            harness, "same_partition", lambda a, b: False
+        )
+        with pytest.raises(AssertionError):
+            speedup_series(graph, methods=("method2",))
+        monkeypatch.setattr(harness, "same_partition", real)
+
+    def test_breakdown_series_shapes(self, graph):
+        run = run_method(graph, "method2")
+        data = breakdown_series(run)
+        for phase, values in data.items():
+            assert len(values) == len(STANDARD_THREAD_COUNTS)
+        # totals match the per-phase sums
+        for i, p in enumerate(STANDARD_THREAD_COUNTS):
+            assert sum(v[i] for v in data.values()) == pytest.approx(
+                run.times[p]
+            )
+
+    def test_custom_machine_and_threads(self, graph):
+        m = Machine()
+        run = run_method(graph, "method1", machine=m, thread_counts=(1, 2))
+        assert set(run.times) == {1, 2}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.50" in out  # float formatting
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_speedup_table(self):
+        from repro.bench.harness import SpeedupSeries
+
+        s = SpeedupSeries(method="m", threads=[1, 2], speedups=[1.0, 1.9])
+        out = format_speedup_table("g", [1, 2], [s])
+        assert "[g] speedup vs. Tarjan" in out
+        assert "1.90" in out

@@ -1,0 +1,60 @@
+"""Tests for the cost model and execution profiles."""
+
+import time
+
+import pytest
+
+from repro.runtime import CostModel, DEFAULT_COST_MODEL, ExecutionProfile
+
+
+class TestCostModel:
+    def test_stream_is_the_unit(self):
+        assert DEFAULT_COST_MODEL.stream(edges=1) == DEFAULT_COST_MODEL.stream_edge
+
+    def test_dfs_pricier_than_stream(self):
+        c = DEFAULT_COST_MODEL
+        assert c.dfs(nodes=1, edges=1) > c.stream(nodes=1, edges=1)
+        assert c.bfs(nodes=1, edges=1) >= c.stream(nodes=1, edges=1)
+
+    def test_linearity(self):
+        c = CostModel()
+        assert c.stream(nodes=3, edges=5) == 3 * c.stream_node + 5 * c.stream_edge
+        assert c.dfs(nodes=2) == 2 * c.dfs_node
+        assert c.bfs(edges=7) == 7 * c.bfs_edge
+
+    def test_custom_constants(self):
+        c = CostModel(dfs_edge=2.0, dfs_node=2.0)
+        assert c.dfs(nodes=1, edges=1) == 4.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.dfs_edge = 1.0
+
+
+class TestExecutionProfile:
+    def test_wall_timer_accumulates(self):
+        p = ExecutionProfile()
+        with p.wall_timer("x"):
+            time.sleep(0.01)
+        with p.wall_timer("x"):
+            time.sleep(0.01)
+        assert p.wall_times["x"] >= 0.02
+
+    def test_wall_timer_records_on_exception(self):
+        p = ExecutionProfile()
+        with pytest.raises(RuntimeError):
+            with p.wall_timer("y"):
+                raise RuntimeError()
+        assert "y" in p.wall_times
+
+    def test_bump(self):
+        p = ExecutionProfile()
+        p.bump("iters")
+        p.bump("iters", 2)
+        assert p.counters["iters"] == 3
+
+    def test_log_task(self):
+        p = ExecutionProfile()
+        p.log_task(2, 0, 0, 125432)
+        entry = p.task_log[0]
+        assert (entry.scc, entry.fw, entry.bw, entry.remain) == (2, 0, 0, 125432)

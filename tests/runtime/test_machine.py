@@ -1,0 +1,147 @@
+"""Unit tests for the simulated machine model."""
+
+import pytest
+
+from repro.runtime import (
+    Machine,
+    MachineConfig,
+    Task,
+    WorkTrace,
+    PAPER_MACHINE,
+)
+
+
+class TestMachineConfig:
+    def test_max_threads(self):
+        assert PAPER_MACHINE.max_threads == 32
+        assert MachineConfig(sockets=1, cores_per_socket=4, smt=1).max_threads == 4
+
+    def test_efficiency_placement(self):
+        effs = PAPER_MACHINE.thread_efficiencies()
+        assert len(effs) == 32
+        assert all(e == 1.0 for e in effs[:8])
+        assert all(e == PAPER_MACHINE.numa_eff for e in effs[8:16])
+        assert all(e == PAPER_MACHINE.smt_eff for e in effs[16:])
+
+    def test_throughput_monotone(self):
+        prev = 0.0
+        for p in range(1, 33):
+            t = PAPER_MACHINE.throughput(p)
+            assert t > prev
+            prev = t
+
+    def test_throughput_knees(self):
+        # marginal gain drops at the socket and SMT boundaries
+        gain_within = PAPER_MACHINE.throughput(8) - PAPER_MACHINE.throughput(7)
+        gain_numa = PAPER_MACHINE.throughput(9) - PAPER_MACHINE.throughput(8)
+        gain_smt = PAPER_MACHINE.throughput(17) - PAPER_MACHINE.throughput(16)
+        assert gain_within > gain_numa > gain_smt
+
+    def test_sync_cost_zero_single_thread(self):
+        assert PAPER_MACHINE.sync_cost(1) == 0.0
+        assert PAPER_MACHINE.sync_cost(2) > 0.0
+
+    def test_throughput_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.throughput(0)
+
+
+class TestSimulate:
+    def test_sequential_ignores_threads(self):
+        tr = WorkTrace()
+        tr.sequential("s", work=1000)
+        m = Machine()
+        assert m.simulate(tr, 1).total_time == m.simulate(tr, 32).total_time
+
+    def test_parallel_for_scales(self):
+        tr = WorkTrace()
+        tr.parallel_for("p", work=1_000_000, items=100_000)
+        m = Machine()
+        t1 = m.simulate(tr, 1).total_time
+        t8 = m.simulate(tr, 8).total_time
+        assert t1 / t8 > 6.0
+
+    def test_items_limit_parallelism(self):
+        tr = WorkTrace()
+        tr.parallel_for("p", work=1_000_000, items=2)
+        m = Machine()
+        t2 = m.simulate(tr, 2).total_time
+        t32 = m.simulate(tr, 32).total_time
+        # only 2 independent items: 32 threads cannot beat 2 by much
+        assert t32 > 0.9 * t2
+
+    def test_static_chunk_floor(self):
+        import numpy as np
+
+        tr = WorkTrace()
+        work = np.ones(1000)
+        work[0] = 50_000  # hub in the first chunk
+        tr.parallel_for(
+            "p",
+            work=float(work.sum()),
+            items=1000,
+            schedule="static",
+            item_work=work,
+        )
+        m = Machine()
+        assert m.simulate(tr, 32).total_time >= 50_000
+
+    def test_dynamic_beats_static_on_skew(self):
+        import numpy as np
+
+        work = np.ones(1000)
+        work[0] = 50_000
+        tr_s = WorkTrace()
+        tr_s.parallel_for("p", work=float(work.sum()), items=1000,
+                          schedule="static", item_work=work)
+        tr_d = WorkTrace()
+        tr_d.parallel_for("p", work=float(work.sum()), items=1000)
+        m = Machine()
+        assert (
+            m.simulate(tr_d, 32).total_time
+            < m.simulate(tr_s, 32).total_time
+        )
+
+    def test_sync_makes_many_tiny_regions_slow(self):
+        # One big region vs. 500 slivers of the same total work: the
+        # sliced version must lose at high thread counts (the CA-road
+        # BFS pathology).
+        big = WorkTrace()
+        big.parallel_for("p", work=100_000, items=10_000)
+        sliced = WorkTrace()
+        for _ in range(500):
+            sliced.parallel_for("p", work=200, items=20)
+        m = Machine()
+        assert (
+            m.simulate(sliced, 32).total_time
+            > 3 * m.simulate(big, 32).total_time
+        )
+
+    def test_phase_times_sum_to_total(self):
+        tr = WorkTrace()
+        tr.parallel_for("a", work=100, items=10)
+        tr.sequential("b", work=50)
+        tr.task_dag("c", [Task(cost=10)])
+        m = Machine()
+        r = m.simulate(tr, 4)
+        assert abs(sum(r.phase_times.values()) - r.total_time) < 1e-9
+
+    def test_thread_bounds(self):
+        tr = WorkTrace()
+        m = Machine()
+        with pytest.raises(ValueError):
+            m.simulate(tr, 0)
+        with pytest.raises(ValueError):
+            m.simulate(tr, 33)
+
+    def test_sweep(self):
+        tr = WorkTrace()
+        tr.parallel_for("a", work=1000, items=100)
+        m = Machine()
+        results = m.sweep(tr, [1, 2, 4])
+        assert [r.threads for r in results] == [1, 2, 4]
+        assert results[0].total_time > results[2].total_time
+
+    def test_empty_trace(self):
+        m = Machine()
+        assert m.simulate(WorkTrace(), 8).total_time == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the two-level work-queue simulator."""
+
+import pytest
+
+from repro.runtime import MachineConfig, Task, TaskDAGRecord, simulate_task_dag
+
+CFG = MachineConfig()
+
+
+def dag(tasks, k=1):
+    return TaskDAGRecord(phase="t", tasks=tuple(tasks), queue_k=k)
+
+
+class TestBasics:
+    def test_empty(self):
+        t, stats = simulate_task_dag(dag([]), 4, CFG)
+        assert t == 0.0
+        assert stats.tasks == 0
+
+    def test_single_task(self):
+        t, stats = simulate_task_dag(dag([Task(cost=100)]), 1, CFG)
+        assert t >= 100
+        assert stats.tasks == 1
+        assert stats.initial_items == 1
+
+    def test_all_tasks_execute(self):
+        tasks = [Task(cost=10) for _ in range(50)]
+        _, stats = simulate_task_dag(dag(tasks), 4, CFG)
+        assert stats.tasks == 50
+
+    def test_children_execute_after_parent(self):
+        tasks = [Task(cost=10), Task(cost=10, parent=0), Task(cost=10, parent=1)]
+        t, _ = simulate_task_dag(dag(tasks), 8, CFG)
+        assert t >= 30  # strictly serialized chain
+
+    def test_deterministic(self):
+        tasks = [Task(cost=c) for c in (5, 9, 2, 14, 3, 8)]
+        a = simulate_task_dag(dag(tasks, k=2), 3, CFG)
+        b = simulate_task_dag(dag(tasks, k=2), 3, CFG)
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+
+class TestScaling:
+    def test_wide_phase_scales(self):
+        tasks = [Task(cost=100) for _ in range(640)]
+        t1, _ = simulate_task_dag(dag(tasks, k=8), 1, CFG)
+        t8, _ = simulate_task_dag(dag(tasks, k=8), 8, CFG)
+        assert t1 / t8 > 5.0
+
+    def test_serial_chain_does_not_scale(self):
+        tasks = [Task(cost=100, parent=i - 1 if i else -1) for i in range(50)]
+        t1, _ = simulate_task_dag(dag(tasks), 1, CFG)
+        t32, _ = simulate_task_dag(dag(tasks), 32, CFG)
+        assert t32 > 0.95 * t1  # the Section 3.3 pathology
+
+    def test_more_workers_never_much_slower(self):
+        tasks = [Task(cost=50) for _ in range(100)]
+        t4, _ = simulate_task_dag(dag(tasks, k=4), 4, CFG)
+        t16, _ = simulate_task_dag(dag(tasks, k=4), 16, CFG)
+        assert t16 <= t4 * 1.05
+
+    def test_numa_smt_speeds_affect_tasks(self):
+        # 32 identical tasks on 32 workers: makespan set by the slowest
+        # (SMT) worker, so it exceeds cost/1.0.
+        tasks = [Task(cost=1000) for _ in range(32)]
+        t32, _ = simulate_task_dag(dag(tasks, k=1), 32, CFG)
+        assert t32 >= 1000 / CFG.smt_eff
+
+
+class TestQueueBehaviour:
+    def test_queue_depth_tracks_serialization(self):
+        # A chain where each task spawns one child: global queue should
+        # stay tiny (the paper's "maximum queue depth ... only six").
+        tasks = [Task(cost=10, parent=i - 1 if i else -1) for i in range(100)]
+        _, stats = simulate_task_dag(dag(tasks), 1, CFG)
+        assert stats.max_total_depth <= 2
+
+    def test_queue_depth_with_wide_roots(self):
+        tasks = [Task(cost=10) for _ in range(1000)]
+        _, stats = simulate_task_dag(dag(tasks, k=8), 4, CFG)
+        assert stats.max_global_depth >= 900
+
+    def test_larger_k_fewer_global_accesses(self):
+        tasks = [Task(cost=10) for _ in range(800)]
+        _, s1 = simulate_task_dag(dag(tasks, k=1), 8, CFG)
+        _, s8 = simulate_task_dag(dag(tasks, k=8), 8, CFG)
+        assert s8.global_accesses < s1.global_accesses / 4
+
+    def test_utilization_bounds(self):
+        tasks = [Task(cost=10) for _ in range(64)]
+        _, stats = simulate_task_dag(dag(tasks, k=2), 8, CFG)
+        assert 0.0 < stats.utilization <= 1.2  # small overhead slack
+
+    def test_merge_stats(self):
+        tasks = [Task(cost=10) for _ in range(10)]
+        _, a = simulate_task_dag(dag(tasks), 2, CFG)
+        _, b = simulate_task_dag(dag(tasks), 2, CFG)
+        merged = a.merge(b)
+        assert merged.tasks == 20
+        assert merged.max_global_depth == a.max_global_depth

@@ -1,0 +1,87 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Machine,
+    Task,
+    WorkTrace,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def sample_trace() -> WorkTrace:
+    tr = WorkTrace()
+    tr.parallel_for("a", work=100.0, items=10)
+    tr.parallel_for(
+        "b",
+        work=50.0,
+        items=5,
+        schedule="static",
+        item_work=np.array([30.0, 5.0, 5.0, 5.0, 5.0]),
+    )
+    tr.sequential("c", work=7.5)
+    tr.task_dag(
+        "d",
+        [Task(cost=3.0), Task(cost=4.0, parent=0), Task(cost=1.0)],
+        queue_k=8,
+    )
+    return tr
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_records(self):
+        tr = sample_trace()
+        tr2 = trace_from_dict(trace_to_dict(tr))
+        assert len(tr2) == len(tr)
+        assert tr2.total_work() == tr.total_work()
+        assert tr2.phase_work() == tr.phase_work()
+
+    def test_simulation_identical_after_roundtrip(self):
+        tr = sample_trace()
+        tr2 = trace_from_dict(trace_to_dict(tr))
+        m = Machine()
+        for p in (1, 8, 32):
+            assert (
+                m.simulate(tr, p).total_time
+                == m.simulate(tr2, p).total_time
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = sample_trace()
+        path = tmp_path / "trace.json"
+        save_trace(tr, path)
+        tr2 = load_trace(path)
+        assert tr2.total_work() == tr.total_work()
+
+    def test_static_chunks_preserved(self):
+        tr = sample_trace()
+        tr2 = trace_from_dict(trace_to_dict(tr))
+        rec = tr2.records[1]
+        assert rec.static_chunk_max[2] == pytest.approx(35.0)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"version": 99, "records": []})
+
+    def test_unknown_record_type(self):
+        with pytest.raises(ValueError):
+            trace_from_dict(
+                {"version": 1, "records": [{"type": "quantum"}]}
+            )
+
+    def test_real_algorithm_trace_roundtrip(self):
+        from repro import strongly_connected_components
+        from tests.conftest import random_digraph
+
+        g = random_digraph(150, 600, seed=3)
+        r = strongly_connected_components(g, "method2")
+        tr2 = trace_from_dict(trace_to_dict(r.profile.trace))
+        m = Machine()
+        assert m.simulate(tr2, 32).total_time == pytest.approx(
+            m.simulate(r.profile.trace, 32).total_time
+        )

@@ -1,0 +1,111 @@
+"""Unit tests for work-trace records."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ParallelForRecord,
+    SequentialRecord,
+    Task,
+    TaskDAGRecord,
+    WorkTrace,
+    static_chunk_maxima,
+)
+
+
+class TestRecords:
+    def test_parallel_for_validation(self):
+        with pytest.raises(ValueError):
+            ParallelForRecord(phase="p", work=-1, items=0)
+        with pytest.raises(ValueError):
+            ParallelForRecord(phase="p", work=1, items=1, schedule="magic")
+
+    def test_sequential_validation(self):
+        with pytest.raises(ValueError):
+            SequentialRecord(phase="p", work=-1)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task(cost=-1)
+
+    def test_task_dag_spawn_order_enforced(self):
+        with pytest.raises(ValueError):
+            TaskDAGRecord(
+                phase="t", tasks=(Task(cost=1, parent=0), Task(cost=1))
+            )
+        with pytest.raises(ValueError):
+            TaskDAGRecord(phase="t", tasks=(Task(cost=1, parent=1),))
+
+    def test_task_dag_queue_k(self):
+        with pytest.raises(ValueError):
+            TaskDAGRecord(phase="t", tasks=(), queue_k=0)
+
+    def test_task_dag_stats(self):
+        rec = TaskDAGRecord(
+            phase="t",
+            tasks=(Task(cost=2), Task(cost=3, parent=0), Task(cost=5)),
+        )
+        assert rec.total_work == 10
+        assert rec.num_roots == 2
+
+
+class TestStaticChunkMaxima:
+    def test_uniform_items(self):
+        out = static_chunk_maxima(np.ones(100), [1, 2, 4])
+        assert out[1] == 100
+        assert out[2] == 50
+        assert out[4] == 25
+
+    def test_skewed_items(self):
+        work = np.ones(100)
+        work[0] = 1000  # hub at the front
+        out = static_chunk_maxima(work, [4])
+        assert out[4] >= 1000  # the hub chunk dominates
+
+    def test_empty(self):
+        out = static_chunk_maxima(np.empty(0), [1, 2])
+        assert out == {1: 0.0, 2: 0.0}
+
+    def test_more_threads_than_items(self):
+        out = static_chunk_maxima(np.array([5.0, 7.0]), [8])
+        assert out[8] == 7.0
+
+
+class TestWorkTrace:
+    def test_recording_and_totals(self):
+        tr = WorkTrace()
+        tr.parallel_for("a", work=10, items=5)
+        tr.sequential("b", work=3)
+        tr.task_dag("c", [Task(cost=2), Task(cost=2, parent=0)])
+        assert len(tr) == 3
+        assert tr.total_work() == 17
+        assert tr.phase_work() == {"a": 10.0, "b": 3.0, "c": 4.0}
+
+    def test_phases_first_appearance_order(self):
+        tr = WorkTrace()
+        tr.sequential("z", work=1)
+        tr.sequential("a", work=1)
+        tr.sequential("z", work=1)
+        assert tr.phases() == ["z", "a"]
+
+    def test_static_item_work_computes_chunks(self):
+        tr = WorkTrace()
+        tr.parallel_for(
+            "a",
+            work=100,
+            items=10,
+            schedule="static",
+            item_work=np.full(10, 10.0),
+        )
+        rec = tr.records[0]
+        assert rec.static_chunk_max[2] == 50.0
+
+    def test_merged(self):
+        a = WorkTrace()
+        a.sequential("x", work=1)
+        b = WorkTrace()
+        b.sequential("y", work=2)
+        m = a.merged(b)
+        assert len(m) == 2
+        assert m.total_work() == 3
+        assert len(a) == 1 and len(b) == 1  # originals untouched

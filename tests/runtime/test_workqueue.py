@@ -1,0 +1,97 @@
+"""Tests for the real (threaded) two-level work queue."""
+
+import threading
+
+import pytest
+
+from repro.runtime import TwoLevelWorkQueue
+
+
+class TestBasics:
+    def test_processes_all_initial_items(self):
+        seen = []
+        lock = threading.Lock()
+
+        def proc(item):
+            with lock:
+                seen.append(item)
+
+        tel = TwoLevelWorkQueue(4, k=2).run(range(100), proc)
+        assert sorted(seen) == list(range(100))
+        assert tel.tasks == 100
+
+    def test_children_processed(self):
+        seen = set()
+        lock = threading.Lock()
+
+        def proc(item):
+            with lock:
+                seen.add(item)
+            if item < 50:
+                return [item + 100]
+
+        TwoLevelWorkQueue(3, k=1).run(range(50), proc)
+        assert seen == set(range(50)) | set(range(100, 150))
+
+    def test_empty_initial(self):
+        tel = TwoLevelWorkQueue(2).run([], lambda i: None)
+        assert tel.tasks == 0
+
+    def test_single_worker(self):
+        order = []
+        TwoLevelWorkQueue(1, k=1).run([1, 2, 3], order.append)
+        assert order == [1, 2, 3]
+
+    def test_recursive_tree(self):
+        # binary tree of depth 6 spawned dynamically
+        count = [0]
+        lock = threading.Lock()
+
+        def proc(depth):
+            with lock:
+                count[0] += 1
+            if depth < 6:
+                return [depth + 1, depth + 1]
+
+        TwoLevelWorkQueue(4, k=2).run([0], proc)
+        assert count[0] == 2**7 - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelWorkQueue(0)
+        with pytest.raises(ValueError):
+            TwoLevelWorkQueue(1, k=0)
+
+
+class TestErrorPropagation:
+    def test_exception_propagates(self):
+        def proc(item):
+            if item == 5:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            TwoLevelWorkQueue(4, k=1).run(range(10), proc)
+
+    def test_workers_stop_after_error(self):
+        # Must terminate even with an infinite spawner alongside a crash.
+        def proc(item):
+            if item == "bad":
+                raise ValueError("stop")
+            return None
+
+        with pytest.raises(ValueError):
+            TwoLevelWorkQueue(2, k=1).run(["bad"] + list(range(100)), proc)
+
+
+class TestTelemetry:
+    def test_per_worker_tasks_sum(self):
+        tel = TwoLevelWorkQueue(4, k=2).run(range(64), lambda i: None)
+        assert sum(tel.per_worker_tasks) == 64
+
+    def test_global_access_counted(self):
+        tel = TwoLevelWorkQueue(2, k=4).run(range(32), lambda i: None)
+        assert tel.global_accesses >= 32 // 4
+
+    def test_max_global_depth_at_least_initial(self):
+        tel = TwoLevelWorkQueue(2, k=1).run(range(40), lambda i: None)
+        assert tel.max_global_depth >= 40

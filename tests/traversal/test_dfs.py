@@ -1,0 +1,78 @@
+"""Unit tests for the sequential DFS kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.traversal import dfs_collect_colored, dfs_reach_mask
+from repro.traversal.bfs import bfs_mask
+from tests.conftest import random_digraph
+
+
+class TestDfsReachMask:
+    def test_simple_reach(self):
+        g = from_edge_list([(0, 1), (1, 2), (3, 0)], 4)
+        mask, edges = dfs_reach_mask(g, 0)
+        assert np.array_equal(mask, [True, True, True, False])
+        assert edges == 2
+
+    def test_reverse(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        mask, _ = dfs_reach_mask(g, 2, direction="in")
+        assert mask.all()
+
+    def test_allowed_filter(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        allowed = np.array([True, False, True])
+        mask, _ = dfs_reach_mask(g, 0, allowed=allowed)
+        assert np.array_equal(mask, [True, False, False])
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            dfs_reach_mask(from_edge_list([(0, 1)], 2), 0, direction="x")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_bfs(self, seed):
+        g = random_digraph(70, 300, seed=seed)
+        dfs_mask, _ = dfs_reach_mask(g, 0)
+        bfs_m, _ = bfs_mask(g, 0)
+        assert np.array_equal(dfs_mask, bfs_m)
+
+
+class TestDfsCollectColored:
+    def test_matches_bfs_color_transform(self):
+        from repro.traversal import bfs_color_transform
+
+        g = random_digraph(60, 240, seed=9)
+        color_a = np.zeros(60, dtype=np.int64)
+        color_b = np.zeros(60, dtype=np.int64)
+        collected, _ = dfs_collect_colored(
+            g.indptr, g.indices, 0, {0: 5}, color_a
+        )
+        bfs_color_transform(g, 0, {0: 5}, color_b)
+        assert np.array_equal(color_a, color_b)
+        assert set(collected[5]) == set(np.flatnonzero(color_a == 5).tolist())
+
+    def test_two_transitions(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0), (3, 0)], 4)
+        color = np.zeros(4, dtype=np.int64)
+        dfs_collect_colored(g.indptr, g.indices, 0, {0: 5}, color)
+        collected, _ = dfs_collect_colored(
+            g.in_indptr, g.in_indices, 0, {0: 7, 5: 6}, color
+        )
+        assert set(collected[6]) == {0, 1, 2}
+        assert set(collected[7]) == {3}
+
+    def test_pivot_color_checked(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            dfs_collect_colored(
+                g.indptr, g.indices, 0, {9: 5}, np.zeros(2, dtype=np.int64)
+            )
+
+    def test_edge_count(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2)], 3)
+        _, edges = dfs_collect_colored(
+            g.indptr, g.indices, 0, {0: 5}, np.zeros(3, dtype=np.int64)
+        )
+        assert edges == 3

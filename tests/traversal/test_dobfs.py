@@ -1,0 +1,61 @@
+"""Unit tests for direction-optimizing BFS."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.runtime import WorkTrace
+from repro.traversal import direction_optimizing_bfs
+from repro.traversal.bfs import bfs_mask
+from tests.conftest import random_digraph
+
+
+class TestDirectionOptimizingBfs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_reachability_as_plain_bfs(self, seed):
+        g = random_digraph(120, 900, seed=seed)
+        ref, _ = bfs_mask(g, 0)
+        mask, _ = direction_optimizing_bfs(g, 0)
+        assert np.array_equal(mask, ref)
+
+    def test_reverse_direction(self):
+        g = random_digraph(80, 500, seed=7)
+        ref, _ = bfs_mask(g, 3, direction="in")
+        mask, _ = direction_optimizing_bfs(g, 3, direction="in")
+        assert np.array_equal(mask, ref)
+
+    def test_allowed_filter(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)], 4)
+        allowed = np.array([True, True, False, True])
+        ref, _ = bfs_mask(g, 0, allowed=allowed)
+        mask, _ = direction_optimizing_bfs(g, 0, allowed=allowed)
+        assert np.array_equal(mask, ref)
+
+    def test_bottom_up_saves_edge_scans_on_dense_graph(self):
+        # A dense small-world graph: bottom-up early exits should scan
+        # fewer edges than top-down once the frontier saturates.
+        g = random_digraph(400, 12000, seed=1)
+        _, plain = bfs_mask(g, 0)
+        _, hybrid = direction_optimizing_bfs(g, 0, alpha=5.0)
+        assert hybrid.edges_scanned < plain.edges_scanned
+
+    def test_alpha_extremes(self):
+        g = random_digraph(100, 600, seed=2)
+        ref, _ = bfs_mask(g, 0)
+        # alpha=inf behaves top-down always; tiny alpha forces bottom-up
+        m1, _ = direction_optimizing_bfs(g, 0, alpha=1e12)
+        m2, _ = direction_optimizing_bfs(g, 0, alpha=1e-12)
+        assert np.array_equal(m1, ref)
+        assert np.array_equal(m2, ref)
+
+    def test_trace_recorded(self):
+        g = random_digraph(100, 600, seed=3)
+        tr = WorkTrace()
+        direction_optimizing_bfs(g, 0, trace=tr, phase="hyb")
+        assert len(tr) > 0
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            direction_optimizing_bfs(
+                from_edge_list([(0, 1)], 2), 0, direction="zig"
+            )

@@ -1,0 +1,59 @@
+"""Unit tests for the vectorized frontier expansion primitive."""
+
+import numpy as np
+
+from repro.graph import from_edge_list
+from repro.traversal import expand_frontier
+from tests.conftest import random_digraph
+
+
+class TestExpandFrontier:
+    def test_single_node(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2)], 3)
+        t = expand_frontier(g.indptr, g.indices, np.array([0]))
+        assert np.array_equal(t, [1, 2])
+
+    def test_multiple_nodes_concatenated(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2), (2, 0)], 3)
+        t = expand_frontier(g.indptr, g.indices, np.array([0, 2]))
+        assert np.array_equal(t, [1, 2, 0])
+
+    def test_with_sources(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2)], 3)
+        t, s = expand_frontier(
+            g.indptr, g.indices, np.array([0, 1]), return_sources=True
+        )
+        assert np.array_equal(t, [1, 2, 2])
+        assert np.array_equal(s, [0, 0, 1])
+
+    def test_empty_frontier(self):
+        g = from_edge_list([(0, 1)], 2)
+        t = expand_frontier(g.indptr, g.indices, np.array([], dtype=np.int64))
+        assert t.size == 0
+
+    def test_zero_degree_nodes(self):
+        g = from_edge_list([(0, 1)], 3)
+        t, s = expand_frontier(
+            g.indptr, g.indices, np.array([1, 2]), return_sources=True
+        )
+        assert t.size == 0 and s.size == 0
+
+    def test_duplicated_frontier_nodes(self):
+        g = from_edge_list([(0, 1)], 2)
+        t = expand_frontier(g.indptr, g.indices, np.array([0, 0]))
+        assert np.array_equal(t, [1, 1])
+
+    def test_matches_python_reference(self):
+        g = random_digraph(80, 400, seed=11)
+        rng = np.random.default_rng(0)
+        frontier = rng.choice(80, size=25, replace=False)
+        t, s = expand_frontier(
+            g.indptr, g.indices, frontier, return_sources=True
+        )
+        ref_t, ref_s = [], []
+        for u in frontier:
+            for v in g.out_neighbors(int(u)):
+                ref_t.append(int(v))
+                ref_s.append(int(u))
+        assert np.array_equal(t, ref_t)
+        assert np.array_equal(s, ref_s)
