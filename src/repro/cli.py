@@ -66,6 +66,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="simulated thread count for the timing report",
     )
+    p_scc.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "threads", "processes", "supervised"),
+        help="phase-2 executor; 'supervised' adds fault tolerance "
+        "(per-task timeouts, retry, serial degradation, verification)",
+    )
+    p_scc.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="real worker count for the threads/processes/supervised "
+        "backends",
+    )
+    p_scc.add_argument(
+        "--task-timeout",
+        type=float,
+        default=30.0,
+        help="supervised backend: per-task deadline in seconds",
+    )
+    p_scc.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=2,
+        help="supervised backend: failures per task before degrading "
+        "to the serial driver",
+    )
+    p_scc.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject faults for a recovery demo: 'kind@index[:stage]' "
+        "list (e.g. 'crash@2,hang@0:mid,poison@5') or a JSON spec "
+        "list; forces the supervised backend",
+    )
 
     p_sweep = sub.add_parser(
         "sweep", help="Figure 6-style speedup panel for one graph"
@@ -94,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioner",
         default="bfs",
         choices=("block", "hash", "bfs"),
+    )
+    p_dist.add_argument(
+        "--fail-at",
+        default=None,
+        help="inject rank failures at these supersteps (comma list) "
+        "and report checkpointed-recovery cost",
+    )
+    p_dist.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint interval C in supersteps (0 = none; "
+        "recovery then reruns from superstep 0)",
     )
 
     return parser
@@ -142,8 +189,31 @@ def _cmd_scc(args) -> int:
     g, label = _load_graph(args)
     print(f"graph {label}: {g.num_nodes} nodes, {g.num_edges} edges")
     kwargs = {}
-    if args.method not in ("tarjan", "kosaraju"):
+    backend = args.backend
+    if args.fault_plan and backend != "supervised":
+        backend = "supervised"  # only the supervised backend recovers
+    if args.method not in ("tarjan", "kosaraju", "gabow"):
         kwargs["seed"] = args.seed
+        if backend != "serial":
+            kwargs["backend"] = backend
+            kwargs["num_threads"] = args.workers
+        if backend == "supervised":
+            from .runtime import FaultPlan, SupervisorConfig
+
+            try:
+                plan = (
+                    FaultPlan.parse(args.fault_plan)
+                    if args.fault_plan
+                    else None
+                )
+            except ValueError as exc:
+                print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+                return 2
+            kwargs["supervisor"] = SupervisorConfig(
+                task_timeout=args.task_timeout,
+                max_task_retries=args.max_task_retries,
+                fault_plan=plan,
+            )
     result = strongly_connected_components(g, args.method, **kwargs)
     print(f"method: {args.method}")
     print(f"SCCs: {result.num_sccs}")
@@ -157,6 +227,19 @@ def _cmd_scc(args) -> int:
             f"{k}={v:.1%}" for k, v in fractions.items() if v > 0
         )
         print(f"resolved per phase: {parts}")
+    if backend == "supervised" and result.profile is not None:
+        recovery = {
+            k[len("supervisor_"):]: int(v)
+            for k, v in sorted(result.profile.counters.items())
+            if k.startswith("supervisor_")
+        }
+        status = "recovered" if recovery else "clean"
+        detail = (
+            " (" + ", ".join(f"{k}={v}" for k, v in recovery.items()) + ")"
+            if recovery
+            else ""
+        )
+        print(f"supervised run: {status}{detail}; labels verified")
     if result.profile is not None:
         machine = Machine()
         sim = machine.simulate(result.profile.trace, args.threads)
@@ -247,6 +330,34 @@ def _cmd_distributed(args) -> int:
             title=f"distributed method1 (+WCC), {args.partitioner} partition",
         )
     )
+    if args.fail_at:
+        from .distributed import CheckpointPolicy, RankFailure
+
+        failures = [
+            RankFailure(superstep=int(s))
+            for s in args.fail_at.split(",")
+            if s.strip()
+        ]
+        policy = CheckpointPolicy(every=args.checkpoint_every)
+        # res/part refer to the largest rank count from the sweep above
+        faulty = cluster.simulate_with_failures(
+            res.dtrace, failures, policy
+        )
+        dropped = len(failures) - faulty.failures
+        if dropped:
+            print(
+                f"note: {dropped} --fail-at superstep(s) beyond the "
+                f"trace ({len(res.dtrace.steps)} supersteps) were ignored"
+            )
+        print(
+            f"rank-failure replay @{faulty.base.num_ranks} ranks: "
+            f"{faulty.failures} failure(s), "
+            f"checkpoint every {args.checkpoint_every or 'never'}: "
+            f"overhead {faulty.overhead:.2f}x "
+            f"(recompute {faulty.recompute_time:.0f}, "
+            f"checkpoints {faulty.checkpoint_time:.0f}, "
+            f"restart {faulty.restart_time:.0f} edge-units)"
+        )
     return 0
 
 

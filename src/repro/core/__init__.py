@@ -27,6 +27,8 @@ from .recurfwbw import (
 from .result import SCCResult, canonical_labels, same_partition
 from .state import (
     SCCState,
+    StateSnapshot,
+    StateInvariantError,
     DONE_COLOR,
     PHASE_TRIM,
     PHASE_TRIM2,
@@ -64,6 +66,8 @@ __all__ = [
     "canonical_labels",
     "same_partition",
     "SCCState",
+    "StateSnapshot",
+    "StateInvariantError",
     "DONE_COLOR",
     "PHASE_TRIM",
     "PHASE_TRIM2",

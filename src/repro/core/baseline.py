@@ -30,6 +30,7 @@ def baseline_scc(
     queue_k: int = 1,
     backend: str = "serial",
     num_threads: int = 4,
+    supervisor=None,
 ) -> SCCResult:
     """Algorithm 3.  See :func:`repro.core.api.strongly_connected_components`."""
     state = SCCState(g, seed=seed, cost=cost)
@@ -46,6 +47,7 @@ def baseline_scc(
             pivot_strategy=pivot_strategy,
             backend=backend,
             num_threads=num_threads,
+            supervisor=supervisor,
         )
     state.check_done()
     return SCCResult(

@@ -35,6 +35,7 @@ def method1_scc(
     queue_k: int = 1,
     backend: str = "serial",
     num_threads: int = 4,
+    supervisor=None,
 ) -> SCCResult:
     """Algorithm 6.  See :func:`repro.core.api.strongly_connected_components`."""
     state = SCCState(g, seed=seed, cost=cost)
@@ -64,6 +65,7 @@ def method1_scc(
             pivot_strategy=pivot_strategy,
             backend=backend,
             num_threads=num_threads,
+            supervisor=supervisor,
         )
     state.check_done()
     return SCCResult(

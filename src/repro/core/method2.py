@@ -39,6 +39,7 @@ def method2_scc(
     wcc_compress: bool = True,
     backend: str = "serial",
     num_threads: int = 4,
+    supervisor=None,
 ) -> SCCResult:
     """Algorithm 9.  See :func:`repro.core.api.strongly_connected_components`.
 
@@ -84,6 +85,7 @@ def method2_scc(
             pivot_strategy=pivot_strategy,
             backend=backend,
             num_threads=num_threads,
+            supervisor=supervisor,
         )
     state.check_done()
     return SCCResult(

@@ -124,12 +124,19 @@ def run_recur_phase(
     pivot_strategy: str = "random",
     backend: str = "serial",
     num_threads: int = 4,
+    supervisor=None,
 ) -> int:
     """Drain the phase-2 work queue; returns the number of tasks run.
 
     ``initial`` seeds the queue with ``(color, nodes-or-None)`` items.
     The spawn tree (with per-task costs) is recorded as a
     :class:`~repro.runtime.trace.TaskDAGRecord` for the simulator.
+
+    ``backend="supervised"`` runs the process backend under the
+    fault-tolerance layer (:mod:`repro.runtime.supervisor`): per-task
+    deadlines, retry of failed tasks, degradation to the serial driver,
+    and post-run label verification.  ``supervisor`` optionally carries
+    a :class:`~repro.runtime.supervisor.SupervisorConfig`.
     """
     items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
     tasks: List[Task] = []
@@ -173,6 +180,19 @@ def run_recur_phase(
             queue_k=queue_k,
             phase=phase,
         )
+    elif backend == "supervised":
+        from ..runtime.supervisor import run_supervised_recur_phase
+
+        report = run_supervised_recur_phase(
+            state,
+            initial,
+            num_workers=num_threads,
+            queue_k=queue_k,
+            phase=phase,
+            pivot_strategy=pivot_strategy,
+            config=supervisor,
+        )
+        return report.tasks
     else:
         raise ValueError(f"unknown backend {backend!r}")
 

@@ -22,6 +22,7 @@ detached nodes without consulting ``mark``.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -32,6 +33,8 @@ from ..runtime.metrics import ExecutionProfile
 
 __all__ = [
     "SCCState",
+    "StateSnapshot",
+    "StateInvariantError",
     "DONE_COLOR",
     "PHASE_TRIM",
     "PHASE_TRIM2",
@@ -56,6 +59,28 @@ PHASE_NAMES = {
     PHASE_RECUR: "recur_fwbw",
     PHASE_COLORING: "coloring",
 }
+
+
+class StateInvariantError(RuntimeError):
+    """Raised when :meth:`SCCState.check_invariants` finds corruption."""
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A consistent copy of the mutable arrays and counters.
+
+    The fault-tolerant executor captures one before the task phase so
+    it can roll the state back and degrade to the serial driver when
+    the process pool is beyond repair (see
+    :mod:`repro.runtime.supervisor`).
+    """
+
+    color: np.ndarray
+    mark: np.ndarray
+    labels: np.ndarray
+    phase_of: np.ndarray
+    next_color: int
+    num_sccs: int
 
 
 class SCCState:
@@ -198,3 +223,82 @@ class SCCState:
             raise RuntimeError(
                 f"{missing} nodes left unlabelled after SCC detection"
             )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StateSnapshot:
+        """Copy the mutable arrays + counters (rollback point)."""
+        with self._lock:
+            return StateSnapshot(
+                color=self.color.copy(),
+                mark=self.mark.copy(),
+                labels=self.labels.copy(),
+                phase_of=self.phase_of.copy(),
+                next_color=self._next_color,
+                num_sccs=self._num_sccs,
+            )
+
+    def restore(self, snap: StateSnapshot) -> None:
+        """Roll the state back to ``snap`` (counters may move backward:
+        this discards everything a failed executor did)."""
+        with self._lock:
+            self.color[:] = snap.color
+            self.mark[:] = snap.mark
+            self.labels[:] = snap.labels
+            self.phase_of[:] = snap.phase_of
+            self._next_color = snap.next_color
+            self._num_sccs = snap.num_sccs
+
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self, *, require_complete: bool = True, cross_check: bool = False
+    ) -> None:
+        """Prove the label state is consistent; raise otherwise.
+
+        Structural checks (O(N) / O(N log N)):
+
+        * ``mark`` and ``color == DONE_COLOR`` agree exactly (the
+          module-docstring invariant);
+        * every marked node has a label and a phase attribution;
+        * no unmarked node has a label;
+        * with ``require_complete`` every node is marked and the label
+          ids are exactly ``0 .. num_sccs-1`` with no holes.
+
+        With ``cross_check`` the labels are additionally compared
+        against an independent Tarjan run (O(N + M)) — the recovery
+        path uses this so a degraded or retried run is *proven* to have
+        produced the true SCC partition, never assumed.
+        """
+        detached = self.color == DONE_COLOR
+        if not np.array_equal(self.mark, detached):
+            bad = int(np.count_nonzero(self.mark != detached))
+            raise StateInvariantError(
+                f"{bad} nodes where mark and DONE_COLOR disagree"
+            )
+        if np.any(self.labels[self.mark] < 0):
+            raise StateInvariantError("marked node without an SCC label")
+        if np.any(self.phase_of[self.mark] < 0):
+            raise StateInvariantError("marked node without phase attribution")
+        if np.any(self.labels[~self.mark] >= 0):
+            raise StateInvariantError("unmarked node carries an SCC label")
+        if require_complete:
+            unresolved = int(np.count_nonzero(~self.mark))
+            if unresolved:
+                raise StateInvariantError(
+                    f"{unresolved} nodes still unresolved"
+                )
+            if self.num_nodes:
+                ids = np.unique(self.labels)
+                if ids[0] != 0 or ids[-1] != self._num_sccs - 1 or ids.size != self._num_sccs:
+                    raise StateInvariantError(
+                        f"label ids not dense: {ids.size} distinct ids, "
+                        f"range [{ids[0]}, {ids[-1]}], "
+                        f"num_sccs={self._num_sccs}"
+                    )
+        if cross_check and self.num_nodes:
+            from .result import same_partition  # local: avoids a cycle
+            from .tarjan import tarjan_scc
+
+            if not same_partition(self.labels, tarjan_scc(self.graph)):
+                raise StateInvariantError(
+                    "labels disagree with the Tarjan oracle partition"
+                )

@@ -23,7 +23,16 @@ from .partition import (
     bfs_partition,
     edge_cut,
 )
-from .cluster import ClusterConfig, DistTrace, Superstep, Cluster
+from .cluster import (
+    ClusterConfig,
+    DistTrace,
+    Superstep,
+    Cluster,
+    RankFailure,
+    CheckpointPolicy,
+    FaultySimResult,
+    sweep_checkpoint_interval,
+)
 from .algorithms import (
     dist_bfs_reach,
     dist_trim,
@@ -42,6 +51,10 @@ __all__ = [
     "DistTrace",
     "Superstep",
     "Cluster",
+    "RankFailure",
+    "CheckpointPolicy",
+    "FaultySimResult",
+    "sweep_checkpoint_interval",
     "dist_bfs_reach",
     "dist_trim",
     "dist_wcc",

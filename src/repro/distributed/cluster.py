@@ -28,7 +28,16 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["ClusterConfig", "Superstep", "DistTrace", "Cluster"]
+__all__ = [
+    "ClusterConfig",
+    "Superstep",
+    "DistTrace",
+    "Cluster",
+    "RankFailure",
+    "CheckpointPolicy",
+    "FaultySimResult",
+    "sweep_checkpoint_interval",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,87 @@ class DistTrace:
         return out
 
 
+@dataclass(frozen=True)
+class RankFailure:
+    """One rank lost while executing superstep ``superstep``."""
+
+    superstep: int
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0 or self.rank < 0:
+            raise ValueError("superstep and rank must be non-negative")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Checkpoint-every-C-supersteps with explicit costs.
+
+    ``every=0`` disables checkpointing (recovery = full rerun).
+    ``cost`` is the time to quiesce and write one checkpoint at a
+    barrier; ``restart_cost`` the time to respawn a rank and load the
+    last checkpoint.  Both are in the same time units the cluster
+    model produces (edge-units / rank_throughput).
+    """
+
+    every: int = 0
+    cost: float = 1000.0
+    restart_cost: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ValueError("every must be >= 0 (0 = no checkpoints)")
+        if self.cost < 0 or self.restart_cost < 0:
+            raise ValueError("costs must be non-negative")
+
+
+@dataclass
+class FaultySimResult:
+    """Outcome of a failure-injected replay."""
+
+    base: "DistSimResult"
+    total_time: float
+    checkpoint_time: float
+    recompute_time: float
+    restart_time: float
+    checkpoints_taken: int
+    failures: int
+
+    @property
+    def overhead(self) -> float:
+        """Slowdown versus the failure-free replay (1.0 = free)."""
+        if self.base.total_time == 0:
+            return 1.0
+        return self.total_time / self.base.total_time
+
+
+def sweep_checkpoint_interval(
+    cluster: "Cluster",
+    trace: "DistTrace",
+    failures: Sequence[RankFailure],
+    intervals: Sequence[int],
+    *,
+    cost: float = 1000.0,
+    restart_cost: float = 2000.0,
+) -> Dict[int, FaultySimResult]:
+    """Replay under each checkpoint interval; the classic U-curve.
+
+    Small intervals pay checkpoint overhead every few supersteps; large
+    ones (or 0 = none) pay long recomputation after a failure.  The
+    minimum of ``total_time`` over ``intervals`` is the tuned
+    recover-vs-rerun operating point for this trace + failure load.
+    """
+    out: Dict[int, FaultySimResult] = {}
+    for every in intervals:
+        policy = CheckpointPolicy(
+            every=every, cost=cost, restart_cost=restart_cost
+        )
+        out[int(every)] = cluster.simulate_with_failures(
+            trace, failures, policy
+        )
+    return out
+
+
 @dataclass
 class DistSimResult:
     """Replay outcome for one cluster configuration."""
@@ -148,4 +238,70 @@ class Cluster:
             compute_time=compute,
             comm_time=comm,
             phase_times=phase_times,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_time(self, trace: DistTrace, step: Superstep) -> float:
+        cfg = self.config
+        t = float(step.work.max()) / cfg.rank_throughput
+        if trace.num_ranks > 1:
+            t += cfg.alpha + cfg.beta * float(step.sent.max())
+        return t
+
+    def simulate_with_failures(
+        self,
+        trace: DistTrace,
+        failures: Sequence[RankFailure],
+        policy: "CheckpointPolicy | None" = None,
+    ) -> "FaultySimResult":
+        """Replay ``trace`` under rank failures and a checkpoint policy.
+
+        The BSP structure makes the recovery model exact: state is
+        well-defined only at superstep barriers, so a checkpoint taken
+        after superstep ``s`` lets a failed run resume at ``s + 1``.  A
+        rank lost *during* superstep ``s`` voids that superstep; the
+        cluster pays ``restart_cost`` (respawn + state load), then
+        recomputes every superstep since the last checkpoint, ``s``
+        included.  Without checkpoints recovery degenerates to a full
+        rerun from superstep 0 — the recover-vs-rerun tradeoff the
+        shared-memory supervisor faces per task, surfaced at cluster
+        scale per superstep.
+
+        ``failures`` are applied in superstep order; each recovers from
+        the latest checkpoint taken before it.  A failure index past
+        the end of the trace is ignored (the run already finished).
+        """
+        policy = policy or CheckpointPolicy()
+        steps = trace.steps
+        times = [self._step_time(trace, s) for s in steps]
+        by_step: Dict[int, int] = {}
+        for f in failures:
+            if 0 <= f.superstep < len(steps):
+                by_step[f.superstep] = by_step.get(f.superstep, 0) + 1
+
+        base_time = float(sum(times))
+        checkpoint_time = recompute_time = restart_time = 0.0
+        checkpoints = 0
+        last_checkpoint = 0  # resume point: first superstep NOT covered
+        prefix = np.concatenate(([0.0], np.cumsum(times)))
+        for s in range(len(steps)):
+            for _ in range(by_step.get(s, 0)):
+                restart_time += policy.restart_cost
+                # recompute supersteps [last_checkpoint, s] — they ran
+                # once already (their time is in base/recompute) and
+                # must run again after the rollback.
+                recompute_time += float(prefix[s + 1] - prefix[last_checkpoint])
+            if policy.every and (s + 1) % policy.every == 0:
+                checkpoint_time += policy.cost
+                checkpoints += 1
+                last_checkpoint = s + 1
+        total = base_time + checkpoint_time + recompute_time + restart_time
+        return FaultySimResult(
+            base=self.simulate(trace),
+            total_time=total,
+            checkpoint_time=checkpoint_time,
+            recompute_time=recompute_time,
+            restart_time=restart_time,
+            checkpoints_taken=checkpoints,
+            failures=int(sum(by_step.values())),
         )

@@ -27,13 +27,33 @@ def validate_graph(g: CSRGraph, *, check_transpose: bool = True) -> None:
     """
     indptr, indices = g.indptr, g.indices
     n = g.num_nodes
+    if indptr.shape[0] != n + 1:
+        raise GraphValidationError(
+            f"indptr has {indptr.shape[0]} entries, expected "
+            f"num_nodes + 1 = {n + 1}"
+        )
     if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
-        raise GraphValidationError("indptr endpoints inconsistent")
-    if n and np.any(np.diff(indptr) < 0):
-        raise GraphValidationError("indptr not monotone")
+        raise GraphValidationError(
+            f"indptr endpoints inconsistent: indptr[0]={int(indptr[0])} "
+            f"(want 0), indptr[-1]={int(indptr[-1])} "
+            f"(want num_edges={indices.shape[0]})"
+        )
+    if n:
+        drops = np.flatnonzero(np.diff(indptr) < 0)
+        if drops.size:
+            r = int(drops[0])
+            raise GraphValidationError(
+                f"indptr not monotone: decreases at row {r} "
+                f"({int(indptr[r])} -> {int(indptr[r + 1])})"
+            )
     if indices.shape[0]:
         if indices.min() < 0 or indices.max() >= n:
-            raise GraphValidationError("destination id out of range")
+            bad = np.flatnonzero((indices < 0) | (indices >= n))
+            e = int(bad[0])
+            raise GraphValidationError(
+                f"destination id out of range: edge slot {e} targets "
+                f"node {int(indices[e])} (valid range 0..{n - 1})"
+            )
         row = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
         # Rows sorted <=> composite key (row, dst) globally sorted.
         key = row * np.int64(n + 1) + indices
@@ -41,6 +61,18 @@ def validate_graph(g: CSRGraph, *, check_transpose: bool = True) -> None:
             raise GraphValidationError("adjacency rows not sorted")
     if check_transpose:
         src, dst = g.edge_array()
+        if g.in_indices.shape[0] != indices.shape[0]:
+            raise GraphValidationError(
+                f"transpose edge count mismatch: forward has "
+                f"{indices.shape[0]} edges, transpose has "
+                f"{g.in_indices.shape[0]}"
+            )
+        if g.in_indices.shape[0] and (
+            g.in_indices.min() < 0 or g.in_indices.max() >= n
+        ):
+            raise GraphValidationError(
+                "transpose source id out of range (dangling transpose)"
+            )
         tsrc = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(g.in_indptr)
         )
@@ -51,4 +83,8 @@ def validate_graph(g: CSRGraph, *, check_transpose: bool = True) -> None:
             np.array_equal(src[fwd], tdst[bwd])
             and np.array_equal(dst[fwd], tsrc[bwd])
         ):
-            raise GraphValidationError("transpose edge set mismatch")
+            raise GraphValidationError(
+                "transpose edge set mismatch: the lazily built "
+                "transpose does not encode the same edges as the "
+                "forward CSR"
+            )

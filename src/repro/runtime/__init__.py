@@ -27,6 +27,13 @@ from .workqueue import TwoLevelWorkQueue, QueueTelemetry
 from .metrics import ExecutionProfile, TaskLogEntry
 from .serialize import save_trace, load_trace, trace_to_dict, trace_from_dict
 from .mp_backend import fork_available, run_recur_phase_processes
+from .faults import FaultInjected, FaultPlan, FaultSpec
+from .supervisor import (
+    PoolBrokenError,
+    SupervisorConfig,
+    SupervisorReport,
+    run_supervised_recur_phase,
+)
 
 __all__ = [
     "CostModel",
@@ -54,4 +61,11 @@ __all__ = [
     "trace_from_dict",
     "fork_available",
     "run_recur_phase_processes",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolBrokenError",
+    "SupervisorConfig",
+    "SupervisorReport",
+    "run_supervised_recur_phase",
 ]

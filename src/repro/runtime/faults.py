@@ -1,0 +1,270 @@
+"""Deterministic fault injection for the execution backends.
+
+A :class:`FaultPlan` is a seedable, fully deterministic description of
+*which* task executions fail and *how*: a worker process can be killed
+mid-task (``crash``), a task can be delayed past its deadline
+(``hang``), an exception can be raised inside the task body
+(``raise``), or a shared-memory label write can be silently corrupted
+(``poison``).  The plan is matched against ``(site, index, attempt)``
+triples that the *dispatcher* assigns — not against per-process event
+counters — so injection stays deterministic across forked workers,
+pool rebuilds and retries.
+
+Injection sites:
+
+* ``"task"`` — the phase-2 Recur-FWBW task kernel
+  (:func:`repro.runtime.mp_backend._exec_task`); the supervisor or
+  backend numbers every dispatch with a monotone sequence id.
+* ``"queue"`` — the threaded :class:`~repro.runtime.workqueue.
+  TwoLevelWorkQueue` worker loop (tasks numbered in start order).
+
+Each fault fires at one *stage* of the task lifecycle:
+
+* ``"pre"`` — before any shared-state mutation (trivially retry-safe),
+* ``"mid"`` — after the FW/BW recolouring but before the SCC commit
+  (retry requires colour repair; see :mod:`repro.runtime.supervisor`),
+* ``"post"`` — after the commit but before the children reach the
+  master (the SCC survives; the child partitions need repair).
+
+The hook is zero-overhead when off: executors hold a plan reference
+that is ``None`` in normal runs and guard every call site with a
+single ``is not None`` test.  A module-level plan can also be armed
+with :func:`install_plan` (used by the threaded work queue, which has
+no per-run configuration channel) — again a single global read when
+disarmed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_STAGES",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "install_plan",
+    "clear_plan",
+    "active_plan",
+    "injected",
+]
+
+#: supported failure modes.
+FAULT_KINDS = ("crash", "hang", "raise", "poison")
+#: task-lifecycle points at which a fault can fire.
+FAULT_STAGES = ("pre", "mid", "post")
+
+#: exit status used by an injected worker crash (recognisable in logs).
+CRASH_EXIT_CODE = 87
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a task body by a ``raise``-kind fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind: one of :data:`FAULT_KINDS`.
+    site: injection site (``"task"`` or ``"queue"``).
+    index: dispatcher-assigned task sequence id this fault targets.
+    stage: lifecycle point (``"pre"``/``"mid"``/``"post"``); ignored
+        for ``poison``, which always corrupts the commit.
+    times: number of *attempts* of the target task that fail — with
+        the default 1 the first retry succeeds; set it above the
+        supervisor's retry budget to force degradation.
+    hang_seconds: sleep duration for ``hang`` faults.  Must exceed the
+        supervisor's task timeout to register as a hang.
+    """
+
+    kind: str
+    site: str = "task"
+    index: int = 0
+    stage: str = "pre"
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.stage not in FAULT_STAGES:
+            raise ValueError(f"unknown fault stage {self.stage!r}")
+        if self.index < 0 or self.times < 1:
+            raise ValueError("index must be >= 0 and times >= 1")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+
+
+class FaultPlan:
+    """An immutable, deterministic collection of :class:`FaultSpec`."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def single(cls, kind: str, index: int = 0, **kwargs) -> "FaultPlan":
+        """Plan with exactly one fault (the common test shape)."""
+        return cls([FaultSpec(kind=kind, index=index, **kwargs)])
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 3,
+        max_index: int = 16,
+        site: str = "task",
+        kinds: Sequence[str] = ("crash", "hang", "raise"),
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """Seeded random plan: same seed, same faults, every run."""
+        rng = np.random.default_rng(seed)
+        specs = [
+            FaultSpec(
+                kind=str(rng.choice(list(kinds))),
+                site=site,
+                index=int(rng.integers(0, max_index)),
+                stage=str(rng.choice(FAULT_STAGES)),
+                hang_seconds=hang_seconds,
+            )
+            for _ in range(n_faults)
+        ]
+        return cls(specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a CLI plan string.
+
+        Two formats: a JSON list of spec objects, or a compact
+        comma-separated ``kind@index[:stage]`` list, e.g.
+        ``"crash@2,hang@0:mid,poison@5"``.
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        if text.startswith("["):
+            return cls(FaultSpec(**obj) for obj in json.loads(text))
+        specs: List[FaultSpec] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "@" not in part:
+                raise ValueError(
+                    f"bad fault spec {part!r}: expected kind@index[:stage]"
+                )
+            kind, _, where = part.partition("@")
+            idx_str, _, stage = where.partition(":")
+            specs.append(
+                FaultSpec(
+                    kind=kind.strip(),
+                    index=int(idx_str),
+                    stage=stage.strip() or "pre",
+                )
+            )
+        return cls(specs)
+
+    # -- matching ------------------------------------------------------
+    def match(
+        self, site: str, index: int, attempt: int = 0
+    ) -> Optional[FaultSpec]:
+        """The spec armed for this ``(site, index, attempt)``, if any."""
+        for spec in self.specs:
+            if (
+                spec.site == site
+                and spec.index == index
+                and attempt < spec.times
+            ):
+                return spec
+        return None
+
+    def fire(
+        self,
+        site: str,
+        index: int,
+        *,
+        stage: str,
+        attempt: int = 0,
+        thread_site: bool = False,
+    ) -> None:
+        """Execute any crash/hang/raise fault armed for this point.
+
+        ``thread_site=True`` (the threaded work queue) downgrades
+        ``crash`` to ``raise`` — killing the whole interpreter to
+        simulate one worker death would take the test runner with it.
+        """
+        spec = self.match(site, index, attempt)
+        if spec is None or spec.stage != stage or spec.kind == "poison":
+            return
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+            return
+        if spec.kind == "crash" and not thread_site:
+            os._exit(CRASH_EXIT_CODE)
+        raise FaultInjected(
+            f"injected {spec.kind} at {site}[{index}] "
+            f"stage={stage} attempt={attempt}"
+        )
+
+    def poison(self, site: str, index: int, attempt: int = 0) -> bool:
+        """True when this task's commit should be corrupted."""
+        spec = self.match(site, index, attempt)
+        return spec is not None and spec.kind == "poison"
+
+    # -- misc ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ",".join(
+            f"{s.kind}@{s.site}:{s.index}:{s.stage}" for s in self.specs
+        )
+        return f"FaultPlan({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Module-level arming (used by executors with no per-run config channel).
+# ---------------------------------------------------------------------------
+_PLAN: Optional[FaultPlan] = None
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Arm ``plan`` globally (picked up by the threaded work queue)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear_plan() -> None:
+    """Disarm the global plan (restores the zero-overhead path)."""
+    global _PLAN
+    _PLAN = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The globally armed plan, or ``None`` when injection is off."""
+    return _PLAN
+
+
+class injected:
+    """Context manager arming a plan for the duration of a block."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        install_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        clear_plan()

@@ -38,18 +38,39 @@ def fork_available() -> bool:
     return "fork" in mp.get_all_start_methods()
 
 
-def _shm_array(shape, dtype, init: np.ndarray):
+def _shm_array(shape, dtype, init: np.ndarray, registry: list):
+    """Create a shared segment backing a copy of ``init``.
+
+    The segment is appended to ``registry`` *before* anything else can
+    fail, so the caller's ``finally`` block always sees (and unlinks)
+    every segment that was actually created — an exception between
+    creation and registration would otherwise leak it until reboot.
+    """
     shm = shared_memory.SharedMemory(create=True, size=max(init.nbytes, 1))
+    registry.append(shm)
     arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
     arr[:] = init
-    return shm, arr
+    return arr
 
 
-def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
+def _exec_task(
+    color_value: int,
+    nodes: Optional[np.ndarray],
+    seq: int = -1,
+    attempt: int = 0,
+    colors: Optional[Tuple[int, int, int]] = None,
+):
     """Run one Recur-FWBW task inside a worker process.
 
     Reads/writes the shared arrays set up in ``_WORKER_CTX``; returns
     ``(children, task_cost, log_entry)`` to the master.
+
+    ``seq`` is the dispatcher-assigned sequence id (used only to match
+    injected faults deterministically), ``attempt`` the retry count,
+    and ``colors`` an optional master-allocated ``(cfw, cbw, cscc)``
+    triple — the supervisor pre-allocates it so that after a mid-task
+    worker death it knows exactly which colours may have leaked into
+    the shared array and can repair the partition before retrying.
     """
     ctx = _WORKER_CTX
     g = ctx["graph"]
@@ -61,8 +82,12 @@ def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
     color_counter = ctx["color_counter"]
     cost = ctx["cost"]
     phase_id = ctx["phase_id"]
+    faults = ctx.get("faults")
 
     from ..traversal.dfs import dfs_collect_colored
+
+    if faults is not None:
+        faults.fire("task", seq, stage="pre", attempt=attempt)
 
     c = color_value
     if nodes is None:
@@ -75,10 +100,13 @@ def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
         return [], select_cost, None
 
     pivot = int(candidates[0])  # deterministic within a task
-    with color_counter.get_lock():
-        base = color_counter.value
-        color_counter.value += 3
-    cfw, cbw, cscc = base, base + 1, base + 2
+    if colors is None:
+        with color_counter.get_lock():
+            base = color_counter.value
+            color_counter.value += 3
+        cfw, cbw, cscc = base, base + 1, base + 2
+    else:
+        cfw, cbw, cscc = colors
 
     fw_collected, fw_edges = dfs_collect_colored(
         g.indptr, g.indices, pivot, {c: cfw}, color
@@ -86,6 +114,9 @@ def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
     bw_collected, bw_edges = dfs_collect_colored(
         g.in_indptr, g.in_indices, pivot, {c: cbw, cfw: cscc}, color
     )
+    if faults is not None:
+        # "mid": the partition is recoloured but the SCC not committed.
+        faults.fire("task", seq, stage="mid", attempt=attempt)
     scc_nodes = np.array(bw_collected[cscc], dtype=np.int64)
     with scc_counter.get_lock():
         sid = scc_counter.value
@@ -94,6 +125,11 @@ def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
     mark[scc_nodes] = True
     color[scc_nodes] = -1  # DONE_COLOR
     phase_of[scc_nodes] = phase_id
+    if faults is not None and faults.poison("task", seq, attempt):
+        # Corrupt the committed label write: detach the pivot from its
+        # SCC-mates (or merge a singleton into a foreign SCC) — wrong
+        # either way, and only a label-level verifier can tell.
+        labels[pivot] = sid + 1 if sid == 0 else sid - 1
 
     fw_all = np.array(fw_collected[cfw], dtype=np.int64)
     fw_only = fw_all[color[fw_all] == cfw]
@@ -118,7 +154,16 @@ def _exec_task(color_value: int, nodes: Optional[np.ndarray]):
         int(bw_only.size),
         int(remain.size),
     )
+    if faults is not None:
+        # "post": SCC committed; the children are lost with the worker.
+        faults.fire("task", seq, stage="post", attempt=attempt)
     return children, task_cost, log_entry
+
+
+def _dead_workers(pool) -> int:
+    """Count dead worker processes in a :class:`multiprocessing.Pool`."""
+    procs = getattr(pool, "_pool", None) or []
+    return sum(1 for p in procs if not p.is_alive())
 
 
 def run_recur_phase_processes(
@@ -128,6 +173,7 @@ def run_recur_phase_processes(
     num_workers: int = 2,
     queue_k: int = 1,
     phase: str = "recur_fwbw",
+    task_timeout: float | None = 120.0,
 ) -> int:
     """Drain the phase-2 queue with real worker processes.
 
@@ -135,6 +181,14 @@ def run_recur_phase_processes(
     :mod:`repro.core.recurfwbw` (and the spawn tree is recorded the
     same way); the mutable state lives in shared memory for the
     duration and is copied back at the end.
+
+    ``task_timeout`` bounds every result wait: a worker that dies or
+    hangs mid-task would otherwise leave ``fut.get()`` blocked forever
+    (``multiprocessing.Pool`` silently respawns crashed workers but
+    never completes their lost results).  On expiry the run fails with
+    a diagnosis of the pool state instead of deadlocking; the
+    supervised backend (:mod:`repro.runtime.supervisor`) builds
+    retry/degradation on top of this guard.
     """
     if not fork_available():  # pragma: no cover - non-POSIX only
         raise RuntimeError("process backend requires the 'fork' start method")
@@ -142,17 +196,20 @@ def run_recur_phase_processes(
     from .trace import Task
 
     n = state.num_nodes
-    shms = []
+    shms: list = []
     try:
-        shm_c, color = _shm_array((n,), np.int64, state.color)
-        shm_m, mark = _shm_array((n,), np.bool_, state.mark)
-        shm_l, labels = _shm_array((n,), np.int64, state.labels)
-        shm_p, phase_of = _shm_array((n,), np.int8, state.phase_of)
-        shms = [shm_c, shm_m, shm_l, shm_p]
+        color = _shm_array((n,), np.int64, state.color, shms)
+        mark = _shm_array((n,), np.bool_, state.mark, shms)
+        labels = _shm_array((n,), np.int64, state.labels, shms)
+        phase_of = _shm_array((n,), np.int8, state.phase_of, shms)
         scc_counter = mp.Value("q", state.num_sccs)
         color_counter = mp.Value("q", int(state.color_watermark()))
 
-        # Arm the fork-inherited context, then fork the pool.
+        # Arm the fork-inherited context, then fork the pool.  A
+        # globally installed fault plan (faults.install_plan) rides
+        # along; None in normal runs keeps the hook zero-overhead.
+        from . import faults as _faults
+
         _WORKER_CTX.clear()
         _WORKER_CTX.update(
             graph=state.graph,
@@ -164,27 +221,43 @@ def run_recur_phase_processes(
             color_counter=color_counter,
             cost=state.cost,
             phase_id=PHASE_RECUR,
+            faults=_faults.active_plan(),
         )
         # build the transpose BEFORE forking so workers share it
         state.graph.in_indptr
 
         ctx = mp.get_context("fork")
         tasks: List[Task] = []
+        seq = 0  # dispatch sequence id (deterministic fault matching)
         with ctx.Pool(processes=num_workers) as pool:
             # (parent_index, color, nodes) items; breadth-first dispatch
             pending = [(-1, c, nd) for c, nd in initial]
             while pending:
                 batch = pending
                 pending = []
-                futures = [
-                    (
-                        parent,
-                        pool.apply_async(_exec_task, (c, nd)),
+                futures = []
+                for parent, c, nd in batch:
+                    futures.append(
+                        (parent, pool.apply_async(_exec_task, (c, nd, seq)))
                     )
-                    for parent, c, nd in batch
-                ]
+                    seq += 1
                 for parent, fut in futures:
-                    children, task_cost, log_entry = fut.get()
+                    try:
+                        children, task_cost, log_entry = fut.get(
+                            timeout=task_timeout
+                        )
+                    except mp.TimeoutError:
+                        dead = _dead_workers(pool)
+                        diagnosis = (
+                            f"{dead} worker(s) died (pool broken)"
+                            if dead
+                            else "workers alive but task hung"
+                        )
+                        raise RuntimeError(
+                            "phase-2 task did not complete within "
+                            f"{task_timeout:.1f}s: {diagnosis}; use the "
+                            "'supervised' backend for retry/recovery"
+                        ) from None
                     idx = len(tasks)
                     tasks.append(Task(cost=task_cost, parent=parent))
                     if log_entry is not None:

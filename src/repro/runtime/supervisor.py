@@ -1,0 +1,396 @@
+"""Supervised process backend: fault-tolerant phase-2 execution.
+
+The plain process backend (:mod:`repro.runtime.mp_backend`) is correct
+but fragile: ``multiprocessing.Pool`` silently respawns a crashed
+worker and never completes its lost result, so a single worker death
+or hung task wedges the whole run.  This module wraps the same task
+kernel in a supervisor that makes the phase survive:
+
+* **per-task deadlines** — every result wait is bounded; a worker that
+  crashes or hangs surfaces as a timeout instead of a deadlock;
+* **liveness checks** — after a deadline expires the pool's worker
+  processes are inspected to distinguish *worker death* from *task
+  hang*; either way the pool is condemned (a hung worker would keep
+  mutating shared memory after we give up on it) and rebuilt;
+* **bounded retry with backoff** — failed tasks are repaired and
+  re-dispatched up to ``max_task_retries`` times.  Retrying a
+  Recur-FWBW task is safe because the supervisor pre-allocates each
+  task's colour triple: whatever recolouring a dead attempt leaked
+  into shared memory is confined to those three colours and is undone
+  by :func:`repair_partition` before the retry (nodes whose SCC commit
+  completed stay detached — removing a whole SCC from a partition
+  leaves a valid partition);
+* **graceful degradation** — when the retry budget is exhausted (or
+  verification fails), the state rolls back to a snapshot taken at
+  phase entry and the serial driver finishes the phase;
+* **self-verifying recovery** — after the phase, structural label
+  invariants are always checked; any run that needed recovery (or ran
+  under an armed fault plan) is additionally cross-checked against an
+  independent Tarjan run, so recovery is proven, not assumed;
+* **guaranteed cleanup** — shared-memory segments are registered at
+  creation and unlinked on every exit path, including degradation.
+
+Telemetry (retries, timeouts, worker deaths, pool rebuilds,
+degradation, recovery wall-time) flows into the run's
+:class:`~repro.runtime.metrics.ExecutionProfile` counters and is
+summarised in the returned :class:`SupervisorReport`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .faults import FaultPlan
+from .mp_backend import (
+    _WORKER_CTX,
+    _dead_workers,
+    _exec_task,
+    _shm_array,
+    fork_available,
+)
+
+__all__ = [
+    "SupervisorConfig",
+    "SupervisorReport",
+    "PoolBrokenError",
+    "repair_partition",
+    "run_supervised_recur_phase",
+]
+
+
+class PoolBrokenError(RuntimeError):
+    """The worker pool could not finish the phase within its budgets."""
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Budgets and policies for the supervised backend."""
+
+    #: per-task result deadline (seconds).
+    task_timeout: float = 30.0
+    #: how many times one task may fail before the run degrades.
+    max_task_retries: int = 2
+    #: base of the exponential retry backoff (seconds).
+    backoff_base: float = 0.05
+    #: extra wait granted to in-flight siblings once a failure is seen.
+    grace: float = 0.25
+    #: run the structural invariant verifier after the phase.
+    verify: bool = True
+    #: force the Tarjan cross-check even on clean runs.
+    always_cross_check: bool = False
+    #: deterministic fault-injection plan (tests/demos only).
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+
+
+@dataclass
+class SupervisorReport:
+    """What one supervised phase execution observed and did."""
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    task_errors: int = 0
+    worker_deaths: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    verified: bool = False
+    cross_checked: bool = False
+    recovery_seconds: float = 0.0
+
+
+@dataclass
+class _STask:
+    """One supervised work item (master-side bookkeeping)."""
+
+    seq: int
+    color: int
+    nodes: Optional[np.ndarray]
+    parent: int = -1
+    attempt: int = 0
+    triple: Tuple[int, int, int] = (0, 0, 0)
+
+
+def repair_partition(
+    color: np.ndarray,
+    mark: np.ndarray,
+    c: int,
+    triple: Tuple[int, int, int],
+    nodes: Optional[np.ndarray],
+) -> int:
+    """Undo the colour damage of a failed task attempt; return #repaired.
+
+    A dead attempt of the task owning colour ``c`` can only have
+    recoloured nodes into its pre-allocated ``triple`` (cfw/cbw/cscc).
+    Nodes it fully committed are marked and stay detached (their colour
+    is forced to ``DONE_COLOR``); every other triple-coloured node is
+    returned to ``c``.  The resulting colour class again contains only
+    whole SCCs, so re-running FW-BW on it is correct.
+    """
+    if nodes is not None:
+        sel = nodes
+        cols = color[sel]
+    else:
+        sel = None
+        cols = color
+    hit = (cols == triple[0]) | (cols == triple[1]) | (cols == triple[2])
+    idx = np.flatnonzero(hit)
+    if sel is not None:
+        idx = sel[idx]
+    if idx.size == 0:
+        return 0
+    committed = mark[idx]
+    color[idx[committed]] = -1  # DONE_COLOR
+    color[idx[~committed]] = c
+    return int(idx.size)
+
+
+def run_supervised_recur_phase(
+    state,
+    initial: Sequence[Tuple[int, Optional[np.ndarray]]],
+    *,
+    num_workers: int = 2,
+    queue_k: int = 1,
+    phase: str = "recur_fwbw",
+    pivot_strategy: str = "random",
+    config: SupervisorConfig | None = None,
+) -> SupervisorReport:
+    """Drain the phase-2 queue under supervision; always terminates.
+
+    Drop-in replacement for
+    :func:`~repro.runtime.mp_backend.run_recur_phase_processes` with
+    recovery semantics (see module docstring).  On unrecoverable pool
+    failure the state is rolled back and the phase re-runs on the
+    serial driver, so the caller always receives a completed phase.
+    """
+    cfg = config or SupervisorConfig()
+    report = SupervisorReport()
+    profile = state.profile
+    snap = state.snapshot()
+
+    def _degrade(reason: str) -> None:
+        report.degraded = True
+        profile.bump("supervisor_degraded")
+        with profile.wall_timer("recovery"):
+            state.restore(snap)
+            from ..core.recurfwbw import run_recur_phase
+
+            report.tasks = run_recur_phase(
+                state,
+                initial,
+                queue_k=queue_k,
+                phase=phase,
+                pivot_strategy=pivot_strategy,
+                backend="serial",
+            )
+        profile.bump("supervisor_degrade_" + reason)
+
+    if not fork_available():  # pragma: no cover - non-POSIX only
+        _degrade("no_fork")
+    else:
+        try:
+            report.tasks = _run_pool_supervised(
+                state, initial, num_workers, queue_k, phase, cfg, report
+            )
+        except PoolBrokenError:
+            _degrade("pool_broken")
+
+    if cfg.verify:
+        # Full verification (density + Tarjan) is only meaningful when
+        # the phase resolved everything; a deliberately partial phase
+        # (tests seeding a subset) still gets the structural checks.
+        complete = state.unfinished() == 0
+        cross = complete and (
+            cfg.always_cross_check
+            or cfg.fault_plan is not None
+            or report.degraded
+            or report.retries > 0
+        )
+        try:
+            state.check_invariants(
+                require_complete=complete, cross_check=cross
+            )
+        except Exception:
+            if report.degraded:
+                raise  # serial driver failed verification: a real bug
+            # e.g. a poisoned write that completed "successfully" —
+            # roll back and redo serially, then re-verify strictly.
+            profile.bump("supervisor_verify_failures")
+            _degrade("verify_failed")
+            state.check_invariants(
+                require_complete=complete, cross_check=complete
+            )
+            cross = complete
+        report.verified = True
+        report.cross_checked = cross
+
+    report.recovery_seconds = profile.wall_times.get("recovery", 0.0)
+    return report
+
+
+def _run_pool_supervised(
+    state,
+    initial: Sequence[Tuple[int, Optional[np.ndarray]]],
+    num_workers: int,
+    queue_k: int,
+    phase: str,
+    cfg: SupervisorConfig,
+    report: SupervisorReport,
+) -> int:
+    """The supervised pool loop; raises :class:`PoolBrokenError` when
+    the retry budget is exhausted."""
+    from ..core.state import PHASE_RECUR
+    from .trace import Task
+
+    profile = state.profile
+    n = state.num_nodes
+    shms: list = []
+    pool = None
+    try:
+        color = _shm_array((n,), np.int64, state.color, shms)
+        mark = _shm_array((n,), np.bool_, state.mark, shms)
+        labels = _shm_array((n,), np.int64, state.labels, shms)
+        phase_of = _shm_array((n,), np.int8, state.phase_of, shms)
+        scc_counter = mp.Value("q", state.num_sccs)
+        # The master owns colour allocation so it can repair after any
+        # failure; workers never touch this counter (triples are passed
+        # in), but the context key is still required by _exec_task.
+        next_color = int(state.color_watermark())
+        color_counter = mp.Value("q", next_color)
+
+        _WORKER_CTX.clear()
+        _WORKER_CTX.update(
+            graph=state.graph,
+            color=color,
+            mark=mark,
+            labels=labels,
+            phase_of=phase_of,
+            scc_counter=scc_counter,
+            color_counter=color_counter,
+            cost=state.cost,
+            phase_id=PHASE_RECUR,
+            faults=cfg.fault_plan,
+        )
+        state.graph.in_indptr  # build the transpose before forking
+
+        ctx = mp.get_context("fork")
+        pool = ctx.Pool(processes=num_workers)
+
+        seq = 0
+        tasks: List[Task] = []
+        pending: List[_STask] = []
+        for c, nd in initial:
+            pending.append(_STask(seq=seq, color=c, nodes=nd))
+            seq += 1
+
+        while pending:
+            batch, pending = pending, []
+            for t in batch:
+                t.triple = (next_color, next_color + 1, next_color + 2)
+                next_color += 3
+            futures = [
+                (
+                    t,
+                    pool.apply_async(
+                        _exec_task,
+                        (t.color, t.nodes, t.seq, t.attempt, t.triple),
+                    ),
+                )
+                for t in batch
+            ]
+            failed: List[_STask] = []
+            broken = False
+            for t, fut in futures:
+                if broken:
+                    # The pool is condemned; only harvest what already
+                    # finished (bounded by the grace window below).
+                    if not fut.ready():
+                        failed.append(t)
+                        continue
+                try:
+                    children, task_cost, log_entry = fut.get(
+                        timeout=cfg.task_timeout
+                    )
+                except mp.TimeoutError:
+                    report.timeouts += 1
+                    profile.bump("supervisor_timeouts")
+                    deaths = _dead_workers(pool)
+                    if deaths:
+                        report.worker_deaths += deaths
+                        profile.bump("supervisor_worker_deaths", deaths)
+                    failed.append(t)
+                    # A hung worker may still mutate shared state later;
+                    # a crashed one broke the pool's result plumbing.
+                    # Either way this pool cannot be trusted: give the
+                    # in-flight siblings a grace window, then rebuild.
+                    time.sleep(cfg.grace)
+                    broken = True
+                    continue
+                except Exception:
+                    report.task_errors += 1
+                    profile.bump("supervisor_task_errors")
+                    failed.append(t)
+                    continue
+                idx = len(tasks)
+                tasks.append(Task(cost=task_cost, parent=t.parent))
+                if log_entry is not None:
+                    profile.log_task(*log_entry)
+                for c, nd in children:
+                    pending.append(
+                        _STask(seq=seq, color=c, nodes=nd, parent=idx)
+                    )
+                    seq += 1
+
+            if broken:
+                pool.terminate()
+                pool.join()
+                report.pool_rebuilds += 1
+                profile.bump("supervisor_pool_rebuilds")
+                pool = ctx.Pool(processes=num_workers)
+
+            if failed:
+                with profile.wall_timer("recovery"):
+                    for t in failed:
+                        if t.attempt >= cfg.max_task_retries:
+                            raise PoolBrokenError(
+                                f"task {t.seq} failed "
+                                f"{t.attempt + 1} times; degrading"
+                            )
+                        repair_partition(
+                            color, mark, t.color, t.triple, t.nodes
+                        )
+                        t.attempt += 1
+                        report.retries += 1
+                        profile.bump("supervisor_retries")
+                        pending.append(t)
+                    time.sleep(
+                        cfg.backoff_base
+                        * (2 ** max(t.attempt - 1 for t in failed))
+                    )
+
+        state.color[:] = color
+        state.mark[:] = mark
+        state.labels[:] = labels
+        state.phase_of[:] = phase_of
+        state.sync_counters(int(scc_counter.value), next_color)
+        state.trace.task_dag(phase, tasks, queue_k=queue_k)
+        profile.bump("recur_tasks", len(tasks))
+        return len(tasks)
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        _WORKER_CTX.clear()
+        for shm in shms:
+            shm.close()
+            shm.unlink()

@@ -14,10 +14,13 @@ concurrent interleavings, not just in the serial driver.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
+
+from . import faults as _faults
 
 __all__ = ["QueueTelemetry", "TwoLevelWorkQueue"]
 
@@ -30,6 +33,10 @@ class QueueTelemetry:
     max_global_depth: int = 0
     global_accesses: int = 0
     per_worker_tasks: list[int] = field(default_factory=list)
+    #: tasks whose callback raised (dropped in ``on_error="record"``).
+    failed: int = 0
+    #: the exceptions those tasks raised, in completion order.
+    errors: list[BaseException] = field(default_factory=list)
 
 
 class TwoLevelWorkQueue:
@@ -43,15 +50,27 @@ class TwoLevelWorkQueue:
         Batch size: workers fetch up to ``k`` items from the global
         queue at a time, and spill ``k`` items back when their local
         queue reaches ``2k`` (Section 4.3).
+    on_error:
+        ``"raise"`` (default): the first callback exception stops the
+        queue and re-raises after all workers exit.  ``"record"``: the
+        failing task is dropped, its exception appended to
+        ``QueueTelemetry.errors``, and the queue keeps draining —
+        termination detection stays exact either way (a failed task
+        never wedges the idle-based exit).
     """
 
-    def __init__(self, num_workers: int, k: int = 1) -> None:
+    def __init__(
+        self, num_workers: int, k: int = 1, *, on_error: str = "raise"
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if k < 1:
             raise ValueError("k must be >= 1")
+        if on_error not in ("raise", "record"):
+            raise ValueError(f"bad on_error {on_error!r}")
         self.num_workers = num_workers
         self.k = k
+        self.on_error = on_error
 
     def run(
         self,
@@ -76,6 +95,9 @@ class TwoLevelWorkQueue:
         done = threading.Event()
         if pending == 0:
             return telemetry
+        # Fault-injection hook: one global read; None in normal runs.
+        plan = _faults.active_plan()
+        seq_counter = itertools.count() if plan is not None else None
 
         def worker(wid: int) -> None:
             nonlocal pending
@@ -95,13 +117,31 @@ class TwoLevelWorkQueue:
                         telemetry.global_accesses += 1
                     item = local.popleft()
                 try:
-                    children = process(item)
-                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    if plan is not None:
+                        seq = next(seq_counter)
+                        plan.fire("queue", seq, stage="pre", thread_site=True)
+                        children = process(item)
+                        plan.fire("queue", seq, stage="post", thread_site=True)
+                    else:
+                        children = process(item)
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
                     with work_available:
-                        errors.append(exc)
-                        done.set()
-                        work_available.notify_all()
-                    return
+                        telemetry.failed += 1
+                        telemetry.errors.append(exc)
+                        if self.on_error == "raise":
+                            errors.append(exc)
+                            done.set()
+                            work_available.notify_all()
+                            return
+                        # "record": drop the task but account for it, so
+                        # idle-based termination detection stays exact.
+                        pending -= 1
+                        if pending == 0:
+                            done.set()
+                            work_available.notify_all()
+                        if done.is_set() and not local and not global_q:
+                            return
+                    continue
                 telemetry.per_worker_tasks[wid] += 1
                 spawned = list(children) if children else []
                 spill: list[Any] = []

@@ -2,10 +2,52 @@
 
 from __future__ import annotations
 
+import faulthandler
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.graph import CSRGraph, from_edge_list
+
+# ---------------------------------------------------------------------------
+# Deadlock protection: this suite exercises real worker pools and fault
+# injection, so a regression that reintroduces an unbounded wait (e.g. a
+# bare fut.get()) must fail CI rather than hang it.  faulthandler gives a
+# C-level traceback dump on SIGABRT etc.; the autouse alarm below turns a
+# wedged test into a TimeoutError with a Python traceback.
+# ---------------------------------------------------------------------------
+faulthandler.enable()
+
+#: per-test wall-clock budget (seconds); generous — the whole suite runs
+#: in well under a minute, so only a genuine deadlock ever trips this.
+TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    """Abort any single test that runs longer than the global budget."""
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):  # pragma: no cover - non-POSIX / nested runners
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {TEST_TIMEOUT_SECONDS}s deadlock "
+            f"guard: {request.node.nodeid}"
+        )
+
+    old = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
 
 
 def scipy_scc_labels(g: CSRGraph) -> np.ndarray:

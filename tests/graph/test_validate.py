@@ -34,3 +34,96 @@ class TestValidate:
 
         for seed in range(5):
             validate_graph(random_digraph(60, 240, seed))
+
+
+def _forge(indptr, indices, in_indptr=None, in_indices=None):
+    """Build a CSRGraph bypassing all construction-time checks."""
+    bad = CSRGraph.__new__(CSRGraph)
+    bad._indptr = np.asarray(indptr, dtype=np.int64)
+    bad._indices = np.asarray(indices, dtype=np.int64)
+    bad._in_indptr = (
+        None if in_indptr is None else np.asarray(in_indptr, dtype=np.int64)
+    )
+    bad._in_indices = (
+        None if in_indices is None else np.asarray(in_indices, dtype=np.int64)
+    )
+    return bad
+
+
+class TestMalformedCSR:
+    """Corrupted inputs must fail fast with actionable messages."""
+
+    def test_non_monotone_indptr(self):
+        bad = _forge([0, 2, 1, 3], [1, 2, 0])
+        with pytest.raises(GraphValidationError, match="not monotone"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_non_monotone_message_names_row(self):
+        bad = _forge([0, 2, 1, 3], [1, 2, 0])
+        with pytest.raises(GraphValidationError, match="row 1"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_bad_indptr_endpoints(self):
+        bad = _forge([1, 2, 3], [0, 1])
+        with pytest.raises(GraphValidationError, match="endpoints"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_indptr_wrong_length(self):
+        bad = _forge([0, 1, 2], [1, 0, 2])  # 2 rows declared, but...
+        bad._indptr = np.array([0, 3], dtype=np.int64)  # n=1, 3 edges
+        with pytest.raises(GraphValidationError):
+            validate_graph(bad, check_transpose=False)
+
+    def test_out_of_range_destination(self):
+        bad = _forge([0, 1, 2], [1, 5])  # node 5 doesn't exist (n=2)
+        with pytest.raises(GraphValidationError, match="out of range"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_out_of_range_message_names_target(self):
+        bad = _forge([0, 1, 2], [1, 5])
+        with pytest.raises(GraphValidationError, match="node 5"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_negative_destination(self):
+        bad = _forge([0, 1, 2], [1, -1])
+        with pytest.raises(GraphValidationError, match="out of range"):
+            validate_graph(bad, check_transpose=False)
+
+    def test_dangling_transpose_edge_count(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        bad = _forge(
+            g.indptr, g.indices,
+            in_indptr=[0, 0, 1, 1],  # transpose dropped one edge
+            in_indices=[0],
+        )
+        with pytest.raises(GraphValidationError, match="edge count"):
+            validate_graph(bad)
+
+    def test_dangling_transpose_out_of_range_source(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        bad = _forge(
+            g.indptr, g.indices,
+            in_indptr=[0, 0, 1, 2],
+            in_indices=[0, 9],  # node 9 doesn't exist
+        )
+        with pytest.raises(GraphValidationError, match="dangling"):
+            validate_graph(bad)
+
+    def test_transpose_wrong_edge_set(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        bad = _forge(
+            g.indptr, g.indices,
+            in_indptr=[0, 1, 2, 2],  # right count, wrong edges
+            in_indices=[1, 2],
+        )
+        with pytest.raises(GraphValidationError, match="mismatch"):
+            validate_graph(bad)
+
+    def test_transpose_ok_when_check_disabled(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3)
+        bad = _forge(
+            g.indptr, g.indices,
+            in_indptr=[0, 1, 2, 2],
+            in_indices=[1, 2],
+        )
+        validate_graph(bad, check_transpose=False)  # must not raise

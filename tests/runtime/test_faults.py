@@ -1,0 +1,369 @@
+"""Unit tests for the fault-injection harness and the supervisor."""
+
+import glob
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core import SCCState, StateInvariantError, same_partition, tarjan_scc
+from repro.core.recurfwbw import run_recur_phase
+from repro.runtime import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    SupervisorConfig,
+    TwoLevelWorkQueue,
+)
+from repro.runtime import faults as faults_mod
+from repro.runtime.mp_backend import _shm_array, fork_available
+from repro.runtime.supervisor import repair_partition
+from tests.conftest import random_digraph, scipy_scc_labels
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires POSIX fork"
+)
+
+
+class TestFaultPlan:
+    def test_match_by_site_index_attempt(self):
+        plan = FaultPlan([FaultSpec(kind="raise", site="task", index=3)])
+        assert plan.match("task", 3, attempt=0) is not None
+        assert plan.match("task", 3, attempt=1) is None  # times=1
+        assert plan.match("task", 2, attempt=0) is None
+        assert plan.match("queue", 3, attempt=0) is None
+
+    def test_times_covers_retries(self):
+        plan = FaultPlan([FaultSpec(kind="raise", index=0, times=3)])
+        assert all(plan.match("task", 0, a) for a in range(3))
+        assert plan.match("task", 0, 3) is None
+
+    def test_fire_raise(self):
+        plan = FaultPlan.single("raise", index=1, stage="mid")
+        plan.fire("task", 1, stage="pre")  # wrong stage: no-op
+        with pytest.raises(FaultInjected):
+            plan.fire("task", 1, stage="mid")
+
+    def test_crash_downgraded_at_thread_site(self):
+        plan = FaultPlan([FaultSpec(kind="crash", site="queue", index=0)])
+        with pytest.raises(FaultInjected):
+            plan.fire("queue", 0, stage="pre", thread_site=True)
+
+    def test_poison_never_fires_as_control_fault(self):
+        plan = FaultPlan.single("poison", index=0)
+        plan.fire("task", 0, stage="pre")  # must not raise
+        assert plan.poison("task", 0)
+        assert not plan.poison("task", 1)
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(42, n_faults=4)
+        b = FaultPlan.random(42, n_faults=4)
+        c = FaultPlan.random(43, n_faults=4)
+        assert a.specs == b.specs
+        assert a.specs != c.specs
+
+    def test_parse_compact(self):
+        plan = FaultPlan.parse("crash@2,hang@0:mid, poison@5")
+        kinds = [(s.kind, s.index, s.stage) for s in plan.specs]
+        assert kinds == [
+            ("crash", 2, "pre"),
+            ("hang", 0, "mid"),
+            ("poison", 5, "pre"),
+        ]
+
+    def test_parse_json(self):
+        plan = FaultPlan.parse('[{"kind": "raise", "index": 7, "times": 2}]')
+        assert plan.specs[0].kind == "raise"
+        assert plan.specs[0].times == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode")
+        with pytest.raises(ValueError):
+            FaultPlan([FaultSpec(kind="meteor")])
+
+    def test_global_arming(self):
+        assert faults_mod.active_plan() is None
+        with faults_mod.injected(FaultPlan.single("raise")) as plan:
+            assert faults_mod.active_plan() is plan
+        assert faults_mod.active_plan() is None
+
+
+class TestQueueFaults:
+    def test_exception_does_not_wedge_termination(self):
+        # a raising callback must stop the queue, not deadlock it
+        def proc(item):
+            if item == 5:
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            TwoLevelWorkQueue(3, k=2).run(range(20), proc)
+
+    def test_record_mode_drains_and_records(self):
+        seen = []
+
+        def proc(item):
+            if item % 3 == 0:
+                raise ValueError(f"bad {item}")
+            seen.append(item)
+
+        tel = TwoLevelWorkQueue(2, k=1, on_error="record").run(
+            range(9), proc
+        )
+        assert tel.failed == 3
+        assert len(tel.errors) == 3
+        assert sorted(seen) == [1, 2, 4, 5, 7, 8]
+
+    def test_record_mode_with_children(self):
+        def proc(item):
+            if item == "bad":
+                raise RuntimeError("dropped subtree")
+            if item == 0:
+                return ["bad", 1, 2]
+
+        tel = TwoLevelWorkQueue(2, on_error="record").run([0], proc)
+        assert tel.failed == 1 and tel.tasks == 3
+
+    def test_injected_raise_via_global_plan(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="raise", site="queue", index=0)]
+        )
+        with faults_mod.injected(plan):
+            tel = TwoLevelWorkQueue(1, on_error="record").run(
+                range(5), lambda i: None
+            )
+        assert tel.failed == 1
+        assert isinstance(tel.errors[0], FaultInjected)
+
+    def test_zero_overhead_when_disarmed(self):
+        # no plan armed: the hook must not even allocate a counter
+        tel = TwoLevelWorkQueue(2).run(range(10), lambda i: None)
+        assert tel.failed == 0 and tel.errors == []
+
+
+class TestShmHygiene:
+    def test_registry_sees_segment_before_failure(self):
+        # a failure *after* creation must still leave the segment
+        # registered so the caller's finally can unlink it
+        registry = []
+        with pytest.raises((TypeError, ValueError)):
+            # shape/init mismatch triggers the failure after create
+            _shm_array((10,), np.int64, np.zeros(3, dtype=np.int64), registry)
+        assert len(registry) == 1
+        registry[0].close()
+        registry[0].unlink()
+
+
+class TestRepairPartition:
+    def test_uncommitted_nodes_return_to_parent_colour(self):
+        color = np.array([5, 7, 8, 9, 5, -1], dtype=np.int64)
+        mark = np.zeros(6, dtype=bool)
+        mark[5] = True
+        n = repair_partition(color, mark, 5, (7, 8, 9), None)
+        assert n == 3
+        assert color.tolist() == [5, 5, 5, 5, 5, -1]
+
+    def test_committed_nodes_stay_detached(self):
+        color = np.array([9, 9, 7], dtype=np.int64)
+        mark = np.array([True, False, False])
+        repair_partition(color, mark, 5, (7, 8, 9), None)
+        assert color.tolist() == [-1, 5, 5]
+
+    def test_hybrid_restriction(self):
+        color = np.array([7, 7, 7], dtype=np.int64)
+        mark = np.zeros(3, dtype=bool)
+        nodes = np.array([0, 2], dtype=np.int64)
+        n = repair_partition(color, mark, 5, (7, 8, 9), nodes)
+        assert n == 2
+        assert color.tolist() == [5, 7, 5]  # node 1 untouched
+
+
+def _live_shm_segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/wnsm_*"))
+
+
+@needs_fork
+class TestSupervisedBackend:
+    def _run(self, plan=None, seed=1, n=150, m=600, **cfg_kwargs):
+        g = random_digraph(n, m, seed=seed)
+        s = SCCState(g, seed=seed)
+        cfg = SupervisorConfig(
+            task_timeout=cfg_kwargs.pop("task_timeout", 5.0),
+            grace=0.1,
+            backoff_base=0.01,
+            fault_plan=plan,
+            **cfg_kwargs,
+        )
+        tasks = run_recur_phase(
+            s,
+            [(0, np.arange(n))],
+            backend="supervised",
+            num_threads=2,
+            supervisor=cfg,
+        )
+        return g, s, tasks
+
+    def test_clean_run_matches_oracle(self):
+        g, s, tasks = self._run()
+        s.check_done()
+        assert tasks > 0
+        assert same_partition(s.labels, scipy_scc_labels(g))
+        assert "supervisor_retries" not in s.profile.counters
+
+    def test_injected_raise_is_retried(self):
+        g, s, _ = self._run(FaultPlan.single("raise", index=0))
+        assert s.profile.counters["supervisor_retries"] == 1
+        assert same_partition(s.labels, scipy_scc_labels(g))
+
+    def test_mid_task_raise_repairs_colours(self):
+        g, s, _ = self._run(FaultPlan.single("raise", index=1, stage="mid"))
+        assert same_partition(s.labels, scipy_scc_labels(g))
+        s.check_invariants(cross_check=True)
+
+    def test_retry_exhaustion_degrades_to_serial(self):
+        plan = FaultPlan([FaultSpec(kind="raise", index=0, times=99)])
+        g, s, tasks = self._run(plan, max_task_retries=1)
+        assert s.profile.counters["supervisor_degraded"] == 1
+        assert tasks > 0  # serial driver completed the phase
+        assert same_partition(s.labels, scipy_scc_labels(g))
+
+    def test_poisoned_write_caught_and_redone(self):
+        g, s, _ = self._run(FaultPlan.single("poison", index=1))
+        assert s.profile.counters["supervisor_verify_failures"] == 1
+        assert s.profile.counters["supervisor_degraded"] == 1
+        assert same_partition(s.labels, scipy_scc_labels(g))
+
+    def test_no_shm_leak_across_degradation(self):
+        before = _live_shm_segments()
+        plan = FaultPlan([FaultSpec(kind="raise", index=0, times=99)])
+        self._run(plan, max_task_retries=0)
+        assert _live_shm_segments() <= before
+
+    def test_partial_phase_skips_completeness_check(self):
+        # an empty seed resolves nothing: the verifier must apply the
+        # structural checks only, not demand a complete labelling
+        g = random_digraph(60, 150, seed=3)
+        s = SCCState(g)
+        tasks = run_recur_phase(
+            s,
+            [],
+            backend="supervised",
+            num_threads=2,
+            supervisor=SupervisorConfig(task_timeout=5.0),
+        )
+        assert tasks == 0
+        assert s.unfinished() == 60
+
+    def test_report_via_direct_call(self):
+        from repro.runtime import run_supervised_recur_phase
+
+        g = random_digraph(100, 400, seed=2)
+        s = SCCState(g)
+        report = run_supervised_recur_phase(
+            s,
+            [(0, np.arange(100))],
+            num_workers=2,
+            config=SupervisorConfig(
+                task_timeout=5.0,
+                fault_plan=FaultPlan.single("raise", index=0),
+            ),
+        )
+        assert report.retries == 1 and report.task_errors == 1
+        assert report.verified and report.cross_checked
+        assert not report.degraded
+        assert report.tasks > 0
+
+
+@needs_fork
+class TestMpBackendGuard:
+    def test_timeout_surfaces_instead_of_deadlock(self):
+        # a hung task under the *plain* process backend must error out
+        # (the pre-fix behaviour was an unbounded fut.get() deadlock)
+        from repro.runtime.mp_backend import (
+            _WORKER_CTX,
+            run_recur_phase_processes,
+        )
+
+        g = random_digraph(80, 300, seed=0)
+        s = SCCState(g)
+        plan = FaultPlan(
+            [FaultSpec(kind="hang", index=0, hang_seconds=60.0)]
+        )
+        with pytest.raises(RuntimeError, match="did not complete"):
+            with faults_mod.injected(plan):
+                run_recur_phase_processes(
+                    s,
+                    [(0, np.arange(80))],
+                    num_workers=2,
+                    task_timeout=0.5,
+                )
+        assert not _WORKER_CTX  # context disarmed on the error path
+
+    def test_dead_worker_diagnosed(self):
+        from repro.runtime.mp_backend import run_recur_phase_processes
+
+        g = random_digraph(80, 300, seed=0)
+        s = SCCState(g)
+        plan = FaultPlan([FaultSpec(kind="crash", index=0)])
+        with pytest.raises(RuntimeError, match="supervised"):
+            with faults_mod.injected(plan):
+                run_recur_phase_processes(
+                    s,
+                    [(0, np.arange(80))],
+                    num_workers=2,
+                    task_timeout=1.0,
+                )
+
+
+class TestCheckInvariants:
+    def test_clean_complete_state_passes(self):
+        g = random_digraph(50, 200, seed=0)
+        s = SCCState(g)
+        labels = tarjan_scc(g)
+        for sid in range(int(labels.max()) + 1):
+            s.mark_scc(np.flatnonzero(labels == sid), 3)
+        s.check_invariants(cross_check=True)
+
+    def test_mark_color_disagreement_detected(self):
+        g = random_digraph(20, 60, seed=0)
+        s = SCCState(g)
+        s.mark[3] = True  # mark without detaching the colour
+        with pytest.raises(StateInvariantError, match="DONE_COLOR"):
+            s.check_invariants(require_complete=False)
+
+    def test_unresolved_nodes_detected(self):
+        g = random_digraph(20, 60, seed=0)
+        s = SCCState(g)
+        with pytest.raises(StateInvariantError, match="unresolved"):
+            s.check_invariants()
+
+    def test_wrong_partition_caught_by_cross_check(self):
+        g, n = random_digraph(40, 160, seed=1), 40
+        s = SCCState(g)
+        s.mark_singletons(np.arange(n), 3)  # claim all-trivial SCCs
+        try:
+            s.check_invariants(cross_check=True)
+            # only valid if the graph truly has no nontrivial SCC
+            assert int(tarjan_scc(g).max()) == n - 1
+        except StateInvariantError:
+            pass
+
+    def test_label_hole_detected(self):
+        g = random_digraph(10, 30, seed=0)
+        s = SCCState(g)
+        s.mark_singletons(np.arange(10), 3)
+        s.labels[0] = 5  # duplicate id 5, id 0 now unused
+        with pytest.raises(StateInvariantError, match="dense"):
+            s.check_invariants()
+
+    def test_snapshot_restore_roundtrip(self):
+        g = random_digraph(30, 90, seed=0)
+        s = SCCState(g)
+        snap = s.snapshot()
+        s.mark_scc(np.arange(5), 3)
+        s.new_color()
+        assert s.num_sccs == 1
+        s.restore(snap)
+        assert s.num_sccs == 0
+        assert not s.mark.any()
+        assert (s.labels == -1).all()

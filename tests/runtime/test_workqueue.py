@@ -82,6 +82,51 @@ class TestErrorPropagation:
         with pytest.raises(ValueError):
             TwoLevelWorkQueue(2, k=1).run(["bad"] + list(range(100)), proc)
 
+    def test_raise_mid_tree_does_not_wedge_termination(self):
+        # A raising callback amid recursive spawning must never wedge
+        # the idle-based termination detection: every worker exits and
+        # the exception surfaces to the caller.
+        def proc(depth):
+            if depth == 3:
+                raise RuntimeError("subtree dies")
+            if depth < 5:
+                return [depth + 1, depth + 1]
+
+        for workers in (1, 2, 4):
+            with pytest.raises(RuntimeError, match="subtree dies"):
+                TwoLevelWorkQueue(workers, k=2).run([0], proc)
+
+    def test_error_recorded_in_telemetry_on_record_mode(self):
+        def proc(item):
+            if item % 4 == 0:
+                raise KeyError(item)
+
+        tel = TwoLevelWorkQueue(3, k=2, on_error="record").run(
+            range(16), proc
+        )
+        assert tel.failed == 4
+        assert len(tel.errors) == 4
+        assert all(isinstance(e, KeyError) for e in tel.errors)
+        assert tel.tasks == 12  # the surviving tasks all drained
+
+    def test_record_mode_terminates_with_spawned_children(self):
+        # children spawned before a sibling fails must still be drained
+        def proc(item):
+            if item == ("child", 7):
+                raise RuntimeError("one child dies")
+            if isinstance(item, int):
+                return [("child", item)]
+
+        tel = TwoLevelWorkQueue(2, k=1, on_error="record").run(
+            range(10), proc
+        )
+        assert tel.failed == 1
+        assert tel.tasks == 19
+
+    def test_on_error_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelWorkQueue(1, on_error="ignore")
+
 
 class TestTelemetry:
     def test_per_worker_tasks_sum(self):
