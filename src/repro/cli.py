@@ -26,10 +26,30 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .kernels import BACKEND_CHOICES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel SCC detection in small-world graphs "
         "(Hong, Rodia & Olukotun, SC'13 reproduction)",
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        choices=BACKEND_CHOICES,
+        help="kernel backend for the hot traversal/trim loops: 'numpy' "
+        "(reference), 'numba' (JIT-compiled loops when numba is "
+        "installed, tuned NumPy fallbacks otherwise), or 'auto' "
+        "(default; also settable via $REPRO_KERNELS)",
+    )
+    # Accept --kernels after the subcommand as well; SUPPRESS keeps the
+    # subparser from clobbering a value parsed at the top level.
+    kernel_parent = argparse.ArgumentParser(add_help=False)
+    kernel_parent.add_argument(
+        "--kernels",
+        default=argparse.SUPPRESS,
+        choices=BACKEND_CHOICES,
+        help=argparse.SUPPRESS,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -51,7 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("datasets", help="list dataset surrogates")
 
-    p_scc = sub.add_parser("scc", help="detect SCCs")
+    p_scc = sub.add_parser(
+        "scc", help="detect SCCs", parents=[kernel_parent]
+    )
     add_graph_source(p_scc)
     p_scc.add_argument(
         "--method",
@@ -102,7 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sweep = sub.add_parser(
-        "sweep", help="Figure 6-style speedup panel for one graph"
+        "sweep",
+        help="Figure 6-style speedup panel for one graph",
+        parents=[kernel_parent],
     )
     add_graph_source(p_sweep)
     p_sweep.add_argument(
@@ -117,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist = sub.add_parser(
         "distributed",
         help="distributed (BSP) Method 1 rank-scaling report",
+        parents=[kernel_parent],
     )
     add_graph_source(p_dist)
     p_dist.add_argument(
@@ -216,6 +241,12 @@ def _cmd_scc(args) -> int:
             )
     result = strongly_connected_components(g, args.method, **kwargs)
     print(f"method: {args.method}")
+    if args.method not in ("tarjan", "kosaraju", "gabow"):
+        from .kernels import backend_info
+
+        info = backend_info()
+        jit = " (jit)" if info["jit_active"] else ""
+        print(f"kernels: {info['resolved']}{jit}")
     print(f"SCCs: {result.num_sccs}")
     print(
         f"largest SCC: {result.largest_scc_size()} "
@@ -363,6 +394,10 @@ def _cmd_distributed(args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernels is not None:
+        from .kernels import set_backend
+
+        set_backend(args.kernels)
     handlers = {
         "datasets": _cmd_datasets,
         "scc": _cmd_scc,

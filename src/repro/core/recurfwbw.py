@@ -31,9 +31,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import dfs_collect_colored
 from ..runtime.trace import Task
 from ..runtime.workqueue import TwoLevelWorkQueue
-from ..traversal.dfs import dfs_collect_colored
 from .state import PHASE_RECUR, SCCState
 
 __all__ = ["WorkItem", "recur_fwbw_task", "run_recur_phase", "collect_color_sets"]
@@ -69,9 +69,19 @@ def recur_fwbw_task(
         return [], select_cost
 
     pivot = state.pick(candidates, pivot_strategy)
-    cfw = state.new_color()
-    cbw = state.new_color()
-    cscc = state.new_color()
+    # The three fresh colours must differ from the partition colour c:
+    # the BW transition map {c: cbw, cfw: cscc} is only well-defined
+    # when no target colour is also a source (kernel-layer contract —
+    # a collision would let the traversal re-visit freshly recoloured
+    # nodes).  Collisions only arise when callers painted colours at or
+    # above the allocator's watermark by hand; skipping costs nothing
+    # in the normal pipelines.
+    fresh = []
+    while len(fresh) < 3:
+        nc = state.new_color()
+        if nc != c:
+            fresh.append(nc)
+    cfw, cbw, cscc = fresh
 
     fw_collected, fw_edges = dfs_collect_colored(
         g.indptr, g.indices, pivot, {c: cfw}, color
@@ -79,12 +89,12 @@ def recur_fwbw_task(
     bw_collected, bw_edges = dfs_collect_colored(
         g.in_indptr, g.in_indices, pivot, {c: cbw, cfw: cscc}, color
     )
-    scc_nodes = np.array(bw_collected[cscc], dtype=np.int64)
+    scc_nodes = np.asarray(bw_collected[cscc], dtype=np.int64)
     state.mark_scc(scc_nodes, PHASE_RECUR)
 
-    fw_all = np.array(fw_collected[cfw], dtype=np.int64)
+    fw_all = np.asarray(fw_collected[cfw], dtype=np.int64)
     fw_only = fw_all[color[fw_all] == cfw]  # SCC members now DONE_COLOR
-    bw_only = np.array(bw_collected[cbw], dtype=np.int64)
+    bw_only = np.asarray(bw_collected[cbw], dtype=np.int64)
     remain = candidates[color[candidates] == c]
 
     visited = fw_all.size + bw_only.size + scc_nodes.size

@@ -27,7 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..traversal.frontier import expand_frontier
+from ..kernels import effective_degrees_arrays, trim_decrement
 from .state import PHASE_TRIM, SCCState
 
 __all__ = [
@@ -46,26 +46,13 @@ def effective_degrees(
     Counts only neighbours with the same colour; by the DONE_COLOR
     invariant (state.py) that also excludes detached nodes.  Returns
     dense arrays (valid only at ``nodes``) plus the number of adjacency
-    entries scanned (for work accounting).
+    entries scanned (for work accounting).  Dispatched through the
+    kernel layer — this is Par-Trim's big data-parallel region.
     """
-    g, color = state.graph, state.color
-    n = g.num_nodes
-    eff_out = np.zeros(n, dtype=np.int64)
-    eff_in = np.zeros(n, dtype=np.int64)
-    scanned = 0
-    for indptr, indices, eff in (
-        (g.indptr, g.indices, eff_out),
-        (g.in_indptr, g.in_indices, eff_in),
-    ):
-        targets, sources = expand_frontier(
-            indptr, indices, nodes, return_sources=True
-        )
-        scanned += int(targets.size)
-        if targets.size:
-            valid = color[targets] == color[sources]
-            counts = np.bincount(sources[valid], minlength=n)
-            eff += counts
-    return eff_out, eff_in, scanned
+    g = state.graph
+    return effective_degrees_arrays(
+        g.indptr, g.indices, g.in_indptr, g.in_indices, nodes, state.color
+    )
 
 
 def trim_candidates(
@@ -117,19 +104,14 @@ def par_trim(
             (g.indptr, g.indices, eff_in),  # out-edge u->v lowers in(v)
             (g.in_indptr, g.in_indices, eff_out),
         ):
-            targets, sources = expand_frontier(
-                indptr, indices, cand, return_sources=True
+            # A neighbour is decremented iff it still carries the colour
+            # the trimmed node had (marked neighbours carry DONE_COLOR).
+            hit, scanned = trim_decrement(
+                indptr, indices, cand, old_colors, color, eff
             )
-            iter_scanned += int(targets.size)
-            if targets.size == 0:
-                continue
-            # Edge counted iff the neighbour still carries the colour the
-            # trimmed node had (marked neighbours carry DONE_COLOR).
-            src_pos = np.searchsorted(cand, sources)
-            valid = color[targets] == old_colors[src_pos]
-            hit = targets[valid]
-            np.subtract.at(eff, hit, 1)
-            touched_parts.append(hit)
+            iter_scanned += scanned
+            if hit.size:
+                touched_parts.append(hit)
         if touched_parts:
             touched = np.unique(np.concatenate(touched_parts))
             touched = touched[~mark[touched]]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..traversal.frontier import expand_frontier
+from ..kernels import trim2_pattern_pairs
 from .state import PHASE_TRIM2, SCCState
 from .trim import effective_degrees
 
@@ -43,8 +43,7 @@ def _pattern_pairs(
     plus the n->k back edge); ``incoming=False`` mirrors it.
     Returns (n_array, k_array, edges_scanned).
     """
-    g, color = state.graph, state.color
-    n_total = g.num_nodes
+    g = state.graph
     if incoming:
         nbr_ptr, nbr_idx = g.in_indptr, g.in_indices  # find the 1 in-nbr
         back_ptr, back_idx = g.indptr, g.indices  # check n -> k
@@ -53,40 +52,9 @@ def _pattern_pairs(
         back_ptr, back_idx = g.in_indptr, g.in_indices
 
     cands = nodes[eff_primary[nodes] == 1]
-    if cands.size == 0:
-        return (
-            np.empty(0, np.int64),
-            np.empty(0, np.int64),
-            0,
-        )
-    scanned = 0
-    # The unique colour-valid neighbour of each candidate.
-    targets, sources = expand_frontier(
-        nbr_ptr, nbr_idx, cands, return_sources=True
+    return trim2_pattern_pairs(
+        nbr_ptr, nbr_idx, back_ptr, back_idx, cands, state.color, eff_primary
     )
-    scanned += int(targets.size)
-    valid = color[targets] == color[sources]
-    partner = np.full(n_total, -1, dtype=np.int64)
-    partner[sources[valid]] = targets[valid]  # exactly one write per cand
-    k_of = partner[cands]
-
-    # Closure: does the back edge (n -> k for in-pattern) exist?
-    back_t, back_s = expand_frontier(
-        back_ptr, back_idx, cands, return_sources=True
-    )
-    scanned += int(back_t.size)
-    has_back = np.zeros(n_total, dtype=bool)
-    if back_t.size:
-        match = back_t == partner[back_s]
-        has_back[back_s[match]] = True
-
-    ok = (
-        (k_of >= 0)
-        & has_back[cands]
-        & (eff_primary[k_of] == 1)
-        & (color[k_of] == color[cands])
-    )
-    return cands[ok], k_of[ok], scanned
 
 
 def par_trim2(state: SCCState, *, phase: str = "par_trim2") -> int:

@@ -30,7 +30,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..traversal.frontier import expand_frontier
+from ..kernels import expand_frontier, wcc_hook_round
 from .state import SCCState
 
 __all__ = ["par_wcc"]
@@ -81,14 +81,10 @@ def par_wcc(
     while True:
         iterations += 1
         before = wcc[active].copy()
-        # Hook: pull the minimum label across each edge.
-        np.minimum.at(wcc, u, wcc[v])
-        if directions == "both":
-            np.minimum.at(wcc, v, wcc[u])
-        # Compress: one pointer-jumping round (Algorithm 7's second
-        # inner loop) — labels chase their label's label.
-        if compress:
-            wcc[active] = wcc[wcc[active]]
+        # Hook (minimum-label pull across each edge) plus one optional
+        # pointer-jumping compress round (Algorithm 7's second inner
+        # loop) — dispatched to the active kernel backend.
+        wcc_hook_round(u, v, wcc, active, directions == "both", compress)
         edge_work = u.size * (2 if directions == "both" else 1)
         state.trace.parallel_for(
             phase,

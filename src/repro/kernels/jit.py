@@ -1,0 +1,368 @@
+"""Compiled (numba ``@njit``) loop implementations of the hot kernels.
+
+Each kernel is written as a tight nopython-compatible loop over the raw
+CSR arrays — the shape the paper's OpenMP kernels have — plus a thin
+Python wrapper adapting it to the registry contracts
+(:mod:`repro.kernels.reference` documents them).
+
+The module imports cleanly without numba: ``_njit`` degrades to the
+identity decorator, leaving the loops as plain (slow) Python functions.
+In that case nothing here is *registered* — the ``numba`` backend slots
+keep the :mod:`repro.kernels.fastpath` implementations — but the loop
+logic stays importable, so the parity suite exercises it in
+interpreted mode on small graphs even on machines without numba.  With
+numba installed the wrappers are registered over the fastpath slots
+and the loops JIT-compile on first call.
+
+Contract reminders that are easy to violate in loop form:
+
+* visit/dedup order may differ, but every output array must be
+  **sorted** (or exactly the reference's expansion order where the
+  contract says so — ``trim_decrement``'s ``hit``);
+* the WCC hook must keep ``np.minimum.at``'s sequential in-pass
+  propagation and the compress round its snapshot semantics, or the
+  iteration count (and the recorded trace) drifts;
+* every scanned-edge count feeds the trace and must equal the
+  reference's.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .registry import numba_available, register
+
+__all__ = ["HAS_NUMBA"]
+
+HAS_NUMBA = numba_available()
+
+if HAS_NUMBA:  # pragma: no cover - exercised only with numba installed
+    from numba import njit as _numba_njit
+
+    def _njit(fn):
+        return _numba_njit(cache=True)(fn)
+
+else:
+
+    def _njit(fn):
+        return fn
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@_njit
+def _grow(arr, needed):
+    cap = arr.shape[0] * 2
+    if cap < needed:
+        cap = needed
+    out = np.empty(cap, arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+@_njit
+def _expand_loop(indptr, indices, frontier, with_sources):
+    total = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        total += indptr[f + 1] - indptr[f]
+    targets = np.empty(total, np.int64)
+    n_src = total if with_sources else 0
+    sources = np.empty(n_src, np.int64)
+    pos = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        for e in range(indptr[f], indptr[f + 1]):
+            targets[pos] = indices[e]
+            if with_sources:
+                sources[pos] = f
+            pos += 1
+    return targets, sources
+
+
+@_njit
+def _bfs_level_loop(indptr, indices, frontier, color, olds, news):
+    n_trans = olds.shape[0]
+    cap = 64
+    hit_nodes = np.empty(cap, np.int64)
+    hit_slots = np.empty(cap, np.int64)
+    m = 0
+    scanned = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        scanned += indptr[f + 1] - indptr[f]
+        for e in range(indptr[f], indptr[f + 1]):
+            v = indices[e]
+            cv = color[v]
+            for t in range(n_trans):
+                if olds[t] == cv:
+                    color[v] = news[t]
+                    if m >= hit_nodes.shape[0]:
+                        hit_nodes = _grow(hit_nodes, m + 1)
+                        hit_slots = _grow(hit_slots, m + 1)
+                    hit_nodes[m] = v
+                    hit_slots[m] = t
+                    m += 1
+                    break
+    return hit_nodes[:m], hit_slots[:m], scanned
+
+
+@_njit
+def _effective_degrees_loop(
+    indptr, indices, in_indptr, in_indices, nodes, color
+):
+    n = indptr.shape[0] - 1
+    eff_out = np.zeros(n, np.int64)
+    eff_in = np.zeros(n, np.int64)
+    scanned = 0
+    for i in range(nodes.shape[0]):
+        u = nodes[i]
+        cu = color[u]
+        scanned += indptr[u + 1] - indptr[u]
+        for e in range(indptr[u], indptr[u + 1]):
+            if color[indices[e]] == cu:
+                eff_out[u] += 1
+        scanned += in_indptr[u + 1] - in_indptr[u]
+        for e in range(in_indptr[u], in_indptr[u + 1]):
+            if color[in_indices[e]] == cu:
+                eff_in[u] += 1
+    return eff_out, eff_in, scanned
+
+
+@_njit
+def _trim_decrement_loop(indptr, indices, cand, old_colors, color, eff):
+    cap = 64
+    hit = np.empty(cap, np.int64)
+    m = 0
+    scanned = 0
+    for i in range(cand.shape[0]):
+        u = cand[i]
+        oc = old_colors[i]
+        scanned += indptr[u + 1] - indptr[u]
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            if color[v] == oc:
+                eff[v] -= 1
+                if m >= hit.shape[0]:
+                    hit = _grow(hit, m + 1)
+                hit[m] = v
+                m += 1
+    return hit[:m], scanned
+
+
+@_njit
+def _wcc_hook_loop(u, v, wcc, active, both, compress):
+    # np.minimum.at(wcc, u, wcc[v]) gathers wcc[v] as a snapshot BEFORE
+    # accumulating, so labels written during a pull pass are not pulled
+    # again within it — the loop must do the same or the iteration
+    # count (and the trace) drifts.
+    m = u.shape[0]
+    vals = np.empty(m, np.int64)
+    for i in range(m):
+        vals[i] = wcc[v[i]]
+    for i in range(m):
+        if vals[i] < wcc[u[i]]:
+            wcc[u[i]] = vals[i]
+    if both:
+        for i in range(m):
+            vals[i] = wcc[u[i]]
+        for i in range(m):
+            if vals[i] < wcc[v[i]]:
+                wcc[v[i]] = vals[i]
+    if compress:
+        tmp = np.empty(active.shape[0], np.int64)
+        for j in range(active.shape[0]):
+            tmp[j] = wcc[wcc[active[j]]]
+        for j in range(active.shape[0]):
+            wcc[active[j]] = tmp[j]
+
+
+@_njit
+def _trim2_pattern_loop(
+    nbr_ptr, nbr_idx, back_ptr, back_idx, cands, color, eff_primary
+):
+    n_total = nbr_ptr.shape[0] - 1
+    partner = np.full(n_total, -1, np.int64)
+    has_back = np.zeros(n_total, np.bool_)
+    scanned = 0
+    for i in range(cands.shape[0]):
+        u = cands[i]
+        cu = color[u]
+        scanned += nbr_ptr[u + 1] - nbr_ptr[u]
+        for e in range(nbr_ptr[u], nbr_ptr[u + 1]):
+            t = nbr_idx[e]
+            if color[t] == cu:
+                partner[u] = t  # last valid write, like the reference
+    for i in range(cands.shape[0]):
+        u = cands[i]
+        scanned += back_ptr[u + 1] - back_ptr[u]
+        for e in range(back_ptr[u], back_ptr[u + 1]):
+            if back_idx[e] == partner[u]:
+                has_back[u] = True
+    cap = 16
+    n_arr = np.empty(cap, np.int64)
+    k_arr = np.empty(cap, np.int64)
+    m = 0
+    for i in range(cands.shape[0]):
+        u = cands[i]
+        k = partner[u]
+        if (
+            k >= 0
+            and has_back[u]
+            and eff_primary[k] == 1
+            and color[k] == color[u]
+        ):
+            if m >= n_arr.shape[0]:
+                n_arr = _grow(n_arr, m + 1)
+                k_arr = _grow(k_arr, m + 1)
+            n_arr[m] = u
+            k_arr[m] = k
+            m += 1
+    return n_arr[:m], k_arr[:m], scanned
+
+
+@_njit
+def _dfs_collect_loop(indptr, indices, pivot, olds, news, color):
+    n_trans = olds.shape[0]
+    cap = 64
+    out_nodes = np.empty(cap, np.int64)
+    out_slots = np.empty(cap, np.int64)
+    stack = np.empty(cap, np.int64)
+    pc = color[pivot]
+    slot = 0
+    for t in range(n_trans):
+        if olds[t] == pc:
+            slot = t
+            break
+    color[pivot] = news[slot]
+    out_nodes[0] = pivot
+    out_slots[0] = slot
+    m = 1
+    stack[0] = pivot
+    top = 1
+    edges = 0
+    while top > 0:
+        top -= 1
+        u = stack[top]
+        edges += indptr[u + 1] - indptr[u]
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            cv = color[v]
+            for t in range(n_trans):
+                if olds[t] == cv:
+                    color[v] = news[t]
+                    if m >= out_nodes.shape[0]:
+                        out_nodes = _grow(out_nodes, m + 1)
+                        out_slots = _grow(out_slots, m + 1)
+                    out_nodes[m] = v
+                    out_slots[m] = t
+                    m += 1
+                    if top >= stack.shape[0]:
+                        stack = _grow(stack, top + 1)
+                    stack[top] = v
+                    top += 1
+                    break
+    return out_nodes[:m], out_slots[:m], edges
+
+
+# ---------------------------------------------------------------------------
+# Python wrappers adapting the loops to the registry contracts.  These
+# are what gets registered (only when numba is present — otherwise the
+# fastpath implementations keep the slots and these remain reachable
+# for interpreted-mode logic tests).
+# ---------------------------------------------------------------------------
+
+
+def expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    return_sources: bool = False,
+    unique: bool = False,
+) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
+    from .reference import dedup_sorted
+
+    if unique and return_sources:
+        raise ValueError("unique=True cannot be combined with return_sources")
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    targets, sources = _expand_loop(indptr, indices, frontier, return_sources)
+    if return_sources:
+        return targets, sources
+    if unique:
+        return dedup_sorted(targets, indptr.shape[0] - 1)
+    return targets
+
+
+def _parts_by_slot(nodes: np.ndarray, slots: np.ndarray, news: np.ndarray):
+    """Split per-slot hits into the per-transition sorted arrays,
+    merging duplicate target colours like the reference does."""
+    merged: dict[int, np.ndarray] = {}
+    for t, nw in enumerate(news.tolist()):
+        chunk = np.sort(nodes[slots == t])
+        nw = int(nw)
+        if nw in merged:
+            merged[nw] = np.sort(np.concatenate([merged[nw], chunk]))
+        else:
+            merged[nw] = chunk
+    return [merged[int(nw)] for nw in news.tolist()]
+
+
+def bfs_level_transform(indptr, indices, frontier, color, olds, news):
+    nodes, slots, scanned = _bfs_level_loop(
+        indptr, indices, frontier, color, olds, news
+    )
+    return _parts_by_slot(nodes, slots, news), int(scanned)
+
+
+def effective_degrees_arrays(
+    indptr, indices, in_indptr, in_indices, nodes, color
+):
+    eff_out, eff_in, scanned = _effective_degrees_loop(
+        indptr, indices, in_indptr, in_indices, nodes, color
+    )
+    return eff_out, eff_in, int(scanned)
+
+
+def trim_decrement(indptr, indices, cand, old_colors, color, eff):
+    hit, scanned = _trim_decrement_loop(
+        indptr, indices, cand, old_colors, color, eff
+    )
+    return hit, int(scanned)
+
+
+def wcc_hook_round(u, v, wcc, active, both, compress):
+    _wcc_hook_loop(u, v, wcc, active, bool(both), bool(compress))
+
+
+def trim2_pattern_pairs(
+    nbr_ptr, nbr_idx, back_ptr, back_idx, cands, color, eff_primary
+):
+    if cands.size == 0:
+        return _EMPTY, _EMPTY, 0
+    n_arr, k_arr, scanned = _trim2_pattern_loop(
+        nbr_ptr, nbr_idx, back_ptr, back_idx, cands, color, eff_primary
+    )
+    return n_arr, k_arr, int(scanned)
+
+
+def dfs_collect_colored(indptr, indices, pivot, olds, news, color):
+    nodes, slots, edges = _dfs_collect_loop(
+        indptr, indices, int(pivot), olds, news, color
+    )
+    return _parts_by_slot(nodes, slots, news), int(edges)
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only with numba installed
+    register("expand_frontier", "numba")(expand_frontier)
+    register("bfs_level_transform", "numba")(bfs_level_transform)
+    register("effective_degrees", "numba")(effective_degrees_arrays)
+    register("trim_decrement", "numba")(trim_decrement)
+    register("wcc_hook_round", "numba")(wcc_hook_round)
+    register("trim2_pattern_pairs", "numba")(trim2_pattern_pairs)
+    register("dfs_collect_colored", "numba")(dfs_collect_colored)

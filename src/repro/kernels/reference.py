@@ -1,0 +1,371 @@
+"""Reference (pure NumPy) implementations of the hot kernels.
+
+These carry the library's canonical semantics: every other backend is
+parity-tested against them (bit-identical outputs, identical trace
+work quantities).  They are also the ``numpy`` backend users can pin
+with ``--kernels numpy`` to take JIT compilation out of the picture
+when debugging.
+
+Kernel signatures are deliberately *array-level* — raw CSR arrays in,
+arrays out, no :class:`~repro.core.state.SCCState` or graph objects —
+so the same contracts can be implemented by ``@njit`` loops
+(:mod:`repro.kernels.jit`) without object-mode escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .registry import register
+
+__all__ = [
+    "segment_counts",
+    "dedup_sorted",
+    "expand_frontier",
+    "bfs_level_transform",
+    "effective_degrees_arrays",
+    "trim_decrement",
+    "wcc_hook_round",
+    "trim2_pattern_pairs",
+    "dfs_collect_colored",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: frontier-density threshold for the adaptive dedup: with more than
+#: ``n / DEDUP_DENSITY_DIVISOR`` candidate entries the O(n) bitmap
+#: beats the O(k log k) sort that ``np.unique`` performs.
+DEDUP_DENSITY_DIVISOR = 8
+
+
+def segment_counts(indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """Per-frontier-node adjacency counts, always int64.
+
+    The promotion matters: with an int32 CSR the difference inherits
+    int32, and the ``cumsum`` over it (and the total-size arithmetic)
+    can silently overflow once a frontier covers more than 2^31
+    adjacency entries.  All downstream index arithmetic therefore goes
+    through this helper.
+    """
+    counts = indptr[frontier + np.int64(1)] - indptr[frontier]
+    return counts.astype(np.int64, copy=False)
+
+
+def dedup_sorted(values: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Sorted unique node ids, choosing the representation by density.
+
+    Sparse batches sort (``np.unique``); dense batches — more than
+    1/8th of the node count — set flags in a bitmap and read them back
+    with ``flatnonzero``, which is O(n + k) instead of O(k log k) and
+    stops dense BFS levels from re-sorting mostly-duplicate targets.
+    Both paths return the identical sorted-unique array.
+    """
+    k = values.size
+    if k == 0:
+        return _EMPTY
+    if k > num_nodes // DEDUP_DENSITY_DIVISOR:
+        flags = np.zeros(num_nodes, dtype=bool)
+        flags[values] = True
+        return np.flatnonzero(flags)
+    return np.unique(values)
+
+
+def _is_contiguous_range(frontier: np.ndarray) -> bool:
+    """True when ``frontier`` is ``arange(f0, f0 + len)`` (sorted, dense)."""
+    if frontier.size <= 1:
+        return frontier.size == 1
+    if int(frontier[-1]) - int(frontier[0]) + 1 != frontier.size:
+        return False
+    return bool((np.diff(frontier) == 1).all())
+
+
+@register("expand_frontier", "numpy")
+def expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    return_sources: bool = False,
+    unique: bool = False,
+) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
+    """Gather the concatenated adjacency lists of ``frontier`` nodes.
+
+    Returns the targets array; with ``return_sources=True`` also
+    returns a parallel array repeating each frontier node once per
+    out-edge (needed by degree-counting kernels).  With ``unique=True``
+    the targets are deduplicated and sorted (density-adaptive), saving
+    callers their own ``np.unique`` pass; it cannot be combined with
+    ``return_sources`` (dedup would break the pairing).
+
+    When the frontier is a contiguous ascending range — the whole-graph
+    sweeps of Trim and WCC always are — the gather collapses to one
+    slice of ``indices``, skipping the global ``arange`` ragged-gather
+    entirely.
+    """
+    if unique and return_sources:
+        raise ValueError("unique=True cannot be combined with return_sources")
+    frontier = np.asarray(frontier, dtype=np.int64)
+    num_nodes = indptr.shape[0] - 1
+    if frontier.size == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    counts = segment_counts(indptr, frontier)
+    total = int(counts.sum())
+    if total == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    if _is_contiguous_range(frontier):
+        lo = int(indptr[frontier[0]])
+        targets = indices[lo : lo + total].astype(np.int64, copy=True)
+    else:
+        starts = indptr[frontier].astype(np.int64, copy=False)
+        cum = np.cumsum(counts)
+        # position j of output sits in segment k with offset
+        # j - (cum[k] - counts[k])
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - (cum - counts), counts
+        )
+        targets = indices[idx].astype(np.int64, copy=False)
+    if return_sources:
+        return targets, np.repeat(frontier, counts)
+    if unique:
+        return dedup_sorted(targets, num_nodes)
+    return targets
+
+
+@register("bfs_level_transform", "numpy")
+def bfs_level_transform(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    color: np.ndarray,
+    olds: np.ndarray,
+    news: np.ndarray,
+) -> Tuple[list, int]:
+    """One level of the Algorithm 5 colour-transforming traversal.
+
+    Expands ``frontier``, and for each transition ``olds[i] ->
+    news[i]`` recolours the targets whose colour is ``olds[i]``.
+    Returns ``(hits, scanned)`` where ``hits[i]`` is the sorted unique
+    array of nodes recoloured to ``news[i]`` (empty arrays for misses)
+    and ``scanned`` the adjacency entries inspected.
+
+    Contract: ``news`` values must not appear in ``olds`` (the callers
+    always map onto freshly allocated colours), which makes
+    snapshot-style and sequential recolouring equivalent.
+    """
+    targets = expand_frontier(indptr, indices, frontier)
+    scanned = int(targets.size)
+    hits = []
+    if scanned == 0:
+        return [_EMPTY for _ in range(len(olds))], 0
+    tc = color[targets]
+    for old, new in zip(olds, news):
+        hit = targets[tc == old]
+        if hit.size:
+            hit = np.unique(hit)
+            color[hit] = new
+        else:
+            hit = _EMPTY
+        hits.append(hit)
+    return hits, scanned
+
+
+@register("effective_degrees", "numpy")
+def effective_degrees_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    nodes: np.ndarray,
+    color: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Colour-restricted (out, in) degrees of ``nodes``.
+
+    Counts only neighbours with the same colour; by the DONE_COLOR
+    invariant (state.py) that also excludes detached nodes.  Returns
+    dense arrays (valid only at ``nodes``) plus the number of adjacency
+    entries scanned (for work accounting).
+    """
+    n = indptr.shape[0] - 1
+    eff_out = np.zeros(n, dtype=np.int64)
+    eff_in = np.zeros(n, dtype=np.int64)
+    scanned = 0
+    for ptr, idx, eff in (
+        (indptr, indices, eff_out),
+        (in_indptr, in_indices, eff_in),
+    ):
+        targets, sources = expand_frontier(
+            ptr, idx, nodes, return_sources=True
+        )
+        scanned += int(targets.size)
+        if targets.size:
+            valid = color[targets] == color[sources]
+            counts = np.bincount(sources[valid], minlength=n)
+            eff += counts
+    return eff_out, eff_in, scanned
+
+
+@register("trim_decrement", "numpy")
+def trim_decrement(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cand: np.ndarray,
+    old_colors: np.ndarray,
+    color: np.ndarray,
+    eff: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """Decrement neighbour degree counters for trimmed nodes ``cand``.
+
+    ``cand`` must be sorted ascending; ``old_colors[i]`` is the colour
+    ``cand[i]`` carried before it was detached.  An edge counts iff the
+    neighbour still carries that colour (marked neighbours carry
+    DONE_COLOR).  Decrements ``eff`` in place; returns ``(hit,
+    scanned)`` where ``hit`` lists the decremented neighbours (with
+    duplicates, in expansion order) for the caller's touched-set union.
+    """
+    targets, sources = expand_frontier(
+        indptr, indices, cand, return_sources=True
+    )
+    scanned = int(targets.size)
+    if scanned == 0:
+        return _EMPTY, 0
+    src_pos = np.searchsorted(cand, sources)
+    valid = color[targets] == old_colors[src_pos]
+    hit = targets[valid]
+    np.subtract.at(eff, hit, 1)
+    return hit, scanned
+
+
+@register("wcc_hook_round", "numpy")
+def wcc_hook_round(
+    u: np.ndarray,
+    v: np.ndarray,
+    wcc: np.ndarray,
+    active: np.ndarray,
+    both: bool,
+    compress: bool,
+) -> None:
+    """One Par-WCC iteration: hook (min-label pull) + optional compress.
+
+    Mutates ``wcc`` in place.  Semantics are load-bearing for trace
+    invariance: ``np.minimum.at(wcc, u, wcc[v])`` gathers ``wcc[v]`` as
+    a *snapshot* before accumulating (each pull pass sees labels from
+    the start of that pass, never labels it just wrote), and the
+    compress round is likewise snapshot gather-then-scatter
+    (``wcc[active] = wcc[wcc[active]]``).  A backend that propagates
+    labels *within* a pass converges in fewer rounds — and changes the
+    iteration count, and with it the recorded trace.
+    """
+    np.minimum.at(wcc, u, wcc[v])
+    if both:
+        np.minimum.at(wcc, v, wcc[u])
+    if compress:
+        wcc[active] = wcc[wcc[active]]
+
+
+@register("trim2_pattern_pairs", "numpy")
+def trim2_pattern_pairs(
+    nbr_ptr: np.ndarray,
+    nbr_idx: np.ndarray,
+    back_ptr: np.ndarray,
+    back_idx: np.ndarray,
+    cands: np.ndarray,
+    color: np.ndarray,
+    eff_primary: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Figure 4 pattern match: find (n, k) size-2 SCC pairs.
+
+    ``cands`` are the nodes whose effective degree (in the pattern's
+    primary direction, whose adjacency is ``nbr_ptr``/``nbr_idx``) is
+    exactly 1; ``back_ptr``/``back_idx`` is the opposite direction used
+    for the ``n -> k`` closure check.  Returns ``(n_array, k_array,
+    edges_scanned)``.
+    """
+    n_total = nbr_ptr.shape[0] - 1
+    if cands.size == 0:
+        return _EMPTY, _EMPTY, 0
+    scanned = 0
+    # The unique colour-valid neighbour of each candidate.
+    targets, sources = expand_frontier(
+        nbr_ptr, nbr_idx, cands, return_sources=True
+    )
+    scanned += int(targets.size)
+    valid = color[targets] == color[sources]
+    partner = np.full(n_total, -1, dtype=np.int64)
+    partner[sources[valid]] = targets[valid]  # exactly one write per cand
+    k_of = partner[cands]
+
+    # Closure: does the back edge (n -> k for in-pattern) exist?
+    back_t, back_s = expand_frontier(
+        back_ptr, back_idx, cands, return_sources=True
+    )
+    scanned += int(back_t.size)
+    has_back = np.zeros(n_total, dtype=bool)
+    if back_t.size:
+        match = back_t == partner[back_s]
+        has_back[back_s[match]] = True
+
+    ok = (
+        (k_of >= 0)
+        & has_back[cands]
+        & (eff_primary[k_of] == 1)
+        & (color[k_of] == color[cands])
+    )
+    return cands[ok], k_of[ok], scanned
+
+
+@register("dfs_collect_colored", "numpy")
+def dfs_collect_colored(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pivot: int,
+    olds: np.ndarray,
+    news: np.ndarray,
+    color: np.ndarray,
+) -> Tuple[list, int]:
+    """Sequential DFS twin of the colour-transforming BFS (phase 2).
+
+    Visits nodes whose colour appears in ``olds``, recolours them to
+    the paired ``news`` entry, continues through them, prunes
+    elsewhere.  Returns ``(parts, edges_scanned)`` where ``parts[i]``
+    is the **sorted** array of nodes recoloured to ``news[i]``.
+
+    The sorted-output contract (rather than visit order) is what makes
+    the backends interchangeable: a traversal's visited sets are
+    independent of visit order, so every implementation — this
+    interpreted stack DFS, the vectorized level-synchronous fallback,
+    the compiled stack DFS — lands on identical arrays, and phase-2
+    pivot selection (which indexes into these arrays) stays
+    bit-reproducible across backends.
+
+    The pivot is assumed pre-validated by the dispatcher (its colour is
+    ``olds``' first entry's partition — see
+    :func:`repro.kernels.dfs_collect_colored`).
+    """
+    trans = {int(o): int(nw) for o, nw in zip(olds, news)}
+    collected: dict[int, list[int]] = {int(nw): [] for nw in news}
+    pivot = int(pivot)
+    new_pivot = trans[int(color[pivot])]
+    color[pivot] = new_pivot
+    collected[new_pivot].append(pivot)
+    stack = [pivot]
+    edges = 0
+    while stack:
+        u = stack.pop()
+        row = indices[indptr[u] : indptr[u + 1]]
+        edges += int(row.shape[0])
+        for v in row:
+            cv = int(color[v])
+            if cv in trans:
+                nv = trans[cv]
+                color[v] = nv
+                collected[nv].append(int(v))
+                stack.append(int(v))
+    parts = [
+        np.sort(np.asarray(collected[int(nw)], dtype=np.int64))
+        if collected[int(nw)]
+        else _EMPTY
+        for nw in news
+    ]
+    return parts, edges

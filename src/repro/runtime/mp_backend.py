@@ -84,7 +84,15 @@ def _exec_task(
     phase_id = ctx["phase_id"]
     faults = ctx.get("faults")
 
-    from ..traversal.dfs import dfs_collect_colored
+    from .. import kernels
+
+    backend = ctx.get("kernel_backend")
+    if backend is not None:
+        # Fork inheritance already carries the parent's choice; setting
+        # it explicitly keeps the worker honest even if the pool ever
+        # re-execs instead of forking.
+        kernels.set_backend(backend)
+    dfs_collect_colored = kernels.dfs_collect_colored
 
     if faults is not None:
         faults.fire("task", seq, stage="pre", attempt=attempt)
@@ -101,10 +109,18 @@ def _exec_task(
 
     pivot = int(candidates[0])  # deterministic within a task
     if colors is None:
+        # Skip c while allocating: the BW transition map {c: cbw,
+        # cfw: cscc} needs its targets distinct from its sources
+        # (kernel-layer contract; see recur_fwbw_task).
         with color_counter.get_lock():
-            base = color_counter.value
-            color_counter.value += 3
-        cfw, cbw, cscc = base, base + 1, base + 2
+            fresh = []
+            nxt = color_counter.value
+            while len(fresh) < 3:
+                if nxt != c:
+                    fresh.append(nxt)
+                nxt += 1
+            color_counter.value = nxt
+        cfw, cbw, cscc = fresh
     else:
         cfw, cbw, cscc = colors
 
@@ -117,7 +133,7 @@ def _exec_task(
     if faults is not None:
         # "mid": the partition is recoloured but the SCC not committed.
         faults.fire("task", seq, stage="mid", attempt=attempt)
-    scc_nodes = np.array(bw_collected[cscc], dtype=np.int64)
+    scc_nodes = np.asarray(bw_collected[cscc], dtype=np.int64)
     with scc_counter.get_lock():
         sid = scc_counter.value
         scc_counter.value += 1
@@ -131,9 +147,9 @@ def _exec_task(
         # either way, and only a label-level verifier can tell.
         labels[pivot] = sid + 1 if sid == 0 else sid - 1
 
-    fw_all = np.array(fw_collected[cfw], dtype=np.int64)
+    fw_all = np.asarray(fw_collected[cfw], dtype=np.int64)
     fw_only = fw_all[color[fw_all] == cfw]
-    bw_only = np.array(bw_collected[cbw], dtype=np.int64)
+    bw_only = np.asarray(bw_collected[cbw], dtype=np.int64)
     remain = candidates[color[candidates] == c]
     visited = fw_all.size + bw_only.size + scc_nodes.size
     task_cost = select_cost + cost.dfs(
@@ -209,6 +225,7 @@ def run_recur_phase_processes(
         # globally installed fault plan (faults.install_plan) rides
         # along; None in normal runs keeps the hook zero-overhead.
         from . import faults as _faults
+        from ..kernels import get_backend
 
         _WORKER_CTX.clear()
         _WORKER_CTX.update(
@@ -222,6 +239,7 @@ def run_recur_phase_processes(
             cost=state.cost,
             phase_id=PHASE_RECUR,
             faults=_faults.active_plan(),
+            kernel_backend=get_backend(),
         )
         # build the transpose BEFORE forking so workers share it
         state.graph.in_indptr

@@ -268,6 +268,8 @@ def _run_pool_supervised(
         next_color = int(state.color_watermark())
         color_counter = mp.Value("q", next_color)
 
+        from ..kernels import get_backend
+
         _WORKER_CTX.clear()
         _WORKER_CTX.update(
             graph=state.graph,
@@ -280,6 +282,7 @@ def _run_pool_supervised(
             cost=state.cost,
             phase_id=PHASE_RECUR,
             faults=cfg.fault_plan,
+            kernel_backend=get_backend(),
         )
         state.graph.in_indptr  # build the transpose before forking
 
@@ -296,8 +299,15 @@ def _run_pool_supervised(
         while pending:
             batch, pending = pending, []
             for t in batch:
-                t.triple = (next_color, next_color + 1, next_color + 2)
-                next_color += 3
+                # Skip the task's own colour: the BW transition map
+                # needs targets distinct from sources (kernel-layer
+                # contract; see recur_fwbw_task).
+                triple = []
+                while len(triple) < 3:
+                    if next_color != t.color:
+                        triple.append(next_color)
+                    next_color += 1
+                t.triple = tuple(triple)
             futures = [
                 (
                     t,

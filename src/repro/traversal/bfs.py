@@ -23,6 +23,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..kernels import bfs_level_transform, dedup_sorted
 from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
 from ..runtime.trace import WorkTrace
 from .frontier import expand_frontier
@@ -69,7 +70,7 @@ def bfs_levels(g, source: int, *, direction: str = "out") -> np.ndarray:
         if targets.size == 0:
             break
         dist[targets] = level
-        frontier = np.unique(targets)
+        frontier = dedup_sorted(targets, n)
     return dist
 
 
@@ -116,7 +117,7 @@ def bfs_mask(
         if targets.size == 0:
             break
         visited[targets] = True
-        frontier = np.unique(targets)
+        frontier = dedup_sorted(targets, n)
         nodes_visited += int(frontier.size)
         levels += 1
     return visited, BFSResult(
@@ -162,8 +163,9 @@ def bfs_color_transform(
     edges = 0
     nodes_visited = 1
     while frontier.size:
-        targets = expand_frontier(indptr, indices, frontier)
-        scanned = int(targets.size)
+        hits, scanned = bfs_level_transform(
+            indptr, indices, frontier, color, transitions
+        )
         edges += scanned
         if trace is not None:
             trace.parallel_for(
@@ -173,14 +175,10 @@ def bfs_color_transform(
             )
         if scanned == 0:
             break
-        tc = color[targets]
         next_parts: List[np.ndarray] = []
-        for old, new in transitions.items():
-            hit = targets[tc == old]
+        for new, hit in zip(transitions.values(), hits):
             if hit.size == 0:
                 continue
-            hit = np.unique(hit)
-            color[hit] = new
             collected[new].append(hit)
             next_parts.append(hit)
         if not next_parts:

@@ -3,57 +3,27 @@
 Section 4.2: "for the same computation in the recursive FW-BW step, we
 use DFS instead of BFS ... the BFS implementation, optimized for
 parallel traversal, has a larger fixed cost than simple sequential
-DFS."  Phase-2 partitions are small, so these kernels run a plain
-Python loop over CSR slices; their counted work is charged at the cost
-model's DFS (pointer-chasing) rate when recorded.
+DFS."  Phase-2 partitions are small; their counted work is charged at
+the cost model's DFS (pointer-chasing) rate when recorded.
+
+:func:`dfs_collect_colored` is now dispatched through the kernel layer
+(:mod:`repro.kernels`): the ``numpy`` reference keeps the interpreted
+stack loop, the accelerated backend substitutes a compiled (or
+level-synchronous vectorized) traversal.  Since the kernel layer the
+per-colour collections come back as **sorted** :class:`numpy.ndarray`
+rather than visit-ordered lists — visited sets are order-invariant, and
+the sorted contract is what lets the backends agree bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from ..kernels import dfs_collect_colored
+
 __all__ = ["dfs_collect_colored", "dfs_reach_mask"]
-
-
-def dfs_collect_colored(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    pivot: int,
-    transitions: Dict[int, int],
-    color: np.ndarray,
-) -> Tuple[Dict[int, List[int]], int]:
-    """DFS twin of :func:`~repro.traversal.bfs.bfs_color_transform`.
-
-    Visits nodes whose colour is a key of ``transitions``, recolours
-    them to the mapped value, continues through them, prunes elsewhere.
-    Returns ``(collected, edges_scanned)`` where ``collected[new]`` is
-    the list of nodes recoloured to ``new`` (in visit order).
-    """
-    pivot_color = int(color[pivot])
-    if pivot_color not in transitions:
-        raise ValueError(
-            f"pivot colour {pivot_color} not in transition map {transitions}"
-        )
-    collected: Dict[int, List[int]] = {new: [] for new in transitions.values()}
-    new_pivot = transitions[pivot_color]
-    color[pivot] = new_pivot
-    collected[new_pivot].append(pivot)
-    stack = [pivot]
-    edges = 0
-    while stack:
-        u = stack.pop()
-        row = indices[indptr[u] : indptr[u + 1]]
-        edges += int(row.shape[0])
-        for v in row:
-            cv = int(color[v])
-            if cv in transitions:
-                nv = transitions[cv]
-                color[v] = nv
-                collected[nv].append(int(v))
-                stack.append(int(v))
-    return collected, edges
 
 
 def dfs_reach_mask(

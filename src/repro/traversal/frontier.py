@@ -1,48 +1,21 @@
-"""Frontier expansion: the core vectorized CSR gather.
+"""Frontier expansion: the core CSR gather.
 
 Given a set of frontier nodes, collect all their adjacency-list entries
 in one shot — the inner loop of every level-synchronous kernel here
-(BFS levels, trim degree counts, WCC propagation).  The index
-arithmetic avoids any per-node Python work: positions within each
-node's adjacency slice are generated by offsetting a global ``arange``
-with per-segment corrections (the standard ragged-gather trick).
+(BFS levels, trim degree counts, WCC propagation).
+
+Since the kernel layer landed this module is a thin façade: the actual
+implementations live in :mod:`repro.kernels` (the vectorized
+ragged-gather reference with its contiguous-range fast path, plus the
+``@njit`` loop when the numba backend is active) and are selected by
+the kernel registry at call time.  The public signature gained two
+options there: ``unique=True`` returns density-adaptively deduplicated
+sorted targets, and int32 CSR inputs are overflow-safe (counts are
+promoted before the cumulative-sum index arithmetic).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-import numpy as np
+from ..kernels import expand_frontier
 
 __all__ = ["expand_frontier"]
-
-
-def expand_frontier(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    frontier: np.ndarray,
-    *,
-    return_sources: bool = False,
-) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
-    """Gather the concatenated adjacency lists of ``frontier`` nodes.
-
-    Returns the targets array; with ``return_sources=True`` also
-    returns a parallel array repeating each frontier node once per
-    out-edge (needed by degree-counting kernels).
-    """
-    frontier = np.asarray(frontier, dtype=np.int64)
-    counts = indptr[frontier + 1] - indptr[frontier]
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return (empty, empty) if return_sources else empty
-    starts = indptr[frontier]
-    cum = np.cumsum(counts)
-    # position j of output sits in segment k with offset j - (cum[k]-counts[k])
-    idx = np.arange(total, dtype=np.int64) + np.repeat(
-        starts - (cum - counts), counts
-    )
-    targets = indices[idx]
-    if return_sources:
-        return targets, np.repeat(frontier, counts)
-    return targets

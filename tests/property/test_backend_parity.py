@@ -1,0 +1,70 @@
+"""Backend parity gates: the pipelines must not notice the backend.
+
+The kernel layer's contract is stronger than "same SCCs": the backends
+must produce *bit-identical* label arrays and *identical* recorded
+traces (every work quantity, every task cost), because the simulated
+scheduler figures are derived from the trace and may never depend on
+which backend executed the kernels.  These tests pin that contract on
+randomized graphs and on the full Method 1 / Method 2 pipelines.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import SCCState, par_trim, par_trim2, par_wcc
+from repro.core.api import strongly_connected_components
+from repro.core.result import same_partition
+from repro.kernels import use_backend
+from tests.conftest import scipy_scc_labels
+from tests.property.test_scc_properties import digraphs
+
+BACKENDS = ("numpy", "numba")
+
+
+def _run_method(g, method, backend):
+    with use_backend(backend):
+        return strongly_connected_components(g, method, seed=3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs())
+def test_method1_bit_identical_across_backends(g):
+    base = _run_method(g, "method1", "numpy")
+    assert same_partition(base.labels, scipy_scc_labels(g))
+    other = _run_method(g, "method1", "numba")
+    assert np.array_equal(base.labels, other.labels)
+    assert base.profile.trace.records == other.profile.trace.records
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs())
+def test_method2_bit_identical_across_backends(g):
+    base = _run_method(g, "method2", "numpy")
+    assert same_partition(base.labels, scipy_scc_labels(g))
+    other = _run_method(g, "method2", "numba")
+    assert np.array_equal(base.labels, other.labels)
+    assert base.profile.trace.records == other.profile.trace.records
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=digraphs())
+def test_phase1_kernels_state_parity(g):
+    """Trim, Trim2 and WCC leave identical state under every backend."""
+    outcomes = []
+    for backend in BACKENDS:
+        s = SCCState(g)
+        with use_backend(backend):
+            par_trim(s)
+            par_trim2(s)
+            items = par_wcc(s)
+        outcomes.append((s, items))
+    ref_state, ref_items = outcomes[0]
+    for state, items in outcomes[1:]:
+        assert np.array_equal(state.color, ref_state.color)
+        assert np.array_equal(state.mark, ref_state.mark)
+        assert np.array_equal(state.labels, ref_state.labels)
+        assert state.trace.records == ref_state.trace.records
+        assert len(items) == len(ref_items)
+        for (c_a, n_a), (c_b, n_b) in zip(items, ref_items):
+            assert c_a == c_b
+            assert np.array_equal(n_a, n_b)

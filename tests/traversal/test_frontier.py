@@ -57,3 +57,110 @@ class TestExpandFrontier:
                 ref_s.append(int(u))
         assert np.array_equal(t, ref_t)
         assert np.array_equal(s, ref_s)
+
+
+class TestContiguousFastPath:
+    def test_full_range_matches_general_gather(self):
+        g = random_digraph(60, 300, seed=5)
+        frontier = np.arange(60, dtype=np.int64)
+        fast = expand_frontier(g.indptr, g.indices, frontier)
+        scattered = expand_frontier(
+            g.indptr, g.indices, frontier[::2]
+        )  # non-contiguous control uses the general path
+        ref = g.indices.astype(np.int64)
+        assert np.array_equal(fast, ref)
+        assert scattered.size <= fast.size
+
+    def test_subrange_matches_general_gather(self):
+        g = random_digraph(60, 300, seed=6)
+        lo, hi = 13, 41
+        frontier = np.arange(lo, hi, dtype=np.int64)
+        fast = expand_frontier(g.indptr, g.indices, frontier)
+        ref = g.indices[g.indptr[lo] : g.indptr[hi]].astype(np.int64)
+        assert np.array_equal(fast, ref)
+
+    def test_fast_path_returns_a_copy(self):
+        # The slice must be copied: callers recolour through the result
+        # and must never alias the CSR adjacency array.
+        g = from_edge_list([(0, 1), (1, 0)], 2)
+        t = expand_frontier(g.indptr, g.indices, np.array([0, 1]))
+        t[0] = 99
+        assert g.indices[0] != 99
+
+    def test_single_node_is_contiguous(self):
+        g = from_edge_list([(0, 1), (0, 2)], 3)
+        t = expand_frontier(g.indptr, g.indices, np.array([1]))
+        assert t.size == 0
+
+
+class TestUniqueOption:
+    def test_unique_sorted_dedup(self):
+        g = from_edge_list([(0, 2), (0, 1), (1, 1), (1, 2)], 3)
+        t = expand_frontier(g.indptr, g.indices, np.array([0, 1]), unique=True)
+        assert np.array_equal(t, [1, 2])
+
+    def test_unique_dense_bitmap_equals_sparse_sort(self):
+        # Both dedup representations must return the same array; force
+        # the dense path with a frontier covering the whole graph.
+        g = random_digraph(40, 400, seed=9)
+        frontier = np.arange(40, dtype=np.int64)
+        t = expand_frontier(g.indptr, g.indices, frontier, unique=True)
+        ref = np.unique(expand_frontier(g.indptr, g.indices, frontier))
+        assert np.array_equal(t, ref)
+
+    def test_unique_with_sources_rejected(self):
+        g = from_edge_list([(0, 1)], 2)
+        import pytest
+
+        with pytest.raises(ValueError):
+            expand_frontier(
+                g.indptr, g.indices, np.array([0]),
+                return_sources=True, unique=True,
+            )
+
+
+class TestInt32OverflowRegression:
+    """Regression: int32 CSR counts must be promoted before cumsum.
+
+    A frontier covering > 2**31 adjacency entries cannot be allocated
+    in a test, so the regression is pinned at the arithmetic level: the
+    counts helper must return int64 for int32 input, making the cumsum
+    (which previously inherited int32 and wrapped negative) exact.
+    """
+
+    def test_segment_counts_promotes_int32(self):
+        from repro.kernels import segment_counts
+
+        big = 2**30
+        indptr = np.array([0, big, 2 * big, 3 * big], dtype=np.int64)
+        # int64 holds the values; the dtype under test is the *counts*
+        counts = segment_counts(
+            indptr, np.array([0, 1, 2], dtype=np.int64)
+        )
+        assert counts.dtype == np.int64
+        assert int(np.cumsum(counts)[-1]) == 3 * big
+
+    def test_int32_indptr_counts_cumsum_exact(self):
+        from repro.kernels import segment_counts
+
+        # int32 indptr whose pairwise differences sum past int32 range
+        # when accumulated naively.
+        vals = [0, 2**30, 2**31 - 2]
+        indptr = np.array(vals, dtype=np.int32)
+        counts = segment_counts(indptr, np.array([0, 1], dtype=np.int64))
+        assert counts.dtype == np.int64
+        total = int(np.cumsum(counts)[-1])
+        assert total == 2**31 - 2  # would wrap negative in int32
+        naive = (indptr[1:] - indptr[:-1]).astype(np.int32)
+        assert np.cumsum(naive + naive)[-1] < 0  # the bug being guarded
+
+    def test_int32_csr_small_graph_roundtrip(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 2), (2, 0)], 3)
+        indptr32 = g.indptr.astype(np.int32)
+        indices32 = g.indices.astype(np.int32)
+        t, s = expand_frontier(
+            indptr32, indices32, np.array([0, 2]), return_sources=True
+        )
+        assert t.dtype == np.int64
+        assert np.array_equal(t, [1, 2, 0])
+        assert np.array_equal(s, [0, 0, 2])
