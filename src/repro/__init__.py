@@ -24,19 +24,32 @@ Quickstart::
     print("simulated 32-thread speedup:", t_seq / t_par)
 """
 
-from . import analysis, core, generators, graph, runtime, traversal
+from . import analysis, core, errors, generators, graph, runtime, traversal
 from .core import strongly_connected_components, SCCResult
+from .errors import (
+    CheckpointError,
+    GraphIngestError,
+    GraphValidationError,
+    PhaseTimeoutError,
+    ReproError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
     "core",
+    "errors",
     "generators",
     "graph",
     "runtime",
     "traversal",
     "strongly_connected_components",
     "SCCResult",
+    "ReproError",
+    "GraphIngestError",
+    "GraphValidationError",
+    "CheckpointError",
+    "PhaseTimeoutError",
     "__version__",
 ]

@@ -7,11 +7,19 @@ Usage (installed as ``python -m repro``)::
     python -m repro scc --input my_edges.txt --method tarjan
     python -m repro sweep --dataset twitter
     python -m repro info --dataset ca-road
+    python -m repro run --input web.txt.gz --checkpoint-dir ckpts/
+    python -m repro run --resume ckpts/
 
 ``scc`` detects SCCs and (for the parallel methods) reports the
 simulated time at the requested thread count; ``sweep`` prints a full
 Figure 6-style panel; ``info`` prints structural statistics without
-running the parallel algorithms.
+running the parallel algorithms; ``run`` executes under the lifecycle
+harness (phase-boundary checkpoints, per-phase deadlines, backend
+degradation) and ``run --resume`` continues an interrupted run.
+
+Failures exit with the typed codes documented in
+:mod:`repro.errors` (11 = ingest, 12 = validation, 13 = checkpoint,
+14 = phase timeout, ...), so scripts can branch on *what* failed.
 """
 
 from __future__ import annotations
@@ -67,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             help="surrogate scale factor (default: $REPRO_SCALE or 1.0)",
+        )
+        p.add_argument(
+            "--on-error",
+            default="strict",
+            choices=("strict", "repair", "skip"),
+            help="malformed-input policy for --input files: 'strict' "
+            "fails with file:line diagnostics, 'repair' coerces what "
+            "it safely can, 'skip' drops bad records (both report "
+            "what they changed)",
         )
 
     p_list = sub.add_parser("datasets", help="list dataset surrogates")
@@ -138,6 +155,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="structural statistics")
     add_graph_source(p_info)
 
+    p_run = sub.add_parser(
+        "run",
+        help="checkpointed, resumable run under the lifecycle harness",
+        parents=[kernel_parent],
+    )
+    src = p_run.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--dataset", help="surrogate dataset name (see `repro datasets`)"
+    )
+    src.add_argument("--input", help="edge-list file (src dst per line)")
+    src.add_argument(
+        "--resume",
+        metavar="CKPT",
+        help="checkpoint file or directory to resume from; the run "
+        "configuration and input graph are restored from the "
+        "checkpoint, and execution picks up at the first incomplete "
+        "phase",
+    )
+    p_run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="surrogate scale factor (default: $REPRO_SCALE or 1.0)",
+    )
+    p_run.add_argument(
+        "--on-error",
+        default="strict",
+        choices=("strict", "repair", "skip"),
+        help="malformed-input policy for --input files",
+    )
+    p_run.add_argument(
+        "--method",
+        default="method2",
+        choices=("method1", "method2"),
+        help="paper pipeline to run (the harness covers the "
+        "checkpointable phase plans)",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for phase-boundary checkpoints (plus the "
+        "input graph); omit to run without persistence",
+    )
+    p_run.add_argument(
+        "--phase-timeout",
+        type=float,
+        default=None,
+        help="per-phase wall-clock deadline in seconds; a wedged "
+        "phase fails typed (exit 14) instead of hanging",
+    )
+    p_run.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "threads", "processes", "supervised"),
+        help="phase-2 executor (default serial; on resume, the "
+        "checkpointed choice unless overridden)",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the non-serial backends",
+    )
+    p_run.add_argument(
+        "--threads",
+        type=int,
+        default=32,
+        help="simulated thread count for the timing report",
+    )
+
     p_dist = sub.add_parser(
         "distributed",
         help="distributed (BSP) Method 1 rank-scaling report",
@@ -178,7 +266,12 @@ def _load_graph(args):
     if args.dataset:
         bundle = generate(args.dataset, scale=args.scale)
         return bundle.graph, args.dataset
-    g = read_edge_list(args.input)
+    on_error = getattr(args, "on_error", "strict")
+    g, report = read_edge_list(
+        args.input, on_error=on_error, return_report=True
+    )
+    if not report.clean:
+        print(f"ingest [{on_error}]: {report.summary()}", file=sys.stderr)
     return g, args.input
 
 
@@ -277,6 +370,74 @@ def _cmd_scc(args) -> int:
         print(
             f"simulated time @{args.threads} threads: "
             f"{sim.total_time:.0f} edge-units"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .runtime import Machine
+    from .runtime.lifecycle import RunHarness
+
+    if args.resume:
+        overrides = {}
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.workers is not None:
+            overrides["num_threads"] = args.workers
+        if args.phase_timeout is not None:
+            overrides["phase_timeout"] = args.phase_timeout
+        harness = RunHarness.from_checkpoint(args.resume, **overrides)
+        result = harness.resume(args.resume)
+        label = args.resume
+    else:
+        g, label = _load_graph(args)
+        print(f"graph {label}: {g.num_nodes} nodes, {g.num_edges} edges")
+        harness = RunHarness(
+            args.method,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            phase_timeout=args.phase_timeout,
+            backend=args.backend or "serial",
+            num_threads=args.workers if args.workers is not None else 2,
+        )
+        result = harness.run(g)
+
+    report = harness.report
+    print(f"method: {report.method}")
+    if report.resumed_from:
+        picked_up = report.resumed_phase or "complete (verified only)"
+        print(f"resumed from: {report.resumed_from}")
+        print(f"picked up at phase: {picked_up}")
+    print(f"phases run: {', '.join(report.phases_run) or '(none)'}")
+    if report.checkpoints:
+        import os
+
+        print(
+            f"checkpoints: {len(report.checkpoints)} written to "
+            f"{os.path.dirname(report.checkpoints[-1])}"
+        )
+    if report.degradations:
+        print(
+            f"backend degraded {report.degradations}x "
+            f"-> {report.degraded_to}"
+        )
+    gate = (
+        "labels verified (Tarjan cross-check)"
+        if report.cross_checked
+        else "labels verified"
+    )
+    print(gate)
+    print(f"SCCs: {result.num_sccs}")
+    print(
+        f"largest SCC: {result.largest_scc_size()} "
+        f"({result.giant_fraction():.1%})"
+    )
+    if result.profile is not None:
+        sim = Machine().simulate(result.profile.trace, args.threads)
+        scope = " (resumed portion)" if report.resumed_from else ""
+        print(
+            f"simulated time @{args.threads} threads: "
+            f"{sim.total_time:.0f} edge-units{scope}"
         )
     return 0
 
@@ -403,9 +564,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scc": _cmd_scc,
         "sweep": _cmd_sweep,
         "info": _cmd_info,
+        "run": _cmd_run,
         "distributed": _cmd_distributed,
     }
-    return handlers[args.command](args)
+    from .errors import ReproError, exit_code_for
+
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,26 +7,31 @@ SCC exposes fresh trimming opportunities.  Phase 2 (task-level
 parallelism): the conventional Recur-FWBW over the work queue (K = 1),
 seeded by a scan of the surviving colour partitions (Section 4.2's
 deferred set construction).
+
+The pipeline is defined once, as a phase plan (:mod:`repro.core.phases`):
+:func:`method1_scc` runs it straight through, while the checkpointing
+run harness (:mod:`repro.runtime.lifecycle`) runs the same plan with
+persistence at every phase boundary.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 from ..graph import CSRGraph
 from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
 from .parfwbw import par_fwbw
+from .phases import PhaseSpec, run_plan
 from .recurfwbw import collect_color_sets, run_recur_phase
 from .result import SCCResult
 from .state import SCCState
 from .trim import par_trim
 
-__all__ = ["method1_scc"]
+__all__ = ["method1_scc", "method1_phases"]
 
 
-def method1_scc(
-    g: CSRGraph,
+def method1_phases(
     *,
-    seed: int | None = 0,
-    cost: CostModel = DEFAULT_COST_MODEL,
     giant_threshold: float = 0.01,
     max_fwbw_trials: int = 5,
     pivot_strategy: str = "random",
@@ -36,13 +41,13 @@ def method1_scc(
     backend: str = "serial",
     num_threads: int = 4,
     supervisor=None,
-) -> SCCResult:
-    """Algorithm 6.  See :func:`repro.core.api.strongly_connected_components`."""
-    state = SCCState(g, seed=seed, cost=cost)
-    # Phase 1: parallelism in trims and traversals.
-    with state.profile.wall_timer("par_trim"):
+) -> List[PhaseSpec]:
+    """The Algorithm 6 pipeline as a checkpointable phase plan."""
+
+    def trim(state: SCCState, ctx) -> None:
         par_trim(state)
-    with state.profile.wall_timer("par_fwbw"):
+
+    def fwbw(state: SCCState, ctx) -> None:
         par_fwbw(
             state,
             0,
@@ -51,22 +56,44 @@ def method1_scc(
             pivot_strategy=pivot_strategy,
             bfs_kernel=bfs_kernel,
         )
-    with state.profile.wall_timer("par_trim"):
-        par_trim(state)
-    # Phase 2: parallelism in recursion.
-    with state.profile.wall_timer("recur_fwbw"):
+
+    def collect(state: SCCState, ctx) -> None:
         initial = collect_color_sets(state, phase="recur_fwbw")
         if pivot_repr == "scan":
             initial = [(c, None) for c, _ in initial]
+        ctx["queue"] = initial
+
+    def recur(state: SCCState, ctx) -> None:
         run_recur_phase(
             state,
-            initial,
+            ctx["queue"],
             queue_k=queue_k,
             pivot_strategy=pivot_strategy,
-            backend=backend,
+            backend=ctx.get("backend", backend),
             num_threads=num_threads,
             supervisor=supervisor,
+            deadline=ctx.get("deadline"),
         )
+
+    return [
+        PhaseSpec("par_trim_1", "par_trim", trim),
+        PhaseSpec("par_fwbw", "par_fwbw", fwbw),
+        PhaseSpec("par_trim_2", "par_trim", trim),
+        PhaseSpec("collect_queue", "recur_fwbw", collect),
+        PhaseSpec("recur_fwbw", "recur_fwbw", recur, uses_backend=True),
+    ]
+
+
+def method1_scc(
+    g: CSRGraph,
+    *,
+    seed: int | None = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    **kwargs,
+) -> SCCResult:
+    """Algorithm 6.  See :func:`repro.core.api.strongly_connected_components`."""
+    state = SCCState(g, seed=seed, cost=cost)
+    run_plan(state, method1_phases(**kwargs))
     state.check_done()
     return SCCResult(
         labels=state.labels,

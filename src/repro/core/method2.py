@@ -6,13 +6,19 @@ ordinary trims), Par-WCC (each weakly connected component of the
 shattered remainder becomes its own work item), then Recur-FWBW with
 K = 8 — Method 2 generates enough task parallelism that larger fetch
 batches pay off (Section 4.3).
+
+Like Method 1, the pipeline is a phase plan (:mod:`repro.core.phases`)
+shared between the plain runner and the checkpointing run harness.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 from ..graph import CSRGraph
 from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
 from .parfwbw import par_fwbw
+from .phases import PhaseSpec, run_plan
 from .recurfwbw import run_recur_phase
 from .result import SCCResult
 from .state import SCCState
@@ -20,14 +26,11 @@ from .trim import par_trim
 from .trim2 import par_trim2
 from .wcc import par_wcc
 
-__all__ = ["method2_scc"]
+__all__ = ["method2_scc", "method2_phases"]
 
 
-def method2_scc(
-    g: CSRGraph,
+def method2_phases(
     *,
-    seed: int | None = 0,
-    cost: CostModel = DEFAULT_COST_MODEL,
     giant_threshold: float = 0.01,
     max_fwbw_trials: int = 5,
     pivot_strategy: str = "random",
@@ -40,19 +43,19 @@ def method2_scc(
     backend: str = "serial",
     num_threads: int = 4,
     supervisor=None,
-) -> SCCResult:
-    """Algorithm 9.  See :func:`repro.core.api.strongly_connected_components`.
+) -> List[PhaseSpec]:
+    """The Algorithm 9 pipeline as a checkpointable phase plan.
 
     ``use_trim2=False`` drops the Par-Trim2 step (the Section 3.4
     ablation: expect the WCC step to slow down on chain-heavy graphs).
     ``wcc_compress=False`` disables WCC pointer jumping, reproducing
     the paper's slow-convergence behaviour on high-diameter graphs.
     """
-    state = SCCState(g, seed=seed, cost=cost)
-    # Phase 1: parallelism in trims, traversals and WCC.
-    with state.profile.wall_timer("par_trim"):
+
+    def trim(state: SCCState, ctx) -> None:
         par_trim(state)
-    with state.profile.wall_timer("par_fwbw"):
+
+    def fwbw(state: SCCState, ctx) -> None:
         par_fwbw(
             state,
             0,
@@ -61,32 +64,56 @@ def method2_scc(
             pivot_strategy=pivot_strategy,
             bfs_kernel=bfs_kernel,
         )
-    # Par-Trim' = Trim, Trim2 (once), Trim.
-    with state.profile.wall_timer("par_trim"):
-        par_trim(state)
-    if use_trim2:
-        with state.profile.wall_timer("par_trim2"):
-            par_trim2(state)
-        with state.profile.wall_timer("par_trim"):
-            par_trim(state)
-    with state.profile.wall_timer("par_wcc"):
+
+    def trim2(state: SCCState, ctx) -> None:
+        par_trim2(state)
+
+    def wcc(state: SCCState, ctx) -> None:
         items = par_wcc(
             state, directions=wcc_directions, compress=wcc_compress
         )
-    # Phase 2: parallelism in recursion.
-    with state.profile.wall_timer("recur_fwbw"):
-        initial = items
         if pivot_repr == "scan":
-            initial = [(c, None) for c, _ in items]
+            items = [(c, None) for c, _ in items]
+        ctx["queue"] = items
+
+    def recur(state: SCCState, ctx) -> None:
         run_recur_phase(
             state,
-            initial,
+            ctx["queue"],
             queue_k=queue_k,
             pivot_strategy=pivot_strategy,
-            backend=backend,
+            backend=ctx.get("backend", backend),
             num_threads=num_threads,
             supervisor=supervisor,
+            deadline=ctx.get("deadline"),
         )
+
+    plan = [
+        PhaseSpec("par_trim_1", "par_trim", trim),
+        PhaseSpec("par_fwbw", "par_fwbw", fwbw),
+        # Par-Trim' = Trim, Trim2 (once), Trim.
+        PhaseSpec("par_trim_2", "par_trim", trim),
+    ]
+    if use_trim2:
+        plan.append(PhaseSpec("par_trim2", "par_trim2", trim2))
+        plan.append(PhaseSpec("par_trim_3", "par_trim", trim))
+    plan.append(PhaseSpec("par_wcc", "par_wcc", wcc))
+    plan.append(
+        PhaseSpec("recur_fwbw", "recur_fwbw", recur, uses_backend=True)
+    )
+    return plan
+
+
+def method2_scc(
+    g: CSRGraph,
+    *,
+    seed: int | None = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    **kwargs,
+) -> SCCResult:
+    """Algorithm 9.  See :func:`repro.core.api.strongly_connected_components`."""
+    state = SCCState(g, seed=seed, cost=cost)
+    run_plan(state, method2_phases(**kwargs))
     state.check_done()
     return SCCResult(
         labels=state.labels,

@@ -25,12 +25,14 @@ trace so the simulated scheduler can replay it at any thread count.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import PhaseTimeoutError
 from ..kernels import dfs_collect_colored
 from ..runtime.trace import Task
 from ..runtime.workqueue import TwoLevelWorkQueue
@@ -135,6 +137,7 @@ def run_recur_phase(
     backend: str = "serial",
     num_threads: int = 4,
     supervisor=None,
+    deadline: Optional[float] = None,
 ) -> int:
     """Drain the phase-2 work queue; returns the number of tasks run.
 
@@ -147,13 +150,21 @@ def run_recur_phase(
     deadlines, retry of failed tasks, degradation to the serial driver,
     and post-run label verification.  ``supervisor`` optionally carries
     a :class:`~repro.runtime.supervisor.SupervisorConfig`.
+
+    ``deadline`` (absolute ``time.monotonic()`` value) bounds the
+    serial and threaded drivers; past it the phase raises
+    :class:`~repro.errors.PhaseTimeoutError`.  The process backends are
+    already bounded per-task by the supervisor's own timeouts.
     """
     items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
     tasks: List[Task] = []
+    start = time.monotonic()
 
     if backend == "serial":
         queue: deque[WorkItem] = deque(items)
         while queue:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise PhaseTimeoutError(phase, time.monotonic() - start)
             item = queue.popleft()
             children, task_cost = recur_fwbw_task(
                 state, item, pivot_strategy=pivot_strategy
@@ -179,7 +190,9 @@ def run_recur_phase(
                 ch.parent = idx
             return children
 
-        TwoLevelWorkQueue(num_threads, k=queue_k).run(items, process)
+        TwoLevelWorkQueue(num_threads, k=queue_k).run(
+            items, process, deadline=deadline, phase=phase
+        )
     elif backend == "processes":
         from ..runtime.mp_backend import run_recur_phase_processes
 

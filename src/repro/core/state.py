@@ -21,12 +21,14 @@ detached nodes without consulting ``mark``.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from ..errors import ReproError
 from ..graph import CSRGraph
 from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
 from ..runtime.metrics import ExecutionProfile
@@ -61,8 +63,10 @@ PHASE_NAMES = {
 }
 
 
-class StateInvariantError(RuntimeError):
+class StateInvariantError(ReproError, RuntimeError):
     """Raised when :meth:`SCCState.check_invariants` finds corruption."""
+
+    exit_code = 15
 
 
 @dataclass(frozen=True)
@@ -223,6 +227,22 @@ class SCCState:
             raise RuntimeError(
                 f"{missing} nodes left unlabelled after SCC detection"
             )
+
+    # ------------------------------------------------------------------
+    def rng_state(self) -> dict:
+        """JSON-serializable snapshot of the pivot RNG.
+
+        Restoring it with :meth:`set_rng_state` continues the exact
+        pivot sequence — the property that makes a checkpointed run
+        resume bit-identically to an uninterrupted one.
+        """
+        with self._lock:
+            return copy.deepcopy(self.rng.bit_generator.state)
+
+    def set_rng_state(self, st: dict) -> None:
+        """Restore an RNG snapshot taken by :meth:`rng_state`."""
+        with self._lock:
+            self.rng.bit_generator.state = copy.deepcopy(st)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> StateSnapshot:

@@ -1,0 +1,116 @@
+"""The :class:`ReproError` taxonomy: one exception class per failure
+boundary, each with a distinct process exit code.
+
+A production run can fail at three boundaries — ingesting a graph,
+executing/checkpointing the run, and verifying the result — and an
+operator (or a retry controller) needs to tell them apart without
+parsing tracebacks.  Every failure the library raises deliberately is a
+:class:`ReproError` subclass carrying an ``exit_code``; the CLI maps an
+uncaught instance to that code (``repro ... ; echo $?``).
+
+========================  ====  =============================================
+class                     exit  raised when
+========================  ====  =============================================
+``ReproError``              10  generic library failure (base class)
+``GraphIngestError``        11  malformed / corrupt input data (file + line)
+``GraphValidationError``    12  a loaded/built CSR violates an invariant
+``CheckpointError``         13  checkpoint missing, corrupt, or mismatched
+``PhaseTimeoutError``       14  a pipeline phase exceeded its deadline
+``StateInvariantError``     15  self-verification found corrupted labels
+``PoolBrokenError``         16  worker pool exhausted its retry budgets
+========================  ====  =============================================
+
+Classes that replace historically raised builtin exceptions keep the
+builtin as a secondary base (``GraphIngestError`` is a ``ValueError``,
+``StateInvariantError`` a ``RuntimeError``, ...) so pre-existing
+``except`` clauses keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+__all__ = [
+    "ReproError",
+    "GraphIngestError",
+    "GraphValidationError",
+    "CheckpointError",
+    "PhaseTimeoutError",
+    "exit_code_for",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate failure this library raises."""
+
+    #: process exit status the CLI uses for this failure class.
+    exit_code = 10
+
+
+class GraphIngestError(ReproError, ValueError):
+    """Input data could not be ingested under the active policy.
+
+    Carries the offending ``path`` and (for line-oriented formats) the
+    1-based ``line`` number, both woven into the message so the error
+    is actionable without opening a debugger.
+    """
+
+    exit_code = 11
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[PathLike] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.line = line
+        if self.path is not None and line is not None:
+            message = f"{self.path}:{line}: {message}"
+        elif self.path is not None:
+            message = f"{self.path}: {message}"
+        super().__init__(message)
+
+
+class GraphValidationError(ReproError, ValueError):
+    """A CSR graph violates a structural invariant (see graph.validate)."""
+
+    exit_code = 12
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A run checkpoint is missing, corrupt, or from a different run."""
+
+    exit_code = 13
+
+    def __init__(
+        self, message: str, *, path: Optional[PathLike] = None
+    ) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        if self.path is not None:
+            message = f"{self.path}: {message}"
+        super().__init__(message)
+
+
+class PhaseTimeoutError(ReproError, TimeoutError):
+    """A pipeline phase exceeded its wall-clock deadline."""
+
+    exit_code = 14
+
+    def __init__(self, phase: str, seconds: float) -> None:
+        self.phase = phase
+        self.seconds = seconds
+        super().__init__(
+            f"phase {phase!r} exceeded its {seconds:g}s deadline"
+        )
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit status for ``exc`` (1 for non-Repro failures)."""
+    if isinstance(exc, ReproError):
+        return exc.exit_code
+    return 1

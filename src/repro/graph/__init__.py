@@ -18,6 +18,8 @@ from .build import (
 from .orient import orient_undirected, symmetrize
 from .subgraph import induced_subgraph, color_subgraph
 from .io import (
+    IngestReport,
+    ON_ERROR_POLICIES,
     read_edge_list,
     write_edge_list,
     save_npz,
@@ -25,6 +27,7 @@ from .io import (
     read_matrix_market,
     write_matrix_market,
 )
+from ..errors import GraphIngestError
 from .validate import validate_graph, GraphValidationError
 from .reorder import bfs_order, degree_order, apply_order, locality_score
 
@@ -38,6 +41,9 @@ __all__ = [
     "symmetrize",
     "induced_subgraph",
     "color_subgraph",
+    "IngestReport",
+    "ON_ERROR_POLICIES",
+    "GraphIngestError",
     "read_edge_list",
     "write_edge_list",
     "save_npz",

@@ -9,13 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import GraphValidationError
 from .csr import CSRGraph
 
 __all__ = ["GraphValidationError", "validate_graph"]
-
-
-class GraphValidationError(ValueError):
-    """Raised when a CSR graph violates a structural invariant."""
 
 
 def validate_graph(g: CSRGraph, *, check_transpose: bool = True) -> None:

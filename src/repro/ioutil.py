@@ -1,0 +1,95 @@
+"""Filesystem primitives shared by graph I/O and run checkpoints.
+
+Two needs recur across the resilient-ingestion layer:
+
+* **Atomic publication** — a dataset or checkpoint file must never be
+  observable half-written.  Both helpers here write to a temporary file
+  in the *same directory* (so the final ``os.replace`` is a same-
+  filesystem rename, which POSIX guarantees atomic) and clean the
+  temporary up on any failure, so a crash mid-write leaves either the
+  old complete file or nothing — never a truncated one.
+* **Integrity tags** — checkpoints carry a CRC32 over their payload so
+  a torn or bit-rotted file is detected at load time instead of
+  resuming from garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zlib
+from contextlib import contextmanager
+from typing import IO, Iterator, Union
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = ["atomic_write", "atomic_path", "crc32_chunks"]
+
+
+def _mktemp_beside(path: str, suffix: str) -> str:
+    """A fresh temp filename in ``path``'s directory (same filesystem)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory,
+        prefix=os.path.basename(path) + ".tmp.",
+        suffix=suffix,
+    )
+    os.close(fd)
+    return tmp
+
+
+@contextmanager
+def atomic_write(
+    path: PathLike, mode: str = "w", **open_kwargs
+) -> Iterator[IO]:
+    """Open a temp file for writing; rename over ``path`` on success.
+
+    On any exception the temp file is removed and ``path`` is left
+    exactly as it was.  The file is flushed and fsynced before the
+    rename so the publication is durable, not just atomic.
+    """
+    path = os.fspath(path)
+    tmp = _mktemp_beside(path, suffix="")
+    try:
+        with open(tmp, mode, **open_kwargs) as f:
+            yield f
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def atomic_path(path: PathLike, *, suffix: str = "") -> Iterator[str]:
+    """Yield a temp *path* for writers that open files themselves
+    (``np.savez``, ``scipy.io.mmwrite``); rename over ``path`` on
+    success, delete on failure.
+
+    ``suffix`` matters for writers that append an extension when the
+    target has none (``np.savez`` adds ``.npz``): passing the real
+    extension keeps the temp name stable so the rename finds it.
+    """
+    path = os.fspath(path)
+    tmp = _mktemp_beside(path, suffix=suffix)
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def crc32_chunks(*chunks: bytes) -> int:
+    """CRC32 accumulated over ``chunks`` in order (unsigned)."""
+    crc = 0
+    for chunk in chunks:
+        crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

@@ -34,6 +34,12 @@ from .supervisor import (
     SupervisorReport,
     run_supervised_recur_phase,
 )
+from .lifecycle import (
+    RunHarness,
+    RunReport,
+    latest_checkpoint,
+    load_checkpoint,
+)
 
 __all__ = [
     "CostModel",
@@ -68,4 +74,8 @@ __all__ = [
     "SupervisorConfig",
     "SupervisorReport",
     "run_supervised_recur_phase",
+    "RunHarness",
+    "RunReport",
+    "latest_checkpoint",
+    "load_checkpoint",
 ]

@@ -17,6 +17,12 @@ Injection sites:
   backend numbers every dispatch with a monotone sequence id.
 * ``"queue"`` — the threaded :class:`~repro.runtime.workqueue.
   TwoLevelWorkQueue` worker loop (tasks numbered in start order).
+* ``"phase"`` — the run-lifecycle harness
+  (:class:`~repro.runtime.lifecycle.RunHarness`); the index is the
+  phase position in the plan and the stage maps to the checkpoint
+  boundary (``"pre"`` = phase entry, ``"mid"`` = phase done but
+  checkpoint not yet written, ``"post"`` = checkpoint published) —
+  the kill-and-resume tests crash the run at exact boundaries.
 
 Each fault fires at one *stage* of the task lifecycle:
 

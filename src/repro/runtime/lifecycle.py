@@ -1,0 +1,667 @@
+"""Run lifecycle: checkpointed, resumable, deadline-bounded SCC runs.
+
+PR 1 hardened the *task* level (supervised workers, bounded retries);
+this layer hardens the *run* level.  A :class:`RunHarness` executes the
+Method 1/2 phase plans (:mod:`repro.core.phases`) and, at every phase
+boundary, publishes an atomic, CRC-verified checkpoint containing
+everything the next phase needs:
+
+* the :class:`~repro.core.state.SCCState` arrays (``color``, ``mark``,
+  ``labels``, ``phase_of``) and counters,
+* the phase-2 work-queue contents (the ``(color, nodes)`` items),
+* the pivot RNG state — restoring it makes a resumed run re-draw the
+  exact pivot sequence, so resumed labels are **bit-identical** to an
+  uninterrupted run (serial phase-2 driver),
+* the run configuration and a CRC fingerprint of the input graph.
+
+A run killed at any point (power loss, OOM killer, SIGKILL) resumes
+with ``RunHarness.from_checkpoint(...)`` / ``repro run --resume`` at
+the first incomplete phase; a torn or bit-rotted checkpoint is detected
+by its CRC and the harness falls back to the newest older checkpoint
+that verifies.
+
+Two more run-level defences:
+
+* **per-phase deadlines** — ``phase_timeout`` arms the same SIGALRM
+  watchdog machinery the test suite uses, plus a cooperative deadline
+  threaded into the phase-2 drivers; a wedged phase raises
+  :class:`~repro.errors.PhaseTimeoutError` instead of hanging forever;
+* **backend degradation** — when the phase-2 executor fails repeatedly
+  (pool broken, fork unavailable, deadline exceeded), the state rolls
+  back to the phase entry snapshot and the phase retries on the next
+  backend down the chain ``supervised -> processes -> serial``.
+
+Every run finishes with the PR-1 self-verification gate
+(:meth:`SCCState.check_invariants`); resumed or degraded runs are
+additionally cross-checked against an independent Tarjan run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import CheckpointError, PhaseTimeoutError, ReproError
+from ..graph import CSRGraph, load_npz, save_npz
+from ..ioutil import atomic_path, crc32_chunks
+from .cost import CostModel, DEFAULT_COST_MODEL
+from .faults import FaultPlan
+from .supervisor import SupervisorConfig
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "RunReport",
+    "RunHarness",
+    "load_checkpoint",
+    "latest_checkpoint",
+]
+
+PathLike = Union[str, os.PathLike]
+
+CHECKPOINT_VERSION = 1
+
+#: file the input graph is persisted to, once per checkpointed run.
+GRAPH_FILENAME = "graph.npz"
+
+#: next backend to try when the phase-2 executor keeps failing.
+_DEGRADE_CHAIN = {
+    "supervised": "processes",
+    "processes": "serial",
+    "threads": "serial",
+}
+
+#: checkpointed array payload, in CRC order.
+_CKPT_ARRAYS = (
+    "color",
+    "mark",
+    "labels",
+    "phase_of",
+    "q_colors",
+    "q_has_nodes",
+    "q_offsets",
+    "q_nodes",
+)
+
+
+# ---------------------------------------------------------------------------
+# Queue / graph serialization helpers
+# ---------------------------------------------------------------------------
+def _graph_crc(g: CSRGraph) -> int:
+    return crc32_chunks(
+        np.int64(g.num_nodes).tobytes(),
+        g.indptr.tobytes(),
+        g.indices.tobytes(),
+    )
+
+
+def _serialize_queue(
+    queue: Sequence[Tuple[int, Optional[np.ndarray]]]
+) -> dict:
+    colors = np.array([c for c, _ in queue], dtype=np.int64)
+    has_nodes = np.array([nd is not None for _, nd in queue], dtype=bool)
+    parts = [
+        np.asarray(nd, dtype=np.int64)
+        if nd is not None
+        else np.empty(0, np.int64)
+        for _, nd in queue
+    ]
+    sizes = np.array([p.size for p in parts], dtype=np.int64)
+    offsets = np.concatenate(
+        ([0], np.cumsum(sizes, dtype=np.int64))
+    )
+    nodes = (
+        np.concatenate(parts) if parts else np.empty(0, np.int64)
+    )
+    return {
+        "q_colors": colors,
+        "q_has_nodes": has_nodes,
+        "q_offsets": offsets,
+        "q_nodes": nodes,
+    }
+
+
+def _deserialize_queue(
+    arrays: Mapping[str, np.ndarray]
+) -> List[Tuple[int, Optional[np.ndarray]]]:
+    colors = arrays["q_colors"]
+    has_nodes = arrays["q_has_nodes"]
+    offsets = arrays["q_offsets"]
+    nodes = arrays["q_nodes"]
+    items: List[Tuple[int, Optional[np.ndarray]]] = []
+    for i in range(colors.size):
+        if has_nodes[i]:
+            items.append(
+                (int(colors[i]), nodes[offsets[i]:offsets[i + 1]].copy())
+            )
+        else:
+            items.append((int(colors[i]), None))
+    return items
+
+
+def _supervisor_to_dict(cfg: Optional[SupervisorConfig]) -> Optional[dict]:
+    if cfg is None:
+        return None
+    # fault_plan is a test/demo-only injection channel; deliberately
+    # not persisted — a resumed production run must not replay faults.
+    return {
+        "task_timeout": cfg.task_timeout,
+        "max_task_retries": cfg.max_task_retries,
+        "backoff_base": cfg.backoff_base,
+        "grace": cfg.grace,
+        "verify": cfg.verify,
+        "always_cross_check": cfg.always_cross_check,
+    }
+
+
+def _supervisor_from_dict(d: Optional[dict]) -> Optional[SupervisorConfig]:
+    return None if d is None else SupervisorConfig(**d)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint files
+# ---------------------------------------------------------------------------
+def _save_checkpoint_file(
+    path: PathLike, arrays: Mapping[str, np.ndarray], meta: dict
+) -> None:
+    meta_json = json.dumps(meta, sort_keys=True)
+    crc = crc32_chunks(
+        *(np.ascontiguousarray(arrays[k]).tobytes() for k in _CKPT_ARRAYS),
+        meta_json.encode(),
+    )
+    with atomic_path(path, suffix=".npz") as tmp:
+        np.savez_compressed(
+            tmp,
+            meta=np.array(meta_json),
+            crc=np.array(crc, dtype=np.uint32),
+            **{k: arrays[k] for k in _CKPT_ARRAYS},
+        )
+
+
+def load_checkpoint(path: PathLike) -> Tuple[dict, dict]:
+    """Load and CRC-verify one checkpoint -> ``(arrays, meta)``.
+
+    Raises :class:`~repro.errors.CheckpointError` on any defect:
+    unreadable archive, missing payload, CRC mismatch (torn write /
+    bit rot), or an incompatible format version.
+    """
+    try:
+        data = np.load(os.fspath(path), allow_pickle=False)
+    except FileNotFoundError:
+        raise CheckpointError("checkpoint does not exist", path=path)
+    except Exception as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint archive ({exc})", path=path
+        ) from exc
+    with data:
+        missing = [
+            k
+            for k in _CKPT_ARRAYS + ("meta", "crc")
+            if k not in data.files
+        ]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint missing array(s) {missing}", path=path
+            )
+        try:
+            arrays = {k: data[k] for k in _CKPT_ARRAYS}
+            meta_json = str(data["meta"][()])
+            stored_crc = int(data["crc"][()])
+        except Exception as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint payload ({exc})", path=path
+            ) from exc
+    crc = crc32_chunks(
+        *(np.ascontiguousarray(arrays[k]).tobytes() for k in _CKPT_ARRAYS),
+        meta_json.encode(),
+    )
+    if crc != stored_crc:
+        raise CheckpointError(
+            f"CRC mismatch (stored {stored_crc:#010x}, computed "
+            f"{crc:#010x}): torn write or bit rot",
+            path=path,
+        )
+    meta = json.loads(meta_json)
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {meta.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})",
+            path=path,
+        )
+    return arrays, meta
+
+
+def latest_checkpoint(
+    where: PathLike,
+) -> Tuple[str, dict, dict]:
+    """Find the newest *valid* checkpoint -> ``(path, arrays, meta)``.
+
+    ``where`` may be a single checkpoint file or a checkpoint
+    directory.  Corrupt candidates are skipped (the harness falls back
+    to the newest older checkpoint that verifies); if nothing
+    verifies, the raised :class:`CheckpointError` lists every
+    candidate's defect.
+    """
+    where = os.fspath(where)
+    if os.path.isdir(where):
+        candidates = sorted(
+            os.path.join(where, f)
+            for f in os.listdir(where)
+            if f.endswith(".ckpt.npz")
+        )
+    else:
+        candidates = [where]
+    if not candidates:
+        raise CheckpointError("no checkpoint files found", path=where)
+    best: Optional[Tuple[int, str, dict, dict]] = None
+    defects: List[str] = []
+    for path in candidates:
+        try:
+            arrays, meta = load_checkpoint(path)
+        except CheckpointError as exc:
+            defects.append(str(exc))
+            continue
+        key = int(meta["phase_index"])
+        if best is None or key > best[0]:
+            best = (key, path, arrays, meta)
+    if best is None:
+        raise CheckpointError(
+            "no valid checkpoint among candidates: " + "; ".join(defects),
+            path=where,
+        )
+    return best[1], best[2], best[3]
+
+
+# ---------------------------------------------------------------------------
+# Phase deadline watchdog
+# ---------------------------------------------------------------------------
+@contextmanager
+def _phase_deadline(seconds: Optional[float], phase: str):
+    """SIGALRM watchdog around one phase (same machinery as the test
+    suite's deadlock guard).  No-op when unavailable (non-POSIX or a
+    non-main thread) — the cooperative ``ctx['deadline']`` bound still
+    covers the phase-2 drivers there."""
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise PhaseTimeoutError(phase, seconds)
+
+    old_handler = signal.signal(signal.SIGALRM, _timed_out)
+    old_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *old_timer)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+@dataclass
+class RunReport:
+    """What one harnessed run (or resumption) observed and did."""
+
+    method: str
+    phases_run: List[str] = field(default_factory=list)
+    checkpoints: List[str] = field(default_factory=list)
+    resumed_from: Optional[str] = None
+    resumed_phase: Optional[str] = None
+    #: backend the recur phase finally ran on (None = as requested).
+    degraded_to: Optional[str] = None
+    degradations: int = 0
+    verified: bool = False
+    cross_checked: bool = False
+
+
+class RunHarness:
+    """Checkpointed, resumable executor for the Method 1/2 pipelines.
+
+    Parameters mirror :func:`strongly_connected_components` for the
+    covered methods; the lifecycle-specific ones are:
+
+    checkpoint_dir:
+        Directory to persist phase-boundary checkpoints (plus the
+        input graph, once) into.  ``None`` disables persistence.
+    phase_timeout:
+        Per-phase wall-clock deadline in seconds (None = unbounded).
+    fault_plan:
+        Deterministic boundary fault injection (site ``"phase"``,
+        index = phase position): tests/demos kill or fail the run at
+        exact phase boundaries.
+    phase_hook:
+        ``hook(phase_name, stage)`` called at ``"pre"`` (phase entry),
+        ``"mid"`` (phase done, checkpoint not yet written) and
+        ``"post"`` (checkpoint published).  Test instrumentation.
+    """
+
+    def __init__(
+        self,
+        method: str = "method2",
+        *,
+        seed: int | None = 0,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        checkpoint_dir: Optional[PathLike] = None,
+        phase_timeout: Optional[float] = None,
+        backend: str = "serial",
+        num_threads: int = 4,
+        supervisor: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        phase_hook: Optional[Callable[[str, str], None]] = None,
+        verify: bool = True,
+        **method_kwargs,
+    ) -> None:
+        if method not in ("method1", "method2"):
+            raise ValueError(
+                "RunHarness covers the paper pipelines 'method1' and "
+                f"'method2', not {method!r}"
+            )
+        self.method = method
+        self.seed = seed
+        self.cost = cost
+        self.checkpoint_dir = (
+            os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if phase_timeout is not None and phase_timeout <= 0:
+            raise ValueError("phase_timeout must be positive")
+        self.phase_timeout = phase_timeout
+        self.backend = backend
+        self.num_threads = num_threads
+        self.supervisor = supervisor
+        self.fault_plan = fault_plan
+        self.phase_hook = phase_hook
+        self.verify = verify
+        self.method_kwargs = dict(method_kwargs)
+        if self.checkpoint_dir is not None:
+            try:
+                json.dumps(self.method_kwargs)
+            except TypeError as exc:
+                raise ValueError(
+                    "checkpointed runs require JSON-serializable method "
+                    f"kwargs ({exc})"
+                ) from exc
+        self.report: Optional[RunReport] = None
+
+    # -- construction from a checkpoint --------------------------------
+    @classmethod
+    def from_checkpoint(cls, ckpt: PathLike, **overrides) -> "RunHarness":
+        """Rebuild a harness from a checkpoint's recorded configuration.
+
+        ``overrides`` replace recorded settings (e.g. a different
+        ``checkpoint_dir`` or ``backend``).  Pair with :meth:`resume`::
+
+            harness = RunHarness.from_checkpoint("ckpts/")
+            result = harness.resume("ckpts/")
+        """
+        _, _, meta = latest_checkpoint(ckpt)
+        where = os.fspath(ckpt)
+        ckpt_dir = where if os.path.isdir(where) else os.path.dirname(where)
+        params = dict(
+            seed=meta["seed"],
+            checkpoint_dir=ckpt_dir,
+            phase_timeout=meta.get("phase_timeout"),
+            backend=meta["backend"],
+            num_threads=meta["num_threads"],
+            supervisor=_supervisor_from_dict(meta.get("supervisor")),
+            **meta["config"],
+        )
+        params.update(overrides)
+        return cls(meta["method"], **params)
+
+    # -- plan -----------------------------------------------------------
+    def _plan(self):
+        from ..core.method1 import method1_phases
+        from ..core.method2 import method2_phases
+
+        factory = {
+            "method1": method1_phases,
+            "method2": method2_phases,
+        }[self.method]
+        return factory(
+            backend=self.backend,
+            num_threads=self.num_threads,
+            supervisor=self.supervisor,
+            **self.method_kwargs,
+        )
+
+    # -- entry points ---------------------------------------------------
+    def run(self, g: CSRGraph):
+        """Execute the pipeline from scratch; returns the
+        :class:`~repro.core.result.SCCResult` (see ``self.report`` for
+        lifecycle telemetry)."""
+        from ..core.state import SCCState
+
+        plan = self._plan()
+        self.report = RunReport(method=self.method)
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            save_npz(g, os.path.join(self.checkpoint_dir, GRAPH_FILENAME))
+        state = SCCState(g, seed=self.seed, cost=self.cost)
+        return self._execute(g, state, {}, plan, 0)
+
+    def resume(
+        self, ckpt: PathLike, g: CSRGraph | None = None
+    ):
+        """Pick the run up at the first incomplete phase.
+
+        ``ckpt`` is a checkpoint file or directory; with ``g=None``
+        the input graph is reloaded from the ``graph.npz`` persisted
+        beside the checkpoints.  The graph's CRC fingerprint, the
+        method, and the phase plan must match what the checkpoint
+        recorded — resuming against different data is refused, not
+        silently wrong.
+        """
+        from ..core.state import SCCState, StateSnapshot
+
+        path, arrays, meta = latest_checkpoint(ckpt)
+        if meta["method"] != self.method:
+            raise CheckpointError(
+                f"checkpoint is a {meta['method']!r} run but this "
+                f"harness is configured for {self.method!r}",
+                path=path,
+            )
+        if g is None:
+            gpath = os.path.join(
+                os.path.dirname(path), GRAPH_FILENAME
+            )
+            if not os.path.exists(gpath):
+                raise CheckpointError(
+                    f"no {GRAPH_FILENAME} beside the checkpoint; pass "
+                    "the input graph explicitly",
+                    path=path,
+                )
+            g = load_npz(gpath)
+        if _graph_crc(g) != meta["graph_crc"]:
+            raise CheckpointError(
+                "input graph does not match the checkpointed run "
+                "(CRC fingerprint mismatch)",
+                path=path,
+            )
+        plan = self._plan()
+        if [ph.name for ph in plan] != list(meta["plan"]):
+            raise CheckpointError(
+                f"phase plan mismatch: checkpoint has {meta['plan']}, "
+                f"current configuration builds "
+                f"{[ph.name for ph in plan]}",
+                path=path,
+            )
+
+        state = SCCState(g, seed=self.seed, cost=self.cost)
+        state.restore(
+            StateSnapshot(
+                color=np.ascontiguousarray(arrays["color"], np.int64),
+                mark=np.ascontiguousarray(arrays["mark"], bool),
+                labels=np.ascontiguousarray(arrays["labels"], np.int64),
+                phase_of=np.ascontiguousarray(arrays["phase_of"], np.int8),
+                next_color=int(meta["next_color"]),
+                num_sccs=int(meta["num_sccs"]),
+            )
+        )
+        state.set_rng_state(meta["rng_state"])
+        ctx: dict = {}
+        if meta["has_queue"]:
+            ctx["queue"] = _deserialize_queue(arrays)
+        if meta.get("ctx_backend"):
+            ctx["backend"] = meta["ctx_backend"]
+
+        start = int(meta["phase_index"]) + 1
+        self.report = RunReport(
+            method=self.method,
+            resumed_from=path,
+            resumed_phase=(
+                plan[start].name if start < len(plan) else None
+            ),
+            degraded_to=meta.get("ctx_backend"),
+        )
+        return self._execute(g, state, ctx, plan, start)
+
+    # -- internals ------------------------------------------------------
+    def _fire(self, index: int, name: str, stage: str) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.fire("phase", index, stage=stage)
+        if self.phase_hook is not None:
+            self.phase_hook(name, stage)
+
+    def _save_checkpoint(
+        self, state, ctx, plan, phase_index: int, graph_crc: int
+    ) -> str:
+        queue = ctx.get("queue")
+        arrays = {
+            "color": state.color,
+            "mark": state.mark,
+            "labels": state.labels,
+            "phase_of": state.phase_of,
+        }
+        arrays.update(_serialize_queue(queue if queue is not None else []))
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "method": self.method,
+            "phase_index": phase_index,
+            "phase_name": plan[phase_index].name,
+            "plan": [ph.name for ph in plan],
+            "num_sccs": int(state.num_sccs),
+            "next_color": int(state.color_watermark()),
+            "rng_state": state.rng_state(),
+            "graph_crc": graph_crc,
+            "has_queue": queue is not None,
+            "ctx_backend": ctx.get("backend"),
+            "seed": self.seed,
+            "backend": self.backend,
+            "num_threads": self.num_threads,
+            "phase_timeout": self.phase_timeout,
+            "supervisor": _supervisor_to_dict(self.supervisor),
+            "config": self.method_kwargs,
+            "kernels": self._kernel_backend(),
+        }
+        path = os.path.join(
+            self.checkpoint_dir,
+            f"phase-{phase_index:02d}-{plan[phase_index].name}.ckpt.npz",
+        )
+        _save_checkpoint_file(path, arrays, meta)
+        return path
+
+    @staticmethod
+    def _kernel_backend() -> str:
+        from ..kernels import backend_info
+
+        return str(backend_info()["resolved"])
+
+    def _execute(self, g, state, ctx, plan, start: int):
+        from ..core.result import SCCResult
+
+        report = self.report
+        graph_crc = _graph_crc(g)
+        profile = state.profile
+        for i in range(start, len(plan)):
+            ph = plan[i]
+            self._fire(i, ph.name, "pre")
+            while True:
+                snap = state.snapshot()
+                rng = state.rng_state()
+                queue_before = ctx.get("queue")
+                if self.phase_timeout is not None:
+                    ctx["deadline"] = (
+                        time.monotonic() + self.phase_timeout
+                    )
+                # The threads backend shares the state arrays with its
+                # workers; only its cooperative deadline (which joins
+                # the workers before raising) may interrupt it.  The
+                # SIGALRM watchdog covers everything else.
+                alarm = self.phase_timeout
+                if (
+                    ph.uses_backend
+                    and ctx.get("backend", self.backend) == "threads"
+                ):
+                    alarm = None
+                try:
+                    with _phase_deadline(alarm, ph.name):
+                        with profile.wall_timer(ph.timer):
+                            ph.fn(state, ctx)
+                    break
+                except Exception as exc:
+                    backend_now = ctx.get("backend", self.backend)
+                    degraded = (
+                        _DEGRADE_CHAIN.get(backend_now)
+                        if ph.uses_backend
+                        else None
+                    )
+                    if degraded is None:
+                        raise
+                    # Roll back everything the failed attempt touched
+                    # and retry the phase on the next backend down.
+                    state.restore(snap)
+                    state.set_rng_state(rng)
+                    if queue_before is not None:
+                        ctx["queue"] = queue_before
+                    ctx["backend"] = degraded
+                    report.degradations += 1
+                    report.degraded_to = degraded
+                    profile.bump("lifecycle_degradations")
+                    profile.bump(
+                        "lifecycle_degrade_"
+                        + type(exc).__name__.lower()
+                    )
+                finally:
+                    ctx.pop("deadline", None)
+            report.phases_run.append(ph.name)
+            self._fire(i, ph.name, "mid")
+            if self.checkpoint_dir is not None:
+                with profile.wall_timer("checkpoint"):
+                    path = self._save_checkpoint(
+                        state, ctx, plan, i, graph_crc
+                    )
+                report.checkpoints.append(path)
+                profile.bump("lifecycle_checkpoints")
+            self._fire(i, ph.name, "post")
+
+        state.check_done()
+        if self.verify:
+            cross = (
+                report.degradations > 0
+                or report.resumed_from is not None
+                or self.fault_plan is not None
+            )
+            state.check_invariants(
+                require_complete=True, cross_check=cross
+            )
+            report.verified = True
+            report.cross_checked = cross
+        return SCCResult(
+            labels=state.labels,
+            method=self.method,
+            profile=profile,
+            phase_of=state.phase_of,
+        )

@@ -45,6 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import ReproError
 from .faults import FaultPlan
 from .mp_backend import (
     _WORKER_CTX,
@@ -63,8 +64,10 @@ __all__ = [
 ]
 
 
-class PoolBrokenError(RuntimeError):
+class PoolBrokenError(ReproError, RuntimeError):
     """The worker pool could not finish the phase within its budgets."""
+
+    exit_code = 16
 
 
 @dataclass(frozen=True)

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Optional
 
+from ..errors import PhaseTimeoutError
 from . import faults as _faults
 
 __all__ = ["QueueTelemetry", "TwoLevelWorkQueue"]
@@ -76,13 +78,23 @@ class TwoLevelWorkQueue:
         self,
         initial: Iterable[Any],
         process: Callable[[Any], Iterable[Any] | None],
+        *,
+        deadline: Optional[float] = None,
+        phase: str = "workqueue",
     ) -> QueueTelemetry:
         """Drain the queue: ``process(item)`` may return child items.
 
         Blocks until every item (including spawned children) has been
         processed.  Exceptions raised by ``process`` propagate after
         all workers stop.
+
+        ``deadline`` (absolute ``time.monotonic()`` value) bounds the
+        drain: once it passes, workers stop picking up work and the
+        call raises :class:`~repro.errors.PhaseTimeoutError` after all
+        workers exit — the run-lifecycle layer turns that into backend
+        degradation or a typed CLI failure instead of a silent hang.
         """
+        start = time.monotonic()
         global_q: deque[Any] = deque(initial)
         lock = threading.Lock()
         work_available = threading.Condition(lock)
@@ -93,6 +105,7 @@ class TwoLevelWorkQueue:
         )
         errors: list[BaseException] = []
         done = threading.Event()
+        timed_out = threading.Event()
         if pending == 0:
             return telemetry
         # Fault-injection hook: one global read; None in normal runs.
@@ -103,12 +116,27 @@ class TwoLevelWorkQueue:
             nonlocal pending
             local: deque[Any] = deque()
             while True:
+                if deadline is not None and time.monotonic() >= deadline:
+                    with work_available:
+                        timed_out.set()
+                        done.set()
+                        work_available.notify_all()
+                    return
                 if local:
                     item = local.popleft()
                 else:
                     with work_available:
                         while not global_q and not done.is_set():
-                            work_available.wait()
+                            if deadline is None:
+                                work_available.wait()
+                                continue
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                timed_out.set()
+                                done.set()
+                                work_available.notify_all()
+                                return
+                            work_available.wait(remaining)
                         if done.is_set() and not global_q:
                             return
                         take = min(self.k, len(global_q))
@@ -176,6 +204,8 @@ class TwoLevelWorkQueue:
             t.join()
         if errors:
             raise errors[0]
+        if timed_out.is_set():
+            raise PhaseTimeoutError(phase, time.monotonic() - start)
         if pending != 0:  # pragma: no cover - invariant check
             raise RuntimeError(f"work queue exited with {pending} pending items")
         return telemetry

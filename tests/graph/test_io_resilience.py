@@ -1,0 +1,422 @@
+"""Resilient-ingestion tests: the corruption matrix.
+
+Every corrupt-input fixture must surface as a typed
+:class:`~repro.errors.GraphIngestError` carrying location information
+(file, and line for text formats) under ``strict``, and as a counted,
+sampled :class:`~repro.graph.IngestReport` entry under
+``repair``/``skip`` — never as a bare numpy/zipfile traceback.
+"""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIngestError, GraphValidationError
+from repro.graph import (
+    CSRGraph,
+    IngestReport,
+    from_edge_list,
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    save_npz,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.ioutil import atomic_write
+
+
+def sample():
+    return from_edge_list([(0, 1), (1, 2), (2, 0), (3, 1)], 5)
+
+
+def write(tmp_path, text, name="g.txt"):
+    path = tmp_path / name
+    if name.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        path.write_text(text)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Edge lists: strict diagnostics
+# ---------------------------------------------------------------------------
+class TestEdgeListStrict:
+    def test_malformed_token_locates_line(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\nnot an edge\n2 0\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert err.value.line == 3
+        assert str(path) in str(err.value)
+        assert ":3:" in str(err.value)
+
+    def test_float_ids_rejected_with_line(self, tmp_path):
+        path = write(tmp_path, "0 1\n1.5 2\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert err.value.line == 2
+        assert "float" in str(err.value)
+
+    def test_negative_ids_rejected(self, tmp_path):
+        path = write(tmp_path, "0 1\n-3 2\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert err.value.line == 2
+
+    def test_int64_overflow_ids_rejected(self, tmp_path):
+        path = write(tmp_path, f"0 1\n{2**70} 2\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert err.value.line == 2
+
+    def test_out_of_range_vs_num_nodes(self, tmp_path):
+        path = write(tmp_path, "0 1\n9 2\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path, num_nodes=5)
+        assert err.value.line == 2
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_edge_list(tmp_path / "absent.txt")
+
+    def test_bad_policy_rejected(self, tmp_path):
+        path = write(tmp_path, "0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, on_error="ignore")
+
+    def test_exception_is_a_value_error(self, tmp_path):
+        # callers that predate the taxonomy catch ValueError
+        path = write(tmp_path, "x y\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+# ---------------------------------------------------------------------------
+# Edge lists: repair / skip policies and the report
+# ---------------------------------------------------------------------------
+class TestEdgeListLenient:
+    DIRTY = (
+        "# header\n"
+        "0 1\n"
+        "garbage line\n"
+        "2.0 3\n"      # integral float: repairable
+        "-1 4\n"       # negative: never repairable
+        "1 2 77 88\n"  # extra columns: ignored, not an error
+        "\n"
+        "3 0\n"
+    )
+
+    def test_repair_coerces_and_drops(self, tmp_path):
+        path = write(tmp_path, self.DIRTY)
+        g, rep = read_edge_list(path, on_error="repair", return_report=True)
+        # accepted: (0,1), (2,3) repaired, (1,2), (3,0)
+        assert rep.edges == 4
+        assert rep.repaired == 1
+        assert rep.dropped == 2
+        assert rep.malformed == 1
+        assert rep.negative_ids == 1
+        assert rep.extra_columns == 1
+        assert rep.comments == 1 and rep.blanks == 1
+        assert not rep.clean
+        assert g.has_edge(2, 3)
+
+    def test_skip_drops_repairables_too(self, tmp_path):
+        path = write(tmp_path, self.DIRTY)
+        g, rep = read_edge_list(path, on_error="skip", return_report=True)
+        assert rep.edges == 3
+        assert rep.repaired == 0
+        assert rep.dropped == 3
+        assert not g.has_edge(2, 3)
+
+    def test_samples_are_located_and_bounded(self, tmp_path):
+        lines = "\n".join(f"bad{i}" for i in range(20))
+        path = write(tmp_path, lines + "\n0 1\n")
+        _, rep = read_edge_list(
+            path, on_error="skip", return_report=True, max_samples=4
+        )
+        assert rep.dropped == 20
+        assert len(rep.samples) == 4
+        where, excerpt, reason = rep.samples[0]
+        assert "1" in where  # line number of the first bad record
+        assert "bad0" in excerpt
+
+    def test_clean_file_report_is_clean(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 0\n")
+        _, rep = read_edge_list(path, return_report=True)
+        assert rep.clean
+        assert rep.edges == 2
+        assert "2 edges" in rep.summary()
+        assert rep.to_dict()["edges"] == 2
+
+    def test_chunked_parse_matches_one_shot(self, tmp_path):
+        rng = np.random.default_rng(0)
+        e = rng.integers(0, 50, size=(500, 2))
+        text = "".join(f"{s} {d}\n" for s, d in e)
+        path = write(tmp_path, text)
+        g1 = read_edge_list(path)
+        g2 = read_edge_list(path, chunk_lines=7)
+        assert g1 == g2
+
+    def test_duplicates_and_self_loops_counted_not_errors(self, tmp_path):
+        path = write(tmp_path, "0 1\n0 1\n2 2\n")
+        g, rep = read_edge_list(path, return_report=True)  # strict!
+        assert rep.duplicates == 1
+        assert rep.self_loops == 1
+        assert rep.clean  # structural quirks, not policy violations
+        assert g.num_edges == 2
+
+
+# ---------------------------------------------------------------------------
+# Edge lists: edge-shaped fixtures from the acceptance matrix
+# ---------------------------------------------------------------------------
+class TestEdgeListShapes:
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path, "")
+        g, rep = read_edge_list(path, return_report=True)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert rep.clean and rep.lines == 0
+
+    def test_comments_only(self, tmp_path):
+        path = write(tmp_path, "# a\n# b\n")
+        g = read_edge_list(path, num_nodes=3)
+        assert g.num_nodes == 3 and g.num_edges == 0
+
+    def test_single_node_self_loop(self, tmp_path):
+        path = write(tmp_path, "0 0\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 1 and g.num_edges == 1
+
+    def test_gzip_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path, num_nodes=5) == g
+
+    def test_gzip_with_dirty_lines(self, tmp_path):
+        path = write(tmp_path, "0 1\nbroken\n1 0\n", name="g.txt.gz")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert err.value.line == 2
+        g, rep = read_edge_list(path, on_error="skip", return_report=True)
+        assert g.num_edges == 2 and rep.dropped == 1
+
+    def test_truncated_gzip_is_typed(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("".join(f"{i} {i+1}\n" for i in range(1000)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert "unreadable" in str(err.value)
+
+    def test_not_gzip_despite_suffix(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        path.write_bytes(b"0 1\n1 0\n")  # plain text, lying suffix
+        with pytest.raises(GraphIngestError):
+            read_edge_list(path)
+
+    def test_ids_beyond_int32_do_not_wrap(self, tmp_path):
+        # An id past 2^31 must be seen at its true value (int64 path),
+        # not wrapped negative: with a num_nodes bound it is reported
+        # out-of-range, quoting the unwrapped id.
+        big = 3_000_000_000
+        path = write(tmp_path, f"0 1\n0 {big}\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path, num_nodes=10)
+        assert str(big) in str(err.value)
+        assert err.value.line == 2
+        g, rep = read_edge_list(
+            path, num_nodes=10, on_error="skip", return_report=True
+        )
+        assert g.num_edges == 1
+        assert rep.out_of_range == 1
+        assert rep.negative_ids == 0  # would betray an int32 wrap
+
+    def test_validate_gate(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 0\n")
+        g = read_edge_list(path, validate=True)
+        assert g.num_edges == 2
+
+
+# ---------------------------------------------------------------------------
+# npz
+# ---------------------------------------------------------------------------
+class TestNpzResilience:
+    def test_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "g.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(GraphIngestError) as err:
+            load_npz(path)
+        assert str(path) in str(err.value)
+
+    def test_truncated_archive(self, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(sample(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphIngestError):
+            load_npz(path)
+
+    def test_missing_arrays_listed(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(path, indptr=np.zeros(3, np.int64))
+        with pytest.raises(GraphIngestError) as err:
+            load_npz(path)
+        assert "indices" in str(err.value)
+
+    def test_float_dtype_strict_vs_repair(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=g.indptr.astype(np.float64),
+            indices=g.indices.astype(np.float64),
+        )
+        with pytest.raises(GraphIngestError):
+            load_npz(path)
+        g2, rep = load_npz(path, on_error="repair", return_report=True)
+        assert g2 == g
+        assert rep.repaired >= 1
+
+    def test_non_monotone_indptr(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 3, 1], np.int64),
+            indices=np.array([0, 1, 0], np.int64),
+        )
+        with pytest.raises(GraphIngestError) as err:
+            load_npz(path)
+        assert "monotone" in str(err.value)
+
+    def test_edge_count_disagreement(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 2, 4], np.int64),
+            indices=np.array([0, 1], np.int64),  # claims 4, stores 2
+        )
+        with pytest.raises(GraphIngestError) as err:
+            load_npz(path)
+        assert "truncated" in str(err.value)
+
+    def test_overlong_indices_trimmed_under_repair(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 1, 2], np.int64),
+            indices=np.array([1, 0, 0, 0], np.int64),
+        )
+        with pytest.raises(GraphIngestError):
+            load_npz(path)
+        g, rep = load_npz(path, on_error="repair", return_report=True)
+        assert g.num_edges == 2 and rep.dropped == 1
+
+    def test_out_of_range_destinations(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 2, 2], np.int64),
+            indices=np.array([1, 99], np.int64),
+        )
+        with pytest.raises(GraphIngestError) as err:
+            load_npz(path)
+        assert "out of range" in str(err.value)
+        g, rep = load_npz(path, on_error="skip", return_report=True)
+        assert g.num_edges == 1 and rep.out_of_range == 1
+
+
+# ---------------------------------------------------------------------------
+# MatrixMarket
+# ---------------------------------------------------------------------------
+class TestMtxResilience:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%NotMatrixMarket nonsense\n1 1 0\n")
+        with pytest.raises(GraphIngestError) as err:
+            read_matrix_market(path)
+        assert str(path) in str(err.value)
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 4\n1 2\n2 3\n"  # header promises 4 entries
+        )
+        with pytest.raises(GraphIngestError):
+            read_matrix_market(path)
+
+    def test_non_square_repaired(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 4 2\n1 4\n2 1\n"
+        )
+        with pytest.raises(GraphIngestError):
+            read_matrix_market(path)
+        g, rep = read_matrix_market(
+            path, on_error="repair", return_report=True
+        )
+        assert g.num_nodes == 4
+        assert rep.repaired == 1
+
+    def test_atomic_write_roundtrip(self, tmp_path):
+        g = sample()
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+
+# ---------------------------------------------------------------------------
+# Atomic publication: readers never observe partial writes
+# ---------------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        g = sample()
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        before = path.read_bytes()
+
+        def boom(*a, **k):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savetxt", boom)
+        with pytest.raises(OSError):
+            write_edge_list(from_edge_list([(0, 1)], 2), path)
+        assert path.read_bytes() == before  # old file intact
+        # and the temp file was cleaned up
+        assert os.listdir(tmp_path) == ["g.txt"]
+
+    def test_failed_npz_write_preserves_original(
+        self, tmp_path, monkeypatch
+    ):
+        g = sample()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        before = path.read_bytes()
+        monkeypatch.setattr(
+            np, "savez_compressed",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            save_npz(g, path)
+        assert path.read_bytes() == before
+        assert os.listdir(tmp_path) == ["g.npz"]
+
+    def test_atomic_write_replaces_not_appends(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("old content that is long")
+        with atomic_write(path) as f:
+            f.write("new")
+        assert path.read_text() == "new"

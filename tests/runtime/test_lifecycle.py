@@ -1,0 +1,343 @@
+"""Run-lifecycle tests: checkpoints, resume, deadlines, degradation.
+
+The load-bearing property: a run resumed from *any* phase-boundary
+checkpoint produces labels **bit-identical** to the uninterrupted run
+(state arrays + work queue + RNG state all round-trip), and a corrupt
+checkpoint is detected by CRC and skipped in favour of the newest
+older one that verifies.
+"""
+
+import os
+import shutil
+import time
+
+import numpy as np
+import pytest
+
+import repro.core.method2 as method2_module
+from repro.errors import (
+    CheckpointError,
+    PhaseTimeoutError,
+    ReproError,
+    exit_code_for,
+)
+from repro.graph import from_edge_array
+from repro.runtime import FaultPlan, FaultSpec, SupervisorConfig
+from repro.runtime.lifecycle import (
+    RunHarness,
+    latest_checkpoint,
+    load_checkpoint,
+)
+from tests.conftest import random_digraph
+
+
+@pytest.fixture
+def graph():
+    return random_digraph(300, 2400, seed=11)
+
+
+def ckpt_files(d):
+    return sorted(f for f in os.listdir(d) if f.endswith(".ckpt.npz"))
+
+
+def corrupt(path):
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0xFF
+    open(path, "wb").write(bytes(data))
+
+
+class TestCheckpointFiles:
+    def test_one_checkpoint_per_phase(self, graph, tmp_path):
+        h = RunHarness("method2", seed=1, checkpoint_dir=tmp_path)
+        h.run(graph)
+        names = ckpt_files(tmp_path)
+        assert names == [
+            f"phase-{i:02d}-{n}.ckpt.npz"
+            for i, n in enumerate(
+                ["par_trim_1", "par_fwbw", "par_trim_2", "par_trim2",
+                 "par_trim_3", "par_wcc", "recur_fwbw"]
+            )
+        ]
+        assert os.path.exists(tmp_path / "graph.npz")
+        assert h.report.verified
+
+    def test_load_verifies_crc(self, graph, tmp_path):
+        RunHarness("method2", seed=1, checkpoint_dir=tmp_path).run(graph)
+        path = tmp_path / ckpt_files(tmp_path)[0]
+        arrays, meta = load_checkpoint(path)
+        assert meta["phase_index"] == 0
+        assert meta["method"] == "method2"
+        corrupt(path)
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(path)
+        assert str(path) in str(err.value)
+
+    def test_missing_checkpoint_typed(self, tmp_path):
+        with pytest.raises(CheckpointError) as err:
+            latest_checkpoint(tmp_path / "absent.ckpt.npz")
+        assert exit_code_for(err.value) == 13
+
+    def test_empty_dir_typed(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            latest_checkpoint(tmp_path)
+
+    def test_fallback_skips_corrupt_newest(self, graph, tmp_path):
+        RunHarness("method2", seed=1, checkpoint_dir=tmp_path).run(graph)
+        names = ckpt_files(tmp_path)
+        corrupt(tmp_path / names[-1])
+        path, _, meta = latest_checkpoint(tmp_path)
+        assert path.endswith(names[-2])
+        assert meta["phase_index"] == len(names) - 2
+
+    def test_all_corrupt_lists_defects(self, graph, tmp_path):
+        RunHarness("method2", seed=1, checkpoint_dir=tmp_path).run(graph)
+        for name in ckpt_files(tmp_path):
+            corrupt(tmp_path / name)
+        with pytest.raises(CheckpointError) as err:
+            latest_checkpoint(tmp_path)
+        assert "no valid checkpoint" in str(err.value)
+
+
+class TestResume:
+    @pytest.mark.parametrize("method", ["method1", "method2"])
+    def test_resume_from_every_boundary_is_bit_identical(
+        self, graph, tmp_path, method
+    ):
+        base_dir = tmp_path / "base"
+        h = RunHarness(method, seed=3, checkpoint_dir=base_dir)
+        base = h.run(graph).labels.copy()
+        names = ckpt_files(base_dir)
+        for cut in range(len(names)):
+            d = tmp_path / f"cut{cut}"
+            shutil.copytree(base_dir, d)
+            for name in names[cut + 1:]:
+                os.remove(d / name)
+            h2 = RunHarness.from_checkpoint(d)
+            labels = h2.resume(d).labels
+            assert np.array_equal(labels, base), (
+                f"{method} resumed after {names[cut]} diverged"
+            )
+            assert h2.report.resumed_from.endswith(names[cut])
+            assert h2.report.cross_checked
+
+    def test_resume_completed_run_verifies_only(self, graph, tmp_path):
+        h = RunHarness("method2", seed=3, checkpoint_dir=tmp_path)
+        base = h.run(graph).labels
+        h2 = RunHarness.from_checkpoint(tmp_path)
+        res = h2.resume(tmp_path)
+        assert np.array_equal(res.labels, base)
+        assert h2.report.phases_run == []
+        assert h2.report.resumed_phase is None
+        assert h2.report.verified
+
+    def test_resume_after_corruption_falls_back(self, graph, tmp_path):
+        h = RunHarness("method2", seed=3, checkpoint_dir=tmp_path)
+        base = h.run(graph).labels.copy()
+        corrupt(tmp_path / ckpt_files(tmp_path)[-1])
+        res = RunHarness.from_checkpoint(tmp_path).resume(tmp_path)
+        assert np.array_equal(res.labels, base)
+
+    def test_wrong_graph_refused(self, graph, tmp_path):
+        RunHarness("method2", seed=3, checkpoint_dir=tmp_path).run(graph)
+        other = random_digraph(300, 2400, seed=99)
+        with pytest.raises(CheckpointError) as err:
+            RunHarness.from_checkpoint(tmp_path).resume(tmp_path, other)
+        assert "fingerprint" in str(err.value)
+
+    def test_wrong_method_refused(self, graph, tmp_path):
+        RunHarness("method2", seed=3, checkpoint_dir=tmp_path).run(graph)
+        h = RunHarness("method1", seed=3)
+        with pytest.raises(CheckpointError):
+            h.resume(tmp_path, graph)
+
+    def test_wrong_plan_refused(self, graph, tmp_path):
+        RunHarness("method2", seed=3, checkpoint_dir=tmp_path).run(graph)
+        h = RunHarness("method2", seed=3, use_trim2=False)
+        with pytest.raises(CheckpointError) as err:
+            h.resume(tmp_path, graph)
+        assert "plan" in str(err.value)
+
+    def test_missing_graph_beside_checkpoint(self, graph, tmp_path):
+        RunHarness("method2", seed=3, checkpoint_dir=tmp_path).run(graph)
+        os.remove(tmp_path / "graph.npz")
+        with pytest.raises(CheckpointError) as err:
+            RunHarness.from_checkpoint(tmp_path).resume(tmp_path)
+        assert "graph.npz" in str(err.value)
+
+    def test_from_checkpoint_restores_config(self, graph, tmp_path):
+        cfg = SupervisorConfig(task_timeout=7.0, max_task_retries=1)
+        h = RunHarness(
+            "method2",
+            seed=42,
+            checkpoint_dir=tmp_path,
+            backend="serial",
+            num_threads=3,
+            phase_timeout=120.0,
+            supervisor=cfg,
+            queue_k=4,
+            pivot_strategy="random",
+        )
+        h.run(graph)
+        h2 = RunHarness.from_checkpoint(tmp_path)
+        assert h2.seed == 42
+        assert h2.num_threads == 3
+        assert h2.phase_timeout == 120.0
+        assert h2.supervisor.task_timeout == 7.0
+        assert h2.method_kwargs["queue_k"] == 4
+        h3 = RunHarness.from_checkpoint(tmp_path, backend="threads")
+        assert h3.backend == "threads"
+
+
+class TestHarnessValidation:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            RunHarness("tarjan")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            RunHarness("method2", phase_timeout=0)
+
+    def test_unserializable_kwargs_rejected_when_checkpointing(
+        self, tmp_path
+    ):
+        with pytest.raises(ValueError):
+            RunHarness(
+                "method2", checkpoint_dir=tmp_path, queue_k=object()
+            )
+
+    def test_runs_without_checkpoint_dir(self, graph):
+        h = RunHarness("method2", seed=1)
+        res = h.run(graph)
+        assert h.report.checkpoints == []
+        assert res.num_sccs > 0
+
+
+class TestDeadlines:
+    def test_wedged_phase_times_out(self, graph, monkeypatch):
+        import repro.core.method1 as m1
+
+        monkeypatch.setattr(
+            m1, "par_trim", lambda state, **kw: time.sleep(10)
+        )
+        h = RunHarness("method1", seed=1, phase_timeout=0.3)
+        t0 = time.monotonic()
+        with pytest.raises(PhaseTimeoutError) as err:
+            h.run(graph)
+        assert time.monotonic() - t0 < 5
+        assert exit_code_for(err.value) == 14
+
+    def test_generous_deadline_does_not_fire(self, graph):
+        h = RunHarness("method2", seed=1, phase_timeout=60.0)
+        res = h.run(graph)
+        assert h.report.degradations == 0
+        assert res.num_sccs > 0
+
+
+class TestDegradation:
+    def _flaky(self, monkeypatch, fail_backends):
+        real = method2_module.run_recur_phase
+        calls = []
+
+        def flaky(state, initial, *, backend="serial", **kw):
+            calls.append(backend)
+            if backend in fail_backends:
+                raise RuntimeError(f"synthetic {backend} failure")
+            return real(state, initial, backend=backend, **kw)
+
+        monkeypatch.setattr(method2_module, "run_recur_phase", flaky)
+        return calls
+
+    def test_degrades_down_the_chain_to_serial(self, graph, monkeypatch):
+        calls = self._flaky(
+            monkeypatch, {"supervised", "processes", "threads"}
+        )
+        h = RunHarness("method2", seed=1, backend="supervised")
+        res = h.run(graph)
+        assert calls == ["supervised", "processes", "serial"]
+        assert h.report.degradations == 2
+        assert h.report.degraded_to == "serial"
+        assert h.report.cross_checked  # degraded runs are proven
+        assert res.num_sccs > 0
+
+    def test_serial_failure_is_fatal(self, graph, monkeypatch):
+        self._flaky(
+            monkeypatch, {"supervised", "processes", "threads", "serial"}
+        )
+        h = RunHarness("method2", seed=1, backend="threads")
+        with pytest.raises(RuntimeError):
+            h.run(graph)
+
+    def test_resume_replays_degradation_bit_identically(
+        self, graph, tmp_path, monkeypatch
+    ):
+        # degrade during recur, then corrupt the final checkpoint so
+        # resume restarts the recur phase from the par_wcc boundary:
+        # the rolled-back RNG state means the re-degraded serial run
+        # reproduces the original labels exactly.
+        calls = self._flaky(monkeypatch, {"threads"})
+        h = RunHarness(
+            "method2", seed=1, backend="threads", checkpoint_dir=tmp_path
+        )
+        base = h.run(graph).labels.copy()
+        assert calls == ["threads", "serial"]
+        corrupt(tmp_path / ckpt_files(tmp_path)[-1])
+        calls.clear()
+        h2 = RunHarness.from_checkpoint(tmp_path)
+        res = h2.resume(tmp_path)
+        assert calls == ["threads", "serial"]
+        assert h2.report.degradations == 1
+        assert np.array_equal(res.labels, base)
+
+    def test_rollback_discards_partial_phase_work(
+        self, graph, monkeypatch
+    ):
+        real = method2_module.run_recur_phase
+        state_holder = {}
+
+        def poison_then_fail(state, initial, *, backend="serial", **kw):
+            if backend != "serial":
+                # mutate state, then die: the harness must roll back
+                state.mark_singletons(state.active_nodes()[:5], 3)
+                state_holder["poisoned"] = True
+                raise RuntimeError("synthetic failure after mutation")
+            return real(state, initial, backend=backend, **kw)
+
+        monkeypatch.setattr(
+            method2_module, "run_recur_phase", poison_then_fail
+        )
+        h = RunHarness("method2", seed=1, backend="threads")
+        res = h.run(graph)  # cross-check would fail without rollback
+        assert state_holder["poisoned"]
+        assert h.report.cross_checked
+
+
+class TestFaultPlanPhaseSite:
+    def test_raise_at_boundary_propagates(self, graph):
+        plan = FaultPlan(
+            [FaultSpec(kind="raise", site="phase", index=2, stage="pre")]
+        )
+        h = RunHarness("method2", seed=1, fault_plan=plan)
+        with pytest.raises(Exception):
+            h.run(graph)
+
+    def test_hook_sees_all_stages_in_order(self, graph, tmp_path):
+        events = []
+        h = RunHarness(
+            "method2",
+            seed=1,
+            checkpoint_dir=tmp_path,
+            phase_hook=lambda name, stage: events.append((name, stage)),
+        )
+        h.run(graph)
+        per_phase = [e for e in events if e[0] == "par_fwbw"]
+        assert per_phase == [
+            ("par_fwbw", "pre"), ("par_fwbw", "mid"), ("par_fwbw", "post")
+        ]
+
+
+class TestExitCodes:
+    def test_taxonomy_is_distinct(self):
+        assert exit_code_for(CheckpointError("x")) == 13
+        assert exit_code_for(PhaseTimeoutError("p", 1.0)) == 14
+        assert exit_code_for(ReproError("x")) == 10
+        assert exit_code_for(RuntimeError("x")) == 1
