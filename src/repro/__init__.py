@@ -24,8 +24,9 @@ Quickstart::
     print("simulated 32-thread speedup:", t_seq / t_par)
 """
 
-from . import analysis, core, errors, generators, graph, runtime, traversal
+from . import analysis, core, engine, errors, generators, graph, runtime, traversal
 from .core import strongly_connected_components, SCCResult
+from .engine import Engine
 from .errors import (
     CheckpointError,
     GraphIngestError,
@@ -39,6 +40,8 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "core",
+    "engine",
+    "Engine",
     "errors",
     "generators",
     "graph",

@@ -9,13 +9,16 @@ Usage (installed as ``python -m repro``)::
     python -m repro info --dataset ca-road
     python -m repro run --input web.txt.gz --checkpoint-dir ckpts/
     python -m repro run --resume ckpts/
+    python -m repro batch jobs.json --output report.json
 
 ``scc`` detects SCCs and (for the parallel methods) reports the
 simulated time at the requested thread count; ``sweep`` prints a full
 Figure 6-style panel; ``info`` prints structural statistics without
 running the parallel algorithms; ``run`` executes under the lifecycle
 harness (phase-boundary checkpoints, per-phase deadlines, backend
-degradation) and ``run --resume`` continues an interrupted run.
+degradation) and ``run --resume`` continues an interrupted run;
+``batch`` executes a JSON manifest of jobs over warm engine sessions
+with per-job error isolation (one bad job can't sink the batch).
 
 Failures exit with the typed codes documented in
 :mod:`repro.errors` (11 = ingest, 12 = validation, 13 = checkpoint,
@@ -224,6 +227,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="simulated thread count for the timing report",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a manifest of (graph, method, backend) jobs over "
+        "warm engine sessions",
+        parents=[kernel_parent],
+    )
+    p_batch.add_argument(
+        "manifest",
+        help="JSON manifest: {'jobs': [{graph, method, backend, "
+        "kernels, seed, scale, workers, ...}, ...]} or a bare list; "
+        "'graph' is a dataset name or an edge-list path",
+    )
+    p_batch.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON batch report here (atomic); default: "
+        "summary to stdout only",
+    )
+    p_batch.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject batch-level faults ('kind@index[:stage]' list or "
+        "JSON spec) at the per-job boundary; the hit job fails typed "
+        "and the batch continues",
     )
 
     p_dist = sub.add_parser(
@@ -442,6 +471,57 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from .engine import Engine, load_manifest, run_batch
+
+    try:
+        jobs = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        import dataclasses
+
+        from .runtime import FaultPlan
+
+        try:
+            parsed = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        # This flag injects at the per-job boundary; the parser's
+        # default site is the task kernel, so pin every spec to "job"
+        # (per-task injection belongs in a job's own fault_plan field).
+        fault_plan = FaultPlan(
+            dataclasses.replace(s, site="job") for s in parsed.specs
+        )
+
+    def progress(rec) -> None:
+        if rec.ok:
+            status = f"ok  sccs={rec.num_sccs}"
+        else:
+            status = f"FAIL({rec.exit_code}) {rec.error_type}: {rec.error}"
+        warm = " warm" if rec.warm else ""
+        print(
+            f"[{rec.index + 1}/{len(jobs)}] {rec.label}: {status} "
+            f"({rec.seconds:.2f}s{warm})"
+        )
+
+    with Engine() as engine:
+        report = run_batch(
+            engine, jobs, fault_plan=fault_plan, progress=progress
+        )
+    print(
+        f"batch: {report.jobs_ok}/{report.jobs_total} ok in "
+        f"{report.seconds:.2f}s over {len(report.sessions)} session(s)"
+    )
+    if args.output:
+        report.write(args.output)
+        print(f"report: {args.output}")
+    return report.first_failure_code
+
+
 def _cmd_sweep(args) -> int:
     from .bench import format_speedup_table, speedup_series
     from .runtime import STANDARD_THREAD_COUNTS
@@ -563,6 +643,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "scc": _cmd_scc,
         "sweep": _cmd_sweep,
+        "batch": _cmd_batch,
         "info": _cmd_info,
         "run": _cmd_run,
         "distributed": _cmd_distributed,

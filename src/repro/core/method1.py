@@ -73,6 +73,7 @@ def method1_phases(
             num_threads=num_threads,
             supervisor=supervisor,
             deadline=ctx.get("deadline"),
+            session=ctx.get("session"),
         )
 
     return [

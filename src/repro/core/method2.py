@@ -86,6 +86,7 @@ def method2_phases(
             num_threads=num_threads,
             supervisor=supervisor,
             deadline=ctx.get("deadline"),
+            session=ctx.get("session"),
         )
 
     plan = [

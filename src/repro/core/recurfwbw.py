@@ -16,26 +16,22 @@ Partition representation (Section 4.1's hybrid scheme):
   hybrid approach is ~10x faster; ``bench_ablation_hybrid_repr.py``
   reproduces that gap from the recorded work.
 
-Two drivers execute the phase: a serial worklist (default; used for
-trace collection) and the real threaded two-level work queue
-(``backend="threads"``), which exercises the same kernel under true
-concurrent interleavings.  Both record the task spawn tree into the
-trace so the simulated scheduler can replay it at any thread count.
+Four executors can drain the phase — serial worklist (default; used
+for trace collection), the real threaded two-level work queue, and the
+plain/supervised process pools — all resolved through the one backend
+registry in :mod:`repro.engine.backends`.  Every executor records the
+task spawn tree into the trace so the simulated scheduler can replay
+it at any thread count.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import PhaseTimeoutError
 from ..kernels import dfs_collect_colored
-from ..runtime.trace import Task
-from ..runtime.workqueue import TwoLevelWorkQueue
 from .state import PHASE_RECUR, SCCState
 
 __all__ = ["WorkItem", "recur_fwbw_task", "run_recur_phase", "collect_color_sets"]
@@ -71,19 +67,9 @@ def recur_fwbw_task(
         return [], select_cost
 
     pivot = state.pick(candidates, pivot_strategy)
-    # The three fresh colours must differ from the partition colour c:
-    # the BW transition map {c: cbw, cfw: cscc} is only well-defined
-    # when no target colour is also a source (kernel-layer contract —
-    # a collision would let the traversal re-visit freshly recoloured
-    # nodes).  Collisions only arise when callers painted colours at or
-    # above the allocator's watermark by hand; skipping costs nothing
-    # in the normal pipelines.
-    fresh = []
-    while len(fresh) < 3:
-        nc = state.new_color()
-        if nc != c:
-            fresh.append(nc)
-    cfw, cbw, cscc = fresh
+    # Three fresh colours distinct from the partition colour c (the BW
+    # transition-map contract; see state.skip_colour_triple).
+    cfw, cbw, cscc = state.alloc_colour_triple(c)
 
     fw_collected, fw_edges = dfs_collect_colored(
         g.indptr, g.indices, pivot, {c: cfw}, color
@@ -138,6 +124,7 @@ def run_recur_phase(
     num_threads: int = 4,
     supervisor=None,
     deadline: Optional[float] = None,
+    session=None,
 ) -> int:
     """Drain the phase-2 work queue; returns the number of tasks run.
 
@@ -145,83 +132,34 @@ def run_recur_phase(
     The spawn tree (with per-task costs) is recorded as a
     :class:`~repro.runtime.trace.TaskDAGRecord` for the simulator.
 
-    ``backend="supervised"`` runs the process backend under the
-    fault-tolerance layer (:mod:`repro.runtime.supervisor`): per-task
-    deadlines, retry of failed tasks, degradation to the serial driver,
-    and post-run label verification.  ``supervisor`` optionally carries
-    a :class:`~repro.runtime.supervisor.SupervisorConfig`.
+    The executor is resolved through the one backend registry
+    (:func:`repro.engine.backends.get_executor`); see that module for
+    the serial / threads / processes / supervised semantics and each
+    backend's capability flags.  ``supervisor`` optionally carries a
+    :class:`~repro.runtime.supervisor.SupervisorConfig` for the
+    supervised backend; ``deadline`` (absolute ``time.monotonic()``
+    value) bounds the deadline-capable executors, which raise
+    :class:`~repro.errors.PhaseTimeoutError` past it.
 
-    ``deadline`` (absolute ``time.monotonic()`` value) bounds the
-    serial and threaded drivers; past it the phase raises
-    :class:`~repro.errors.PhaseTimeoutError`.  The process backends are
-    already bounded per-task by the supervisor's own timeouts.
+    ``session`` optionally names a warm
+    :class:`~repro.engine.session.GraphSession` whose cached transpose,
+    shared-memory mirror and forked worker pool the process executors
+    reuse instead of rebuilding per run.
     """
-    items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
-    tasks: List[Task] = []
-    start = time.monotonic()
+    # Imported lazily: repro.engine imports this module at load time.
+    from ..engine.backends import get_executor
 
-    if backend == "serial":
-        queue: deque[WorkItem] = deque(items)
-        while queue:
-            if deadline is not None and time.monotonic() >= deadline:
-                raise PhaseTimeoutError(phase, time.monotonic() - start)
-            item = queue.popleft()
-            children, task_cost = recur_fwbw_task(
-                state, item, pivot_strategy=pivot_strategy
-            )
-            idx = len(tasks)
-            tasks.append(Task(cost=task_cost, parent=item.parent))
-            for ch in children:
-                ch.parent = idx
-                queue.append(ch)
-    elif backend == "threads":
-        import threading
-
-        lock = threading.Lock()
-
-        def process(item: WorkItem):
-            children, task_cost = recur_fwbw_task(
-                state, item, pivot_strategy=pivot_strategy
-            )
-            with lock:
-                idx = len(tasks)
-                tasks.append(Task(cost=task_cost, parent=item.parent))
-            for ch in children:
-                ch.parent = idx
-            return children
-
-        TwoLevelWorkQueue(num_threads, k=queue_k).run(
-            items, process, deadline=deadline, phase=phase
-        )
-    elif backend == "processes":
-        from ..runtime.mp_backend import run_recur_phase_processes
-
-        return run_recur_phase_processes(
-            state,
-            initial,
-            num_workers=num_threads,
-            queue_k=queue_k,
-            phase=phase,
-        )
-    elif backend == "supervised":
-        from ..runtime.supervisor import run_supervised_recur_phase
-
-        report = run_supervised_recur_phase(
-            state,
-            initial,
-            num_workers=num_threads,
-            queue_k=queue_k,
-            phase=phase,
-            pivot_strategy=pivot_strategy,
-            config=supervisor,
-        )
-        return report.tasks
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-
-    state.trace.task_dag(phase, tasks, queue_k=queue_k)
-    state.profile.bump("recur_tasks", len(tasks))
-    return len(tasks)
+    return get_executor(backend).run_phase(
+        state,
+        initial,
+        queue_k=queue_k,
+        phase=phase,
+        pivot_strategy=pivot_strategy,
+        num_workers=num_threads,
+        supervisor=supervisor,
+        deadline=deadline,
+        session=session,
+    )
 
 
 def collect_color_sets(

@@ -37,6 +37,7 @@ __all__ = [
     "SCCState",
     "StateSnapshot",
     "StateInvariantError",
+    "skip_colour_triple",
     "DONE_COLOR",
     "PHASE_TRIM",
     "PHASE_TRIM2",
@@ -61,6 +62,35 @@ PHASE_NAMES = {
     PHASE_RECUR: "recur_fwbw",
     PHASE_COLORING: "coloring",
 }
+
+
+def skip_colour_triple(
+    start: int, skip: int
+) -> tuple[tuple[int, int, int], int]:
+    """Allocate three consecutive colours from ``start``, skipping ``skip``.
+
+    Returns ``((cfw, cbw, cscc), next_start)``.  Every Recur-FWBW task
+    needs three fresh colours distinct from its own partition colour
+    ``skip``: the BW transition map ``{c: cbw, cfw: cscc}`` is only
+    well-defined when no target colour is also a source (kernel-layer
+    contract — a collision would let the traversal re-visit freshly
+    recoloured nodes).  Collisions only arise when callers painted
+    colours at or above the allocator's watermark by hand; skipping
+    costs nothing in the normal pipelines.
+
+    This is the one allocation sequence shared by every executor: the
+    serial/threads drivers call it under the state lock
+    (:meth:`SCCState.alloc_colour_triple`), workers under the shared
+    ``color_counter`` lock, and the supervisor's master loop on its
+    privately owned counter.
+    """
+    triple = []
+    nxt = start
+    while len(triple) < 3:
+        if nxt != skip:
+            triple.append(nxt)
+        nxt += 1
+    return (triple[0], triple[1], triple[2]), nxt
 
 
 class StateInvariantError(ReproError, RuntimeError):
@@ -138,6 +168,15 @@ class SCCState:
             base = self._next_color
             self._next_color += count
         return np.arange(base, base + count, dtype=np.int64)
+
+    def alloc_colour_triple(self, skip: int) -> tuple[int, int, int]:
+        """Allocate a task's ``(cfw, cbw, cscc)`` triple, skipping
+        ``skip`` (thread-safe); see :func:`skip_colour_triple`."""
+        with self._lock:
+            triple, self._next_color = skip_colour_triple(
+                self._next_color, skip
+            )
+        return triple
 
     # ------------------------------------------------------------------
     def mark_scc(self, nodes: np.ndarray | Iterable[int], phase: int) -> int:

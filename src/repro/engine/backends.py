@@ -1,0 +1,266 @@
+"""The ``ExecutorBackend`` protocol: one registry for phase-2 executors.
+
+Four executors can drain the Recur-FWBW work queue — serial worklist,
+threaded two-level queue, plain process pool, supervised process pool
+— and before this module each caller (the method pipelines, the run
+harness, the CLI, the bench harness) hand-rolled its own dispatch over
+backend-name strings.  Now there is exactly one construction path:
+:func:`get_executor` resolves a name to an :class:`ExecutorBackend`,
+and every executor advertises :class:`BackendCapabilities` so callers
+can reason about fault tolerance, deadline support and warm-pool reuse
+instead of string-matching names.
+
+The serial and threaded drivers live here in full; the process-backed
+drivers delegate to :mod:`repro.runtime.mp_backend` and
+:mod:`repro.runtime.supervisor`, which in turn build on the shared
+:mod:`repro.engine.shm` / :mod:`repro.engine.pool` plumbing (no
+executor owns private shm or pool-lifecycle code anymore).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..errors import PhaseTimeoutError
+
+__all__ = [
+    "BackendCapabilities",
+    "ExecutorBackend",
+    "BACKENDS",
+    "backend_names",
+    "get_executor",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcessesBackend",
+    "SupervisedBackend",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an executor can promise its callers."""
+
+    #: survives worker death / task hangs (retry + degradation).
+    fault_tolerant: bool = False
+    #: honours a cooperative ``deadline`` (absolute monotonic bound).
+    deadline: bool = False
+    #: runs tasks in separate processes (GIL-free).
+    processes: bool = False
+    #: can reuse a :class:`~repro.engine.session.GraphSession`'s warm
+    #: pool + shared mirror across runs.
+    warm_pool: bool = False
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """One way to drain the phase-2 work queue."""
+
+    name: str
+    capabilities: BackendCapabilities
+
+    def run_phase(
+        self,
+        state,
+        initial: Sequence[Tuple[int, Optional[np.ndarray]]],
+        *,
+        queue_k: int = 1,
+        phase: str = "recur_fwbw",
+        pivot_strategy: str = "random",
+        num_workers: int = 2,
+        supervisor=None,
+        deadline: Optional[float] = None,
+        session=None,
+    ) -> int:
+        """Drain the queue; returns the number of tasks executed."""
+        ...
+
+
+class SerialBackend:
+    """The deterministic serial worklist (default; trace-normative)."""
+
+    name = "serial"
+    capabilities = BackendCapabilities(deadline=True)
+
+    def run_phase(
+        self,
+        state,
+        initial,
+        *,
+        queue_k: int = 1,
+        phase: str = "recur_fwbw",
+        pivot_strategy: str = "random",
+        num_workers: int = 2,
+        supervisor=None,
+        deadline: Optional[float] = None,
+        session=None,
+    ) -> int:
+        from ..core.recurfwbw import WorkItem, recur_fwbw_task
+        from ..runtime.trace import Task
+
+        start = time.monotonic()
+        queue: deque = deque(
+            WorkItem(color=c, nodes=nd) for c, nd in initial
+        )
+        tasks: List[Task] = []
+        while queue:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise PhaseTimeoutError(phase, time.monotonic() - start)
+            item = queue.popleft()
+            children, task_cost = recur_fwbw_task(
+                state, item, pivot_strategy=pivot_strategy
+            )
+            idx = len(tasks)
+            tasks.append(Task(cost=task_cost, parent=item.parent))
+            for ch in children:
+                ch.parent = idx
+                queue.append(ch)
+        state.trace.task_dag(phase, tasks, queue_k=queue_k)
+        state.profile.bump("recur_tasks", len(tasks))
+        return len(tasks)
+
+
+class ThreadsBackend:
+    """The real two-level work queue (correctness path; GIL-bound)."""
+
+    name = "threads"
+    capabilities = BackendCapabilities(deadline=True)
+
+    def run_phase(
+        self,
+        state,
+        initial,
+        *,
+        queue_k: int = 1,
+        phase: str = "recur_fwbw",
+        pivot_strategy: str = "random",
+        num_workers: int = 2,
+        supervisor=None,
+        deadline: Optional[float] = None,
+        session=None,
+    ) -> int:
+        import threading
+
+        from ..core.recurfwbw import WorkItem, recur_fwbw_task
+        from ..runtime.trace import Task
+        from ..runtime.workqueue import TwoLevelWorkQueue
+
+        items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
+        tasks: List[Task] = []
+        lock = threading.Lock()
+
+        def process(item):
+            children, task_cost = recur_fwbw_task(
+                state, item, pivot_strategy=pivot_strategy
+            )
+            with lock:
+                idx = len(tasks)
+                tasks.append(Task(cost=task_cost, parent=item.parent))
+            for ch in children:
+                ch.parent = idx
+            return children
+
+        TwoLevelWorkQueue(num_workers, k=queue_k).run(
+            items, process, deadline=deadline, phase=phase
+        )
+        state.trace.task_dag(phase, tasks, queue_k=queue_k)
+        state.profile.bump("recur_tasks", len(tasks))
+        return len(tasks)
+
+
+class ProcessesBackend:
+    """GIL-free worker processes over shared memory (POSIX only)."""
+
+    name = "processes"
+    capabilities = BackendCapabilities(processes=True, warm_pool=True)
+
+    def run_phase(
+        self,
+        state,
+        initial,
+        *,
+        queue_k: int = 1,
+        phase: str = "recur_fwbw",
+        pivot_strategy: str = "random",
+        num_workers: int = 2,
+        supervisor=None,
+        deadline: Optional[float] = None,
+        session=None,
+    ) -> int:
+        from ..runtime.mp_backend import run_recur_phase_processes
+
+        return run_recur_phase_processes(
+            state,
+            initial,
+            num_workers=num_workers,
+            queue_k=queue_k,
+            phase=phase,
+            session=session,
+        )
+
+
+class SupervisedBackend:
+    """The process backend under the fault-tolerance supervisor."""
+
+    name = "supervised"
+    capabilities = BackendCapabilities(
+        fault_tolerant=True, deadline=True, processes=True, warm_pool=True
+    )
+
+    def run_phase(
+        self,
+        state,
+        initial,
+        *,
+        queue_k: int = 1,
+        phase: str = "recur_fwbw",
+        pivot_strategy: str = "random",
+        num_workers: int = 2,
+        supervisor=None,
+        deadline: Optional[float] = None,
+        session=None,
+    ) -> int:
+        from ..runtime.supervisor import run_supervised_recur_phase
+
+        report = run_supervised_recur_phase(
+            state,
+            initial,
+            num_workers=num_workers,
+            queue_k=queue_k,
+            phase=phase,
+            pivot_strategy=pivot_strategy,
+            config=supervisor,
+            session=session,
+        )
+        return report.tasks
+
+
+#: the one backend registry; every executor construction goes through it.
+BACKENDS: Dict[str, ExecutorBackend] = {
+    b.name: b
+    for b in (
+        SerialBackend(),
+        ThreadsBackend(),
+        ProcessesBackend(),
+        SupervisedBackend(),
+    )
+}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered executor names, registration order."""
+    return tuple(BACKENDS)
+
+
+def get_executor(name: str) -> ExecutorBackend:
+    """Resolve a backend name (the single executor-construction path)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None

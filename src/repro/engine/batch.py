@@ -1,0 +1,292 @@
+"""Load-once / run-many batch serving over warm graph sessions.
+
+A batch is a manifest of jobs — ``(graph source, method, backend,
+kernels, seed, options)`` — executed by one :class:`~repro.engine.
+engine.Engine` so that every job against the same graph reuses the
+same warm session (graph, transpose, shared mirror, forked pool).
+
+**Per-job error isolation** is the contract that makes this a serving
+surface rather than a script: one failing job produces an exit record
+(the :class:`~repro.errors.ReproError` taxonomy's typed exit code, or
+1 for untyped failures) and the batch *continues*; the report carries
+every record plus the session amortization stats.  A batch-level
+:class:`~repro.runtime.faults.FaultPlan` can inject failures at the
+``"job"`` site (index = job position) to prove the isolation under
+test — a ``crash`` there is downgraded to ``raise`` so chaos drills
+don't take the whole batch process down.
+
+The ``repro batch`` CLI subcommand is a thin wrapper over
+:func:`load_manifest` + :func:`run_batch`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ReproError, exit_code_for
+
+__all__ = [
+    "BatchJob",
+    "JobRecord",
+    "BatchReport",
+    "load_manifest",
+    "run_batch",
+]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of batch work.
+
+    ``graph`` is a surrogate dataset name or an edge-list path (the
+    engine deduplicates sessions by source and by fingerprint, so
+    repeating a graph across jobs costs one load).  ``options`` carries
+    extra method keywords (``queue_k``, ``pivot_strategy``, ...).
+    """
+
+    graph: str
+    method: str = "method2"
+    backend: str = "serial"
+    kernels: Optional[str] = None
+    seed: int = 0
+    scale: Optional[float] = None
+    workers: int = 2
+    on_error: str = "strict"
+    #: per-job fault plan string (tests/demos); forces the supervised
+    #: backend, exactly like ``repro scc --fault-plan``.
+    fault_plan: Optional[str] = None
+    options: dict = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BatchJob":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown batch-job key(s) {unknown}; known: {sorted(known)}"
+            )
+        if "graph" not in d:
+            raise ValueError("batch job needs a 'graph' source")
+        return cls(**d)
+
+    def describe(self) -> str:
+        return self.label or f"{self.method}@{self.graph}[{self.backend}]"
+
+
+@dataclass
+class JobRecord:
+    """What one job did (success or typed failure)."""
+
+    index: int
+    label: str
+    graph: str
+    method: str
+    backend: str
+    ok: bool = False
+    #: 0 on success; the ReproError exit code (or 1) on failure.
+    exit_code: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    num_sccs: Optional[int] = None
+    largest_scc: Optional[int] = None
+    giant_fraction: Optional[float] = None
+    seconds: float = 0.0
+    #: the serving-economics flag: True when every session artifact
+    #: (graph, transpose, pool) was reused.
+    warm: bool = False
+    session_fingerprint: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "graph": self.graph,
+            "method": self.method,
+            "backend": self.backend,
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "error": self.error,
+            "error_type": self.error_type,
+            "num_sccs": self.num_sccs,
+            "largest_scc": self.largest_scc,
+            "giant_fraction": self.giant_fraction,
+            "seconds": self.seconds,
+            "warm": self.warm,
+            "session_fingerprint": self.session_fingerprint,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run observed."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    seconds: float = 0.0
+    #: per-session setup/amortization stats, keyed by fingerprint hex.
+    sessions: dict = field(default_factory=dict)
+
+    @property
+    def jobs_total(self) -> int:
+        return len(self.records)
+
+    @property
+    def jobs_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def jobs_failed(self) -> int:
+        return self.jobs_total - self.jobs_ok
+
+    @property
+    def first_failure_code(self) -> int:
+        """0 when every job succeeded, else the first failure's code."""
+        for r in self.records:
+            if not r.ok:
+                return r.exit_code
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs_total": self.jobs_total,
+            "jobs_ok": self.jobs_ok,
+            "jobs_failed": self.jobs_failed,
+            "seconds": self.seconds,
+            "sessions": self.sessions,
+            "jobs": [r.to_dict() for r in self.records],
+        }
+
+    def write(self, path) -> None:
+        """Atomically publish the JSON report."""
+        from ..ioutil import atomic_path
+
+        with atomic_path(path, suffix=".json") as tmp:
+            with open(tmp, "w") as fh:
+                json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+
+def load_manifest(path) -> List[BatchJob]:
+    """Parse a batch manifest: ``{"jobs": [...]}`` or a bare list."""
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid manifest JSON ({exc})")
+    if isinstance(data, dict):
+        data = data.get("jobs")
+    if not isinstance(data, list) or not data:
+        raise ValueError(
+            f"{path}: manifest must be a non-empty job list or "
+            "{'jobs': [...]}"
+        )
+    return [BatchJob.from_dict(obj) for obj in data]
+
+
+def run_batch(
+    engine,
+    jobs: Sequence[BatchJob],
+    *,
+    fault_plan=None,
+    progress: Optional[Callable[[JobRecord], None]] = None,
+) -> BatchReport:
+    """Execute ``jobs`` on ``engine`` with per-job error isolation.
+
+    Every job runs to an explicit :class:`JobRecord`; a failure is
+    captured (typed exit code, message), never propagated, and the
+    remaining jobs still run.  ``fault_plan`` fires at the ``"job"``
+    site before each job body (chaos testing of the isolation);
+    ``progress`` is called with each finished record (the CLI's
+    per-line printer).
+    """
+    report = BatchReport()
+    t_batch = time.perf_counter()
+    for index, job in enumerate(jobs):
+        rec = JobRecord(
+            index=index,
+            label=job.describe(),
+            graph=job.graph,
+            method=job.method,
+            backend=job.backend,
+        )
+        t0 = time.perf_counter()
+        try:
+            if fault_plan is not None:
+                # thread_site: a "crash" here must fail the job, not
+                # kill the batch process.
+                fault_plan.fire(
+                    "job", index, stage="pre", thread_site=True
+                )
+            rec.session_fingerprint, result, rec.warm = _run_job(
+                engine, job
+            )
+            rec.num_sccs = result.num_sccs
+            rec.largest_scc = result.largest_scc_size()
+            rec.giant_fraction = result.giant_fraction()
+            rec.ok = True
+        except ReproError as exc:
+            rec.error = str(exc)
+            rec.error_type = type(exc).__name__
+            rec.exit_code = exit_code_for(exc)
+        except Exception as exc:  # untyped: still isolated, code 1
+            rec.error = str(exc) or type(exc).__name__
+            rec.error_type = type(exc).__name__
+            rec.exit_code = 1
+        rec.seconds = time.perf_counter() - t0
+        report.records.append(rec)
+        if progress is not None:
+            progress(rec)
+    report.seconds = time.perf_counter() - t_batch
+    report.sessions = {
+        f"{sess.fingerprint:#010x}": dict(
+            sess.stats.to_dict(), name=sess.name
+        )
+        for sess in engine.sessions
+    }
+    return report
+
+
+def _run_job(engine, job: BatchJob):
+    """One job body: resolve the session, run, return the essentials."""
+    from ..runtime.faults import FaultPlan
+    from ..runtime.supervisor import SupervisorConfig
+
+    session = engine.load(
+        job.graph, scale=job.scale, seed=None, on_error=job.on_error
+    )
+    backend = job.backend
+    supervisor = None
+    if job.fault_plan:
+        backend = "supervised"  # only the supervised backend recovers
+        supervisor = SupervisorConfig(
+            fault_plan=FaultPlan.parse(job.fault_plan)
+        )
+    runs_before = session.stats.runs
+    warm_before = session.stats.warm_runs
+
+    def execute():
+        return engine.run(
+            session,
+            method=job.method,
+            backend=backend,
+            num_workers=job.workers,
+            seed=job.seed,
+            supervisor=supervisor,
+            **job.options,
+        )
+
+    if job.kernels is not None:
+        from ..kernels import use_backend
+
+        with use_backend(job.kernels):
+            result = execute()
+    else:
+        result = execute()
+    warm = (
+        session.stats.runs == runs_before + 1
+        and session.stats.warm_runs == warm_before + 1
+    )
+    return session.fingerprint, result, warm

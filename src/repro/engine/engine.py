@@ -1,0 +1,323 @@
+"""The unified execution engine: load once, run many.
+
+:class:`Engine` is the serving front end the ROADMAP's production
+north star asks for.  It owns a cache of :class:`~repro.engine.session.
+GraphSession` objects keyed by graph fingerprint (and by load source,
+so a manifest that names the same graph twice never reloads it),
+resolves executors through the one :mod:`repro.engine.backends`
+registry, and exposes:
+
+* :meth:`Engine.run` — one SCC detection over a warm session,
+  returning the library's existing :class:`~repro.core.result.
+  SCCResult`;
+* :meth:`Engine.run_many` — a manifest of jobs executed over warm
+  sessions with per-job error isolation (see :mod:`repro.engine.
+  batch`), the ``repro batch`` CLI's engine.
+
+Determinism: by default the engine canonicalizes result labels (SCC
+ids ordered by first node occurrence).  The SCC *partition* of a graph
+is unique, so canonical labels are bit-identical across every backend
+and across cold vs. warm sessions — the property the engine parity
+gate pins.  Pass ``canonical=False`` to get each algorithm's raw label
+order (bit-identical to calling the method functions directly).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from ..core.result import SCCResult, canonical_labels
+from ..graph import CSRGraph
+from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
+from .backends import get_executor
+from .session import GraphSession, graph_fingerprint
+
+__all__ = ["Engine"]
+
+#: methods that accept neither seed nor backend options.
+_SEQUENTIAL = ("tarjan", "kosaraju", "gabow")
+
+
+class Engine:
+    """Warm-session executor for every SCC method in the library.
+
+    Parameters
+    ----------
+    backend:
+        Default phase-2 executor name (see
+        :func:`repro.engine.backends.backend_names`).
+    num_workers:
+        Default worker count for the non-serial executors.
+    cost:
+        Cost model attached to new sessions (overridable per run).
+    canonical:
+        Canonicalize result labels (default True; see module docstring).
+    max_sessions:
+        Session-cache capacity; least-recently-used sessions beyond it
+        are closed and evicted.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "serial",
+        num_workers: int = 2,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        canonical: bool = True,
+        max_sessions: int = 8,
+    ) -> None:
+        get_executor(backend)  # validate eagerly
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.backend = backend
+        self.num_workers = num_workers
+        self.cost = cost
+        self.canonical = canonical
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[int, GraphSession]" = OrderedDict()
+        self._by_source: Dict[tuple, int] = {}
+        self._closed = False
+
+    # -- session management ---------------------------------------------
+    def session(
+        self, graph: Union[CSRGraph, GraphSession], *, name: str | None = None
+    ) -> GraphSession:
+        """The (cached) session for ``graph``, keyed by fingerprint."""
+        self._check_open()
+        if isinstance(graph, GraphSession):
+            return graph
+        key = graph_fingerprint(graph)
+        sess = self._sessions.get(key)
+        if sess is None or sess.closed:
+            sess = GraphSession(graph, name=name, cost=self.cost)
+            self._admit(key, sess)
+        else:
+            self._sessions.move_to_end(key)
+        return sess
+
+    def load(
+        self,
+        source: str,
+        *,
+        scale: float | None = None,
+        seed: int | None = None,
+        on_error: str = "strict",
+        name: str | None = None,
+    ) -> GraphSession:
+        """Load a graph source into a session (cached by source).
+
+        ``source`` is a surrogate dataset name (see ``repro datasets``)
+        or an edge-list path.  Loading the same source again returns
+        the existing warm session without touching the input.
+        """
+        self._check_open()
+        skey = (source, scale, seed, on_error)
+        fp = self._by_source.get(skey)
+        if fp is not None:
+            sess = self._sessions.get(fp)
+            if sess is not None and not sess.closed:
+                self._sessions.move_to_end(fp)
+                return sess
+        from ..generators import DATASETS, generate
+
+        t0 = time.perf_counter()
+        if source in DATASETS:
+            g = generate(source, scale=scale, seed=seed).graph
+        else:
+            from ..graph import read_edge_list
+
+            g = read_edge_list(source, on_error=on_error)
+        load_seconds = time.perf_counter() - t0
+        key = graph_fingerprint(g)
+        sess = self._sessions.get(key)
+        if sess is None or sess.closed:
+            sess = GraphSession(
+                g,
+                name=name or source,
+                cost=self.cost,
+                load_seconds=load_seconds,
+            )
+            self._admit(key, sess)
+        else:
+            self._sessions.move_to_end(key)
+        self._by_source[skey] = key
+        return sess
+
+    def _admit(self, key: int, sess: GraphSession) -> None:
+        self._sessions[key] = sess
+        self._sessions.move_to_end(key)
+        while len(self._sessions) > self.max_sessions:
+            _, evicted = self._sessions.popitem(last=False)
+            evicted.close()
+
+    @property
+    def sessions(self) -> tuple:
+        """Live sessions, least- to most-recently used."""
+        return tuple(self._sessions.values())
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self,
+        target: Union[CSRGraph, GraphSession],
+        *,
+        method: str = "method2",
+        backend: str | None = None,
+        num_workers: int | None = None,
+        seed: int | None = 0,
+        cost: CostModel | None = None,
+        supervisor=None,
+        canonical: bool | None = None,
+        **method_kwargs,
+    ) -> SCCResult:
+        """One SCC detection over a (warm) session.
+
+        ``target`` is a graph or an existing session.  ``method`` may
+        be any registered algorithm; the paper pipelines ``method1``/
+        ``method2`` get the full warm-session treatment (cached
+        transpose, shared mirror, persistent worker pool), everything
+        else reuses the cached graph.  Remaining keywords flow to the
+        method (``queue_k``, ``pivot_strategy``, ...).
+        """
+        self._check_open()
+        session = self.session(target)
+        backend = backend if backend is not None else self.backend
+        num_workers = (
+            num_workers if num_workers is not None else self.num_workers
+        )
+        canonical = canonical if canonical is not None else self.canonical
+        cost = cost if cost is not None else session.cost
+        get_executor(backend)  # fail fast on typos, one resolution path
+
+        setup_before = session.stats.setup_seconds()
+        was_run = session.stats.runs > 0
+        if method in ("method1", "method2"):
+            result = self._run_plan(
+                session,
+                method,
+                backend=backend,
+                num_workers=num_workers,
+                seed=seed,
+                cost=cost,
+                supervisor=supervisor,
+                **method_kwargs,
+            )
+        else:
+            result = self._run_other(
+                session,
+                method,
+                backend=backend,
+                num_workers=num_workers,
+                seed=seed,
+                cost=cost,
+                **method_kwargs,
+            )
+        warm = was_run and (
+            session.stats.setup_seconds() == setup_before
+        )
+        session.note_run(warm=warm)
+        if canonical:
+            result.labels = canonical_labels(result.labels)
+        return result
+
+    def _run_plan(
+        self,
+        session: GraphSession,
+        method: str,
+        *,
+        backend: str,
+        num_workers: int,
+        seed: int | None,
+        cost: CostModel,
+        supervisor,
+        **method_kwargs,
+    ) -> SCCResult:
+        from ..core.method1 import method1_phases
+        from ..core.method2 import method2_phases
+        from ..core.phases import run_plan
+        from ..core.state import SCCState
+
+        factory = {
+            "method1": method1_phases,
+            "method2": method2_phases,
+        }[method]
+        session.ensure_transpose()
+        plan = factory(
+            backend=backend,
+            num_threads=num_workers,
+            supervisor=supervisor,
+            **method_kwargs,
+        )
+        state = SCCState(session.graph, seed=seed, cost=cost)
+        run_plan(state, plan, {"session": session})
+        state.check_done()
+        return SCCResult(
+            labels=state.labels,
+            method=method,
+            profile=state.profile,
+            phase_of=state.phase_of,
+        )
+
+    def _run_other(
+        self,
+        session: GraphSession,
+        method: str,
+        *,
+        backend: str,
+        num_workers: int,
+        seed: int | None,
+        cost: CostModel,
+        **method_kwargs,
+    ) -> SCCResult:
+        import inspect
+
+        from ..core.api import METHODS, strongly_connected_components
+
+        kwargs = dict(method_kwargs)
+        kwargs["cost"] = cost
+        if method not in _SEQUENTIAL:
+            kwargs["seed"] = seed
+            runner = METHODS.get(method)
+            accepts = (
+                set(inspect.signature(runner).parameters)
+                if runner is not None
+                else set()
+            )
+            # comparators like "coloring" have no executor knob at all;
+            # only forward the backend options where they exist.
+            if backend != "serial" and "backend" in accepts:
+                kwargs["backend"] = backend
+                kwargs["num_threads"] = num_workers
+        return strongly_connected_components(
+            session.graph, method, **kwargs
+        )
+
+    def run_many(self, jobs, **kwargs):
+        """Execute a batch of jobs over warm sessions; see
+        :func:`repro.engine.batch.run_batch` for jobs, isolation and
+        report semantics."""
+        from .batch import run_batch
+
+        return run_batch(self, jobs, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+
+    def close(self) -> None:
+        """Close every session (pools, shared memory); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for sess in self._sessions.values():
+            sess.close()
+        self._sessions.clear()
+        self._by_source.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""Worker-pool lifecycle: the one place fork pools are constructed.
+
+Both process executors (plain and supervised) and the warm
+:class:`~repro.engine.session.GraphSession` pools share this wrapper
+around ``multiprocessing.Pool``:
+
+* the worker context is armed by an ``arm`` callback *immediately*
+  before every fork (initial spawn and every rebuild), and disarmed
+  right after — workers keep their inherited copy, the parent's global
+  stays clean;
+* liveness inspection (:meth:`dead_workers`) distinguishes worker
+  death from task hang after a deadline expires;
+* a condemned pool is replaced wholesale by :meth:`rebuild` — a hung
+  worker could keep mutating shared memory, so the supervisor never
+  reuses a pool it has given up on;
+* :meth:`terminate` is idempotent and safe on every exit path.
+
+``spawns`` counts forks over the pool's lifetime; the session layer
+uses it to prove warm runs pay no respawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Optional
+
+from .shm import disarm_worker_context
+
+__all__ = ["WorkerPool", "fork_available"]
+
+
+def fork_available() -> bool:
+    """True when the 'fork' start method exists (POSIX)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+class WorkerPool:
+    """A rebuildable fork pool with context arming and liveness checks."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        arm: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not fork_available():  # pragma: no cover - non-POSIX only
+            raise RuntimeError(
+                "process backends require the 'fork' start method"
+            )
+        self.num_workers = num_workers
+        self._arm = arm
+        self._ctx = mp.get_context("fork")
+        self._pool: Optional[mp.pool.Pool] = None
+        #: total forks over this pool's lifetime (1 after start()).
+        self.spawns = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+    def start(self) -> "WorkerPool":
+        """Fork the workers (no-op when already running)."""
+        if self._pool is None:
+            self._fork()
+        return self
+
+    def _fork(self) -> None:
+        if self._arm is not None:
+            self._arm()
+        try:
+            self._pool = self._ctx.Pool(processes=self.num_workers)
+            self.spawns += 1
+        finally:
+            # Workers inherited their copy at fork; the parent-side
+            # global must not leak into unrelated code.
+            if self._arm is not None:
+                disarm_worker_context()
+
+    # ------------------------------------------------------------------
+    def apply_async(self, fn, args=()):
+        if self._pool is None:
+            raise RuntimeError("pool is not running (call start())")
+        return self._pool.apply_async(fn, args)
+
+    def dead_workers(self) -> int:
+        """Count dead worker processes (0 when the pool is down)."""
+        if self._pool is None:
+            return 0
+        procs = getattr(self._pool, "_pool", None) or []
+        return sum(1 for p in procs if not p.is_alive())
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Condemn the current workers and fork a fresh set."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._fork()
+
+    def terminate(self) -> None:
+        """Tear the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()

@@ -49,6 +49,7 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..engine.session import GraphSession, graph_fingerprint
 from ..errors import CheckpointError, PhaseTimeoutError, ReproError
 from ..graph import CSRGraph, load_npz, save_npz
 from ..ioutil import atomic_path, crc32_chunks
@@ -94,12 +95,9 @@ _CKPT_ARRAYS = (
 # ---------------------------------------------------------------------------
 # Queue / graph serialization helpers
 # ---------------------------------------------------------------------------
-def _graph_crc(g: CSRGraph) -> int:
-    return crc32_chunks(
-        np.int64(g.num_nodes).tobytes(),
-        g.indptr.tobytes(),
-        g.indices.tobytes(),
-    )
+#: the graph identity in checkpoints is the same CRC fingerprint the
+#: engine keys its session cache by (one definition, one meaning).
+_graph_crc = graph_fingerprint
 
 
 def _serialize_queue(
@@ -438,31 +436,61 @@ class RunHarness:
         )
 
     # -- entry points ---------------------------------------------------
-    def run(self, g: CSRGraph):
+    def _session_of(
+        self, g: Union[CSRGraph, GraphSession]
+    ) -> Tuple[GraphSession, bool]:
+        """Resolve the warm session this run executes on.
+
+        A caller-supplied :class:`~repro.engine.session.GraphSession`
+        (e.g. from an :class:`~repro.engine.Engine`) is borrowed — its
+        pools and caches survive this run.  A bare graph gets an
+        ephemeral session the harness tears down afterwards.
+        """
+        if isinstance(g, GraphSession):
+            return g, False
+        return GraphSession(g, cost=self.cost), True
+
+    def run(self, g: Union[CSRGraph, GraphSession]):
         """Execute the pipeline from scratch; returns the
         :class:`~repro.core.result.SCCResult` (see ``self.report`` for
-        lifecycle telemetry)."""
+        lifecycle telemetry).
+
+        ``g`` may be a graph or a warm
+        :class:`~repro.engine.session.GraphSession`; with a session,
+        the process executors reuse its cached transpose, shared
+        mirror and forked worker pool.
+        """
         from ..core.state import SCCState
 
+        session, owns = self._session_of(g)
+        g = session.graph
         plan = self._plan()
         self.report = RunReport(method=self.method)
         if self.checkpoint_dir is not None:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
             save_npz(g, os.path.join(self.checkpoint_dir, GRAPH_FILENAME))
         state = SCCState(g, seed=self.seed, cost=self.cost)
-        return self._execute(g, state, {}, plan, 0)
+        try:
+            return self._execute(
+                g, state, {"session": session}, plan, 0
+            )
+        finally:
+            if owns:
+                session.close()
 
     def resume(
-        self, ckpt: PathLike, g: CSRGraph | None = None
+        self, ckpt: PathLike, g: CSRGraph | GraphSession | None = None
     ):
         """Pick the run up at the first incomplete phase.
 
         ``ckpt`` is a checkpoint file or directory; with ``g=None``
         the input graph is reloaded from the ``graph.npz`` persisted
-        beside the checkpoints.  The graph's CRC fingerprint, the
-        method, and the phase plan must match what the checkpoint
-        recorded — resuming against different data is refused, not
-        silently wrong.
+        beside the checkpoints.  The graph's CRC fingerprint (the same
+        value the engine keys its session cache by), the method, and
+        the phase plan must match what the checkpoint recorded —
+        resuming against different data is refused, not silently
+        wrong.  Like :meth:`run`, ``g`` may be a warm
+        :class:`~repro.engine.session.GraphSession`.
         """
         from ..core.state import SCCState, StateSnapshot
 
@@ -484,49 +512,59 @@ class RunHarness:
                     path=path,
                 )
             g = load_npz(gpath)
-        if _graph_crc(g) != meta["graph_crc"]:
+        session, owns = self._session_of(g)
+        g = session.graph
+        if session.fingerprint != meta["graph_crc"]:
+            if owns:
+                session.close()
             raise CheckpointError(
                 "input graph does not match the checkpointed run "
                 "(CRC fingerprint mismatch)",
                 path=path,
             )
-        plan = self._plan()
-        if [ph.name for ph in plan] != list(meta["plan"]):
-            raise CheckpointError(
-                f"phase plan mismatch: checkpoint has {meta['plan']}, "
-                f"current configuration builds "
-                f"{[ph.name for ph in plan]}",
-                path=path,
-            )
+        try:
+            plan = self._plan()
+            if [ph.name for ph in plan] != list(meta["plan"]):
+                raise CheckpointError(
+                    f"phase plan mismatch: checkpoint has {meta['plan']}, "
+                    f"current configuration builds "
+                    f"{[ph.name for ph in plan]}",
+                    path=path,
+                )
 
-        state = SCCState(g, seed=self.seed, cost=self.cost)
-        state.restore(
-            StateSnapshot(
-                color=np.ascontiguousarray(arrays["color"], np.int64),
-                mark=np.ascontiguousarray(arrays["mark"], bool),
-                labels=np.ascontiguousarray(arrays["labels"], np.int64),
-                phase_of=np.ascontiguousarray(arrays["phase_of"], np.int8),
-                next_color=int(meta["next_color"]),
-                num_sccs=int(meta["num_sccs"]),
+            state = SCCState(g, seed=self.seed, cost=self.cost)
+            state.restore(
+                StateSnapshot(
+                    color=np.ascontiguousarray(arrays["color"], np.int64),
+                    mark=np.ascontiguousarray(arrays["mark"], bool),
+                    labels=np.ascontiguousarray(arrays["labels"], np.int64),
+                    phase_of=np.ascontiguousarray(
+                        arrays["phase_of"], np.int8
+                    ),
+                    next_color=int(meta["next_color"]),
+                    num_sccs=int(meta["num_sccs"]),
+                )
             )
-        )
-        state.set_rng_state(meta["rng_state"])
-        ctx: dict = {}
-        if meta["has_queue"]:
-            ctx["queue"] = _deserialize_queue(arrays)
-        if meta.get("ctx_backend"):
-            ctx["backend"] = meta["ctx_backend"]
+            state.set_rng_state(meta["rng_state"])
+            ctx: dict = {"session": session}
+            if meta["has_queue"]:
+                ctx["queue"] = _deserialize_queue(arrays)
+            if meta.get("ctx_backend"):
+                ctx["backend"] = meta["ctx_backend"]
 
-        start = int(meta["phase_index"]) + 1
-        self.report = RunReport(
-            method=self.method,
-            resumed_from=path,
-            resumed_phase=(
-                plan[start].name if start < len(plan) else None
-            ),
-            degraded_to=meta.get("ctx_backend"),
-        )
-        return self._execute(g, state, ctx, plan, start)
+            start = int(meta["phase_index"]) + 1
+            self.report = RunReport(
+                method=self.method,
+                resumed_from=path,
+                resumed_phase=(
+                    plan[start].name if start < len(plan) else None
+                ),
+                degraded_to=meta.get("ctx_backend"),
+            )
+            return self._execute(g, state, ctx, plan, start)
+        finally:
+            if owns:
+                session.close()
 
     # -- internals ------------------------------------------------------
     def _fire(self, index: int, name: str, stage: str) -> None:
@@ -555,6 +593,8 @@ class RunHarness:
             "num_sccs": int(state.num_sccs),
             "next_color": int(state.color_watermark()),
             "rng_state": state.rng_state(),
+            # graph_crc doubles as the engine's session fingerprint
+            # (one identity, two consumers — see engine.session).
             "graph_crc": graph_crc,
             "has_queue": queue is not None,
             "ctx_backend": ctx.get("backend"),

@@ -13,6 +13,14 @@ Scope: the task-parallel phase 2 (where the paper's work queue lives).
 Phase 1's data-parallel kernels are single large vectorized NumPy
 calls, which already release the GIL internally where it matters.
 
+The shared-memory mirrors, worker-context arming and pool lifecycle
+live in :mod:`repro.engine.shm` / :mod:`repro.engine.pool` (shared
+with the supervised backend); this module owns only the task kernel
+(:func:`_exec_task`) and the plain breadth-first dispatch loop.  A
+warm :class:`~repro.engine.session.GraphSession` can supply the mirror
+and an already-forked pool, in which case a run pays no shm setup and
+no fork at all.
+
 Requires a ``fork`` start method (the read-only CSR graph is inherited
 copy-on-write; only the mutable arrays use explicit shared memory).
 On this repo's single-core CI box the backend yields no speedup — the
@@ -22,35 +30,24 @@ point is that the *code path* is real and tested, not simulated.
 from __future__ import annotations
 
 import multiprocessing as mp
-from multiprocessing import shared_memory
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.pool import WorkerPool, fork_available
+from ..engine.shm import (
+    WORKER_CTX,
+    SharedStateMirror,
+    arm_worker_context,
+    shm_array,
+)
+
 __all__ = ["run_recur_phase_processes", "fork_available"]
 
-# Globals inherited by forked workers (set immediately before fork).
-_WORKER_CTX: dict = {}
-
-
-def fork_available() -> bool:
-    """True when the 'fork' start method exists (POSIX)."""
-    return "fork" in mp.get_all_start_methods()
-
-
-def _shm_array(shape, dtype, init: np.ndarray, registry: list):
-    """Create a shared segment backing a copy of ``init``.
-
-    The segment is appended to ``registry`` *before* anything else can
-    fail, so the caller's ``finally`` block always sees (and unlinks)
-    every segment that was actually created — an exception between
-    creation and registration would otherwise leak it until reboot.
-    """
-    shm = shared_memory.SharedMemory(create=True, size=max(init.nbytes, 1))
-    registry.append(shm)
-    arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
-    arr[:] = init
-    return arr
+# Historical names, kept importable for existing callers and tests;
+# both refer to the canonical objects in repro.engine.shm.
+_WORKER_CTX: dict = WORKER_CTX
+_shm_array = shm_array
 
 
 def _exec_task(
@@ -109,18 +106,14 @@ def _exec_task(
 
     pivot = int(candidates[0])  # deterministic within a task
     if colors is None:
-        # Skip c while allocating: the BW transition map {c: cbw,
-        # cfw: cscc} needs its targets distinct from its sources
-        # (kernel-layer contract; see recur_fwbw_task).
+        # Same skip-c allocation sequence as every other executor
+        # (see state.skip_colour_triple), under the shared counter lock.
+        from ..core.state import skip_colour_triple
+
         with color_counter.get_lock():
-            fresh = []
-            nxt = color_counter.value
-            while len(fresh) < 3:
-                if nxt != c:
-                    fresh.append(nxt)
-                nxt += 1
-            color_counter.value = nxt
-        cfw, cbw, cscc = fresh
+            (cfw, cbw, cscc), color_counter.value = skip_colour_triple(
+                color_counter.value, c
+            )
     else:
         cfw, cbw, cscc = colors
 
@@ -177,9 +170,51 @@ def _exec_task(
 
 
 def _dead_workers(pool) -> int:
-    """Count dead worker processes in a :class:`multiprocessing.Pool`."""
+    """Count dead worker processes in a raw :class:`multiprocessing.Pool`
+    (kept for callers holding one; :class:`~repro.engine.pool.WorkerPool`
+    exposes the same check as a method)."""
     procs = getattr(pool, "_pool", None) or []
     return sum(1 for p in procs if not p.is_alive())
+
+
+def _executor_resources(state, num_workers: int, session):
+    """The mirror/pool pair for one run: the session's warm pair, or an
+    ephemeral one the caller must tear down (``owns=True``)."""
+    from ..core.state import PHASE_RECUR
+    from ..kernels import get_backend
+    from . import faults as _faults
+
+    # A globally installed fault plan (faults.install_plan) rides
+    # along; None in normal runs keeps the hook zero-overhead.
+    plan = _faults.active_plan()
+    if session is not None:
+        mirror, pool = session.executor_resources(
+            num_workers=num_workers,
+            faults=plan,
+            kernel_backend=get_backend(),
+        )
+        return mirror, pool, False
+
+    state.graph.in_indptr  # build the transpose BEFORE forking
+    mirror = SharedStateMirror(state.num_nodes)
+
+    def arm() -> None:
+        arm_worker_context(
+            state.graph,
+            mirror,
+            cost=state.cost,
+            phase_id=PHASE_RECUR,
+            faults=plan,
+            kernel_backend=get_backend(),
+        )
+
+    pool = WorkerPool(num_workers, arm=arm)
+    try:
+        pool.start()
+    except BaseException:
+        mirror.close()
+        raise
+    return mirror, pool, True
 
 
 def run_recur_phase_processes(
@@ -190,13 +225,20 @@ def run_recur_phase_processes(
     queue_k: int = 1,
     phase: str = "recur_fwbw",
     task_timeout: float | None = 120.0,
+    session=None,
 ) -> int:
     """Drain the phase-2 queue with real worker processes.
 
     Semantics match the serial/threads drivers in
-    :mod:`repro.core.recurfwbw` (and the spawn tree is recorded the
+    :mod:`repro.engine.backends` (and the spawn tree is recorded the
     same way); the mutable state lives in shared memory for the
     duration and is copied back at the end.
+
+    ``session`` optionally supplies a warm
+    :class:`~repro.engine.session.GraphSession`: its persistent mirror
+    and already-forked pool are reused (no shm creation, no fork), and
+    the session keeps them for the next run.  Without a session the
+    mirror and pool are ephemeral and torn down on every exit path.
 
     ``task_timeout`` bounds every result wait: a worker that dies or
     hangs mid-task would otherwise leave ``fut.get()`` blocked forever
@@ -208,94 +250,59 @@ def run_recur_phase_processes(
     """
     if not fork_available():  # pragma: no cover - non-POSIX only
         raise RuntimeError("process backend requires the 'fork' start method")
-    from ..core.state import PHASE_RECUR
     from .trace import Task
 
-    n = state.num_nodes
-    shms: list = []
+    mirror, pool, owns = _executor_resources(state, num_workers, session)
     try:
-        color = _shm_array((n,), np.int64, state.color, shms)
-        mark = _shm_array((n,), np.bool_, state.mark, shms)
-        labels = _shm_array((n,), np.int64, state.labels, shms)
-        phase_of = _shm_array((n,), np.int8, state.phase_of, shms)
-        scc_counter = mp.Value("q", state.num_sccs)
-        color_counter = mp.Value("q", int(state.color_watermark()))
-
-        # Arm the fork-inherited context, then fork the pool.  A
-        # globally installed fault plan (faults.install_plan) rides
-        # along; None in normal runs keeps the hook zero-overhead.
-        from . import faults as _faults
-        from ..kernels import get_backend
-
-        _WORKER_CTX.clear()
-        _WORKER_CTX.update(
-            graph=state.graph,
-            color=color,
-            mark=mark,
-            labels=labels,
-            phase_of=phase_of,
-            scc_counter=scc_counter,
-            color_counter=color_counter,
-            cost=state.cost,
-            phase_id=PHASE_RECUR,
-            faults=_faults.active_plan(),
-            kernel_backend=get_backend(),
-        )
-        # build the transpose BEFORE forking so workers share it
-        state.graph.in_indptr
-
-        ctx = mp.get_context("fork")
+        mirror.load(state)
         tasks: List[Task] = []
         seq = 0  # dispatch sequence id (deterministic fault matching)
-        with ctx.Pool(processes=num_workers) as pool:
-            # (parent_index, color, nodes) items; breadth-first dispatch
-            pending = [(-1, c, nd) for c, nd in initial]
-            while pending:
-                batch = pending
-                pending = []
-                futures = []
-                for parent, c, nd in batch:
-                    futures.append(
-                        (parent, pool.apply_async(_exec_task, (c, nd, seq)))
+        # (parent_index, color, nodes) items; breadth-first dispatch
+        pending = [(-1, c, nd) for c, nd in initial]
+        while pending:
+            batch = pending
+            pending = []
+            futures = []
+            for parent, c, nd in batch:
+                futures.append(
+                    (parent, pool.apply_async(_exec_task, (c, nd, seq)))
+                )
+                seq += 1
+            for parent, fut in futures:
+                try:
+                    children, task_cost, log_entry = fut.get(
+                        timeout=task_timeout
                     )
-                    seq += 1
-                for parent, fut in futures:
-                    try:
-                        children, task_cost, log_entry = fut.get(
-                            timeout=task_timeout
-                        )
-                    except mp.TimeoutError:
-                        dead = _dead_workers(pool)
-                        diagnosis = (
-                            f"{dead} worker(s) died (pool broken)"
-                            if dead
-                            else "workers alive but task hung"
-                        )
-                        raise RuntimeError(
-                            "phase-2 task did not complete within "
-                            f"{task_timeout:.1f}s: {diagnosis}; use the "
-                            "'supervised' backend for retry/recovery"
-                        ) from None
-                    idx = len(tasks)
-                    tasks.append(Task(cost=task_cost, parent=parent))
-                    if log_entry is not None:
-                        state.profile.log_task(*log_entry)
-                    for c, nd in children:
-                        pending.append((idx, c, nd))
+                except mp.TimeoutError:
+                    dead = pool.dead_workers()
+                    diagnosis = (
+                        f"{dead} worker(s) died (pool broken)"
+                        if dead
+                        else "workers alive but task hung"
+                    )
+                    if not owns:
+                        # Condemn the warm pool: a hung worker could
+                        # keep mutating the shared mirror.  The session
+                        # respawns a fresh pool on its next run.
+                        pool.terminate()
+                    raise RuntimeError(
+                        "phase-2 task did not complete within "
+                        f"{task_timeout:.1f}s: {diagnosis}; use the "
+                        "'supervised' backend for retry/recovery"
+                    ) from None
+                idx = len(tasks)
+                tasks.append(Task(cost=task_cost, parent=parent))
+                if log_entry is not None:
+                    state.profile.log_task(*log_entry)
+                for c, nd in children:
+                    pending.append((idx, c, nd))
 
         # copy shared results back into the state
-        state.color[:] = color
-        state.mark[:] = mark
-        state.labels[:] = labels
-        state.phase_of[:] = phase_of
-        state.sync_counters(
-            int(scc_counter.value), int(color_counter.value)
-        )
+        mirror.flush(state)
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         state.profile.bump("recur_tasks", len(tasks))
         return len(tasks)
     finally:
-        _WORKER_CTX.clear()
-        for shm in shms:
-            shm.close()
-            shm.unlink()
+        if owns:
+            pool.terminate()
+            mirror.close()

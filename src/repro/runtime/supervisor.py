@@ -27,8 +27,11 @@ kernel in a supervisor that makes the phase survive:
   invariants are always checked; any run that needed recovery (or ran
   under an armed fault plan) is additionally cross-checked against an
   independent Tarjan run, so recovery is proven, not assumed;
-* **guaranteed cleanup** — shared-memory segments are registered at
-  creation and unlinked on every exit path, including degradation.
+* **guaranteed cleanup** — the shared-memory mirror and pool come from
+  :mod:`repro.engine.shm` / :mod:`repro.engine.pool` (the same
+  plumbing as the plain backend); ephemeral ones are released on every
+  exit path including degradation, warm session-owned ones persist for
+  the next run.
 
 Telemetry (retries, timeouts, worker deaths, pool rebuilds,
 degradation, recovery wall-time) flows into the run's
@@ -40,20 +43,16 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.pool import WorkerPool, fork_available
+from ..engine.shm import SharedStateMirror, arm_worker_context
 from ..errors import ReproError
 from .faults import FaultPlan
-from .mp_backend import (
-    _WORKER_CTX,
-    _dead_workers,
-    _exec_task,
-    _shm_array,
-    fork_available,
-)
+from .mp_backend import _exec_task
 
 __all__ = [
     "SupervisorConfig",
@@ -167,6 +166,7 @@ def run_supervised_recur_phase(
     phase: str = "recur_fwbw",
     pivot_strategy: str = "random",
     config: SupervisorConfig | None = None,
+    session=None,
 ) -> SupervisorReport:
     """Drain the phase-2 queue under supervision; always terminates.
 
@@ -175,6 +175,10 @@ def run_supervised_recur_phase(
     recovery semantics (see module docstring).  On unrecoverable pool
     failure the state is rolled back and the phase re-runs on the
     serial driver, so the caller always receives a completed phase.
+
+    ``session`` optionally supplies a warm
+    :class:`~repro.engine.session.GraphSession` whose persistent mirror
+    and forked pool are reused across runs.
     """
     cfg = config or SupervisorConfig()
     report = SupervisorReport()
@@ -203,7 +207,14 @@ def run_supervised_recur_phase(
     else:
         try:
             report.tasks = _run_pool_supervised(
-                state, initial, num_workers, queue_k, phase, cfg, report
+                state,
+                initial,
+                num_workers,
+                queue_k,
+                phase,
+                cfg,
+                report,
+                session,
             )
         except PoolBrokenError:
             _degrade("pool_broken")
@@ -241,6 +252,41 @@ def run_supervised_recur_phase(
     return report
 
 
+def _supervised_resources(state, num_workers: int, cfg, session):
+    """The mirror/pool pair for a supervised run (warm or ephemeral)."""
+    from ..core.state import PHASE_RECUR
+    from ..kernels import get_backend
+
+    if session is not None:
+        mirror, pool = session.executor_resources(
+            num_workers=num_workers,
+            faults=cfg.fault_plan,
+            kernel_backend=get_backend(),
+        )
+        return mirror, pool, False
+
+    state.graph.in_indptr  # build the transpose before forking
+    mirror = SharedStateMirror(state.num_nodes)
+
+    def arm() -> None:
+        arm_worker_context(
+            state.graph,
+            mirror,
+            cost=state.cost,
+            phase_id=PHASE_RECUR,
+            faults=cfg.fault_plan,
+            kernel_backend=get_backend(),
+        )
+
+    pool = WorkerPool(num_workers, arm=arm)
+    try:
+        pool.start()
+    except BaseException:
+        mirror.close()
+        raise
+    return mirror, pool, True
+
+
 def _run_pool_supervised(
     state,
     initial: Sequence[Tuple[int, Optional[np.ndarray]]],
@@ -249,48 +295,25 @@ def _run_pool_supervised(
     phase: str,
     cfg: SupervisorConfig,
     report: SupervisorReport,
+    session=None,
 ) -> int:
     """The supervised pool loop; raises :class:`PoolBrokenError` when
     the retry budget is exhausted."""
-    from ..core.state import PHASE_RECUR
+    from ..core.state import skip_colour_triple
     from .trace import Task
 
     profile = state.profile
-    n = state.num_nodes
-    shms: list = []
-    pool = None
+    mirror, pool, owns = _supervised_resources(
+        state, num_workers, cfg, session
+    )
     try:
-        color = _shm_array((n,), np.int64, state.color, shms)
-        mark = _shm_array((n,), np.bool_, state.mark, shms)
-        labels = _shm_array((n,), np.int64, state.labels, shms)
-        phase_of = _shm_array((n,), np.int8, state.phase_of, shms)
-        scc_counter = mp.Value("q", state.num_sccs)
+        mirror.load(state)
+        color, mark = mirror.color, mirror.mark
         # The master owns colour allocation so it can repair after any
-        # failure; workers never touch this counter (triples are passed
-        # in), but the context key is still required by _exec_task.
-        next_color = int(state.color_watermark())
-        color_counter = mp.Value("q", next_color)
-
-        from ..kernels import get_backend
-
-        _WORKER_CTX.clear()
-        _WORKER_CTX.update(
-            graph=state.graph,
-            color=color,
-            mark=mark,
-            labels=labels,
-            phase_of=phase_of,
-            scc_counter=scc_counter,
-            color_counter=color_counter,
-            cost=state.cost,
-            phase_id=PHASE_RECUR,
-            faults=cfg.fault_plan,
-            kernel_backend=get_backend(),
-        )
-        state.graph.in_indptr  # build the transpose before forking
-
-        ctx = mp.get_context("fork")
-        pool = ctx.Pool(processes=num_workers)
+        # failure; workers never touch the shared counter (triples are
+        # passed in), but the context key is still required by
+        # _exec_task.
+        next_color = int(mirror.color_counter.value)
 
         seq = 0
         tasks: List[Task] = []
@@ -302,15 +325,12 @@ def _run_pool_supervised(
         while pending:
             batch, pending = pending, []
             for t in batch:
-                # Skip the task's own colour: the BW transition map
-                # needs targets distinct from sources (kernel-layer
-                # contract; see recur_fwbw_task).
-                triple = []
-                while len(triple) < 3:
-                    if next_color != t.color:
-                        triple.append(next_color)
-                    next_color += 1
-                t.triple = tuple(triple)
+                # Skip the task's own colour (the BW transition-map
+                # contract; see state.skip_colour_triple) — the same
+                # sequence every executor allocates.
+                t.triple, next_color = skip_colour_triple(
+                    next_color, t.color
+                )
             futures = [
                 (
                     t,
@@ -337,7 +357,7 @@ def _run_pool_supervised(
                 except mp.TimeoutError:
                     report.timeouts += 1
                     profile.bump("supervisor_timeouts")
-                    deaths = _dead_workers(pool)
+                    deaths = pool.dead_workers()
                     if deaths:
                         report.worker_deaths += deaths
                         profile.bump("supervisor_worker_deaths", deaths)
@@ -365,11 +385,9 @@ def _run_pool_supervised(
                     seq += 1
 
             if broken:
-                pool.terminate()
-                pool.join()
+                pool.rebuild()
                 report.pool_rebuilds += 1
                 profile.bump("supervisor_pool_rebuilds")
-                pool = ctx.Pool(processes=num_workers)
 
             if failed:
                 with profile.wall_timer("recovery"):
@@ -391,19 +409,14 @@ def _run_pool_supervised(
                         * (2 ** max(t.attempt - 1 for t in failed))
                     )
 
-        state.color[:] = color
-        state.mark[:] = mark
-        state.labels[:] = labels
-        state.phase_of[:] = phase_of
-        state.sync_counters(int(scc_counter.value), next_color)
+        # Publish the master-owned colour watermark, then copy the
+        # shared results back into the state.
+        mirror.color_counter.value = next_color
+        mirror.flush(state)
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         profile.bump("recur_tasks", len(tasks))
         return len(tasks)
     finally:
-        if pool is not None:
+        if owns:
             pool.terminate()
-            pool.join()
-        _WORKER_CTX.clear()
-        for shm in shms:
-            shm.close()
-            shm.unlink()
+            mirror.close()

@@ -118,3 +118,71 @@ class TestInfo:
             main(
                 ["info", "--dataset", "livej", "--input", str(path)]
             )
+
+
+class TestBatch:
+    def manifest(self, tmp_path, jobs):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": jobs}))
+        return str(path)
+
+    def test_all_jobs_ok(self, capsys, tmp_path):
+        mf = self.manifest(
+            tmp_path,
+            [
+                {"graph": "wiki", "scale": 0.05, "method": "method2"},
+                {"graph": "wiki", "scale": 0.05, "method": "tarjan"},
+            ],
+        )
+        code, out = run_cli(capsys, "batch", mf)
+        assert code == 0
+        assert "batch: 2/2 ok" in out
+        assert "1 session(s)" in out
+
+    def test_failed_job_isolated_and_exit_code(self, capsys, tmp_path):
+        import json
+
+        mf = self.manifest(
+            tmp_path,
+            [
+                {"graph": "wiki", "scale": 0.05},
+                {"graph": "/no/such/edges.txt"},
+                {"graph": "wiki", "scale": 0.05, "method": "tarjan"},
+            ],
+        )
+        out_path = tmp_path / "report.json"
+        code, out = run_cli(
+            capsys, "batch", mf, "--output", str(out_path)
+        )
+        assert code == 1  # first failure's exit code
+        assert "batch: 2/3 ok" in out
+        assert "FAIL(1)" in out
+        report = json.loads(out_path.read_text())
+        assert report["jobs_failed"] == 1
+        assert [j["ok"] for j in report["jobs"]] == [True, False, True]
+
+    def test_fault_plan_injects_at_job_site(self, capsys, tmp_path):
+        mf = self.manifest(
+            tmp_path,
+            [
+                {"graph": "wiki", "scale": 0.05},
+                {"graph": "wiki", "scale": 0.05, "method": "tarjan"},
+            ],
+        )
+        code, out = run_cli(
+            capsys, "batch", mf, "--fault-plan", "crash@0:pre"
+        )
+        assert code == 1
+        assert "FaultInjected" in out
+        assert "batch: 1/2 ok" in out
+
+    def test_bad_manifest_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        assert main(["batch", str(path)]) == 2
+
+    def test_bad_fault_plan_exits_2(self, capsys, tmp_path):
+        mf = self.manifest(tmp_path, [{"graph": "wiki", "scale": 0.05}])
+        assert main(["batch", mf, "--fault-plan", "explode@x"]) == 2

@@ -92,3 +92,42 @@ class TestPick:
     def test_pick_first(self):
         s = make_state()
         assert s.pick(np.array([4, 2, 9]), "first") == 4
+
+
+class TestColourTriple:
+    """The task-colour allocator shared by every phase-2 executor."""
+
+    def test_window_clear_of_skip(self):
+        from repro.core.state import skip_colour_triple
+
+        assert skip_colour_triple(5, 99) == ((5, 6, 7), 8)
+        # skip inside the window: the triple steps over it.
+        assert skip_colour_triple(5, 6) == ((5, 7, 8), 9)
+        # skip at the window start.
+        assert skip_colour_triple(5, 5) == ((6, 7, 8), 9)
+
+    def test_alloc_skips_live_partition_colour(self):
+        """Regression: a task splitting the root partition (colour 0)
+        or any colour still at the allocation watermark must never be
+        handed that same colour back as cfw/cbw/cscc — the BW
+        transition map {c: cbw, cfw: cscc} is ill-defined when a
+        target colour is also a source."""
+        s = make_state()
+        # fresh state: the next window [1, 4) would include a task
+        # colour of 1, 2 or 3; each must be stepped over.
+        for skip in (1, 2, 3):
+            t = SCCState(from_edge_list([(0, 1)], 4))
+            triple = t.alloc_colour_triple(skip)
+            assert skip not in triple
+            assert len(set(triple)) == 3
+            assert t.new_color() > max(triple)
+        # root partition (colour 0) never collides but still allocates.
+        assert s.alloc_colour_triple(0) == (1, 2, 3)
+
+    def test_alloc_is_consistent_with_module_function(self):
+        from repro.core.state import skip_colour_triple
+
+        s = make_state()
+        expected, nxt = skip_colour_triple(1, 2)
+        assert s.alloc_colour_triple(2) == expected
+        assert s.color_watermark() == nxt

@@ -1,0 +1,151 @@
+"""Tests for manifest parsing and per-job-isolated batch execution."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.batch import (
+    BatchJob,
+    BatchReport,
+    load_manifest,
+    run_batch,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+
+def job_fault_plan(text: str) -> FaultPlan:
+    """Parse a compact plan and pin it to the batch 'job' site."""
+    return FaultPlan(
+        dataclasses.replace(s, site="job")
+        for s in FaultPlan.parse(text).specs
+    )
+
+
+class TestBatchJob:
+    def test_from_dict_minimal(self):
+        job = BatchJob.from_dict({"graph": "wiki"})
+        assert job.method == "method2"
+        assert job.backend == "serial"
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown batch-job key"):
+            BatchJob.from_dict({"graph": "wiki", "methdo": "method1"})
+
+    def test_from_dict_requires_graph(self):
+        with pytest.raises(ValueError, match="graph"):
+            BatchJob.from_dict({"method": "method2"})
+
+    def test_describe_defaults_and_label(self):
+        assert (
+            BatchJob(graph="wiki").describe() == "method2@wiki[serial]"
+        )
+        assert BatchJob(graph="wiki", label="x").describe() == "x"
+
+
+class TestManifest:
+    def test_jobs_object_and_bare_list(self, tmp_path):
+        obj = tmp_path / "obj.json"
+        obj.write_text(json.dumps({"jobs": [{"graph": "wiki"}]}))
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps([{"graph": "wiki"}, {"graph": "ljournal"}]))
+        assert len(load_manifest(obj)) == 1
+        assert len(load_manifest(bare)) == 2
+
+    def test_invalid_json_diagnosed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid manifest JSON"):
+            load_manifest(path)
+
+    def test_empty_manifest_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="non-empty"):
+            load_manifest(path)
+
+
+class TestRunBatch:
+    def jobs(self):
+        return [
+            BatchJob(graph="wiki", scale=0.05, method="method2"),
+            BatchJob(graph="wiki", scale=0.05, method="method1"),
+            BatchJob(graph="wiki", scale=0.05, method="tarjan"),
+        ]
+
+    def test_all_ok_and_sessions_warm(self):
+        with Engine() as eng:
+            report = run_batch(eng, self.jobs())
+        assert report.jobs_total == 3
+        assert report.jobs_ok == 3
+        assert report.first_failure_code == 0
+        # one graph -> one session; later jobs ride it warm.
+        assert len(report.sessions) == 1
+        assert report.records[1].warm and report.records[2].warm
+        # all three jobs agree on the SCC count.
+        assert len({r.num_sccs for r in report.records}) == 1
+
+    def test_bad_job_is_isolated(self):
+        jobs = self.jobs()
+        jobs.insert(1, BatchJob(graph="/no/such/file.txt"))
+        with Engine() as eng:
+            report = run_batch(eng, jobs)
+        assert report.jobs_total == 4
+        assert report.jobs_ok == 3
+        bad = report.records[1]
+        assert not bad.ok
+        assert bad.exit_code == 1
+        assert bad.error_type == "FileNotFoundError"
+        # the failure did not stop the jobs after it.
+        assert report.records[2].ok and report.records[3].ok
+        assert report.first_failure_code == 1
+
+    def test_injected_fault_survived(self):
+        """The chaos drill the CLI --fault-plan flag runs: the hit job
+        fails typed, every other job completes."""
+        with Engine() as eng:
+            report = run_batch(
+                eng,
+                self.jobs(),
+                fault_plan=job_fault_plan("crash@1:pre"),
+            )
+        assert [r.ok for r in report.records] == [True, False, True]
+        hit = report.records[1]
+        assert hit.error_type == "FaultInjected"
+        assert hit.exit_code == 1
+        assert report.jobs_ok == 2
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        with Engine() as eng:
+            run_batch(eng, self.jobs(), progress=seen.append)
+        assert [r.index for r in seen] == [0, 1, 2]
+
+    def test_run_many_delegates(self):
+        with Engine() as eng:
+            report = eng.run_many(self.jobs()[:1])
+        assert isinstance(report, BatchReport)
+        assert report.jobs_ok == 1
+
+    def test_report_roundtrips_to_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        with Engine() as eng:
+            report = run_batch(eng, self.jobs()[:2])
+        report.write(out)
+        data = json.loads(out.read_text())
+        assert data["jobs_total"] == 2
+        assert data["jobs_ok"] == 2
+        assert len(data["jobs"]) == 2
+        assert data["sessions"]  # amortization stats published
+
+    def test_per_job_fault_plan_forces_supervised(self):
+        """A job carrying its own fault plan runs supervised and
+        recovers (first retry succeeds)."""
+        job = BatchJob(
+            graph="wiki", scale=0.05, fault_plan="raise@0", workers=2
+        )
+        with Engine() as eng:
+            report = run_batch(eng, [job])
+        rec = report.records[0]
+        assert rec.ok, rec.error
