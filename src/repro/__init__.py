@@ -24,15 +24,27 @@ Quickstart::
     print("simulated 32-thread speedup:", t_seq / t_par)
 """
 
-from . import analysis, core, engine, errors, generators, graph, runtime, traversal
+from . import (
+    analysis,
+    core,
+    engine,
+    errors,
+    generators,
+    graph,
+    runtime,
+    service,
+    traversal,
+)
 from .core import strongly_connected_components, SCCResult
 from .engine import Engine
 from .errors import (
     CheckpointError,
     GraphIngestError,
     GraphValidationError,
+    MemoryBudgetError,
     PhaseTimeoutError,
     ReproError,
+    ServiceOverloadError,
 )
 
 __version__ = "1.0.0"
@@ -46,6 +58,7 @@ __all__ = [
     "generators",
     "graph",
     "runtime",
+    "service",
     "traversal",
     "strongly_connected_components",
     "SCCResult",
@@ -54,5 +67,7 @@ __all__ = [
     "GraphValidationError",
     "CheckpointError",
     "PhaseTimeoutError",
+    "ServiceOverloadError",
+    "MemoryBudgetError",
     "__version__",
 ]

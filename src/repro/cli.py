@@ -10,6 +10,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro run --input web.txt.gz --checkpoint-dir ckpts/
     python -m repro run --resume ckpts/
     python -m repro batch jobs.json --output report.json
+    python -m repro serve --max-queue 8 --request-timeout 10
 
 ``scc`` detects SCCs and (for the parallel methods) reports the
 simulated time at the requested thread count; ``sweep`` prints a full
@@ -18,11 +19,15 @@ running the parallel algorithms; ``run`` executes under the lifecycle
 harness (phase-boundary checkpoints, per-phase deadlines, backend
 degradation) and ``run --resume`` continues an interrupted run;
 ``batch`` executes a JSON manifest of jobs over warm engine sessions
-with per-job error isolation (one bad job can't sink the batch).
+with per-job error isolation (one bad job can't sink the batch);
+``serve`` runs the long-lived hardened daemon (admission control,
+retry/backoff, circuit breakers, memory governor, graceful drain)
+answering JSON requests on stdin or a Unix socket.
 
 Failures exit with the typed codes documented in
 :mod:`repro.errors` (11 = ingest, 12 = validation, 13 = checkpoint,
-14 = phase timeout, ...), so scripts can branch on *what* failed.
+14 = phase timeout, ... 17 = overload shed, 18 = memory budget), so
+scripts can branch on *what* failed.
 """
 
 from __future__ import annotations
@@ -253,6 +258,153 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject batch-level faults ('kind@index[:stage]' list or "
         "JSON spec) at the per-job boundary; the hit job fails typed "
         "and the batch continues",
+    )
+    p_batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="total attempts per job; transient failures (broken "
+        "pool, timeout, injected chaos) retry with backoff, "
+        "permanent ones fail the job immediately (default 1 = no "
+        "retry)",
+    )
+    p_batch.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds (doubles per attempt, "
+        "deterministic jitter)",
+    )
+    p_batch.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default wall-clock budget per job in seconds (a job's "
+        "own 'timeout' field wins); expiry fails typed (exit 14)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running hardened SCC service (JSON requests on "
+        "stdin or a Unix socket)",
+        parents=[kernel_parent],
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "threads", "processes", "supervised"),
+        help="default phase-2 executor for requests that don't name one",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="default worker count for the non-serial backends",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="admitted requests allowed in flight at once; excess is "
+        "shed with exit code 17 instead of queueing unboundedly",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="warm graph sessions to cache (LRU beyond this evicts)",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="refuse requests whose estimated peak memory exceeds "
+        "this (cost-model admission check, exit code 18)",
+    )
+    p_serve.add_argument(
+        "--soft-limit-mb",
+        type=float,
+        default=None,
+        help="RSS above this evicts warm pools/sessions (memory "
+        "governor pressure relief)",
+    )
+    p_serve.add_argument(
+        "--hard-limit-mb",
+        type=float,
+        default=None,
+        help="RSS above this (after relief) refuses admission "
+        "instead of risking the OOM killer",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds, propagated "
+        "into phase deadlines (a request's 'deadline' field wins)",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="total attempts per request for transient failures",
+    )
+    p_serve.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive transient failures that trip a backend's "
+        "circuit breaker (traffic then degrades supervised -> "
+        "processes -> serial)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before allowing a probe",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default=None,
+        help="serve one JSON request per connection on this Unix "
+        "socket path instead of stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--preload",
+        default=None,
+        help="comma-separated dataset names (or edge-list paths) to "
+        "load into warm sessions before serving",
+    )
+    p_serve.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="surrogate scale factor for --preload datasets",
+    )
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="drain and exit after this many run requests (CI smokes)",
+    )
+    p_serve.add_argument(
+        "--report",
+        default=None,
+        help="write the final service stats report here (atomic) "
+        "when draining",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject service-level faults at the per-request "
+        "boundary ('kind@index[:stage]' list or JSON spec; index = "
+        "admission sequence number) — chaos drills for the retry "
+        "path and circuit breaker",
     )
 
     p_dist = sub.add_parser(
@@ -497,29 +649,147 @@ def _cmd_batch(args) -> int:
             dataclasses.replace(s, site="job") for s in parsed.specs
         )
 
+    if args.job_timeout is not None:
+        import dataclasses
+
+        jobs = [
+            dataclasses.replace(job, timeout=args.job_timeout)
+            if job.timeout is None
+            else job
+            for job in jobs
+        ]
+    retry = None
+    if args.retries > 1:
+        from .service import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.retries, backoff_base=args.backoff
+        )
+
     def progress(rec) -> None:
         if rec.ok:
             status = f"ok  sccs={rec.num_sccs}"
+        elif rec.shed:
+            status = f"SHED({rec.exit_code}) {rec.error}"
         else:
             status = f"FAIL({rec.exit_code}) {rec.error_type}: {rec.error}"
         warm = " warm" if rec.warm else ""
+        tries = f" attempts={rec.attempts}" if rec.attempts > 1 else ""
         print(
             f"[{rec.index + 1}/{len(jobs)}] {rec.label}: {status} "
-            f"({rec.seconds:.2f}s{warm})"
+            f"({rec.seconds:.2f}s{warm}{tries})"
         )
 
     with Engine() as engine:
         report = run_batch(
-            engine, jobs, fault_plan=fault_plan, progress=progress
+            engine,
+            jobs,
+            fault_plan=fault_plan,
+            retry=retry,
+            progress=progress,
         )
+    shed = f", {report.jobs_shed} shed" if report.jobs_shed else ""
     print(
-        f"batch: {report.jobs_ok}/{report.jobs_total} ok in "
+        f"batch: {report.jobs_ok}/{report.jobs_total} ok{shed} in "
         f"{report.seconds:.2f}s over {len(report.sessions)} session(s)"
     )
     if args.output:
         report.write(args.output)
         print(f"report: {args.output}")
     return report.first_failure_code
+
+
+def _cmd_serve(args) -> int:
+    from .service import (
+        AdmissionConfig,
+        GovernorConfig,
+        RetryPolicy,
+        SCCService,
+        ServiceConfig,
+    )
+    from .service.server import serve_socket, serve_stdin
+
+    fault_plan = None
+    if args.fault_plan:
+        import dataclasses
+
+        from .runtime import FaultPlan
+
+        try:
+            parsed = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        # This flag injects at the per-request boundary (index = the
+        # request's admission sequence number).
+        fault_plan = FaultPlan(
+            dataclasses.replace(s, site="request") for s in parsed.specs
+        )
+    governor = None
+    if args.soft_limit_mb is not None or args.hard_limit_mb is not None:
+        governor = GovernorConfig(
+            soft_limit_bytes=(
+                int(args.soft_limit_mb * 1e6)
+                if args.soft_limit_mb is not None
+                else None
+            ),
+            hard_limit_bytes=(
+                int(args.hard_limit_mb * 1e6)
+                if args.hard_limit_mb is not None
+                else None
+            ),
+            min_sessions=1,
+        )
+    config = ServiceConfig(
+        backend=args.backend,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        admission=AdmissionConfig(
+            max_queue=args.max_queue,
+            memory_budget_bytes=(
+                int(args.memory_budget_mb * 1e6)
+                if args.memory_budget_mb is not None
+                else None
+            ),
+        ),
+        retry=RetryPolicy(
+            max_attempts=args.retries, backoff_base=args.backoff
+        ),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        governor=governor,
+        default_deadline=args.request_timeout,
+    )
+    with SCCService(config, fault_plan=fault_plan) as service:
+        if args.preload:
+            for source in args.preload.split(","):
+                source = source.strip()
+                if not source:
+                    continue
+                sess = service.engine.load(source, scale=args.scale)
+                sess.warmup()
+                print(
+                    f"preloaded {source}: {sess.graph.num_nodes} nodes, "
+                    f"{sess.graph.num_edges} edges",
+                    file=sys.stderr,
+                )
+        if args.socket:
+            print(
+                f"serving on unix socket {args.socket}", file=sys.stderr
+            )
+            return serve_socket(
+                service,
+                args.socket,
+                max_requests=args.max_requests,
+                report_path=args.report,
+            )
+        return serve_stdin(
+            service,
+            in_stream=sys.stdin,
+            out_stream=sys.stdout,
+            max_requests=args.max_requests,
+            report_path=args.report,
+        )
 
 
 def _cmd_sweep(args) -> int:
@@ -644,6 +914,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scc": _cmd_scc,
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "info": _cmd_info,
         "run": _cmd_run,
         "distributed": _cmd_distributed,

@@ -11,9 +11,19 @@ surface rather than a script: one failing job produces an exit record
 1 for untyped failures) and the batch *continues*; the report carries
 every record plus the session amortization stats.  A batch-level
 :class:`~repro.runtime.faults.FaultPlan` can inject failures at the
-``"job"`` site (index = job position) to prove the isolation under
-test — a ``crash`` there is downgraded to ``raise`` so chaos drills
-don't take the whole batch process down.
+``"job"`` site (index = job position, ``attempt`` = retry attempt) to
+prove the isolation under test — a ``crash`` there is downgraded to
+``raise`` so chaos drills don't take the whole batch process down.
+
+Three hardening knobs from the service layer also apply per job:
+
+* ``BatchJob.timeout`` bounds one job in wall-clock seconds (SIGALRM
+  in the main thread, plus the engine's cooperative phase deadline);
+* ``run_batch(..., retry=RetryPolicy(...))`` retries *transient* job
+  failures with backoff (``JobRecord.attempts`` records the count);
+* SIGTERM/SIGINT during a batch stops admitting jobs: the in-flight
+  job finishes, the remainder is marked ``shed`` (exit code 17), and
+  the report is still returned — so ``--report`` publishes atomically.
 
 The ``repro batch`` CLI subcommand is a thin wrapper over
 :func:`load_manifest` + :func:`run_batch`.
@@ -22,11 +32,14 @@ The ``repro batch`` CLI subcommand is a thin wrapper over
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from ..errors import ReproError, exit_code_for
+from ..errors import ReproError, ServiceOverloadError, exit_code_for
 
 __all__ = [
     "BatchJob",
@@ -58,6 +71,8 @@ class BatchJob:
     #: per-job fault plan string (tests/demos); forces the supervised
     #: backend, exactly like ``repro scc --fault-plan``.
     fault_plan: Optional[str] = None
+    #: wall-clock budget for this job, seconds (None = unbounded).
+    timeout: Optional[float] = None
     options: dict = field(default_factory=dict)
     label: Optional[str] = None
 
@@ -99,6 +114,10 @@ class JobRecord:
     #: (graph, transpose, pool) was reused.
     warm: bool = False
     session_fingerprint: Optional[int] = None
+    #: attempts actually made (> 1 when a retry policy re-ran the job).
+    attempts: int = 1
+    #: True when the job never ran because the batch was interrupted.
+    shed: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -117,6 +136,8 @@ class JobRecord:
             "seconds": self.seconds,
             "warm": self.warm,
             "session_fingerprint": self.session_fingerprint,
+            "attempts": self.attempts,
+            "shed": self.shed,
         }
 
 
@@ -142,6 +163,10 @@ class BatchReport:
         return self.jobs_total - self.jobs_ok
 
     @property
+    def jobs_shed(self) -> int:
+        return sum(1 for r in self.records if r.shed)
+
+    @property
     def first_failure_code(self) -> int:
         """0 when every job succeeded, else the first failure's code."""
         for r in self.records:
@@ -154,6 +179,7 @@ class BatchReport:
             "jobs_total": self.jobs_total,
             "jobs_ok": self.jobs_ok,
             "jobs_failed": self.jobs_failed,
+            "jobs_shed": self.jobs_shed,
             "seconds": self.seconds,
             "sessions": self.sessions,
             "jobs": [r.to_dict() for r in self.records],
@@ -186,11 +212,39 @@ def load_manifest(path) -> List[BatchJob]:
     return [BatchJob.from_dict(obj) for obj in data]
 
 
+@contextmanager
+def _interrupt_guard(stop: threading.Event):
+    """SIGTERM/SIGINT -> stop admitting jobs (graceful batch drain).
+
+    Main thread only (signals cannot be installed elsewhere; a batch
+    driven from a worker thread relies on its caller's handling).  The
+    previous handlers are restored on exit, so nested uses — a batch
+    inside the serve daemon's drain window — compose.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _stop(signum, frame):
+        stop.set()
+
+    old = {
+        sig: signal.signal(sig, _stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        yield
+    finally:
+        for sig, handler in old.items():
+            signal.signal(sig, handler)
+
+
 def run_batch(
     engine,
     jobs: Sequence[BatchJob],
     *,
     fault_plan=None,
+    retry=None,
     progress: Optional[Callable[[JobRecord], None]] = None,
 ) -> BatchReport:
     """Execute ``jobs`` on ``engine`` with per-job error isolation.
@@ -198,47 +252,86 @@ def run_batch(
     Every job runs to an explicit :class:`JobRecord`; a failure is
     captured (typed exit code, message), never propagated, and the
     remaining jobs still run.  ``fault_plan`` fires at the ``"job"``
-    site before each job body (chaos testing of the isolation);
+    site before each attempt of each job body (chaos testing of the
+    isolation); ``retry`` is an optional :class:`~repro.service.retry.
+    RetryPolicy` re-running *transient* job failures with backoff;
     ``progress`` is called with each finished record (the CLI's
     per-line printer).
+
+    A SIGTERM/SIGINT during the batch finishes the in-flight job,
+    marks every remaining job ``shed`` (exit code 17), and returns the
+    report normally so callers still publish it atomically.
     """
     report = BatchReport()
     t_batch = time.perf_counter()
-    for index, job in enumerate(jobs):
-        rec = JobRecord(
-            index=index,
-            label=job.describe(),
-            graph=job.graph,
-            method=job.method,
-            backend=job.backend,
-        )
-        t0 = time.perf_counter()
-        try:
-            if fault_plan is not None:
-                # thread_site: a "crash" here must fail the job, not
-                # kill the batch process.
-                fault_plan.fire(
-                    "job", index, stage="pre", thread_site=True
-                )
-            rec.session_fingerprint, result, rec.warm = _run_job(
-                engine, job
+    stop = threading.Event()
+    with _interrupt_guard(stop):
+        for index, job in enumerate(jobs):
+            rec = JobRecord(
+                index=index,
+                label=job.describe(),
+                graph=job.graph,
+                method=job.method,
+                backend=job.backend,
             )
-            rec.num_sccs = result.num_sccs
-            rec.largest_scc = result.largest_scc_size()
-            rec.giant_fraction = result.giant_fraction()
-            rec.ok = True
-        except ReproError as exc:
-            rec.error = str(exc)
-            rec.error_type = type(exc).__name__
-            rec.exit_code = exit_code_for(exc)
-        except Exception as exc:  # untyped: still isolated, code 1
-            rec.error = str(exc) or type(exc).__name__
-            rec.error_type = type(exc).__name__
-            rec.exit_code = 1
-        rec.seconds = time.perf_counter() - t0
-        report.records.append(rec)
-        if progress is not None:
-            progress(rec)
+            if stop.is_set():
+                shed = ServiceOverloadError(
+                    "batch interrupted; job shed", reason="draining"
+                )
+                rec.shed = True
+                rec.attempts = 0
+                rec.error = str(shed)
+                rec.error_type = type(shed).__name__
+                rec.exit_code = exit_code_for(shed)
+                report.records.append(rec)
+                if progress is not None:
+                    progress(rec)
+                continue
+            t0 = time.perf_counter()
+
+            def attempt_job(attempt: int, _index=index, _job=job):
+                if fault_plan is not None:
+                    # thread_site: a "crash" here must fail the job,
+                    # not kill the batch process.
+                    fault_plan.fire(
+                        "job",
+                        _index,
+                        stage="pre",
+                        attempt=attempt,
+                        thread_site=True,
+                    )
+                from ..runtime.lifecycle import phase_deadline
+
+                with phase_deadline(_job.timeout, f"job[{_index}]"):
+                    return _run_job(engine, _job)
+
+            try:
+                if retry is not None:
+                    outcome = retry.execute(attempt_job, key=index)
+                    rec.attempts = outcome.attempts
+                    fingerprint, result, warm = outcome.value
+                else:
+                    fingerprint, result, warm = attempt_job(0)
+                rec.session_fingerprint = fingerprint
+                rec.warm = warm
+                rec.num_sccs = result.num_sccs
+                rec.largest_scc = result.largest_scc_size()
+                rec.giant_fraction = result.giant_fraction()
+                rec.ok = True
+            except ReproError as exc:
+                rec.error = str(exc)
+                rec.error_type = type(exc).__name__
+                rec.exit_code = exit_code_for(exc)
+                _note_attempts(rec, exc)
+            except Exception as exc:  # untyped: still isolated, code 1
+                rec.error = str(exc) or type(exc).__name__
+                rec.error_type = type(exc).__name__
+                rec.exit_code = 1
+                _note_attempts(rec, exc)
+            rec.seconds = time.perf_counter() - t0
+            report.records.append(rec)
+            if progress is not None:
+                progress(rec)
     report.seconds = time.perf_counter() - t_batch
     report.sessions = {
         f"{sess.fingerprint:#010x}": dict(
@@ -247,6 +340,13 @@ def run_batch(
         for sess in engine.sessions
     }
     return report
+
+
+def _note_attempts(rec: JobRecord, exc: BaseException) -> None:
+    """Copy the attempt count a retry policy stamped on the failure."""
+    outcome = getattr(exc, "__retry_outcome__", None)
+    if outcome is not None:
+        rec.attempts = outcome.attempts
 
 
 def _run_job(engine, job: BatchJob):
@@ -275,6 +375,9 @@ def _run_job(engine, job: BatchJob):
             num_workers=job.workers,
             seed=job.seed,
             supervisor=supervisor,
+            # cooperative twin of the SIGALRM job guard: enforced at
+            # phase boundaries even off the main thread.
+            deadline=job.timeout,
             **job.options,
         )
 

@@ -40,6 +40,32 @@ __all__ = ["Engine"]
 _SEQUENTIAL = ("tarjan", "kosaraju", "gabow")
 
 
+def _bound_plan(plan, expiry: float, budget: float):
+    """Wrap every phase of ``plan`` with a deadline check.
+
+    The check runs at phase *entry* — cooperative, thread-safe, no
+    signals — so a run whose earlier phases consumed the budget fails
+    typed before starting the next phase instead of overshooting by a
+    whole phase.  In-phase enforcement comes from the deadline-aware
+    phase-2 executors via ``ctx["deadline"]``.
+    """
+    import dataclasses
+
+    from ..errors import PhaseTimeoutError
+
+    def bound(ph):
+        inner = ph.fn
+
+        def fn(state, ctx, _inner=inner, _name=ph.name):
+            if time.monotonic() >= expiry:
+                raise PhaseTimeoutError(_name, budget)
+            return _inner(state, ctx)
+
+        return dataclasses.replace(ph, fn=fn)
+
+    return [bound(ph) for ph in plan]
+
+
 class Engine:
     """Warm-session executor for every SCC method in the library.
 
@@ -152,6 +178,25 @@ class Engine:
             _, evicted = self._sessions.popitem(last=False)
             evicted.close()
 
+    def evict_lru(self, count: int = 1) -> int:
+        """Close and drop up to ``count`` least-recently-used sessions.
+
+        The memory governor's pressure-relief hook; returns how many
+        sessions were actually evicted.  The fingerprint and source
+        caches self-heal: a later request for an evicted graph loads a
+        fresh session.
+        """
+        evicted = 0
+        while self._sessions and evicted < count:
+            _, sess = self._sessions.popitem(last=False)
+            sess.close()
+            evicted += 1
+        return evicted
+
+    def estimated_bytes(self) -> int:
+        """Approximate bytes pinned by every live session."""
+        return sum(s.estimated_bytes() for s in self._sessions.values())
+
     @property
     def sessions(self) -> tuple:
         """Live sessions, least- to most-recently used."""
@@ -169,6 +214,7 @@ class Engine:
         cost: CostModel | None = None,
         supervisor=None,
         canonical: bool | None = None,
+        deadline: float | None = None,
         **method_kwargs,
     ) -> SCCResult:
         """One SCC detection over a (warm) session.
@@ -177,10 +223,16 @@ class Engine:
         be any registered algorithm; the paper pipelines ``method1``/
         ``method2`` get the full warm-session treatment (cached
         transpose, shared mirror, persistent worker pool), everything
-        else reuses the cached graph.  Remaining keywords flow to the
-        method (``queue_k``, ``pivot_strategy``, ...).
+        else reuses the cached graph.  ``deadline`` bounds the run in
+        wall-clock seconds: for the pipelines it is checked at every
+        phase boundary and threaded into the deadline-aware phase-2
+        executors (cooperative — safe from any thread); expiry raises
+        :class:`~repro.errors.PhaseTimeoutError`.  Remaining keywords
+        flow to the method (``queue_k``, ``pivot_strategy``, ...).
         """
         self._check_open()
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         session = self.session(target)
         backend = backend if backend is not None else self.backend
         num_workers = (
@@ -201,6 +253,7 @@ class Engine:
                 seed=seed,
                 cost=cost,
                 supervisor=supervisor,
+                deadline=deadline,
                 **method_kwargs,
             )
         else:
@@ -231,6 +284,7 @@ class Engine:
         seed: int | None,
         cost: CostModel,
         supervisor,
+        deadline: float | None = None,
         **method_kwargs,
     ) -> SCCResult:
         from ..core.method1 import method1_phases
@@ -249,8 +303,13 @@ class Engine:
             supervisor=supervisor,
             **method_kwargs,
         )
+        ctx: dict = {"session": session}
+        if deadline is not None:
+            expiry = time.monotonic() + deadline
+            plan = _bound_plan(plan, expiry, deadline)
+            ctx["deadline"] = expiry
         state = SCCState(session.graph, seed=seed, cost=cost)
-        run_plan(state, plan, {"session": session})
+        run_plan(state, plan, ctx)
         state.check_done()
         return SCCResult(
             labels=state.labels,

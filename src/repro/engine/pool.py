@@ -92,6 +92,13 @@ class WorkerPool:
         procs = getattr(self._pool, "_pool", None) or []
         return sum(1 for p in procs if not p.is_alive())
 
+    def worker_pids(self) -> tuple:
+        """PIDs of the live workers (the governor's RSS accounting)."""
+        if self._pool is None:
+            return ()
+        procs = getattr(self._pool, "_pool", None) or []
+        return tuple(p.pid for p in procs if p.is_alive() and p.pid)
+
     # ------------------------------------------------------------------
     def rebuild(self) -> None:
         """Condemn the current workers and fork a fresh set."""

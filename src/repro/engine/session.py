@@ -245,6 +245,42 @@ class GraphSession:
     def pool(self) -> Optional[WorkerPool]:
         return self._pool
 
+    def release_pool(self) -> bool:
+        """Condemn and tear down the warm pool (keep everything else).
+
+        The memory governor's cheapest pressure-relief step: the next
+        process-backed run pays one respawn, but the graph, transpose
+        and mirror stay warm.  Returns True when a pool was released.
+        """
+        if self._pool is None:
+            return False
+        self._pool.terminate()
+        self._pool = None
+        self._pool_signature = None
+        return True
+
+    def estimated_bytes(self) -> int:
+        """Approximate bytes this session pins (cache + shm + workers).
+
+        Counts the CSR arrays actually materialized (graph, transpose),
+        the cached degree arrays, the shared mirror, and a nominal
+        per-worker overhead for a live pool — the currency the memory
+        governor trades in when deciding what to evict.
+        """
+        from ..runtime.cost import DEFAULT_MEMORY_MODEL as mm
+
+        g = self.graph
+        total = g.indptr.nbytes + g.indices.nbytes
+        if g._in_indptr is not None:
+            total += g._in_indptr.nbytes + g._in_indices.nbytes
+        if self._degrees is not None:
+            total += sum(a.nbytes for a in self._degrees)
+        if self._mirror is not None:
+            total += int(mm.mirror_bytes_per_node * g.num_nodes)
+        if self._pool is not None:
+            total += int(mm.worker_bytes * self._pool.num_workers)
+        return int(total)
+
     def note_run(self, *, warm: bool) -> None:
         """Record one served run (``warm`` = every artifact reused)."""
         self.stats.runs += 1

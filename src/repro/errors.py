@@ -18,7 +18,14 @@ class                     exit  raised when
 ``PhaseTimeoutError``       14  a pipeline phase exceeded its deadline
 ``StateInvariantError``     15  self-verification found corrupted labels
 ``PoolBrokenError``         16  worker pool exhausted its retry budgets
+``ServiceOverloadError``    17  admission control shed the request
+``MemoryBudgetError``       18  request refused: memory budget would be blown
 ========================  ====  =============================================
+
+Every exit code is unique across the taxonomy — a retry controller or
+an operator script can branch on ``$?`` alone — and
+``tests/service/test_errors_taxonomy.py`` walks the subclass tree to
+keep it that way.
 
 Classes that replace historically raised builtin exceptions keep the
 builtin as a secondary base (``GraphIngestError`` is a ``ValueError``,
@@ -37,6 +44,8 @@ __all__ = [
     "GraphValidationError",
     "CheckpointError",
     "PhaseTimeoutError",
+    "ServiceOverloadError",
+    "MemoryBudgetError",
     "exit_code_for",
 ]
 
@@ -107,6 +116,51 @@ class PhaseTimeoutError(ReproError, TimeoutError):
         super().__init__(
             f"phase {phase!r} exceeded its {seconds:g}s deadline"
         )
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """Admission control shed this request (queue full, or draining).
+
+    The canonical *retry later, elsewhere* signal: the service is
+    healthy but saturated, so the request was rejected **before** any
+    work was done on it.  ``reason`` distinguishes queue-full shedding
+    from drain-time shedding and governor refusals.
+    """
+
+    exit_code = 17
+
+    def __init__(
+        self, message: str = "request shed", *, reason: str = "overload"
+    ) -> None:
+        self.reason = reason
+        super().__init__(message)
+
+
+class MemoryBudgetError(ReproError, MemoryError):
+    """A request was refused because it would blow the memory budget.
+
+    Raised *before* allocation (cost-model admission check) or by the
+    RSS governor when the process is already over its hard limit —
+    either way, refusing typed beats dying to the OOM killer.
+    """
+
+    exit_code = 18
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        required_bytes: Optional[int] = None,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        if required_bytes is not None and budget_bytes is not None:
+            message = (
+                f"{message} (needs ~{required_bytes / 1e6:.0f} MB, "
+                f"budget {budget_bytes / 1e6:.0f} MB)"
+            )
+        super().__init__(message)
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -36,7 +36,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "MemoryModel",
+    "DEFAULT_MEMORY_MODEL",
+]
 
 
 @dataclass(frozen=True)
@@ -70,3 +75,78 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Peak-memory estimate of one SCC run, for admission control.
+
+    The serving layer (:mod:`repro.service.govern`) must decide whether
+    to *admit* a request **before** loading the graph it names — an
+    estimate that is cheap, conservative, and derived from the same
+    structural facts the rest of the repo builds on:
+
+    * the CSR arrays are ``int64`` throughout (``graph.csr``), so a
+      graph costs ``8 * (nodes + 1 + edges)`` bytes, and every method
+      that traverses backwards also materializes the transpose (same
+      size again);
+    * :class:`~repro.core.state.SCCState` keeps ``color``/``labels``
+      (int64), ``mark`` (bool) and ``phase_of`` (int8) — 18 bytes per
+      node — and the shared-memory mirror of a process backend doubles
+      exactly that set;
+    * each forked worker costs a near-constant interpreter overhead on
+      top of the copy-on-write graph pages.
+
+    ``headroom`` is a multiplicative safety factor covering transient
+    peaks the static inventory misses (frontier buffers, trim
+    scratch, checkpoint serialization).  Estimates are deliberately
+    conservative: the admission check refuses a request the budget
+    *might not* cover, because the alternative is the OOM killer.
+    """
+
+    #: bytes per CSR index (int64 throughout — see graph.csr).
+    index_bytes: int = 8
+    #: SCCState bytes per node (color 8 + labels 8 + mark 1 + phase 1).
+    state_bytes_per_node: float = 18.0
+    #: shared-memory mirror bytes per node (same array set as the state).
+    mirror_bytes_per_node: float = 18.0
+    #: cached effective-degree arrays (out + in, int64 each).
+    degree_bytes_per_node: float = 16.0
+    #: per-worker interpreter overhead of a forked pool (bytes).
+    worker_bytes: float = 48e6
+    #: safety factor over the static inventory.
+    headroom: float = 1.25
+
+    def graph_bytes(self, nodes: int, edges: int) -> float:
+        """Bytes of one CSR (indptr + indices)."""
+        return self.index_bytes * (nodes + 1 + edges)
+
+    def session_bytes(
+        self, nodes: int, edges: int, *, processes: bool = False
+    ) -> float:
+        """Bytes a warm session pins: graph + transpose + degrees
+        (+ the shared mirror once a process backend has run)."""
+        total = 2 * self.graph_bytes(nodes, edges)
+        total += self.degree_bytes_per_node * nodes
+        if processes:
+            total += self.mirror_bytes_per_node * nodes
+        return total
+
+    def run_bytes(
+        self,
+        nodes: int,
+        edges: int,
+        *,
+        backend: str = "serial",
+        num_workers: int = 0,
+    ) -> float:
+        """Conservative peak bytes of one run on a cold session."""
+        processes = backend in ("processes", "supervised")
+        total = self.session_bytes(nodes, edges, processes=processes)
+        total += self.state_bytes_per_node * nodes
+        if processes:
+            total += self.worker_bytes * max(num_workers, 0)
+        return total * self.headroom
+
+
+DEFAULT_MEMORY_MODEL = MemoryModel()

@@ -23,6 +23,17 @@ Injection sites:
   boundary (``"pre"`` = phase entry, ``"mid"`` = phase done but
   checkpoint not yet written, ``"post"`` = checkpoint published) —
   the kill-and-resume tests crash the run at exact boundaries.
+* ``"job"`` — the batch runner (:func:`repro.engine.batch.run_batch`);
+  the index is the job position in the manifest, and the attempt
+  number is the job's retry attempt, so a transient fault with the
+  default ``times=1`` fails the first attempt and lets the retry
+  policy's second attempt through.  ``crash`` is downgraded to
+  ``raise`` here (``thread_site``) — the drill must fail the job, not
+  the batch process.
+* ``"request"`` — the serve daemon (:mod:`repro.service.server`); the
+  index is the request admission sequence number, attempts count the
+  retry policy's attempts.  Also a ``thread_site``: requests execute
+  on service threads.
 
 Each fault fires at one *stage* of the task lifecycle:
 

@@ -59,10 +59,12 @@ from .supervisor import SupervisorConfig
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "DEGRADE_CHAIN",
     "RunReport",
     "RunHarness",
     "load_checkpoint",
     "latest_checkpoint",
+    "phase_deadline",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -72,12 +74,15 @@ CHECKPOINT_VERSION = 1
 #: file the input graph is persisted to, once per checkpointed run.
 GRAPH_FILENAME = "graph.npz"
 
-#: next backend to try when the phase-2 executor keeps failing.
-_DEGRADE_CHAIN = {
+#: next backend to try when the phase-2 executor keeps failing — the
+#: one degradation ladder, shared with the service circuit breaker
+#: (:mod:`repro.service.retry`): supervised -> processes -> serial.
+DEGRADE_CHAIN = {
     "supervised": "processes",
     "processes": "serial",
     "threads": "serial",
 }
+_DEGRADE_CHAIN = DEGRADE_CHAIN
 
 #: checkpointed array payload, in CRC order.
 _CKPT_ARRAYS = (
@@ -281,11 +286,15 @@ def latest_checkpoint(
 # Phase deadline watchdog
 # ---------------------------------------------------------------------------
 @contextmanager
-def _phase_deadline(seconds: Optional[float], phase: str):
-    """SIGALRM watchdog around one phase (same machinery as the test
-    suite's deadlock guard).  No-op when unavailable (non-POSIX or a
-    non-main thread) — the cooperative ``ctx['deadline']`` bound still
-    covers the phase-2 drivers there."""
+def phase_deadline(seconds: Optional[float], phase: str):
+    """SIGALRM watchdog bounding one unit of work (same machinery as
+    the test suite's deadlock guard); raises
+    :class:`~repro.errors.PhaseTimeoutError` labelled ``phase`` on
+    expiry.  Shared by the run harness (per-phase deadlines), the batch
+    runner (per-job deadlines) and the serve daemon (per-request
+    deadlines).  No-op when unavailable (non-POSIX or a non-main
+    thread) — the cooperative ``ctx['deadline']`` bound still covers
+    the phase-2 drivers there."""
     if (
         not seconds
         or not hasattr(signal, "SIGALRM")
@@ -647,7 +656,7 @@ class RunHarness:
                 ):
                     alarm = None
                 try:
-                    with _phase_deadline(alarm, ph.name):
+                    with phase_deadline(alarm, ph.name):
                         with profile.wall_timer(ph.timer):
                             ph.fn(state, ctx)
                     break

@@ -1,0 +1,75 @@
+"""Service hardening layer over the execution engine.
+
+Four cooperating guards keep a long-running ``repro serve`` daemon
+healthy under bursty, faulty, memory-hungry load (DESIGN.md §11):
+
+* :mod:`repro.service.govern` — admission control: a bounded request
+  queue that sheds typed overload errors, plus a cost-model memory
+  gate that refuses graphs the budget cannot fit;
+* :mod:`repro.service.retry` — a reusable retry policy (exponential
+  backoff, deterministic jitter, transient-vs-permanent failure
+  classification) and per-backend circuit breakers that degrade down
+  the executor ladder;
+* :mod:`repro.service.governor` — an RSS memory governor that evicts
+  warm pools/sessions under pressure and refuses admission before the
+  OOM killer fires;
+* :mod:`repro.service.server` — the transports and the
+  :class:`~repro.service.server.SCCService` core wiring them all
+  around one :class:`~repro.engine.Engine`.
+
+The server module (and through it the engine) imports lazily, so
+``from repro.service import RetryPolicy`` stays cheap.
+"""
+
+from .govern import (
+    AdmissionConfig,
+    AdmissionController,
+    estimate_edge_list_size,
+)
+from .governor import GovernorConfig, MemoryGovernor, rss_bytes
+from .retry import (
+    PERMANENT,
+    TRANSIENT,
+    BackendBreakers,
+    CircuitBreaker,
+    RetryOutcome,
+    RetryPolicy,
+    classify_failure,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "estimate_edge_list_size",
+    "GovernorConfig",
+    "MemoryGovernor",
+    "rss_bytes",
+    "TRANSIENT",
+    "PERMANENT",
+    "classify_failure",
+    "RetryPolicy",
+    "RetryOutcome",
+    "CircuitBreaker",
+    "BackendBreakers",
+    "ServiceConfig",
+    "SCCService",
+    "serve_stdin",
+    "serve_socket",
+]
+
+_LAZY = {
+    "ServiceConfig",
+    "SCCService",
+    "serve_stdin",
+    "serve_socket",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

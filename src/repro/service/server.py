@@ -1,0 +1,690 @@
+"""The ``repro serve`` daemon: a hardened long-running serving front.
+
+Requests are JSON objects, one per line (stdin/stdout by default, or
+one request per connection on a Unix socket)::
+
+    {"op": "run", "graph": "wiki", "scale": 0.1, "method": "method2",
+     "backend": "processes", "deadline": 5.0, "id": "r1"}
+    {"op": "health"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Every ``run`` request flows through the full hardening stack, in
+order:
+
+1. **admission** (:mod:`repro.service.govern`) — queue-depth shedding,
+   cost-model memory refusal, and the memory governor's RSS veto, all
+   *before* any work starts;
+2. **deadline** — the per-request budget is converted to an absolute
+   expiry at admission and the *remaining* budget is propagated into
+   the engine's phase deadlines on every attempt, so retries never
+   extend a request past its deadline;
+3. **retry** (:mod:`repro.service.retry`) — transient failures
+   (broken pool, phase timeout, injected chaos) back off and retry;
+   permanent ones (bad input) fail fast with their typed exit code;
+4. **circuit breaker** — consecutive transient failures on a backend
+   trip its breaker, and subsequent requests degrade down the
+   supervised -> processes -> serial ladder until the cooldown probe
+   heals it;
+5. **governor** (:mod:`repro.service.governor`) — RSS sampled per
+   request; pressure evicts warm pools/sessions, hard-limit overshoot
+   refuses admission.
+
+Responses carry ``labels_crc32`` — the CRC of the canonical label
+array — so clients (and the chaos tests) can verify bit-identical
+results against an independent cold serial run without shipping the
+full label vector.
+
+**Graceful drain**: SIGTERM/SIGINT (or ``{"op": "shutdown"}``) stops
+admission, lets in-flight requests finish, sheds everything queued
+with typed :class:`~repro.errors.ServiceOverloadError` responses, and
+atomically writes a final stats report before exiting 0.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import (
+    PhaseTimeoutError,
+    ReproError,
+    ServiceOverloadError,
+    exit_code_for,
+)
+from ..ioutil import crc32_chunks
+from .govern import (
+    AdmissionConfig,
+    AdmissionController,
+    estimate_edge_list_size,
+)
+from .governor import GovernorConfig, MemoryGovernor
+from .retry import BackendBreakers, RetryPolicy, classify_failure
+
+__all__ = [
+    "ServiceConfig",
+    "SCCService",
+    "serve_stdin",
+    "serve_socket",
+]
+
+#: request keys forwarded verbatim into the method's keyword options.
+_RUN_KEYS = frozenset(
+    (
+        "op",
+        "id",
+        "graph",
+        "method",
+        "backend",
+        "workers",
+        "seed",
+        "scale",
+        "on_error",
+        "deadline",
+        "options",
+        "nodes",
+        "edges",
+        "fault_plan",
+    )
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one :class:`SCCService` enforces."""
+
+    backend: str = "serial"
+    workers: int = 2
+    max_sessions: int = 8
+    canonical: bool = True
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    governor: Optional[GovernorConfig] = None
+    #: default per-request deadline, seconds (None = unbounded).
+    default_deadline: Optional[float] = None
+
+
+class SCCService:
+    """The hardened serving core (transport-agnostic).
+
+    :meth:`handle` maps one request dict to one response dict and is
+    safe to call from many threads at once: admission bounds how many
+    requests may wait, the internal turnstile serializes engine access
+    (warm sessions are not thread-safe), and :meth:`drain` sheds the
+    waiters while the in-flight request finishes.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        engine=None,
+        fault_plan=None,
+        clock=time.monotonic,
+    ) -> None:
+        from ..engine.engine import Engine
+
+        self.config = cfg = config or ServiceConfig()
+        self.engine = engine or Engine(
+            backend=cfg.backend,
+            num_workers=cfg.workers,
+            canonical=cfg.canonical,
+            max_sessions=cfg.max_sessions,
+        )
+        self.governor = (
+            MemoryGovernor(self.engine, cfg.governor, clock=clock)
+            if cfg.governor is not None
+            else None
+        )
+        self.admission = AdmissionController(
+            cfg.admission,
+            refusal_hook=(
+                self.governor.refusal if self.governor else None
+            ),
+        )
+        self.breakers = BackendBreakers(
+            threshold=cfg.breaker_threshold,
+            cooldown=cfg.breaker_cooldown,
+            clock=clock,
+        )
+        #: service-level chaos channel, fired at the "request" site
+        #: with the request's admission sequence number as the index.
+        self.fault_plan = fault_plan
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        # engine turnstile: one request runs at a time; waiters are
+        # shed on drain.
+        self._cond = threading.Condition()
+        self._active = False
+        self._shedding = False
+        self._started = clock()
+        self._clock = clock
+        # stats
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.retried = 0
+        self.degraded_runs = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def drain(self) -> None:
+        """Stop admitting, shed queued waiters; in-flight finishes."""
+        self.admission.drain()
+        with self._cond:
+            self._shedding = True
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "SCCService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @contextmanager
+    def _engine_turn(self):
+        """Serialize engine access; queued waiters shed on drain."""
+        with self._cond:
+            while self._active and not self._shedding:
+                self._cond.wait(0.05)
+            if self._shedding:
+                raise ServiceOverloadError(
+                    "service draining; queued request shed",
+                    reason="draining",
+                )
+            self._active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active = False
+                self._cond.notify_all()
+
+    # -- request handling ----------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """One request dict in, one response dict out (never raises)."""
+        op = request.get("op", "run")
+        try:
+            if op == "run":
+                return self._handle_run(request)
+            if op == "health":
+                return self._handle_health(request)
+            if op == "stats":
+                return dict(
+                    self.stats(), op="stats", id=request.get("id"), ok=True
+                )
+            if op == "shutdown":
+                self.drain()
+                return {
+                    "op": "shutdown",
+                    "id": request.get("id"),
+                    "ok": True,
+                    "draining": True,
+                }
+            return self._error_response(
+                request, ValueError(f"unknown op {op!r}")
+            )
+        except Exception as exc:  # the transport must always answer
+            return self._error_response(request, exc)
+
+    def _handle_health(self, request: dict) -> dict:
+        return {
+            "op": "health",
+            "id": request.get("id"),
+            "ok": True,
+            "status": "draining" if self.draining else "serving",
+            "uptime_seconds": self._clock() - self._started,
+            "queue_depth": self.admission.depth,
+            "sessions": len(self.engine.sessions),
+            "rss_bytes": (
+                self.governor.sample() if self.governor else None
+            ),
+        }
+
+    def _size_hint(self, request: dict):
+        """Best-effort ``(nodes, edges)`` for the admission cost check."""
+        if request.get("nodes") is not None and request.get("edges") is not None:
+            return int(request["nodes"]), int(request["edges"])
+        source = request.get("graph", "")
+        from ..generators import DATASETS
+
+        if source and source not in DATASETS:
+            return estimate_edge_list_size(source) or (None, None)
+        return None, None
+
+    def _handle_run(self, request: dict) -> dict:
+        unknown = sorted(set(request) - _RUN_KEYS)
+        if unknown:
+            return self._error_response(
+                request,
+                ValueError(
+                    f"unknown request key(s) {unknown}; "
+                    f"known: {sorted(_RUN_KEYS)}"
+                ),
+            )
+        if not request.get("graph"):
+            return self._error_response(
+                request, ValueError("run request needs a 'graph' source")
+            )
+        self.requests += 1
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        requested = request.get("backend", self.config.backend)
+        workers = int(request.get("workers", self.config.workers))
+        budget = request.get("deadline", self.config.default_deadline)
+        t0 = time.perf_counter()
+        try:
+            nodes, edges = self._size_hint(request)
+            with self.admission.admit(
+                nodes=nodes,
+                edges=edges,
+                backend=requested,
+                num_workers=workers,
+            ):
+                response = self._execute(
+                    request, seq, requested, workers, budget
+                )
+            self.completed += 1
+            response["seconds"] = time.perf_counter() - t0
+            return response
+        except Exception as exc:
+            resp = self._error_response(request, exc)
+            resp["seconds"] = time.perf_counter() - t0
+            return resp
+
+    def _execute(
+        self,
+        request: dict,
+        seq: int,
+        requested: str,
+        workers: int,
+        budget: Optional[float],
+    ) -> dict:
+        expiry = (
+            time.monotonic() + float(budget) if budget is not None else None
+        )
+        supervisor = None
+        if request.get("fault_plan"):
+            # per-request chaos drill, exactly like a batch job's
+            # fault_plan field: forces the supervised backend.
+            from ..runtime.faults import FaultPlan
+            from ..runtime.supervisor import SupervisorConfig
+
+            requested = "supervised"
+            supervisor = SupervisorConfig(
+                fault_plan=FaultPlan.parse(request["fault_plan"])
+            )
+        used = [requested]
+
+        def attempt_fn(attempt: int):
+            backend = self.breakers.resolve(requested)
+            used[0] = backend
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "request",
+                    seq,
+                    stage="pre",
+                    attempt=attempt,
+                    thread_site=True,
+                )
+            remaining = None
+            if expiry is not None:
+                remaining = expiry - time.monotonic()
+                if remaining <= 0:
+                    raise PhaseTimeoutError("request", float(budget))
+            with self._engine_turn():
+                session = self.engine.load(
+                    request["graph"],
+                    scale=request.get("scale"),
+                    seed=None,
+                    on_error=request.get("on_error", "strict"),
+                )
+                runs_before = session.stats.runs
+                warm_before = session.stats.warm_runs
+                result = self.engine.run(
+                    session,
+                    method=request.get("method", "method2"),
+                    backend=backend,
+                    num_workers=workers,
+                    seed=request.get("seed", 0),
+                    supervisor=supervisor,
+                    deadline=remaining,
+                    **(request.get("options") or {}),
+                )
+                warm = (
+                    session.stats.runs == runs_before + 1
+                    and session.stats.warm_runs == warm_before + 1
+                )
+            return backend, session, result, warm
+
+        def on_failure(exc: BaseException, attempt: int) -> None:
+            # Only infra failures are backend-health signals; a typo'd
+            # method or corrupt file says nothing about the pool.
+            if classify_failure(exc) == "transient":
+                self.breakers.record(used[0], ok=False)
+
+        outcome = self.config.retry.execute(
+            attempt_fn, key=seq, on_failure=on_failure
+        )
+        backend, session, result, warm = outcome.value
+        self.breakers.record(backend, ok=True)
+        if outcome.attempts > 1:
+            self.retried += 1
+        if backend != requested:
+            self.degraded_runs += 1
+        if self.governor is not None:
+            self.governor.relieve()
+        return {
+            "op": "run",
+            "id": request.get("id"),
+            "ok": True,
+            "graph": request["graph"],
+            "method": request.get("method", "method2"),
+            "backend_requested": requested,
+            "backend_used": backend,
+            "num_sccs": result.num_sccs,
+            "largest_scc": result.largest_scc_size(),
+            "giant_fraction": result.giant_fraction(),
+            "labels_crc32": crc32_chunks(result.labels.tobytes()),
+            "warm": warm,
+            "attempts": outcome.attempts,
+            "backoff_seconds": outcome.backoff_seconds,
+            "retried_errors": outcome.errors,
+            "session_fingerprint": session.fingerprint,
+        }
+
+    def _error_response(self, request: dict, exc: Exception) -> dict:
+        shed = isinstance(exc, ServiceOverloadError)
+        if shed:
+            self.shed += 1
+        else:
+            self.failed += 1
+        outcome = getattr(exc, "__retry_outcome__", None)
+        return {
+            "op": request.get("op", "run"),
+            "id": request.get("id"),
+            "ok": False,
+            "shed": shed,
+            "error": str(exc) or type(exc).__name__,
+            "error_type": type(exc).__name__,
+            "exit_code": exit_code_for(exc),
+            "attempts": outcome.attempts if outcome is not None else 0,
+        }
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        sessions = {
+            f"{s.fingerprint:#010x}": dict(
+                s.stats.to_dict(),
+                name=s.name,
+                estimated_bytes=s.estimated_bytes(),
+            )
+            for s in self.engine.sessions
+        }
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "retried": self.retried,
+            "degraded_runs": self.degraded_runs,
+            "uptime_seconds": self._clock() - self._started,
+            "admission": self.admission.to_dict(),
+            "breakers": self.breakers.to_dict(),
+            "governor": (
+                self.governor.to_dict() if self.governor else None
+            ),
+            "sessions": sessions,
+        }
+
+    def write_report(self, path) -> None:
+        """Atomically publish the final stats report (drain epilogue)."""
+        from ..ioutil import atomic_path
+
+        with atomic_path(path, suffix=".json") as tmp:
+            with open(tmp, "w") as fh:
+                json.dump(self.stats(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+@contextmanager
+def _drain_signals(service: "SCCService", stop: threading.Event):
+    """SIGTERM/SIGINT -> drain + stop (main thread only; no-op else)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _drain(signum, frame):
+        service.drain()
+        stop.set()
+
+    old = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        old[sig] = signal.signal(sig, _drain)
+    try:
+        yield
+    finally:
+        for sig, handler in old.items():
+            signal.signal(sig, handler)
+
+
+def _respond(out_stream, lock: threading.Lock, response: dict) -> None:
+    line = json.dumps(response, sort_keys=True)
+    with lock:
+        out_stream.write(line + "\n")
+        out_stream.flush()
+
+
+def serve_stdin(
+    service: SCCService,
+    *,
+    in_stream,
+    out_stream,
+    max_requests: Optional[int] = None,
+    report_path=None,
+) -> int:
+    """Serve line-delimited JSON requests until EOF/shutdown/SIGTERM.
+
+    ``run`` requests are dispatched to their own thread (admission —
+    not the thread count — bounds concurrency; excess sheds typed);
+    control requests answer inline.  ``max_requests`` drains after
+    dispatching that many run requests (CI smokes).  Returns the
+    process exit code.
+    """
+    lines: "queue.Queue[Optional[str]]" = queue.Queue()
+
+    def _read() -> None:
+        try:
+            for raw in in_stream:
+                lines.put(raw)
+        finally:
+            lines.put(None)
+
+    threading.Thread(target=_read, daemon=True).start()
+    stop = threading.Event()
+    out_lock = threading.Lock()
+    workers: list = []
+    dispatched = 0
+    with _drain_signals(service, stop):
+        eof = False
+        while not eof and not stop.is_set():
+            try:
+                raw = lines.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if raw is None:
+                eof = True
+                break
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                request = json.loads(raw)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                _respond(
+                    out_stream,
+                    out_lock,
+                    {
+                        "ok": False,
+                        "error": f"bad request JSON: {exc}",
+                        "error_type": "ValueError",
+                        "exit_code": 1,
+                    },
+                )
+                continue
+            op = request.get("op", "run")
+            if op == "shutdown":
+                _respond(out_stream, out_lock, service.handle(request))
+                stop.set()
+                break
+            if op != "run":
+                _respond(out_stream, out_lock, service.handle(request))
+                continue
+            t = threading.Thread(
+                target=lambda r=request: _respond(
+                    out_stream, out_lock, service.handle(r)
+                )
+            )
+            t.start()
+            workers.append(t)
+            dispatched += 1
+            if max_requests is not None and dispatched >= max_requests:
+                break
+        # Drain.  On a signal/shutdown exit, shed first so queued
+        # waiters fail fast and only in-flight work finishes; on a
+        # normal exit (EOF, max_requests), let every dispatched
+        # request complete before closing admission — those were
+        # promised service.  Then anything still buffered on the wire
+        # is answered with a typed shed response; when the stream
+        # hasn't hit EOF yet, wait briefly for in-transit lines so
+        # none go unanswered.
+        if stop.is_set():
+            service.drain()
+        for t in workers:
+            t.join()
+        workers.clear()
+        service.drain()
+        while True:
+            try:
+                raw = (
+                    lines.get_nowait()
+                    if eof
+                    else lines.get(timeout=0.25)
+                )
+            except queue.Empty:
+                break
+            if raw is None:
+                break
+            if not raw.strip():
+                continue
+            try:
+                request = json.loads(raw)
+            except ValueError:
+                continue
+            if request.get("op", "run") == "run":
+                _respond(out_stream, out_lock, service.handle(request))
+        if report_path is not None:
+            service.write_report(report_path)
+    return 0
+
+
+def serve_socket(
+    service: SCCService,
+    path,
+    *,
+    max_requests: Optional[int] = None,
+    report_path=None,
+) -> int:
+    """Serve one JSON request per Unix-socket connection.
+
+    Each connection sends one newline-terminated JSON request and
+    receives one JSON response line.  SIGTERM/SIGINT (or a
+    ``shutdown`` request) drains exactly like the stdin transport.
+    """
+    import os
+
+    path = os.fspath(path)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+    stop = threading.Event()
+    out_lock = threading.Lock()  # per-connection streams; lock unused
+    workers: list = []
+    handled = 0
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as server:
+        server.bind(path)
+        server.listen(16)
+        server.settimeout(0.1)
+        with _drain_signals(service, stop):
+            while not stop.is_set():
+                if max_requests is not None and handled >= max_requests:
+                    break
+                try:
+                    conn, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                handled += 1
+
+                def _serve_conn(conn=conn) -> None:
+                    with conn:
+                        try:
+                            data = conn.makefile("r").readline()
+                            request = json.loads(data)
+                            response = service.handle(request)
+                            if request.get("op") == "shutdown":
+                                stop.set()
+                        except Exception as exc:
+                            response = {
+                                "ok": False,
+                                "error": f"bad request: {exc}",
+                                "error_type": type(exc).__name__,
+                                "exit_code": 1,
+                            }
+                        try:
+                            conn.sendall(
+                                (
+                                    json.dumps(response, sort_keys=True)
+                                    + "\n"
+                                ).encode()
+                            )
+                        except OSError:
+                            pass
+
+                t = threading.Thread(target=_serve_conn)
+                t.start()
+                workers.append(t)
+            service.drain()
+            for t in workers:
+                t.join()
+            if report_path is not None:
+                service.write_report(report_path)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+    return 0

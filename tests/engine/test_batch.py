@@ -149,3 +149,104 @@ class TestRunBatch:
             report = run_batch(eng, [job])
         rec = report.records[0]
         assert rec.ok, rec.error
+
+
+class TestBatchHardening:
+    def jobs(self):
+        return [
+            BatchJob(graph="wiki", scale=0.05, method="method2"),
+            BatchJob(graph="wiki", scale=0.05, method="method1"),
+        ]
+
+    def test_retry_recovers_transient_job_fault(self):
+        """With a retry policy, a job-site fault with times=1 fails the
+        first attempt and the second attempt lands clean."""
+        from repro.service.retry import RetryPolicy
+
+        with Engine() as eng:
+            report = run_batch(
+                eng,
+                self.jobs(),
+                fault_plan=job_fault_plan("raise@0:pre"),
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, jitter=0.0
+                ),
+            )
+        hit, clean = report.records
+        assert hit.ok, hit.error
+        assert hit.attempts == 2  # the retry did the saving
+        assert clean.ok and clean.attempts == 1
+
+    def test_retry_does_not_burn_on_permanent_failures(self):
+        from repro.service.retry import RetryPolicy
+
+        jobs = [BatchJob(graph="/no/such/file.txt")]
+        with Engine() as eng:
+            report = run_batch(
+                eng,
+                jobs,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            )
+        rec = report.records[0]
+        assert not rec.ok
+        assert rec.attempts == 1  # permanent: failed fast
+
+    def test_job_timeout_fails_typed(self):
+        # an absurdly small budget trips the engine's cooperative
+        # phase-deadline check at the first phase boundary.
+        job = BatchJob(graph="wiki", scale=0.05, timeout=1e-7)
+        with Engine() as eng:
+            report = run_batch(eng, [job])
+        rec = report.records[0]
+        assert not rec.ok
+        assert rec.error_type == "PhaseTimeoutError"
+        assert rec.exit_code == 14
+
+    def test_interrupt_sheds_remainder_and_keeps_report(self):
+        """The SIGTERM/SIGINT contract: in-flight finishes, the rest is
+        shed typed, and the report is still complete."""
+        import os
+        import signal as signal_mod
+
+        jobs = self.jobs() + [
+            BatchJob(graph="wiki", scale=0.05, method="tarjan")
+        ]
+        fired = {"done": False}
+
+        def interrupt_after_first(rec):
+            if not fired["done"]:
+                fired["done"] = True
+                os.kill(os.getpid(), signal_mod.SIGTERM)
+
+        with Engine() as eng:
+            report = run_batch(
+                eng, jobs, progress=interrupt_after_first
+            )
+        assert report.records[0].ok  # in-flight job finished
+        assert report.jobs_shed == 2
+        for rec in report.records[1:]:
+            assert rec.shed and not rec.ok
+            assert rec.exit_code == 17
+            assert rec.error_type == "ServiceOverloadError"
+            assert rec.attempts == 0
+        # the report still serializes completely (what --output writes).
+        data = report.to_dict()
+        assert data["jobs_shed"] == 2
+        assert len(data["jobs"]) == 3
+
+    def test_shed_jobs_roundtrip_in_json(self, tmp_path):
+        import os
+        import signal as signal_mod
+
+        out = tmp_path / "report.json"
+
+        def interrupt(rec):
+            os.kill(os.getpid(), signal_mod.SIGTERM)
+
+        with Engine() as eng:
+            report = run_batch(eng, self.jobs(), progress=interrupt)
+        report.write(out)
+        data = json.loads(out.read_text())
+        assert data["jobs_shed"] == 1
+        assert data["jobs"][1]["shed"] is True
+        assert data["jobs"][0]["attempts"] == 1

@@ -1,0 +1,108 @@
+"""Table-driven guard over the ReproError taxonomy.
+
+Every deliberate failure class must carry a *unique* process exit code
+and be documented in the :mod:`repro.errors` table — operators branch
+on ``$?`` alone, so a colliding or undocumented code is a contract
+break, not a style nit.
+"""
+
+import re
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import ReproError, exit_code_for
+
+# Importing these registers every subclass defined outside errors.py.
+import repro.core.state  # noqa: F401  (StateInvariantError)
+import repro.runtime.supervisor  # noqa: F401  (PoolBrokenError)
+import repro.service  # noqa: F401
+
+
+def all_error_classes():
+    """The full ReproError subclass tree, the taxonomy under test."""
+    seen = []
+    frontier = [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        seen.append(cls)
+        frontier.extend(cls.__subclasses__())
+    return sorted(set(seen), key=lambda c: c.__name__)
+
+
+def documented_codes():
+    """``{class_name: exit_code}`` parsed from the errors.py table."""
+    table = {}
+    for line in errors_mod.__doc__.splitlines():
+        m = re.match(r"``(\w+)``\s+(\d+)\s+\S", line)
+        if m:
+            table[m.group(1)] = int(m.group(2))
+    return table
+
+
+class TestTaxonomy:
+    def test_tree_is_nontrivial(self):
+        names = {c.__name__ for c in all_error_classes()}
+        assert {
+            "ReproError",
+            "GraphIngestError",
+            "GraphValidationError",
+            "CheckpointError",
+            "PhaseTimeoutError",
+            "StateInvariantError",
+            "PoolBrokenError",
+            "ServiceOverloadError",
+            "MemoryBudgetError",
+        } <= names
+
+    def test_every_class_has_a_unique_exit_code(self):
+        codes = {}
+        for cls in all_error_classes():
+            code = cls.exit_code
+            assert isinstance(code, int) and code >= 10, (
+                f"{cls.__name__} exit code {code!r} collides with "
+                "generic-failure codes (< 10)"
+            )
+            assert code not in codes, (
+                f"{cls.__name__} and {codes[code]} share exit "
+                f"code {code}"
+            )
+            codes[code] = cls.__name__
+
+    def test_every_class_is_documented_with_its_code(self):
+        table = documented_codes()
+        assert table, "errors.py docstring table did not parse"
+        for cls in all_error_classes():
+            assert cls.__name__ in table, (
+                f"{cls.__name__} is missing from the errors.py "
+                "docstring table"
+            )
+            assert table[cls.__name__] == cls.exit_code, (
+                f"{cls.__name__} documents exit "
+                f"{table[cls.__name__]} but carries {cls.exit_code}"
+            )
+
+    def test_no_stale_documentation_rows(self):
+        names = {c.__name__ for c in all_error_classes()}
+        for doc_name in documented_codes():
+            assert doc_name in names, (
+                f"errors.py documents {doc_name} but no such class "
+                "exists"
+            )
+
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("ServiceOverloadError", 17),
+            ("MemoryBudgetError", 18),
+        ],
+    )
+    def test_service_codes_pinned(self, name, code):
+        cls = next(
+            c for c in all_error_classes() if c.__name__ == name
+        )
+        assert cls.exit_code == code
+        assert exit_code_for(cls("x")) == code
+
+    def test_exit_code_for_untyped_is_one(self):
+        assert exit_code_for(RuntimeError("boom")) == 1

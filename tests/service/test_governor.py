@@ -1,0 +1,209 @@
+"""Tests for the RSS memory governor (synthetic pressure, no real GBs)."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.service.governor import (
+    GovernorConfig,
+    MemoryGovernor,
+    rss_bytes,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def warm_engine(sources=("wiki", "flickr")):
+    eng = Engine(max_sessions=8)
+    for src in sources:
+        eng.load(src, scale=0.05).warmup()
+    return eng
+
+
+class TestRssSampling:
+    def test_real_rss_is_positive(self):
+        # a live Python process is tens of MB resident at minimum.
+        assert rss_bytes() > 10_000_000
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="hard limit"):
+            GovernorConfig(soft_limit_bytes=100, hard_limit_bytes=50)
+        with pytest.raises(ValueError, match="min_sessions"):
+            GovernorConfig(min_sessions=-1)
+
+    def test_sample_rate_limited(self):
+        clock = FakeClock()
+        calls = []
+
+        def fake_rss():
+            calls.append(1)
+            return 100
+
+        with Engine() as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(sample_interval=1.0),
+                rss_fn=fake_rss,
+                clock=clock,
+            )
+            gov.sample()
+            gov.sample()  # within the interval: cached
+            assert len(calls) == 1
+            clock.now = 1.0
+            gov.sample()
+            assert len(calls) == 2
+            gov.sample(force=True)  # force bypasses the limiter
+            assert len(calls) == 3
+
+
+class TestPressureRelief:
+    def test_below_soft_limit_is_a_no_op(self):
+        with warm_engine() as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(soft_limit_bytes=10**12),
+                rss_fn=lambda: 100,
+            )
+            assert gov.relieve() == 0
+            assert len(eng.sessions) == 2
+
+    def test_pressure_evicts_lru_sessions(self):
+        with warm_engine() as eng:
+            first_fp = eng.sessions[0].fingerprint
+            # overshoot far beyond what one session frees: everything
+            # down to min_sessions goes.
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(soft_limit_bytes=1, min_sessions=1),
+                rss_fn=lambda: 10**12,
+            )
+            released = gov.relieve()
+            assert released > 0
+            assert gov.sessions_evicted == 1
+            assert len(eng.sessions) == 1
+            # LRU went first; the most recent session survived.
+            assert eng.sessions[0].fingerprint != first_fp
+
+    def test_min_sessions_floor_respected(self):
+        with warm_engine() as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(soft_limit_bytes=1, min_sessions=2),
+                rss_fn=lambda: 10**12,
+            )
+            gov.relieve()
+            assert len(eng.sessions) == 2  # nothing below the floor
+
+    def test_small_overshoot_stops_early(self):
+        with warm_engine() as eng:
+            one_session = eng.sessions[0].estimated_bytes()
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(soft_limit_bytes=10**9, min_sessions=0),
+                # tiny overshoot: evicting the LRU session covers it.
+                rss_fn=lambda: 10**9 + max(one_session // 2, 1),
+            )
+            gov.relieve()
+            assert len(eng.sessions) == 1  # stopped after one eviction
+
+    def test_pools_released_before_sessions(self):
+        from repro.engine.pool import fork_available
+
+        if not fork_available():  # pragma: no cover - non-fork platforms
+            pytest.skip("fork needed for warm pools")
+        with Engine() as eng:
+            sess = eng.load("wiki", scale=0.05)
+            sess.executor_resources(num_workers=2)
+            assert sess.pool is not None
+            pool_cost = sess.estimated_bytes()
+            gov = MemoryGovernor(
+                eng,
+                # overshoot small enough that dropping the pool covers
+                # it: the session itself must survive.
+                GovernorConfig(soft_limit_bytes=10**9, min_sessions=0),
+                rss_fn=lambda: 10**9 + 1,
+            )
+            gov.relieve()
+            assert gov.pools_released == 1
+            assert sess.pool is None
+            assert len(eng.sessions) == 1  # session kept, only the
+            assert sess.estimated_bytes() < pool_cost  # pool went
+
+
+class TestAdmissionVeto:
+    def test_no_hard_limit_never_refuses(self):
+        with warm_engine(("wiki",)) as eng:
+            gov = MemoryGovernor(
+                eng, GovernorConfig(), rss_fn=lambda: 10**12
+            )
+            assert gov.refusal() is None
+
+    def test_under_hard_limit_admits(self):
+        with warm_engine(("wiki",)) as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(hard_limit_bytes=1000),
+                rss_fn=lambda: 500,
+            )
+            assert gov.refusal() is None
+            assert gov.refusals == 0
+
+    def test_over_hard_limit_relieves_then_refuses(self):
+        with warm_engine() as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(
+                    soft_limit_bytes=1000, hard_limit_bytes=1000
+                ),
+                rss_fn=lambda: 10**12,  # pressure never goes away
+            )
+            reason = gov.refusal()
+            assert reason is not None and "hard limit" in reason
+            assert gov.refusals == 1
+            # it tried eviction before giving up.
+            assert gov.sessions_evicted > 0
+
+    def test_relief_that_works_avoids_refusal(self):
+        with warm_engine(("wiki",)) as eng:
+            rss = {"value": 2000}
+
+            def fake_rss():
+                return rss["value"]
+
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(
+                    soft_limit_bytes=1000, hard_limit_bytes=1500
+                ),
+                rss_fn=fake_rss,
+            )
+            # relief drops RSS below the hard limit before the final
+            # re-sample -> no refusal.
+            orig_relieve = gov.relieve
+
+            def relieving():
+                released = orig_relieve()
+                rss["value"] = 900
+                return released
+
+            gov.relieve = relieving
+            assert gov.refusal() is None
+            assert gov.refusals == 0
+
+    def test_to_dict_carries_counters(self):
+        with warm_engine(("wiki",)) as eng:
+            gov = MemoryGovernor(
+                eng,
+                GovernorConfig(soft_limit_bytes=1, hard_limit_bytes=1),
+                rss_fn=lambda: 10**12,
+            )
+            gov.refusal()
+            d = gov.to_dict()
+            assert d["refusals"] == 1
+            assert d["peak_rss_bytes"] == 10**12
+            assert d["hard_limit_bytes"] == 1

@@ -1,0 +1,352 @@
+"""Tests for the SCCService core and the stdin transport (in-process)."""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.api import strongly_connected_components
+from repro.core.result import canonical_labels
+from repro.generators import generate
+from repro.ioutil import crc32_chunks
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service import (
+    AdmissionConfig,
+    GovernorConfig,
+    RetryPolicy,
+    SCCService,
+    ServiceConfig,
+)
+from repro.service.server import serve_stdin
+
+
+def run_request(graph="wiki", scale=0.05, **extra):
+    req = {"op": "run", "graph": graph, "scale": scale}
+    req.update(extra)
+    return req
+
+
+def tarjan_crc(graph="wiki", scale=0.05):
+    g = generate(graph, scale=scale, seed=None).graph
+    labels = canonical_labels(
+        strongly_connected_components(g, "tarjan").labels
+    )
+    return crc32_chunks(labels.tobytes())
+
+
+def request_faults(*specs):
+    """Pin fault specs to the service's 'request' site."""
+    return FaultPlan(
+        FaultSpec(site="request", **spec) for spec in specs
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRunRequests:
+    def test_labels_match_cold_tarjan(self):
+        with SCCService() as svc:
+            resp = svc.handle(run_request(id="r1"))
+        assert resp["ok"], resp
+        assert resp["id"] == "r1"
+        assert resp["labels_crc32"] == tarjan_crc()
+        assert resp["attempts"] == 1
+        assert resp["backend_used"] == "serial"
+
+    def test_second_request_rides_warm(self):
+        with SCCService() as svc:
+            first = svc.handle(run_request())
+            second = svc.handle(run_request())
+        assert not first["warm"] and second["warm"]
+        assert first["labels_crc32"] == second["labels_crc32"]
+        assert (
+            first["session_fingerprint"] == second["session_fingerprint"]
+        )
+
+    def test_methods_agree(self):
+        with SCCService() as svc:
+            crcs = {
+                svc.handle(run_request(method=m))["labels_crc32"]
+                for m in ("method1", "method2", "tarjan")
+            }
+        assert len(crcs) == 1
+
+    def test_unknown_op_is_an_error_response(self):
+        with SCCService() as svc:
+            resp = svc.handle({"op": "nope"})
+        assert not resp["ok"]
+        assert "unknown op" in resp["error"]
+
+    def test_missing_graph_is_an_error_response(self):
+        with SCCService() as svc:
+            resp = svc.handle({"op": "run"})
+        assert not resp["ok"]
+        assert "graph" in resp["error"]
+
+    def test_unknown_request_key_rejected(self):
+        with SCCService() as svc:
+            resp = svc.handle(run_request(tmieout=3))
+        assert not resp["ok"]
+        assert "tmieout" in resp["error"]
+
+    def test_bad_graph_fails_fast_no_retry(self):
+        with SCCService() as svc:
+            resp = svc.handle(run_request(graph="/no/such/file.txt"))
+        assert not resp["ok"]
+        assert resp["attempts"] == 1  # permanent: no retry burn
+
+
+class TestDeadlines:
+    def test_expired_deadline_fails_typed(self):
+        config = ServiceConfig(
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        )
+        with SCCService(config) as svc:
+            resp = svc.handle(run_request(deadline=1e-7))
+        assert not resp["ok"]
+        assert resp["error_type"] == "PhaseTimeoutError"
+        assert resp["exit_code"] == 14
+        # timeouts are transient: the whole budget was spent trying.
+        assert resp["attempts"] == 2
+
+    def test_generous_deadline_succeeds(self):
+        with SCCService() as svc:
+            resp = svc.handle(run_request(deadline=60.0))
+        assert resp["ok"], resp
+
+
+class TestOverloadShedding:
+    def test_saturated_queue_sheds_typed(self):
+        config = ServiceConfig(
+            admission=AdmissionConfig(max_queue=1),
+        )
+        with SCCService(config) as svc:
+            ticket = svc.admission.admit()  # occupy the only slot
+            resp = svc.handle(run_request())
+            ticket.release()
+        assert not resp["ok"]
+        assert resp["shed"]
+        assert resp["error_type"] == "ServiceOverloadError"
+        assert resp["exit_code"] == 17
+        stats = svc.stats()
+        assert stats["shed"] == 1 and stats["completed"] == 0
+
+    def test_memory_budget_refusal(self):
+        config = ServiceConfig(
+            admission=AdmissionConfig(
+                max_queue=4, memory_budget_bytes=1000
+            ),
+        )
+        with SCCService(config) as svc:
+            resp = svc.handle(
+                run_request(nodes=10_000_000, edges=100_000_000)
+            )
+        assert not resp["ok"]
+        assert resp["error_type"] == "MemoryBudgetError"
+        assert resp["exit_code"] == 18
+
+    def test_governor_veto_sheds(self):
+        config = ServiceConfig(
+            governor=GovernorConfig(
+                soft_limit_bytes=1, hard_limit_bytes=1
+            ),
+        )
+        with SCCService(config) as svc:
+            svc.governor._rss_fn = lambda: 10**12
+            resp = svc.handle(run_request())
+        assert not resp["ok"]
+        assert resp["error_type"] == "ServiceOverloadError"
+        assert "hard limit" in resp["error"]
+
+
+class TestRetryAndBreaker:
+    def test_transient_request_fault_retried_to_success(self):
+        config = ServiceConfig(
+            retry=RetryPolicy(
+                max_attempts=3, backoff_base=0.0, jitter=0.0
+            ),
+        )
+        plan = request_faults({"kind": "raise", "index": 0, "times": 1})
+        with SCCService(config, fault_plan=plan) as svc:
+            resp = svc.handle(run_request())
+        assert resp["ok"], resp
+        assert resp["attempts"] == 2
+        assert resp["retried_errors"] and "FaultInjected" in str(
+            resp["retried_errors"][0]
+        )
+        assert resp["labels_crc32"] == tarjan_crc()
+        assert svc.stats()["retried"] == 1
+
+    def test_breaker_trips_and_degrades_backend(self):
+        clock = FakeClock()
+        config = ServiceConfig(
+            retry=RetryPolicy(
+                max_attempts=3, backoff_base=0.0, jitter=0.0
+            ),
+            breaker_threshold=1,
+            breaker_cooldown=60.0,
+        )
+        # the first attempt (on the requested backend) fails; the
+        # tripped breaker must route the retry down the ladder.
+        plan = request_faults({"kind": "raise", "index": 0, "times": 1})
+        with SCCService(config, fault_plan=plan, clock=clock) as svc:
+            resp = svc.handle(run_request(backend="threads"))
+            assert resp["ok"], resp
+            assert resp["backend_requested"] == "threads"
+            assert resp["backend_used"] == "serial"
+            assert svc.stats()["degraded_runs"] == 1
+            assert svc.breakers.breaker("threads").state == "open"
+            # later requests skip the broken backend outright.
+            resp2 = svc.handle(run_request(backend="threads"))
+            assert resp2["ok"] and resp2["backend_used"] == "serial"
+            # cooldown heals: the probe goes back to the real backend.
+            clock.now = 60.0
+            resp3 = svc.handle(run_request(backend="threads"))
+            assert resp3["ok"] and resp3["backend_used"] == "threads"
+            assert svc.breakers.breaker("threads").state == "closed"
+        assert (
+            resp["labels_crc32"]
+            == resp2["labels_crc32"]
+            == resp3["labels_crc32"]
+            == tarjan_crc()
+        )
+
+    def test_permanent_failure_does_not_trip_breaker(self):
+        config = ServiceConfig(breaker_threshold=1)
+        with SCCService(config) as svc:
+            svc.handle(run_request(graph="/no/such/file.txt"))
+            assert svc.breakers.to_dict() == {}  # nothing recorded
+
+
+class TestDrainAndStats:
+    def test_drain_sheds_new_requests(self):
+        with SCCService() as svc:
+            ok = svc.handle(run_request())
+            svc.drain()
+            after = svc.handle(run_request())
+        assert ok["ok"]
+        assert not after["ok"] and after["shed"]
+        assert svc.handle({"op": "health"})["status"] == "draining"
+
+    def test_shutdown_op_drains(self):
+        with SCCService() as svc:
+            resp = svc.handle({"op": "shutdown"})
+            assert resp["ok"] and resp["draining"]
+            assert svc.draining
+
+    def test_health_and_stats_shapes(self):
+        with SCCService() as svc:
+            svc.handle(run_request())
+            health = svc.handle({"op": "health"})
+            stats = svc.handle({"op": "stats"})
+        assert health["ok"] and health["status"] == "serving"
+        assert health["sessions"] == 1
+        assert stats["requests"] == 1 and stats["completed"] == 1
+        assert stats["admission"]["admitted"] == 1
+        (sess,) = stats["sessions"].values()
+        assert sess["runs"] == 1
+        assert sess["estimated_bytes"] > 0
+
+
+class TestStdinTransport:
+    def run_lines(self, svc, lines, **kwargs):
+        out = io.StringIO()
+        code = serve_stdin(
+            svc,
+            in_stream=io.StringIO("\n".join(lines) + "\n"),
+            out_stream=out,
+            **kwargs,
+        )
+        responses = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        return code, responses
+
+    def test_requests_answered_and_report_written(self, tmp_path):
+        report = tmp_path / "svc.json"
+        with SCCService() as svc:
+            code, responses = self.run_lines(
+                svc,
+                [
+                    json.dumps(run_request(id="a")),
+                    json.dumps({"op": "health", "id": "h"}),
+                    json.dumps({"op": "shutdown", "id": "s"}),
+                ],
+                report_path=report,
+            )
+        assert code == 0
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id["a"]["ok"] and by_id["a"]["labels_crc32"]
+        assert by_id["h"]["ok"]
+        assert by_id["s"]["draining"]
+        data = json.loads(report.read_text())
+        assert data["requests"] == 1 and data["completed"] == 1
+
+    def test_bad_json_line_answered_not_fatal(self):
+        with SCCService() as svc:
+            code, responses = self.run_lines(
+                svc,
+                ["{not json", json.dumps(run_request(id="good"))],
+            )
+        assert code == 0
+        bad = [r for r in responses if not r.get("ok")]
+        good = [r for r in responses if r.get("ok")]
+        assert bad and "bad request JSON" in bad[0]["error"]
+        assert good and good[0]["id"] == "good"
+
+    def test_max_requests_drains_after_n(self):
+        with SCCService() as svc:
+            code, responses = self.run_lines(
+                svc,
+                [json.dumps(run_request(id=str(i))) for i in range(4)],
+                max_requests=2,
+            )
+        assert code == 0
+        ok = [r for r in responses if r.get("ok")]
+        shed = [r for r in responses if r.get("shed")]
+        assert len(ok) == 2
+        # the two requests past the cap were shed typed, not dropped.
+        assert len(shed) == 2
+        assert all(r["exit_code"] == 17 for r in shed)
+
+    def test_lines_buffered_at_drain_get_typed_responses(self):
+        """Every line on the wire gets an answer even when the service
+        drains before reading it (the SIGTERM contract)."""
+        with SCCService() as svc:
+            svc.drain()
+            code, responses = self.run_lines(
+                svc, [json.dumps(run_request(id="late"))]
+            )
+        assert code == 0
+        assert len(responses) == 1
+        assert responses[0]["shed"]
+
+
+class TestConcurrentRequests:
+    def test_parallel_callers_all_answered_correctly(self):
+        expected = tarjan_crc()
+        config = ServiceConfig(admission=AdmissionConfig(max_queue=8))
+        results = []
+        with SCCService(config) as svc:
+            svc.handle(run_request())  # warm the session first
+
+            def call(i):
+                results.append(svc.handle(run_request(id=str(i))))
+
+            threads = [
+                threading.Thread(target=call, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(r["ok"] for r in results), results
+        assert {r["labels_crc32"] for r in results} == {expected}
