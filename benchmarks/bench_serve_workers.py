@@ -1,0 +1,260 @@
+"""Serving-tier throughput benchmark: requests/sec vs. worker fleet.
+
+Drives a saturating mixed-graph burst of ``SCCService.handle`` calls
+from concurrent front threads against fleets of N forked engine
+workers (N in {1, 2, 4} by default; N=1 is the in-process degraded
+path, no fork).  Reports requests/sec, mean latency, and shed counts
+per fleet size, plus a direct warm ``Engine.run`` baseline so the
+single-worker serving overhead stays visible.  ``--check`` gates the
+scaling acceptance: >= 2x requests/sec at N=4 vs N=1 — enforced only
+on hosts with >= 4 CPU cores (a single-core container cannot scale by
+forking), and always gates the N=1 path against the direct-engine
+baseline.  Writes a machine-readable ``BENCH_serve.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+#: N=4 must clear this multiple of the N=1 rate (with --check, on
+#: hosts where os.cpu_count() >= 4).
+SCALING_FLOOR = 2.0
+#: serving at N=1 (admission + journal-less front, in-process engine)
+#: must retain this fraction of raw warm engine throughput.
+OVERHEAD_FLOOR = 0.5
+
+
+def request_mix(scale, identities):
+    """Distinct routable graph identities cycled through the burst."""
+    graphs = ("wiki", "flickr")
+    return [
+        {
+            "graph": graphs[i % len(graphs)],
+            "scale": scale,
+            "seed": 1 + i,
+        }
+        for i in range(identities)
+    ]
+
+
+def run_burst(service, requests, concurrency):
+    """Drive ``requests`` through ``concurrency`` front threads."""
+    results = [None] * len(requests)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def pump():
+        while True:
+            with lock:
+                i = cursor["next"]
+                if i >= len(requests):
+                    return
+                cursor["next"] = i + 1
+            results[i] = service.handle(requests[i])
+
+    threads = [
+        threading.Thread(target=pump) for _ in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, results
+
+
+def bench_fleet(n, mix, total, concurrency):
+    from repro.service.server import SCCService, ServiceConfig
+    from repro.service.govern import AdmissionConfig
+
+    cfg = ServiceConfig(
+        backend="serial",
+        worker_processes=n,
+        max_sessions=4 * len(mix),
+        admission=AdmissionConfig(max_queue=max(64, 2 * concurrency)),
+    )
+    burst = [
+        dict(mix[i % len(mix)], op="run", id=str(i))
+        for i in range(total)
+    ]
+    svc = SCCService(cfg)
+    try:
+        # warm every identity's session on its owning worker first so
+        # the timed burst measures serving, not graph generation.
+        for i, req in enumerate(mix):
+            warm = svc.handle(dict(req, op="run", id=f"warm-{i}"))
+            assert warm["ok"], warm
+        wall, results = run_burst(svc, burst, concurrency)
+        ok = sum(1 for r in results if r and r["ok"])
+        shed = sum(
+            1 for r in results if r and not r["ok"] and r.get("shed")
+        )
+        assert ok == total, (
+            f"N={n}: only {ok}/{total} ok ({shed} shed) — raise "
+            f"max_queue or lower concurrency for this host"
+        )
+        crcs = {r["labels_crc32"] for r in results}
+        fleet = svc.stats().get("workers") or {}
+    finally:
+        svc.drain()
+        svc.close()
+    return {
+        "workers": n,
+        "sharded": n > 1,
+        "requests": total,
+        "concurrency": concurrency,
+        "ok": ok,
+        "shed": shed,
+        "wall_s": round(wall, 6),
+        "rps": round(total / wall, 3),
+        "mean_latency_ms": round(wall / total * 1e3, 3),
+        "distinct_crcs": len(crcs),
+        "deaths": fleet.get("deaths", 0),
+        "respawns": fleet.get("respawns", 0),
+    }
+
+
+def bench_engine_direct(mix, total):
+    """Raw warm engine throughput: the serving-overhead baseline."""
+    from repro.engine import Engine
+
+    with Engine(backend="serial") as eng:
+        sessions = [
+            eng.load(r["graph"], scale=r["scale"], seed=r["seed"])
+            for r in mix
+        ]
+        for sess in sessions:
+            eng.run(sess, method="method2")  # warm
+        t0 = time.perf_counter()
+        for i in range(total):
+            eng.run(sessions[i % len(sessions)], method="method2")
+        wall = time.perf_counter() - t0
+    return {
+        "requests": total,
+        "wall_s": round(wall, 6),
+        "rps": round(total / wall, 3),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller graphs and burst (CI smoke; stdout-only unless "
+        "--out is given)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the acceptance gates: N=1 serving overhead "
+        "always; >=2x rps at N=4 vs N=1 when the host has >=4 cores",
+    )
+    ap.add_argument(
+        "--fleets",
+        default="1,2,4",
+        help="comma-separated worker counts to sweep (default 1,2,4)",
+    )
+    ap.add_argument("--requests", type=int, default=None)
+    ap.add_argument("--concurrency", type=int, default=8)
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_serve.json next to the repo "
+        "root for full runs, stdout-only for --quick)",
+    )
+    args = ap.parse_args(argv)
+
+    from repro.engine.pool import fork_available
+    from repro.kernels import backend_info
+
+    fleets = sorted(
+        {max(1, int(f)) for f in args.fleets.split(",") if f.strip()}
+    )
+    scale = 0.03 if args.quick else 0.05
+    total = args.requests or (16 if args.quick else 32)
+    mix = request_mix(scale, identities=8)
+    cores = os.cpu_count() or 1
+
+    doc = {
+        "benchmark": "serve_workers",
+        "quick": args.quick,
+        "cpu_count": cores,
+        "fork_available": fork_available(),
+        "kernels": backend_info(),
+        "scale": scale,
+        "mix_identities": len(mix),
+        "engine_direct": bench_engine_direct(mix, total),
+        "fleets": {},
+    }
+    print(
+        f"direct engine {doc['engine_direct']['rps']:8.1f} rps "
+        f"({cores} cores)"
+    )
+    for n in fleets:
+        if n > 1 and not fork_available():
+            print(f"N={n}: skipped (fork unavailable)")
+            continue
+        row = bench_fleet(n, mix, total, args.concurrency)
+        doc["fleets"][str(n)] = row
+        print(
+            f"N={n} workers {row['rps']:8.1f} rps  "
+            f"mean {row['mean_latency_ms']:7.1f} ms  "
+            f"{row['ok']}/{row['requests']} ok, {row['shed']} shed"
+        )
+
+    checks = {}
+    one = doc["fleets"].get("1")
+    four = doc["fleets"].get("4")
+    if one is not None:
+        ratio = one["rps"] / max(doc["engine_direct"]["rps"], 1e-9)
+        checks["n1_overhead_ratio"] = round(ratio, 3)
+        if args.check:
+            assert ratio >= OVERHEAD_FLOOR, (
+                f"single-worker serving regressed: {one['rps']:.1f} "
+                f"rps is {ratio:.2f}x the direct engine rate "
+                f"(floor {OVERHEAD_FLOOR})"
+            )
+    if one is not None and four is not None:
+        speedup = four["rps"] / max(one["rps"], 1e-9)
+        checks["n4_vs_n1_speedup"] = round(speedup, 3)
+        checks["scaling_gate_enforced"] = bool(
+            args.check and cores >= 4
+        )
+        if args.check and cores >= 4:
+            assert speedup >= SCALING_FLOOR, (
+                f"fleet scaling below floor: N=4 is {speedup:.2f}x "
+                f"N=1 (need >= {SCALING_FLOOR}x on {cores} cores)"
+            )
+        elif cores < 4:
+            print(
+                f"scaling gate skipped: {cores} core(s) < 4 — a "
+                f"forked fleet cannot scale past the physical cores"
+            )
+    doc["checks"] = checks
+    if checks:
+        print(f"checks: {json.dumps(checks, sort_keys=True)}")
+
+    out = args.out
+    if out is None and not args.quick:
+        out = str(
+            Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+        )
+    if out:
+        Path(out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -298,8 +298,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers",
         type=int,
+        default=1,
+        help="forked engine worker processes behind the front (the "
+        "sharded serving tier; 1 = the in-process single-engine path)",
+    )
+    p_serve.add_argument(
+        "--backend-workers",
+        type=int,
         default=2,
-        help="default worker count for the non-serial backends",
+        help="default worker count for the non-serial phase-2 "
+        "backends (per engine)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.5,
+        help="seconds between worker heartbeats; stale beats plus a "
+        "blown deadline get a worker SIGKILLed and respawned",
+    )
+    p_serve.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=3,
+        help="respawns allowed per worker slot before it is lost and "
+        "its session budget rebalances onto the survivors",
+    )
+    p_serve.add_argument(
+        "--journal",
+        default=None,
+        help="crash-safe request journal path (NDJSON, fsync'd "
+        "appends); the drain report reconciles accepted = "
+        "completed + shed against it",
     )
     p_serve.add_argument(
         "--max-queue",
@@ -742,8 +771,12 @@ def _cmd_serve(args) -> int:
         )
     config = ServiceConfig(
         backend=args.backend,
-        workers=args.workers,
+        workers=args.backend_workers,
         max_sessions=args.max_sessions,
+        worker_processes=args.workers,
+        heartbeat_interval=args.heartbeat_interval,
+        max_worker_restarts=args.max_worker_restarts,
+        journal_path=args.journal,
         admission=AdmissionConfig(
             max_queue=args.max_queue,
             memory_budget_bytes=(

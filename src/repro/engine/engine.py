@@ -178,6 +178,25 @@ class Engine:
             _, evicted = self._sessions.popitem(last=False)
             evicted.close()
 
+    def set_max_sessions(self, max_sessions: int) -> int:
+        """Rebalance the session-cache capacity at runtime.
+
+        The sharded serving tier calls this when a worker slot is lost
+        for good and the survivors inherit its share of the global
+        session budget (and, symmetrically, could shrink it back).
+        Shrinking evicts LRU sessions down to the new capacity;
+        returns how many were evicted.
+        """
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        evicted = 0
+        while len(self._sessions) > self.max_sessions:
+            _, sess = self._sessions.popitem(last=False)
+            sess.close()
+            evicted += 1
+        return evicted
+
     def evict_lru(self, count: int = 1) -> int:
         """Close and drop up to ``count`` least-recently-used sessions.
 

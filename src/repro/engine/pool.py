@@ -99,6 +99,20 @@ class WorkerPool:
         procs = getattr(self._pool, "_pool", None) or []
         return tuple(p.pid for p in procs if p.is_alive() and p.pid)
 
+    def rss_bytes(self) -> int:
+        """Total resident-set bytes of the live workers.
+
+        Memory pinned by a warm pool lives in the *children*, where
+        the parent's ``/proc/self/statm`` never sees it; the governor
+        adds this to its own RSS so a pool-heavy process still honours
+        one budget.  Workers that vanish mid-scan count as 0.
+        """
+        from ..ioutil import process_rss_bytes
+
+        return sum(
+            process_rss_bytes(pid) or 0 for pid in self.worker_pids()
+        )
+
     # ------------------------------------------------------------------
     def rebuild(self) -> None:
         """Condemn the current workers and fork a fresh set."""

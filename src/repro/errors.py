@@ -20,6 +20,7 @@ class                     exit  raised when
 ``PoolBrokenError``         16  worker pool exhausted its retry budgets
 ``ServiceOverloadError``    17  admission control shed the request
 ``MemoryBudgetError``       18  request refused: memory budget would be blown
+``WorkerLostError``         19  a serving worker died and replay was impossible
 ========================  ====  =============================================
 
 Every exit code is unique across the taxonomy — a retry controller or
@@ -46,6 +47,7 @@ __all__ = [
     "PhaseTimeoutError",
     "ServiceOverloadError",
     "MemoryBudgetError",
+    "WorkerLostError",
     "exit_code_for",
 ]
 
@@ -160,6 +162,32 @@ class MemoryBudgetError(ReproError, MemoryError):
                 f"{message} (needs ~{required_bytes / 1e6:.0f} MB, "
                 f"budget {budget_bytes / 1e6:.0f} MB)"
             )
+        super().__init__(message)
+
+
+class WorkerLostError(ReproError, RuntimeError):
+    """A serving worker process died and the request could not be
+    re-driven onto a survivor.
+
+    Raised by the sharded serving tier (:mod:`repro.service.workers`)
+    only after recovery has been exhausted: no live worker remained to
+    replay onto, or the request already burned its replay budget.  The
+    failure is *transient* from the client's perspective — a respawned
+    worker can serve the retry — which is why the retry layer
+    classifies it that way.
+    """
+
+    exit_code = 19
+
+    def __init__(
+        self,
+        message: str = "serving worker lost",
+        *,
+        worker: Optional[int] = None,
+    ) -> None:
+        self.worker = worker
+        if worker is not None:
+            message = f"worker {worker}: {message}"
         super().__init__(message)
 
 

@@ -11,6 +11,11 @@ Two needs recur across the resilient-ingestion layer:
 * **Integrity tags** — checkpoints carry a CRC32 over their payload so
   a torn or bit-rotted file is detected at load time instead of
   resuming from garbage.
+* **Atomic appends** — the request journal needs records that land
+  whole or not at all.  ``O_APPEND`` plus a *single* ``os.write`` per
+  record is the POSIX recipe: concurrent appenders never interleave
+  within a record, and a crash mid-write leaves at most one torn tail
+  line, which readers skip.
 """
 
 from __future__ import annotations
@@ -19,11 +24,22 @@ import os
 import tempfile
 import zlib
 from contextlib import contextmanager
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, Optional, Union
 
 PathLike = Union[str, os.PathLike]
 
-__all__ = ["atomic_write", "atomic_path", "crc32_chunks"]
+__all__ = [
+    "atomic_write",
+    "atomic_path",
+    "crc32_chunks",
+    "open_append",
+    "append_line",
+    "process_rss_bytes",
+]
+
+_PAGE_SIZE = (
+    os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+)
 
 
 def _mktemp_beside(path: str, suffix: str) -> str:
@@ -93,3 +109,59 @@ def crc32_chunks(*chunks: bytes) -> int:
     for chunk in chunks:
         crc = zlib.crc32(chunk, crc)
     return crc & 0xFFFFFFFF
+
+
+def open_append(path: PathLike) -> int:
+    """Open ``path`` for crash-safe record appends; returns an fd.
+
+    ``O_APPEND`` makes every subsequent single-``write`` atomic with
+    respect to other appenders (POSIX), which is what
+    :func:`append_line` relies on.  The caller owns the fd.
+    """
+    return os.open(
+        os.fspath(path),
+        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+        0o644,
+    )
+
+
+def append_line(fd: int, text: str, *, fsync: bool = True) -> None:
+    """Append ``text`` (newline-terminated) as one atomic write.
+
+    The record is encoded and written with a *single* ``os.write`` so
+    it can never interleave with another appender's record; with
+    ``fsync`` (the default) it is also durable before the call
+    returns — the property the request journal's replay guarantee
+    rests on.
+    """
+    if not text.endswith("\n"):
+        text += "\n"
+    data = text.encode("utf-8")
+    written = os.write(fd, data)
+    if written != len(data):  # pragma: no cover - partial O_APPEND
+        raise OSError(
+            f"short journal append ({written}/{len(data)} bytes)"
+        )
+    if fsync:
+        os.fsync(fd)
+
+
+def process_rss_bytes(
+    pid: Optional[int] = None, *, statm_path: Optional[str] = None
+) -> Optional[int]:
+    """Resident-set size of a process from ``/proc/<pid>/statm``.
+
+    ``pid=None`` reads ``/proc/self/statm``; ``statm_path`` overrides
+    the file entirely (tests fake both the present and absent paths).
+    Returns None when the file is unreadable or malformed — callers
+    pick their own fallback (:func:`repro.service.governor.rss_bytes`
+    adds a ``getrusage`` tier for the calling process).
+    """
+    if statm_path is None:
+        who = "self" if pid is None else int(pid)
+        statm_path = f"/proc/{who}/statm"
+    try:
+        with open(statm_path, "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return None

@@ -17,8 +17,17 @@ healthy under bursty, faulty, memory-hungry load (DESIGN.md §11):
   :class:`~repro.service.server.SCCService` core wiring them all
   around one :class:`~repro.engine.Engine`.
 
-The server module (and through it the engine) imports lazily, so
-``from repro.service import RetryPolicy`` stays cheap.
+Two more modules extend the daemon across processes (DESIGN.md §12):
+
+* :mod:`repro.service.journal` — the crash-safe request journal whose
+  accepted = completed + shed ledger survives worker (and front)
+  crashes;
+* :mod:`repro.service.workers` — the sharded serving tier: consistent-
+  hash routing to forked engine workers, heartbeat supervision,
+  bounded respawn, and in-flight replay.
+
+The server and workers modules (and through them the engine) import
+lazily, so ``from repro.service import RetryPolicy`` stays cheap.
 """
 
 from .govern import (
@@ -55,21 +64,40 @@ __all__ = [
     "SCCService",
     "serve_stdin",
     "serve_socket",
+    "RequestJournal",
+    "JournalRecovery",
+    "scan_journal",
+    "WorkerTierConfig",
+    "WorkerSupervisor",
+    "HashRing",
+    "routing_fingerprint",
+    "RemoteRequestError",
 ]
 
 _LAZY = {
-    "ServiceConfig",
-    "SCCService",
-    "serve_stdin",
-    "serve_socket",
+    "ServiceConfig": "server",
+    "SCCService": "server",
+    "serve_stdin": "server",
+    "serve_socket": "server",
+    "RequestJournal": "journal",
+    "JournalRecovery": "journal",
+    "scan_journal": "journal",
+    "WorkerTierConfig": "workers",
+    "WorkerSupervisor": "workers",
+    "HashRing": "workers",
+    "routing_fingerprint": "workers",
+    "RemoteRequestError": "workers",
 }
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
-        from . import server
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(server, name)
+        return getattr(
+            importlib.import_module(f".{module}", __name__), name
+        )
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

@@ -28,28 +28,34 @@ with synthetic pressure instead of real multi-GB allocations.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..ioutil import process_rss_bytes
+
 __all__ = ["rss_bytes", "GovernorConfig", "MemoryGovernor"]
 
-_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
+def rss_bytes(
+    pid: Optional[int] = None, *, statm_path: Optional[str] = None
+) -> int:
+    """Current resident-set size of a process, in bytes.
 
-def rss_bytes() -> int:
-    """Current resident-set size of this process, in bytes.
-
-    Prefers ``/proc/self/statm`` (instantaneous, Linux); falls back to
-    ``resource.getrusage`` (``ru_maxrss``, the lifetime *peak*, in KiB
-    on Linux/BSD) and finally 0 where neither exists.
+    Prefers ``/proc/<pid>/statm`` (instantaneous, Linux; see
+    :func:`repro.ioutil.process_rss_bytes`); for the calling process it
+    falls back to ``resource.getrusage`` (``ru_maxrss``, the lifetime
+    *peak*, in KiB on Linux/BSD) and finally 0 where neither exists —
+    never raises.  ``statm_path`` overrides the proc file so tests can
+    fake both the present and the absent path.
     """
-    try:
-        with open("/proc/self/statm", "rb") as fh:
-            return int(fh.read().split()[1]) * _PAGE_SIZE
-    except (OSError, ValueError, IndexError):
-        pass
+    rss = process_rss_bytes(pid, statm_path=statm_path)
+    if rss is not None:
+        return rss
+    if pid is not None:
+        # getrusage only knows about *this* process (and its reaped
+        # children in aggregate); no fallback for arbitrary pids.
+        return 0
     try:
         import resource
 

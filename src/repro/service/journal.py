@@ -1,0 +1,239 @@
+"""Crash-safe request journal: the serving tier's flight recorder.
+
+The sharded daemon promises that **no accepted request is ever lost**:
+a worker SIGKILLed (or OOM-killed, or wedged) mid-request must not
+silently eat the requests it was carrying.  The journal is how that
+promise survives crashes of the *front* process too — it is an
+append-only NDJSON file where every record lands whole or not at all
+(single ``O_APPEND`` write + fsync, see :func:`repro.ioutil.
+append_line`).
+
+Record lifecycle, one JSON object per line::
+
+    {"event": "accepted",   "seq": 7, "request": {...}}
+    {"event": "dispatched", "seq": 7, "worker": 2}
+    {"event": "replayed",   "seq": 7, "worker": 0, "reason": "worker-died"}
+    {"event": "completed",  "seq": 7, "ok": true, "labels_crc32": 123}
+    {"event": "shed",       "seq": 7, "reason": "draining"}
+
+Every ``accepted`` must eventually be closed by exactly one
+``completed`` or ``shed`` — :meth:`RequestJournal.reconcile` checks
+that balance live, and :func:`scan_journal` recovers it from disk
+(tolerating one torn tail line from a crash mid-append), yielding the
+still-open requests a restarted daemon should re-drive.
+
+The journal deliberately stores the *request* on acceptance, not on
+completion: replay needs the inputs, and the response's
+``labels_crc32`` recorded at completion is what lets the chaos drills
+prove a replayed request produced the bit-identical canonical labels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ioutil import append_line, open_append
+
+__all__ = ["RequestJournal", "JournalRecovery", "scan_journal"]
+
+#: events that close an accepted request's lifecycle.
+_CLOSING = ("completed", "shed")
+
+
+class RequestJournal:
+    """Append-only, fsync'd request journal (thread-safe).
+
+    ``fsync=False`` trades the durability guarantee for speed — useful
+    for benchmarks; the chaos drills run with the default.
+    """
+
+    def __init__(self, path, *, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._fd: Optional[int] = open_append(self.path)
+        self._lock = threading.Lock()
+        # live counters (this process's appends only)
+        self.accepted_count = 0
+        self.completed_count = 0
+        self.shed_count = 0
+        self.replayed_count = 0
+        self.dispatched_count = 0
+        self._open_seqs: set = set()
+
+    # -- record appenders ----------------------------------------------
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._fd is None:
+                return  # closed journal: drop, never block shutdown
+            append_line(self._fd, line, fsync=self._fsync)
+
+    def accepted(self, seq: int, request: dict) -> None:
+        """One request passed admission; it must now complete or shed."""
+        self._append(
+            {"event": "accepted", "seq": seq, "request": request}
+        )
+        with self._lock:
+            self.accepted_count += 1
+            self._open_seqs.add(seq)
+
+    def dispatched(self, seq: int, worker: int) -> None:
+        self._append(
+            {"event": "dispatched", "seq": seq, "worker": worker}
+        )
+        with self._lock:
+            self.dispatched_count += 1
+
+    def replayed(self, seq: int, worker: int, *, reason: str) -> None:
+        """An in-flight request was re-driven onto another worker."""
+        self._append(
+            {
+                "event": "replayed",
+                "seq": seq,
+                "worker": worker,
+                "reason": reason,
+            }
+        )
+        with self._lock:
+            self.replayed_count += 1
+
+    def completed(
+        self,
+        seq: int,
+        *,
+        ok: bool,
+        labels_crc32: Optional[int] = None,
+        error_type: Optional[str] = None,
+    ) -> None:
+        """The request was answered (success or typed failure)."""
+        record: dict = {"event": "completed", "seq": seq, "ok": ok}
+        if labels_crc32 is not None:
+            record["labels_crc32"] = labels_crc32
+        if error_type is not None:
+            record["error_type"] = error_type
+        self._append(record)
+        with self._lock:
+            self.completed_count += 1
+            self._open_seqs.discard(seq)
+
+    def shed(self, seq: int, *, reason: str) -> None:
+        """The request was shed after acceptance (drain overrun)."""
+        self._append({"event": "shed", "seq": seq, "reason": reason})
+        with self._lock:
+            self.shed_count += 1
+            self._open_seqs.discard(seq)
+
+    # -- introspection --------------------------------------------------
+    def reconcile(self) -> dict:
+        """The accepted-vs-answered balance, live.
+
+        ``balanced`` is the drain-time invariant the chaos drills pin:
+        every accepted request was answered (completed) or shed — zero
+        were lost, even across worker SIGKILLs.
+        """
+        with self._lock:
+            return {
+                "accepted": self.accepted_count,
+                "completed": self.completed_count,
+                "shed": self.shed_count,
+                "replayed": self.replayed_count,
+                "dispatched": self.dispatched_count,
+                "open": len(self._open_seqs),
+                "balanced": (
+                    self.accepted_count
+                    == self.completed_count + self.shed_count
+                ),
+            }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalRecovery:
+    """What a journal file says happened (crash-recovery view)."""
+
+    accepted: int = 0
+    completed: int = 0
+    shed: int = 0
+    replayed: int = 0
+    dispatched: int = 0
+    #: lines that failed to parse (at most the torn tail of a crash).
+    torn_lines: int = 0
+    #: ``seq -> request`` for accepted requests never answered — what a
+    #: restarted daemon should re-drive.
+    pending: Dict[int, dict] = field(default_factory=dict)
+    #: ``seq -> labels_crc32`` of completed-ok requests that carried one.
+    crcs: Dict[int, int] = field(default_factory=dict)
+    #: replay events in order, ``(seq, worker, reason)``.
+    replays: List[tuple] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        return self.accepted == self.completed + self.shed
+
+
+def scan_journal(path) -> JournalRecovery:
+    """Parse a journal file back into its recovery view.
+
+    Unparseable lines are tolerated and counted (``torn_lines``) — a
+    crash mid-append leaves at most one, and skipping it errs toward
+    replaying a request that may have finished, which is safe because
+    results are deterministic (same canonical ``labels_crc32``).
+    """
+    rec = JournalRecovery()
+    try:
+        fh = open(os.fspath(path), "r", encoding="utf-8")
+    except FileNotFoundError:
+        return rec
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                event = record["event"]
+                seq = int(record["seq"])
+            except (ValueError, KeyError, TypeError):
+                rec.torn_lines += 1
+                continue
+            if event == "accepted":
+                rec.accepted += 1
+                rec.pending[seq] = record.get("request", {})
+            elif event == "dispatched":
+                rec.dispatched += 1
+            elif event == "replayed":
+                rec.replayed += 1
+                rec.replays.append(
+                    (
+                        seq,
+                        record.get("worker"),
+                        record.get("reason", ""),
+                    )
+                )
+            elif event == "completed":
+                rec.completed += 1
+                rec.pending.pop(seq, None)
+                if record.get("ok") and "labels_crc32" in record:
+                    rec.crcs[seq] = record["labels_crc32"]
+            elif event == "shed":
+                rec.shed += 1
+                rec.pending.pop(seq, None)
+            else:
+                rec.torn_lines += 1
+    return rec

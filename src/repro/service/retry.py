@@ -42,6 +42,7 @@ from ..errors import (
     PhaseTimeoutError,
     ReproError,
     ServiceOverloadError,
+    WorkerLostError,
 )
 from ..runtime.faults import FaultInjected
 from ..runtime.lifecycle import DEGRADE_CHAIN
@@ -64,6 +65,8 @@ TRANSIENT = (
     ConnectionError,
     BrokenPipeError,
     EOFError,
+    # a respawned serving worker can handle the retry.
+    WorkerLostError,
 )
 
 #: failure classes where a retry replays the exact same failure.
@@ -88,14 +91,21 @@ PERMANENT = (
 def classify_failure(exc: BaseException) -> str:
     """``"transient"`` or ``"permanent"`` for one failure.
 
-    Order matters: the specific permanent classes win over their
-    transient bases (``GraphIngestError`` is a ``ValueError``;
-    ``PhaseTimeoutError`` is a ``TimeoutError``).  ``PoolBrokenError``
-    is transient by name (a rebuilt pool is a different pool); unknown
-    failures are permanent — fail fast rather than loop on a bug.
+    Order matters: a ``transient_hint`` attribute wins over every class
+    check — it is how a worker's verdict crosses the pipe, where the
+    original exception class cannot (see :class:`~repro.service.
+    workers.RemoteRequestError`).  Then the specific permanent classes
+    win over their transient bases (``GraphIngestError`` is a
+    ``ValueError``; ``PhaseTimeoutError`` is a ``TimeoutError``).
+    ``PoolBrokenError`` is transient by name (a rebuilt pool is a
+    different pool); unknown failures are permanent — fail fast rather
+    than loop on a bug.
     """
     from ..runtime.supervisor import PoolBrokenError
 
+    hint = getattr(exc, "transient_hint", None)
+    if hint is not None:
+        return "transient" if hint else "permanent"
     if isinstance(exc, (PoolBrokenError,) + TRANSIENT):
         return "transient"
     if isinstance(exc, PERMANENT):

@@ -39,6 +39,13 @@ full label vector.
 admission, lets in-flight requests finish, sheds everything queued
 with typed :class:`~repro.errors.ServiceOverloadError` responses, and
 atomically writes a final stats report before exiting 0.
+
+**Sharded tier**: with ``worker_processes > 1`` (``repro serve
+--workers N``) the same front fans admitted requests out to N forked
+engine workers (:mod:`repro.service.workers`) with warm-session
+affinity, crash failover replayed from a request journal
+(:mod:`repro.service.journal`), and a two-phase drain that merges
+every shard's stats into the final report; see DESIGN.md §12.
 """
 
 from __future__ import annotations
@@ -111,6 +118,49 @@ class ServiceConfig:
     governor: Optional[GovernorConfig] = None
     #: default per-request deadline, seconds (None = unbounded).
     default_deadline: Optional[float] = None
+    #: forked engine workers behind the front (<= 1 = in-process path).
+    worker_processes: int = 1
+    #: seconds between worker heartbeats (sharded tier only).
+    heartbeat_interval: float = 0.5
+    #: respawns allowed per worker slot before it is lost for good.
+    max_worker_restarts: int = 3
+    #: crash-safe request journal path (None = no journal).
+    journal_path: Optional[str] = None
+
+    def shard(self) -> "ServiceConfig":
+        """The per-worker slice of this config.
+
+        Each forked worker runs its own :class:`SCCService` built from
+        this: single-engine (no nested tier, no journal — the front
+        owns the ledger), and with the session cache and the governor's
+        memory limits divided by the fleet size so N workers together
+        respect the *one* budget the operator configured.
+        """
+        import dataclasses
+
+        n = max(1, self.worker_processes)
+        governor = self.governor
+        if governor is not None:
+            governor = dataclasses.replace(
+                governor,
+                soft_limit_bytes=(
+                    governor.soft_limit_bytes // n
+                    if governor.soft_limit_bytes is not None
+                    else None
+                ),
+                hard_limit_bytes=(
+                    governor.hard_limit_bytes // n
+                    if governor.hard_limit_bytes is not None
+                    else None
+                ),
+            )
+        return dataclasses.replace(
+            self,
+            worker_processes=1,
+            journal_path=None,
+            max_sessions=max(1, self.max_sessions // n),
+            governor=governor,
+        )
 
 
 class SCCService:
@@ -159,6 +209,33 @@ class SCCService:
         #: service-level chaos channel, fired at the "request" site
         #: with the request's admission sequence number as the index.
         self.fault_plan = fault_plan
+        self.journal = None
+        if cfg.journal_path:
+            from .journal import RequestJournal
+
+            self.journal = RequestJournal(cfg.journal_path)
+        self.supervisor = None
+        if cfg.worker_processes > 1:
+            from ..engine.pool import fork_available
+
+            if fork_available():
+                from .workers import WorkerSupervisor, WorkerTierConfig
+
+                tier = WorkerTierConfig(
+                    num_workers=cfg.worker_processes,
+                    heartbeat_interval=cfg.heartbeat_interval,
+                    max_worker_restarts=cfg.max_worker_restarts,
+                )
+                self.supervisor = WorkerSupervisor(
+                    cfg.shard(),
+                    tier,
+                    journal=self.journal,
+                    on_worker_failure=(
+                        lambda backend, worker: self.breakers.record(
+                            backend, ok=False
+                        )
+                    ),
+                ).start()
         self._seq = 0
         self._seq_lock = threading.Lock()
         # engine turnstile: one request runs at a time; waiters are
@@ -175,11 +252,19 @@ class SCCService:
         self.shed = 0
         self.retried = 0
         self.degraded_runs = 0
+        self.transport_errors = 0
 
     # -- lifecycle ------------------------------------------------------
     def drain(self) -> None:
-        """Stop admitting, shed queued waiters; in-flight finishes."""
+        """Phase 1 of the drain: stop intake everywhere.
+
+        Admission stops admitting, queued turnstile waiters shed, and
+        the worker tier refuses new dispatches; in-flight work — local
+        or already on a worker — finishes (phase 2, :meth:`close`).
+        """
         self.admission.drain()
+        if self.supervisor is not None:
+            self.supervisor.begin_drain()
         with self._cond:
             self._shedding = True
             self._cond.notify_all()
@@ -189,7 +274,12 @@ class SCCService:
         return self.admission.draining
 
     def close(self) -> None:
+        """Phase 2: drain the worker fleet, then release everything."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.engine.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "SCCService":
         return self
@@ -290,6 +380,7 @@ class SCCService:
         workers = int(request.get("workers", self.config.workers))
         budget = request.get("deadline", self.config.default_deadline)
         t0 = time.perf_counter()
+        journaled = False
         try:
             nodes, edges = self._size_hint(request)
             with self.admission.admit(
@@ -298,14 +389,47 @@ class SCCService:
                 backend=requested,
                 num_workers=workers,
             ):
-                response = self._execute(
-                    request, seq, requested, workers, budget
-                )
+                # Past admission the request is *accepted*: from here
+                # it must complete or shed — the journal's invariant.
+                if self.journal is not None:
+                    self.journal.accepted(seq, request)
+                    journaled = True
+                if (
+                    self.supervisor is not None
+                    and self.supervisor.available
+                ):
+                    response = self._execute_sharded(
+                        request, seq, requested, budget
+                    )
+                else:
+                    # N=1, fork unavailable, or the whole fleet lost:
+                    # the in-process single-engine path is the floor.
+                    response = self._execute(
+                        request, seq, requested, workers, budget
+                    )
             self.completed += 1
+            if journaled:
+                self.journal.completed(
+                    seq,
+                    ok=True,
+                    labels_crc32=response.get("labels_crc32"),
+                )
             response["seconds"] = time.perf_counter() - t0
             return response
         except Exception as exc:
             resp = self._error_response(request, exc)
+            if journaled:
+                if resp.get("shed"):
+                    self.journal.shed(
+                        seq,
+                        reason=getattr(exc, "reason", "overload"),
+                    )
+                else:
+                    self.journal.completed(
+                        seq,
+                        ok=False,
+                        error_type=resp.get("error_type"),
+                    )
             resp["seconds"] = time.perf_counter() - t0
             return resp
 
@@ -410,6 +534,85 @@ class SCCService:
             "session_fingerprint": session.fingerprint,
         }
 
+    def _execute_sharded(
+        self,
+        request: dict,
+        seq: int,
+        requested: str,
+        budget: Optional[float],
+    ) -> dict:
+        """Run one request on the worker fleet, front retry included.
+
+        The front's breakers and retry policy wrap the *dispatch*: a
+        worker answering ``ok: false`` re-raises typed (the worker-side
+        verdict crossing the pipe as ``transient_hint``), a worker
+        dying mid-request is replayed by the supervisor underneath and
+        only surfaces here as :class:`~repro.errors.WorkerLostError`
+        once replay is exhausted — which is transient, because the
+        respawned worker can serve the next attempt.
+        """
+        from .workers import RemoteRequestError
+
+        expiry = (
+            time.monotonic() + float(budget) if budget is not None else None
+        )
+        used = [requested]
+
+        def attempt_fn(attempt: int):
+            backend = self.breakers.resolve(requested)
+            used[0] = backend
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "request",
+                    seq,
+                    stage="pre",
+                    attempt=attempt,
+                    thread_site=True,
+                )
+            remaining = None
+            if expiry is not None:
+                remaining = expiry - time.monotonic()
+                if remaining <= 0:
+                    raise PhaseTimeoutError("request", float(budget))
+            forward = {
+                k: v for k, v in request.items() if k in _RUN_KEYS
+            }
+            forward["backend"] = backend
+            if remaining is not None:
+                forward["deadline"] = remaining
+            response = self.supervisor.execute(
+                forward, seq, budget=remaining
+            )
+            if not response.get("ok", False):
+                if response.get("shed"):
+                    raise ServiceOverloadError(
+                        response.get("error", "worker shed the request"),
+                        reason="worker-overload",
+                    )
+                raise RemoteRequestError(response)
+            return response
+
+        def on_failure(exc: BaseException, attempt: int) -> None:
+            if classify_failure(exc) == "transient":
+                self.breakers.record(used[0], ok=False)
+
+        outcome = self.config.retry.execute(
+            attempt_fn, key=seq, on_failure=on_failure
+        )
+        response = dict(outcome.value)
+        backend = used[0]
+        self.breakers.record(backend, ok=True)
+        if outcome.attempts > 1:
+            self.retried += 1
+        if backend != requested:
+            self.degraded_runs += 1
+        if self.governor is not None:
+            self.governor.relieve()
+        response["id"] = request.get("id")
+        response["backend_requested"] = requested
+        response["front_attempts"] = outcome.attempts
+        return response
+
     def _error_response(self, request: dict, exc: Exception) -> dict:
         shed = isinstance(exc, ServiceOverloadError)
         if shed:
@@ -417,14 +620,25 @@ class SCCService:
         else:
             self.failed += 1
         outcome = getattr(exc, "__retry_outcome__", None)
+        error_type = type(exc).__name__
+        exit_code = exit_code_for(exc)
+        message = str(exc) or error_type
+        remote = getattr(exc, "response", None)
+        if isinstance(remote, dict) and "error_type" in remote:
+            # a worker's typed failure: surface the original taxonomy,
+            # not the RemoteRequestError envelope it crossed the pipe in.
+            error_type = remote["error_type"]
+            exit_code = int(remote.get("exit_code", exit_code))
+            message = remote.get("error", message)
         return {
             "op": request.get("op", "run"),
             "id": request.get("id"),
             "ok": False,
             "shed": shed,
-            "error": str(exc) or type(exc).__name__,
-            "error_type": type(exc).__name__,
-            "exit_code": exit_code_for(exc),
+            "error": message,
+            "error_type": error_type,
+            "exit_code": exit_code,
+            "transient": classify_failure(exc) == "transient",
             "attempts": outcome.attempts if outcome is not None else 0,
         }
 
@@ -445,6 +659,7 @@ class SCCService:
             "shed": self.shed,
             "retried": self.retried,
             "degraded_runs": self.degraded_runs,
+            "transport_errors": self.transport_errors,
             "uptime_seconds": self._clock() - self._started,
             "admission": self.admission.to_dict(),
             "breakers": self.breakers.to_dict(),
@@ -452,12 +667,31 @@ class SCCService:
                 self.governor.to_dict() if self.governor else None
             ),
             "sessions": sessions,
+            "workers": (
+                self.supervisor.to_dict() if self.supervisor else None
+            ),
+            "journal": (
+                self.journal.reconcile() if self.journal else None
+            ),
         }
 
+    def note_transport_error(self) -> None:
+        """Record a client that vanished mid-read/mid-response."""
+        self.transport_errors += 1
+
     def write_report(self, path) -> None:
-        """Atomically publish the final stats report (drain epilogue)."""
+        """Atomically publish the final stats report (drain epilogue).
+
+        With a worker fleet, fresh per-worker snapshots are pulled
+        first so the merged report covers every shard, not just the
+        front."""
         from ..ioutil import atomic_path
 
+        if self.supervisor is not None:
+            try:
+                self.supervisor.collect_stats()
+            except Exception:
+                pass
         with atomic_path(path, suffix=".json") as tmp:
             with open(tmp, "w") as fh:
                 json.dump(self.stats(), fh, indent=2, sort_keys=True)
@@ -647,14 +881,33 @@ def serve_socket(
                 except socket.timeout:
                     continue
                 except OSError:
-                    break
+                    # A transient accept failure (EMFILE, a client that
+                    # reset mid-handshake) must not kill the loop; only
+                    # a drain-time close of the listener ends serving.
+                    if stop.is_set():
+                        break
+                    service.note_transport_error()
+                    time.sleep(0.05)
+                    continue
                 handled += 1
 
                 def _serve_conn(conn=conn) -> None:
+                    # Three independently-guarded stages: a client that
+                    # disconnects mid-read or mid-response (EPIPE,
+                    # ECONNRESET) costs exactly its own request; the
+                    # accept loop never sees the failure.
                     with conn:
                         try:
                             data = conn.makefile("r").readline()
+                        except OSError:
+                            service.note_transport_error()
+                            return
+                        try:
                             request = json.loads(data)
+                            if not isinstance(request, dict):
+                                raise ValueError(
+                                    "request must be a JSON object"
+                                )
                             response = service.handle(request)
                             if request.get("op") == "shutdown":
                                 stop.set()
@@ -673,7 +926,9 @@ def serve_socket(
                                 ).encode()
                             )
                         except OSError:
-                            pass
+                            # the response is shed; the work (and its
+                            # journal record) already completed.
+                            service.note_transport_error()
 
                 t = threading.Thread(target=_serve_conn)
                 t.start()

@@ -60,7 +60,7 @@ class TestChaosServe:
         answers ok: the supervised backend rebuilds the pool and the
         labels match the cold serial oracle bit-for-bit."""
         responses = serve(
-            ["--workers", "2"],
+            ["--backend-workers", "2"],
             [
                 {
                     "op": "run",

@@ -1,0 +1,238 @@
+"""Chaos drills for the sharded serving tier: workers SIGKILLed
+mid-request under a saturating mixed-graph burst, in-flight requests
+replayed from the journal onto survivors with bit-identical labels,
+dead workers respawned within the heartbeat budget.
+
+Excluded from tier-1 (``-m 'not chaos'``); run with ``pytest -m chaos``.
+This is the drill the CI ``serve-workers`` job runs.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.api import strongly_connected_components
+from repro.core.result import canonical_labels
+from repro.generators import generate
+from repro.ioutil import crc32_chunks
+from repro.kernels import numba_available, use_backend
+from repro.service.journal import scan_journal
+from repro.service.server import SCCService, ServiceConfig
+
+pytestmark = pytest.mark.chaos
+
+HEARTBEAT = 0.2
+#: respawn must land within this after the kill: detection (one pump
+#: tick) + the first restart backoff + the fork itself.
+RESPAWN_BUDGET = HEARTBEAT * 10
+
+
+def oracle_crc(graph, scale):
+    g = generate(graph, scale=scale, seed=None).graph
+    labels = canonical_labels(
+        strongly_connected_components(g, "tarjan").labels
+    )
+    return crc32_chunks(labels.tobytes())
+
+
+def busy_worker(supervisor, timeout=15.0):
+    """Wait until some worker is carrying in-flight requests."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        with supervisor._lock:
+            busy = [
+                h
+                for h in supervisor._handles
+                if h.busy and h.routable and h.pid
+            ]
+        if busy:
+            return busy[0]
+        time.sleep(0.002)
+    raise AssertionError("no worker ever got busy")
+
+
+def drive(service, requests):
+    """Run ``requests`` through ``service.handle`` concurrently."""
+    results = {}
+
+    def run(i, req):
+        results[i] = service.handle(req)
+
+    threads = [
+        threading.Thread(target=run, args=(i, r))
+        for i, r in enumerate(requests)
+    ]
+    for t in threads:
+        t.start()
+    return threads, results
+
+
+class TestWorkerCrashFailover:
+    def test_sigkill_mid_burst_loses_nothing(self, tmp_path):
+        """The acceptance drill: N=3 workers, a saturating mixed-graph
+        burst, one worker SIGKILLed while carrying requests.  Zero
+        accepted requests are lost — every one answers ok with the
+        oracle's CRC (replays included), the victim respawns within
+        the heartbeat budget, and the final ledger reconciles."""
+        journal = tmp_path / "requests.ndjson"
+        cfg = ServiceConfig(
+            worker_processes=3,
+            heartbeat_interval=HEARTBEAT,
+            journal_path=str(journal),
+        )
+        mix = [("wiki", 0.05), ("wiki", 0.08), ("flickr", 0.05)]
+        oracles = {m: oracle_crc(*m) for m in mix}
+        svc = SCCService(cfg)
+        try:
+            requests = [
+                {
+                    "op": "run",
+                    "graph": g,
+                    "scale": s,
+                    "id": str(i),
+                }
+                for i, (g, s) in enumerate(mix * 4)
+            ]
+            threads, results = drive(svc, requests)
+            victim = busy_worker(svc.supervisor)
+            os.kill(victim.pid, signal.SIGKILL)
+            killed_at = time.time()
+            for t in threads:
+                t.join()
+            # zero lost: every accepted request answered ok, and every
+            # answer (replayed or not) matches the cold serial oracle.
+            assert len(results) == len(requests)
+            for i, resp in results.items():
+                assert resp["ok"], resp
+                key = mix[i % len(mix)]
+                assert resp["labels_crc32"] == oracles[key], resp
+            assert svc.supervisor.deaths >= 1
+            # the victim comes back within the heartbeat budget.
+            deadline = killed_at + RESPAWN_BUDGET
+            while time.time() < deadline:
+                with svc.supervisor._lock:
+                    if victim.state == "live":
+                        break
+                time.sleep(0.01)
+            assert victim.state == "live", (
+                f"worker {victim.index} not respawned within "
+                f"{RESPAWN_BUDGET:.1f}s (state={victim.state})"
+            )
+            assert victim.restarts >= 1
+            live = svc.stats()["journal"]
+            assert live["accepted"] == len(requests)
+            assert live["balanced"] is True
+        finally:
+            svc.drain()
+            svc.close()
+        # the on-disk ledger agrees after the fact: accepted =
+        # completed + shed, and the in-flight requests the victim was
+        # carrying were journaled as replayed before they answered.
+        rec = scan_journal(journal)
+        assert rec.balanced
+        assert rec.accepted == len(requests)
+        assert rec.shed == 0
+        assert rec.replayed >= 1
+        assert set(rec.crcs.values()) == set(oracles.values())
+
+    def test_drain_mid_burst_reconciles(self, tmp_path):
+        """SIGTERM-style two-phase drain while a burst is in flight:
+        whatever was accepted either completes or sheds typed, never
+        vanishes."""
+        journal = tmp_path / "requests.ndjson"
+        cfg = ServiceConfig(
+            worker_processes=2,
+            heartbeat_interval=HEARTBEAT,
+            journal_path=str(journal),
+        )
+        svc = SCCService(cfg)
+        try:
+            requests = [
+                {"op": "run", "graph": "wiki", "scale": 0.05, "id": str(i)}
+                for i in range(8)
+            ]
+            threads, results = drive(svc, requests)
+            busy_worker(svc.supervisor)
+            svc.drain()  # phase 1: stop intake
+            for t in threads:
+                t.join()
+            svc.close()  # phase 2: drain fleet, merge stats
+        finally:
+            svc.close()
+        rec = scan_journal(journal)
+        assert rec.balanced
+        assert rec.accepted == rec.completed + rec.shed
+        answered = sum(1 for r in results.values() if r["ok"])
+        shed = sum(
+            1
+            for r in results.values()
+            if not r["ok"] and r.get("shed")
+        )
+        # responses mirror the ledger: ok responses are the completed-
+        # ok records, everything else shed typed (exit 17).
+        assert answered == len(rec.crcs)
+        assert answered + shed == len(requests)
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "numpy",
+        pytest.param(
+            "numba",
+            marks=pytest.mark.skipif(
+                not numba_available(), reason="numba not installed"
+            ),
+        ),
+    ],
+)
+class TestReplayDeterminism:
+    def test_replayed_request_crc_is_bit_identical(
+        self, tmp_path, kernel
+    ):
+        """The replay contract, per kernel backend: a journaled request
+        re-driven on a *different* worker after its first worker is
+        SIGKILLed yields the same canonical ``labels_crc32`` the
+        original worker would have produced."""
+        journal = tmp_path / "requests.ndjson"
+        with use_backend(kernel):
+            # workers fork under the override and inherit it.
+            cfg = ServiceConfig(
+                worker_processes=2,
+                heartbeat_interval=HEARTBEAT,
+                journal_path=str(journal),
+            )
+            svc = SCCService(cfg)
+            try:
+                requests = [
+                    {
+                        "op": "run",
+                        "graph": "wiki",
+                        "scale": 0.08,
+                        "id": str(i),
+                    }
+                    for i in range(4)
+                ]
+                threads, results = drive(svc, requests)
+                victim = busy_worker(svc.supervisor)
+                os.kill(victim.pid, signal.SIGKILL)
+                for t in threads:
+                    t.join()
+            finally:
+                svc.drain()
+                svc.close()
+        want = oracle_crc("wiki", 0.08)
+        replayed = [
+            r for r in results.values() if r["ok"] and r["replays"]
+        ]
+        assert replayed, "the kill never orphaned an in-flight request"
+        for resp in results.values():
+            assert resp["ok"], resp
+            assert resp["labels_crc32"] == want
+        rec = scan_journal(journal)
+        assert rec.replayed >= len(replayed)
+        assert set(rec.crcs.values()) == {want}
+        assert rec.balanced

@@ -95,6 +95,7 @@ class TestTaxonomy:
         [
             ("ServiceOverloadError", 17),
             ("MemoryBudgetError", 18),
+            ("WorkerLostError", 19),
         ],
     )
     def test_service_codes_pinned(self, name, code):

@@ -30,6 +30,43 @@ class TestRssSampling:
         # a live Python process is tens of MB resident at minimum.
         assert rss_bytes() > 10_000_000
 
+    def test_statm_path_fake(self, tmp_path):
+        # field 2 of statm is resident pages; the reader multiplies by
+        # the page size.
+        import os
+
+        page = os.sysconf("SC_PAGE_SIZE")
+        statm = tmp_path / "statm"
+        statm.write_text("999 123 45 1 0 67 0\n")
+        assert rss_bytes(statm_path=str(statm)) == 123 * page
+
+    def test_missing_statm_falls_back_to_getrusage(self, tmp_path):
+        # no /proc on this "platform": getrusage's peak-RSS tier still
+        # returns a sane positive number instead of raising.
+        missing = tmp_path / "no" / "statm"
+        got = rss_bytes(statm_path=str(missing))
+        assert got > 10_000_000
+
+    def test_malformed_statm_falls_back(self, tmp_path):
+        statm = tmp_path / "statm"
+        statm.write_text("not numbers\n")
+        assert rss_bytes(statm_path=str(statm)) > 10_000_000
+
+    def test_foreign_pid_without_statm_is_zero(self, tmp_path):
+        # getrusage cannot see another process, so a dead/foreign pid
+        # with no proc entry reports 0 rather than this process's RSS.
+        missing = tmp_path / "gone" / "statm"
+        assert rss_bytes(pid=2**22 - 1, statm_path=str(missing)) == 0
+
+    def test_ioutil_reader_returns_none_on_failure(self, tmp_path):
+        from repro.ioutil import process_rss_bytes
+
+        assert (
+            process_rss_bytes(statm_path=str(tmp_path / "absent"))
+            is None
+        )
+        assert process_rss_bytes() > 0  # /proc/self on Linux CI
+
     def test_config_validation(self):
         with pytest.raises(ValueError, match="hard limit"):
             GovernorConfig(soft_limit_bytes=100, hard_limit_bytes=50)

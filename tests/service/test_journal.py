@@ -1,0 +1,121 @@
+"""Tests for the crash-safe request journal: atomic appends, the
+accepted = completed + shed ledger, and torn-tail recovery."""
+
+import json
+import threading
+
+from repro.service.journal import (
+    JournalRecovery,
+    RequestJournal,
+    scan_journal,
+)
+
+
+class TestRequestJournal:
+    def test_full_lifecycle_reconciles(self, tmp_path):
+        path = tmp_path / "requests.ndjson"
+        with RequestJournal(path) as j:
+            j.accepted(0, {"graph": "wiki"})
+            j.dispatched(0, worker=1)
+            j.completed(0, ok=True, labels_crc32=42)
+            j.accepted(1, {"graph": "wiki"})
+            j.shed(1, reason="draining")
+            rec = j.reconcile()
+        assert rec["accepted"] == 2
+        assert rec["completed"] == 1
+        assert rec["shed"] == 1
+        assert rec["open"] == 0
+        assert rec["balanced"] is True
+
+    def test_open_requests_unbalance_the_ledger(self, tmp_path):
+        with RequestJournal(tmp_path / "j.ndjson") as j:
+            j.accepted(7, {"graph": "g"})
+            rec = j.reconcile()
+        assert rec["open"] == 1
+        assert rec["balanced"] is False
+
+    def test_closed_journal_drops_appends_silently(self, tmp_path):
+        j = RequestJournal(tmp_path / "j.ndjson")
+        j.accepted(0, {})
+        j.close()
+        j.completed(0, ok=True)  # must not raise on shutdown races
+        rec = scan_journal(j.path)
+        assert rec.accepted == 1
+        assert rec.completed == 0
+
+    def test_records_are_one_json_line_each(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        with RequestJournal(path) as j:
+            j.accepted(0, {"graph": "wiki", "scale": 0.05})
+            j.completed(0, ok=False, error_type="ValueError")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "accepted"
+        assert json.loads(lines[1])["error_type"] == "ValueError"
+
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        j = RequestJournal(path, fsync=False)
+
+        def pump(base):
+            for i in range(50):
+                seq = base + i
+                j.accepted(seq, {"graph": "x" * 100})
+                j.completed(seq, ok=True, labels_crc32=seq)
+
+        threads = [
+            threading.Thread(target=pump, args=(k * 1000,))
+            for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        j.close()
+        rec = scan_journal(path)
+        assert rec.torn_lines == 0
+        assert rec.accepted == rec.completed == 200
+        assert rec.balanced
+
+
+class TestScanJournal:
+    def test_missing_file_is_empty_recovery(self, tmp_path):
+        rec = scan_journal(tmp_path / "never-written.ndjson")
+        assert isinstance(rec, JournalRecovery)
+        assert rec.accepted == 0
+        assert rec.balanced
+
+    def test_pending_and_crcs_recovered(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        with RequestJournal(path) as j:
+            j.accepted(0, {"graph": "wiki", "id": "done"})
+            j.dispatched(0, worker=2)
+            j.completed(0, ok=True, labels_crc32=123)
+            j.accepted(1, {"graph": "wiki", "id": "lost"})
+            j.dispatched(1, worker=0)
+            j.replayed(1, worker=1, reason="worker-died")
+            # crash here: seq 1 never completed.
+        rec = scan_journal(path)
+        assert rec.crcs == {0: 123}
+        assert list(rec.pending) == [1]
+        assert rec.pending[1]["id"] == "lost"
+        assert rec.replays == [(1, 1, "worker-died")]
+        assert not rec.balanced
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        with RequestJournal(path) as j:
+            j.accepted(0, {"graph": "wiki"})
+            j.completed(0, ok=True, labels_crc32=9)
+        with open(path, "a") as fh:
+            fh.write('{"event": "accepted", "seq": 1, "req')  # torn
+        rec = scan_journal(path)
+        assert rec.torn_lines == 1
+        assert rec.accepted == 1
+        assert rec.balanced
+
+    def test_unknown_event_counts_as_torn(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        with open(path, "w") as fh:
+            fh.write('{"event": "mystery", "seq": 0}\n')
+        assert scan_journal(path).torn_lines == 1
