@@ -32,6 +32,19 @@ SCALING_FLOOR = 2.0
 OVERHEAD_FLOOR = 0.5
 
 
+def usable_cores() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the physical host; under a CPU-limited
+    container or taskset the scheduler affinity mask is the real
+    budget, and a fleet cannot scale past it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def request_mix(scale, identities):
     """Distinct routable graph identities cycled through the burst."""
     graphs = ("wiki", "flickr")
@@ -182,7 +195,7 @@ def main(argv=None) -> int:
     scale = 0.03 if args.quick else 0.05
     total = args.requests or (16 if args.quick else 32)
     mix = request_mix(scale, identities=8)
-    cores = os.cpu_count() or 1
+    cores = usable_cores()
 
     doc = {
         "benchmark": "serve_workers",
@@ -226,6 +239,13 @@ def main(argv=None) -> int:
     if one is not None and four is not None:
         speedup = four["rps"] / max(one["rps"], 1e-9)
         checks["n4_vs_n1_speedup"] = round(speedup, 3)
+        # On hosts with fewer than 4 usable cores the >=2x fleet gate
+        # is physically unreachable — downgrade to the overhead-floor
+        # gate only, and record the downgrade in the JSON so a CI
+        # reader can tell "passed" from "could not be measured here".
+        checks["scaling_gate"] = (
+            "enforced" if cores >= 4 else f"skipped: {cores} cores"
+        )
         checks["scaling_gate_enforced"] = bool(
             args.check and cores >= 4
         )
@@ -237,7 +257,7 @@ def main(argv=None) -> int:
         elif cores < 4:
             print(
                 f"scaling gate skipped: {cores} core(s) < 4 — a "
-                f"forked fleet cannot scale past the physical cores"
+                f"forked fleet cannot scale past the usable cores"
             )
     doc["checks"] = checks
     if checks:

@@ -31,7 +31,11 @@ def choose_pivot(
     if candidates.size == 0:
         raise ValueError("no candidates to pick a pivot from")
     if strategy == "random":
-        return int(rng.choice(candidates))
+        # Same stream draw as ``rng.choice(candidates)`` (choice with
+        # uniform p reduces to one ``integers`` call) without its
+        # per-call shape-handling overhead — this runs once per
+        # phase-2 task, tens of thousands of times on tail storms.
+        return int(candidates[rng.integers(0, candidates.size)])
     if strategy == "first":
         return int(candidates[0])
     if strategy == "maxdegree":

@@ -27,14 +27,33 @@ it at any thread count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..kernels import dfs_collect_colored
+from ..kernels import (
+    MS_BW_ONLY,
+    MS_FW_ONLY,
+    MS_MAX_WAVES,
+    MS_SCC,
+    dfs_collect_colored,
+    ms_expand_frontier,
+    ms_fwbw_intersect,
+    segment_counts,
+)
 from .state import PHASE_RECUR, SCCState
 
-__all__ = ["WorkItem", "recur_fwbw_task", "run_recur_phase", "collect_color_sets"]
+__all__ = [
+    "WorkItem",
+    "Phase2BatchPolicy",
+    "resolve_batch_policy",
+    "plan_batches",
+    "multi_source_reach",
+    "recur_fwbw_task",
+    "recur_fwbw_batch_task",
+    "run_recur_phase",
+    "collect_color_sets",
+]
 
 
 @dataclass
@@ -44,6 +63,324 @@ class WorkItem:
     color: int
     nodes: Optional[np.ndarray]  # None => scan representation
     parent: int = -1
+
+
+@dataclass(frozen=True)
+class Phase2BatchPolicy:
+    """When and how to route the phase-2 tail through the batched
+    multi-source kernel.
+
+    The Recur-FWBW tail is a *small-task storm*: thousands of tiny
+    partitions, each paying per-traversal fixed costs.  When the queue
+    holds a run of at least ``min_run`` consecutive hybrid items whose
+    node sets are at most ``max_item_nodes``, the run (capped at
+    ``width`` ≤ 64 — one ``uint64`` lane per pivot) is executed as one
+    :func:`recur_fwbw_batch_task` instead of ``width`` sequential
+    per-pivot tasks.  Items outside the storm profile (scan
+    representation, or large partitions where a single traversal
+    amortizes its own overhead) keep the per-pivot path.
+    """
+
+    width: int = MS_MAX_WAVES
+    min_run: int = 2
+    max_item_nodes: Optional[int] = 1024
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= MS_MAX_WAVES:
+            raise ValueError(
+                f"batch width must be in [1, {MS_MAX_WAVES}], "
+                f"got {self.width}"
+            )
+        if self.min_run < 1:
+            raise ValueError(f"min_run must be >= 1, got {self.min_run}")
+        if self.max_item_nodes is not None and self.max_item_nodes < 1:
+            raise ValueError(
+                f"max_item_nodes must be positive or None, "
+                f"got {self.max_item_nodes}"
+            )
+
+
+def resolve_batch_policy(
+    flag: Union[bool, None, Phase2BatchPolicy]
+) -> Optional[Phase2BatchPolicy]:
+    """Normalize the ``phase2_batch`` knob to a policy (or None = off)."""
+    if flag is None or flag is False:
+        return None
+    if flag is True:
+        return Phase2BatchPolicy()
+    if isinstance(flag, Phase2BatchPolicy):
+        return flag
+    raise TypeError(
+        f"phase2_batch must be a bool or Phase2BatchPolicy, "
+        f"got {type(flag).__name__}"
+    )
+
+
+def _item_batchable(item: WorkItem, policy: Phase2BatchPolicy) -> bool:
+    return item.nodes is not None and (
+        policy.max_item_nodes is None
+        or item.nodes.size <= policy.max_item_nodes
+    )
+
+
+def plan_batches(
+    items: Sequence[WorkItem], policy: Optional[Phase2BatchPolicy]
+) -> List[Union[WorkItem, List[WorkItem]]]:
+    """Group a queue segment into batch runs and per-pivot singles.
+
+    Consecutive batchable items form runs of at most ``policy.width``;
+    runs shorter than ``policy.min_run`` degrade to singles.  A run
+    also breaks on a repeated partition colour — the batch task
+    requires pairwise-distinct colours (each wave owns its colour), and
+    while the queue invariant guarantees that, the planner enforces it
+    so a hand-built queue cannot silently corrupt a batch.  Entry order
+    (and within a run, item order) is queue order, which is what keeps
+    the batched serial drain bit-identical to the per-pivot one.
+    """
+    entries: List[Union[WorkItem, List[WorkItem]]] = []
+    run: List[WorkItem] = []
+    run_colors: set[int] = set()
+
+    def flush() -> None:
+        nonlocal run, run_colors
+        if not run:
+            return
+        if len(run) >= (policy.min_run if policy else 2):
+            entries.append(run)
+        else:
+            entries.extend(run)
+        run = []
+        run_colors = set()
+
+    if policy is None:
+        return list(items)
+    for item in items:
+        if not _item_batchable(item, policy):
+            flush()
+            entries.append(item)
+            continue
+        if len(run) >= policy.width or item.color in run_colors:
+            flush()
+        run.append(item)
+        run_colors.add(item.color)
+    flush()
+    return entries
+
+
+def multi_source_reach(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    in_indptr: np.ndarray,
+    in_indices: np.ndarray,
+    color: np.ndarray,
+    colors: np.ndarray,
+    pivots: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run ≤64 colour-confined FW and BW BFS waves to fixpoint.
+
+    Wave *j* starts at ``pivots[j]`` and may only visit nodes of colour
+    ``colors[j]`` (plus its own seed).  Returns ``(bits, fw_visited,
+    bw_visited)``: the ``uint64`` lane assigned to each input wave and
+    the packed per-node visited masks after both fixpoints.  Lanes are
+    assigned in ascending colour order (the kernel's binary-search
+    layout); ``bits`` maps them back to input order.
+    """
+    colors = np.asarray(colors, dtype=np.int64)
+    pivots = np.asarray(pivots, dtype=np.int64)
+    m = colors.size
+    if m == 0 or m > MS_MAX_WAVES:
+        raise ValueError(f"need 1..{MS_MAX_WAVES} waves, got {m}")
+    order = np.argsort(colors, kind="stable")
+    wave_colors = colors[order]
+    if m > 1 and not (np.diff(wave_colors) > 0).all():
+        raise ValueError("batch colours must be pairwise distinct")
+    lane_bits = np.left_shift(
+        np.uint64(1), np.arange(m, dtype=np.uint64)
+    )
+    bits = np.empty(m, dtype=np.uint64)
+    bits[order] = lane_bits
+    n = indptr.shape[0] - 1
+    fw_visited = np.zeros(n, dtype=np.uint64)
+    bw_visited = np.zeros(n, dtype=np.uint64)
+    # Resolve the kernel once: the fixpoint makes one call per BFS
+    # level and the per-call dispatcher/validation overhead would
+    # otherwise be paid dozens of times per batch.
+    from ..kernels import get_kernel
+
+    expand = get_kernel("ms_expand_frontier")
+    for visited, ptr, idx in (
+        (fw_visited, indptr, indices),
+        (bw_visited, in_indptr, in_indices),
+    ):
+        visited[pivots] = bits
+        frontier, fbits = pivots, bits
+        while frontier.size:
+            frontier, fbits, _ = expand(
+                ptr, idx, frontier, fbits, visited, color,
+                wave_colors, lane_bits,
+            )
+    return bits, fw_visited, bw_visited
+
+
+def recur_fwbw_batch_task(
+    state: SCCState,
+    items: Sequence[WorkItem],
+    *,
+    pivot_strategy: str = "random",
+) -> List[Tuple[List[WorkItem], float]]:
+    """Execute up to 64 Recur-FWBW tasks as one multi-source sweep.
+
+    Bit-identical to running :func:`recur_fwbw_task` on ``items``
+    sequentially in order — same pivot RNG draws, same colour-triple
+    sequence, same SCC label order, same per-task trace records and
+    scanned-edge attribution (DESIGN.md §13 gives the equivalence
+    argument).  Returns the per-item ``(children, task_cost)`` list,
+    aligned with ``items``.
+    """
+    g, color, cost = state.graph, state.color, state.cost
+
+    candidates: List[Optional[np.ndarray]] = []
+    select_costs: List[float] = []
+    for item in items:
+        c = item.color
+        if item.nodes is None:
+            cand = np.flatnonzero(color == c)
+            select_costs.append(cost.stream(nodes=state.num_nodes))
+        else:
+            cand = item.nodes[color[item.nodes] == c]
+            select_costs.append(cost.stream(nodes=item.nodes.size))
+        candidates.append(cand if cand.size else None)
+
+    live = [i for i, cand in enumerate(candidates) if cand is not None]
+    results: List[Optional[Tuple[List[WorkItem], float]]] = [
+        None
+    ] * len(items)
+    for i, cand in enumerate(candidates):
+        if cand is None:
+            results[i] = ([], select_costs[i])
+    if not live:
+        return results  # type: ignore[return-value]
+
+    # Same RNG draw sequence as the sequential tasks: one pick per
+    # non-empty item, in item order (the RNG and colour counters are
+    # independent, so draining one before the other changes nothing).
+    pivots = np.array(
+        state.pick_many(
+            [candidates[i] for i in live], pivot_strategy
+        ),
+        dtype=np.int64,
+    )
+    live_colors = np.array(
+        [items[i].color for i in live], dtype=np.int64
+    )
+    triples = state.alloc_colour_triples(int(c) for c in live_colors)
+
+    bits, fw_visited, bw_visited = multi_source_reach(
+        g.indptr, g.indices, g.in_indptr, g.in_indices,
+        color, live_colors, pivots,
+    )
+
+    m = len(live)
+    sizes = np.array(
+        [candidates[i].size for i in live], dtype=np.int64
+    )
+    concat = np.concatenate([candidates[i] for i in live])
+    cat = ms_fwbw_intersect(
+        concat, np.repeat(bits, sizes), fw_visited, bw_visited
+    )
+    counts_out = segment_counts(g.indptr, concat)
+    counts_in = segment_counts(g.in_indptr, concat)
+
+    # One stable sort by (item, category) replaces per-item boolean
+    # masks: within a key group the original ascending-candidate order
+    # survives, so every extracted chunk is already sorted.  The
+    # category-grouped gathers below are then whole-batch operations.
+    item_idx = np.repeat(np.arange(m, dtype=np.int64), sizes)
+    key = item_idx * 5 + cat
+    order = np.argsort(key, kind="stable")
+    nodes_sorted = concat[order]
+    cat_sorted = cat[order]
+    counts = np.bincount(key, minlength=m * 5).reshape(m, 5)
+    if counts[:, 4].sum():  # MS_CLAIMED
+        # Cannot happen with pairwise-distinct wave colours (a node
+        # only ever carries its own partition's bit); a claim here
+        # means the wave contract was violated upstream.
+        raise RuntimeError(
+            "multi-source batch produced cross-wave claims on "
+            "disjoint partitions"
+        )
+    eout = np.bincount(
+        key, weights=counts_out, minlength=m * 5
+    ).reshape(m, 5)
+    ein = np.bincount(
+        key, weights=counts_in, minlength=m * 5
+    ).reshape(m, 5)
+    fw_edges_arr = eout[:, MS_SCC] + eout[:, MS_FW_ONLY]
+    bw_edges_arr = ein[:, MS_SCC] + ein[:, MS_BW_ONLY]
+
+    scc_all = nodes_sorted[cat_sorted == MS_SCC]
+    fw_all = nodes_sorted[cat_sorted == MS_FW_ONLY]
+    bw_all = nodes_sorted[cat_sorted == MS_BW_ONLY]
+    scc_sizes = counts[:, MS_SCC]
+    fw_sizes = counts[:, MS_FW_ONLY]
+    bw_sizes = counts[:, MS_BW_ONLY]
+    rem_sizes = counts[:, 3]  # MS_UNREACHED
+
+    # Recolour exactly as the sequential tasks would have left the
+    # arrays: FW-only → cfw, BW-only → cbw, SCCs detached in item
+    # order (one scatter per array, one lock for the whole batch).
+    if fw_all.size:
+        color[fw_all] = np.repeat(
+            np.array([t[0] for t in triples], dtype=np.int64), fw_sizes
+        )
+    if bw_all.size:
+        color[bw_all] = np.repeat(
+            np.array([t[1] for t in triples], dtype=np.int64), bw_sizes
+        )
+    state.mark_sccs(scc_all, scc_sizes, PHASE_RECUR)
+
+    log_task = state.profile.log_task
+    dfs_cost = cost.dfs
+    scc_b = np.zeros(m + 1, dtype=np.int64)
+    fw_b = np.zeros(m + 1, dtype=np.int64)
+    bw_b = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(scc_sizes, out=scc_b[1:])
+    np.cumsum(fw_sizes, out=fw_b[1:])
+    np.cumsum(bw_sizes, out=bw_b[1:])
+    rem_bounds = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sizes, out=rem_bounds[1:])
+
+    for k, i in enumerate(live):
+        n_scc = int(scc_sizes[k])
+        fw_only = fw_all[fw_b[k]: fw_b[k + 1]]
+        bw_only = bw_all[bw_b[k]: bw_b[k + 1]]
+        # The item's key group ends with its MS_UNREACHED chunk.
+        hi = rem_bounds[k + 1]
+        remain = nodes_sorted[hi - int(rem_sizes[k]): hi]
+        cfw, cbw, _cscc = triples[k]
+        item = items[i]
+        visited = 2 * n_scc + fw_only.size + bw_only.size
+        task_cost = select_costs[i] + dfs_cost(
+            nodes=visited,
+            edges=int(fw_edges_arr[k] + bw_edges_arr[k]),
+        )
+        log_task(n_scc, fw_only.size, bw_only.size, remain.size)
+        hybrid = item.nodes is not None
+        children: List[WorkItem] = []
+        for child_color, child_nodes in (
+            (item.color, remain),
+            (cfw, fw_only),
+            (cbw, bw_only),
+        ):
+            if child_nodes.size:
+                children.append(
+                    WorkItem(
+                        color=child_color,
+                        nodes=child_nodes if hybrid else None,
+                    )
+                )
+        results[i] = (children, task_cost)
+    return results  # type: ignore[return-value]
 
 
 def recur_fwbw_task(
@@ -125,6 +462,7 @@ def run_recur_phase(
     supervisor=None,
     deadline: Optional[float] = None,
     session=None,
+    phase2_batch: Union[bool, Phase2BatchPolicy] = False,
 ) -> int:
     """Drain the phase-2 work queue; returns the number of tasks run.
 
@@ -145,6 +483,11 @@ def run_recur_phase(
     :class:`~repro.engine.session.GraphSession` whose cached transpose,
     shared-memory mirror and forked worker pool the process executors
     reuse instead of rebuilding per run.
+
+    ``phase2_batch`` turns on the bit-parallel multi-source tail
+    (``True`` for the default :class:`Phase2BatchPolicy`, or a policy
+    instance): small-task storms are drained in groups of ≤64 pivots
+    per CSR sweep, bit-identically to the per-pivot path.
     """
     # Imported lazily: repro.engine imports this module at load time.
     from ..engine.backends import get_executor
@@ -159,6 +502,7 @@ def run_recur_phase(
         supervisor=supervisor,
         deadline=deadline,
         session=session,
+        phase2_batch=resolve_batch_policy(phase2_batch),
     )
 
 

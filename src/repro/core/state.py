@@ -178,6 +178,28 @@ class SCCState:
             )
         return triple
 
+    def alloc_colour_triples(
+        self, skips: Iterable[int]
+    ) -> list[tuple[int, int, int]]:
+        """Allocate one ``(cfw, cbw, cscc)`` triple per entry of
+        ``skips`` under a single lock acquisition.
+
+        The triples come out of the same sequential
+        :func:`skip_colour_triple` chain the per-task
+        :meth:`alloc_colour_triple` walks, so a batch of *k* tasks
+        consumes exactly the colours *k* sequential calls would — the
+        property that keeps the batched phase-2 path bit-identical to
+        the per-pivot one.
+        """
+        out: list[tuple[int, int, int]] = []
+        with self._lock:
+            nxt = self._next_color
+            for skip in skips:
+                triple, nxt = skip_colour_triple(nxt, skip)
+                out.append(triple)
+            self._next_color = nxt
+        return out
+
     # ------------------------------------------------------------------
     def mark_scc(self, nodes: np.ndarray | Iterable[int], phase: int) -> int:
         """Detach ``nodes`` as one SCC; returns its label (thread-safe)."""
@@ -195,6 +217,39 @@ class SCCState:
         self.color[nodes] = DONE_COLOR
         self.phase_of[nodes] = phase
         return sid
+
+    def mark_sccs(
+        self, nodes: np.ndarray, sizes: np.ndarray, phase: int
+    ) -> int:
+        """Detach several SCCs at once; returns the first label.
+
+        ``nodes`` is the concatenation of the member arrays and
+        ``sizes`` the per-SCC lengths (all positive).  SCC *i* of the
+        batch receives label ``base + i`` — the ids *k* sequential
+        :meth:`mark_scc` calls would have handed out — with one lock
+        acquisition and one scatter per array instead of *k*.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.size == 0:
+            raise ValueError("mark_sccs needs at least one SCC")
+        if (sizes <= 0).any():
+            raise ValueError("an SCC cannot be empty")
+        if int(sizes.sum()) != nodes.size:
+            raise ValueError(
+                f"sizes sum to {int(sizes.sum())} but {nodes.size} "
+                f"nodes were given"
+            )
+        with self._lock:
+            base = self._num_sccs
+            self._num_sccs += int(sizes.size)
+        self.labels[nodes] = np.repeat(
+            np.arange(base, base + sizes.size, dtype=np.int64), sizes
+        )
+        self.mark[nodes] = True
+        self.color[nodes] = DONE_COLOR
+        self.phase_of[nodes] = phase
+        return base
 
     def mark_singletons(self, nodes: np.ndarray, phase: int) -> None:
         """Detach each node of ``nodes`` as its own size-1 SCC (vectorized)."""
@@ -249,6 +304,21 @@ class SCCState:
 
         with self._lock:
             return choose_pivot(candidates, strategy, self.rng, self.graph)
+
+    def pick_many(self, candidate_sets, strategy: str) -> list[int]:
+        """One pivot per candidate set, under a single lock acquisition.
+
+        Draws from the RNG in list order — exactly the sequence that
+        many :meth:`pick` calls would consume, which keeps the batched
+        phase-2 path's pivots bit-identical to the per-pivot path's.
+        """
+        from .pivot import choose_pivot  # local import avoids a cycle
+
+        with self._lock:
+            return [
+                choose_pivot(c, strategy, self.rng, self.graph)
+                for c in candidate_sets
+            ]
 
     # ------------------------------------------------------------------
     def active_nodes(self) -> np.ndarray:

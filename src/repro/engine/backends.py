@@ -75,8 +75,16 @@ class ExecutorBackend(Protocol):
         supervisor=None,
         deadline: Optional[float] = None,
         session=None,
+        phase2_batch=None,
     ) -> int:
-        """Drain the queue; returns the number of tasks executed."""
+        """Drain the queue; returns the number of tasks executed.
+
+        ``phase2_batch`` is a resolved
+        :class:`~repro.core.recurfwbw.Phase2BatchPolicy` (or None =
+        per-pivot only): when set, small-task storms are drained in
+        ≤64-pivot multi-source batches, bit-identically to the
+        per-pivot path.
+        """
         ...
 
 
@@ -98,29 +106,77 @@ class SerialBackend:
         supervisor=None,
         deadline: Optional[float] = None,
         session=None,
+        phase2_batch=None,
     ) -> int:
-        from ..core.recurfwbw import WorkItem, recur_fwbw_task
+        from ..core.recurfwbw import (
+            WorkItem,
+            _item_batchable,
+            recur_fwbw_batch_task,
+            recur_fwbw_task,
+        )
         from ..runtime.trace import Task
 
+        policy = phase2_batch
         start = time.monotonic()
         queue: deque = deque(
             WorkItem(color=c, nodes=nd) for c, nd in initial
         )
         tasks: List[Task] = []
-        while queue:
-            if deadline is not None and time.monotonic() >= deadline:
-                raise PhaseTimeoutError(phase, time.monotonic() - start)
-            item = queue.popleft()
-            children, task_cost = recur_fwbw_task(
-                state, item, pivot_strategy=pivot_strategy
-            )
+        n_batches = n_batched = 0
+
+        def finish(item, children, task_cost):
             idx = len(tasks)
             tasks.append(Task(cost=task_cost, parent=item.parent))
             for ch in children:
                 ch.parent = idx
                 queue.append(ch)
+
+        while queue:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise PhaseTimeoutError(phase, time.monotonic() - start)
+            item = queue.popleft()
+            if policy is not None and _item_batchable(item, policy):
+                # Greedily extend the run with the consecutive
+                # batchable queue prefix.  Popping the run up front and
+                # appending all children afterwards preserves the exact
+                # per-pivot FIFO order: the run's items were contiguous
+                # at the head, so their children land behind the
+                # remaining queue in both drains.
+                run = [item]
+                colors = {item.color}
+                while (
+                    queue
+                    and len(run) < policy.width
+                    and _item_batchable(queue[0], policy)
+                    and queue[0].color not in colors
+                ):
+                    nxt = queue.popleft()
+                    run.append(nxt)
+                    colors.add(nxt.color)
+                if len(run) >= policy.min_run:
+                    results = recur_fwbw_batch_task(
+                        state, run, pivot_strategy=pivot_strategy
+                    )
+                    for it, (children, task_cost) in zip(run, results):
+                        finish(it, children, task_cost)
+                    n_batches += 1
+                    n_batched += len(run)
+                else:
+                    for it in run:
+                        children, task_cost = recur_fwbw_task(
+                            state, it, pivot_strategy=pivot_strategy
+                        )
+                        finish(it, children, task_cost)
+                continue
+            children, task_cost = recur_fwbw_task(
+                state, item, pivot_strategy=pivot_strategy
+            )
+            finish(item, children, task_cost)
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         state.profile.bump("recur_tasks", len(tasks))
+        if n_batches:
+            state.profile.bump("phase2_batches", n_batches)
+            state.profile.bump("phase2_batched_tasks", n_batched)
         return len(tasks)
 
 
@@ -142,33 +198,70 @@ class ThreadsBackend:
         supervisor=None,
         deadline: Optional[float] = None,
         session=None,
+        phase2_batch=None,
     ) -> int:
         import threading
 
-        from ..core.recurfwbw import WorkItem, recur_fwbw_task
+        from ..core.recurfwbw import (
+            WorkItem,
+            plan_batches,
+            recur_fwbw_batch_task,
+            recur_fwbw_task,
+        )
         from ..runtime.trace import Task
         from ..runtime.workqueue import TwoLevelWorkQueue
 
+        policy = phase2_batch
         items = [WorkItem(color=c, nodes=nd) for c, nd in initial]
         tasks: List[Task] = []
         lock = threading.Lock()
+        stats = {"batches": 0, "batched": 0}
 
-        def process(item):
+        def process(entry):
+            # Queue entries are single WorkItems or planned batch runs
+            # (lists); spawned children are re-planned the same way.
+            if isinstance(entry, list):
+                results = recur_fwbw_batch_task(
+                    state, entry, pivot_strategy=pivot_strategy
+                )
+                spawned: List = []
+                with lock:
+                    for it, (children, task_cost) in zip(entry, results):
+                        idx = len(tasks)
+                        tasks.append(
+                            Task(cost=task_cost, parent=it.parent)
+                        )
+                        for ch in children:
+                            ch.parent = idx
+                        spawned.extend(children)
+                    stats["batches"] += 1
+                    stats["batched"] += len(entry)
+                return plan_batches(spawned, policy)
             children, task_cost = recur_fwbw_task(
-                state, item, pivot_strategy=pivot_strategy
+                state, entry, pivot_strategy=pivot_strategy
             )
             with lock:
                 idx = len(tasks)
-                tasks.append(Task(cost=task_cost, parent=item.parent))
+                tasks.append(Task(cost=task_cost, parent=entry.parent))
             for ch in children:
                 ch.parent = idx
-            return children
+            return (
+                plan_batches(children, policy)
+                if policy is not None
+                else children
+            )
 
         TwoLevelWorkQueue(num_workers, k=queue_k).run(
-            items, process, deadline=deadline, phase=phase
+            plan_batches(items, policy) if policy is not None else items,
+            process,
+            deadline=deadline,
+            phase=phase,
         )
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         state.profile.bump("recur_tasks", len(tasks))
+        if stats["batches"]:
+            state.profile.bump("phase2_batches", stats["batches"])
+            state.profile.bump("phase2_batched_tasks", stats["batched"])
         return len(tasks)
 
 
@@ -190,6 +283,7 @@ class ProcessesBackend:
         supervisor=None,
         deadline: Optional[float] = None,
         session=None,
+        phase2_batch=None,
     ) -> int:
         from ..runtime.mp_backend import run_recur_phase_processes
 
@@ -200,6 +294,7 @@ class ProcessesBackend:
             queue_k=queue_k,
             phase=phase,
             session=session,
+            phase2_batch=phase2_batch,
         )
 
 
@@ -223,6 +318,7 @@ class SupervisedBackend:
         supervisor=None,
         deadline: Optional[float] = None,
         session=None,
+        phase2_batch=None,
     ) -> int:
         from ..runtime.supervisor import run_supervised_recur_phase
 
@@ -235,6 +331,7 @@ class SupervisedBackend:
             pivot_strategy=pivot_strategy,
             config=supervisor,
             session=session,
+            phase2_batch=phase2_batch,
         )
         return report.tasks
 

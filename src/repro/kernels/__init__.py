@@ -41,7 +41,16 @@ from .registry import (
     set_backend,
     use_backend,
 )
-from .reference import dedup_sorted, segment_counts
+from .reference import (
+    MS_BW_ONLY,
+    MS_CLAIMED,
+    MS_FW_ONLY,
+    MS_MAX_WAVES,
+    MS_SCC,
+    MS_UNREACHED,
+    dedup_sorted,
+    segment_counts,
+)
 from . import reference as _reference  # registers the numpy backend
 from . import fastpath as _fastpath  # registers the no-numba fallbacks
 from . import jit as _jit  # registers the @njit kernels when available
@@ -58,6 +67,14 @@ __all__ = [
     "get_backend",
     "get_kernel",
     "kernel_names",
+    "MS_BW_ONLY",
+    "MS_CLAIMED",
+    "MS_FW_ONLY",
+    "MS_MAX_WAVES",
+    "MS_SCC",
+    "MS_UNREACHED",
+    "ms_expand_frontier",
+    "ms_fwbw_intersect",
     "numba_available",
     "register",
     "resolve_backend",
@@ -181,6 +198,87 @@ def trim2_pattern_pairs(
     """Par-Trim2's Figure 4 neighbour-pattern match."""
     return get_kernel("trim2_pattern_pairs")(
         nbr_ptr, nbr_idx, back_ptr, back_idx, cands, color, eff_primary
+    )
+
+
+def _validate_waves(
+    wave_colors: np.ndarray, wave_masks: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    wave_colors = np.asarray(wave_colors, dtype=np.int64)
+    wave_masks = np.asarray(wave_masks, dtype=np.uint64)
+    if wave_colors.size == 0:
+        raise ValueError("multi-source sweep needs at least one wave")
+    if wave_colors.shape != wave_masks.shape:
+        raise ValueError(
+            f"wave_colors {wave_colors.shape} and wave_masks "
+            f"{wave_masks.shape} must be aligned"
+        )
+    if wave_colors.size > MS_MAX_WAVES:
+        raise ValueError(
+            f"at most {MS_MAX_WAVES} waves per sweep "
+            f"(got {wave_colors.size})"
+        )
+    if wave_colors.size > 1 and not (np.diff(wave_colors) > 0).all():
+        raise ValueError("wave_colors must be strictly increasing")
+    return wave_colors, wave_masks
+
+
+def ms_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    frontier_bits: np.ndarray,
+    visited: np.ndarray,
+    color: np.ndarray,
+    wave_colors: np.ndarray,
+    wave_masks: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One multi-source BFS level over packed ``uint64`` wave bits.
+
+    Advances up to :data:`MS_MAX_WAVES` colour-constrained BFS waves in
+    a single CSR sweep; mutates ``visited`` in place and returns
+    ``(next_nodes, next_bits, scanned)`` — the sorted unique nodes that
+    gained at least one wave bit, their freshly gained bits, and the
+    adjacency entries scanned.  See
+    :func:`repro.kernels.reference.ms_expand_frontier` for the
+    normative contract.
+    """
+    wave_colors, wave_masks = _validate_waves(wave_colors, wave_masks)
+    frontier = np.asarray(frontier, dtype=np.int64)
+    frontier_bits = np.asarray(frontier_bits, dtype=np.uint64)
+    if visited.dtype != np.uint64:
+        raise ValueError(f"visited must be uint64, got {visited.dtype}")
+    return get_kernel("ms_expand_frontier")(
+        indptr,
+        indices,
+        frontier,
+        frontier_bits,
+        visited,
+        color,
+        wave_colors,
+        wave_masks,
+    )
+
+
+def ms_fwbw_intersect(
+    nodes: np.ndarray,
+    bits: np.ndarray,
+    fw_visited: np.ndarray,
+    bw_visited: np.ndarray,
+) -> np.ndarray:
+    """Classify candidate nodes after a multi-source FW/BW fixpoint.
+
+    Returns a ``uint8`` category per node — :data:`MS_SCC`,
+    :data:`MS_FW_ONLY`, :data:`MS_BW_ONLY`, :data:`MS_UNREACHED`, or
+    :data:`MS_CLAIMED` (node is in some wave's FW∧BW intersection but
+    the lowest claiming wave is not the node's own — the deterministic
+    tie-break).  See
+    :func:`repro.kernels.reference.ms_fwbw_intersect`.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    bits = np.asarray(bits, dtype=np.uint64)
+    return get_kernel("ms_fwbw_intersect")(
+        nodes, bits, fw_visited, bw_visited
     )
 
 

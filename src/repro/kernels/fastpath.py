@@ -28,9 +28,12 @@ __all__ = [
     "bfs_level_transform",
     "trim_decrement",
     "dfs_collect_colored",
+    "ms_expand_frontier",
+    "ms_fwbw_intersect",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
 
 #: below this many decremented entries ``np.subtract.at`` beats paying
 #: for a length-n ``bincount`` allocation.
@@ -164,3 +167,87 @@ def dfs_collect_colored(
             )
         parts.append(seen[nw])
     return parts, edges
+
+
+@register("ms_expand_frontier", "numba")
+def ms_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    frontier_bits: np.ndarray,
+    visited: np.ndarray,
+    color: np.ndarray,
+    wave_colors: np.ndarray,
+    wave_masks: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Reference semantics with a sort/``reduceat`` bit gather.
+
+    The reference OR-reduces per-target bits with
+    ``np.bitwise_or.at`` — a scalar scatter.  Sorting the surviving
+    (target, bits) pairs once and folding runs with
+    ``np.bitwise_or.reduceat`` keeps the whole sweep in vectorized
+    NumPy; the per-target OR is order-insensitive, so the merged masks
+    (and the sorted unique output) are bit-identical.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return _EMPTY, _EMPTY_U64, 0
+    counts = reference.segment_counts(indptr, frontier)
+    targets = reference.expand_frontier(indptr, indices, frontier)
+    scanned = int(targets.size)
+    if scanned == 0:
+        return _EMPTY, _EMPTY_U64, 0
+    src_bits = np.repeat(frontier_bits, counts)
+    tc = color[targets]
+    pos = np.minimum(
+        np.searchsorted(wave_colors, tc), wave_colors.size - 1
+    )
+    eligible = src_bits & wave_masks[pos]
+    eligible[wave_colors[pos] != tc] = np.uint64(0)
+    live = np.flatnonzero(eligible)
+    if live.size == 0:
+        return _EMPTY, _EMPTY_U64, scanned
+    order = live[np.argsort(targets[live], kind="stable")]
+    ts = targets[order]
+    bs = eligible[order]
+    boundary = np.empty(ts.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(ts[1:], ts[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    uniq = ts[starts]
+    merged = np.bitwise_or.reduceat(bs, starts)
+    gained = merged & ~visited[uniq]
+    fresh = gained != 0
+    nxt = uniq[fresh]
+    nbits = gained[fresh]
+    visited[nxt] |= nbits
+    return nxt, nbits, scanned
+
+
+@register("ms_fwbw_intersect", "numba")
+def ms_fwbw_intersect(
+    nodes: np.ndarray,
+    bits: np.ndarray,
+    fw_visited: np.ndarray,
+    bw_visited: np.ndarray,
+) -> np.ndarray:
+    """Reference semantics with the branch masks fused.
+
+    Same packed-``uint64`` bit algebra as the reference (including the
+    lowest-set-bit tie-break ``claim & (~claim + 1)``); the only
+    change is computing the direction tests once and combining them
+    in place, which halves the temporaries on large batches.
+    """
+    f = fw_visited[nodes]
+    w = bw_visited[nodes]
+    claim = f & w
+    f &= bits
+    w &= bits
+    cat = np.full(nodes.shape[0], reference.MS_UNREACHED, dtype=np.uint8)
+    cat[f != 0] = reference.MS_FW_ONLY
+    cat[(w != 0) & (f == 0)] = reference.MS_BW_ONLY
+    claimed = claim != 0
+    cat[claimed] = reference.MS_CLAIMED
+    claim &= ~claim + np.uint64(1)  # lowest set bit
+    cat[claimed & (claim == bits)] = reference.MS_SCC
+    return cat

@@ -51,6 +51,7 @@ else:
 
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
 
 
 @_njit
@@ -225,6 +226,88 @@ def _trim2_pattern_loop(
 
 
 @_njit
+def _ms_expand_loop(
+    indptr,
+    indices,
+    frontier,
+    frontier_bits,
+    visited,
+    color,
+    wave_colors,
+    wave_masks,
+):
+    # Sequential per-edge sweep: unlike the vectorized tiers, visited
+    # is updated as edges are processed, so duplicate targets within a
+    # level merge on the fly.  The per-node OR of wave bits is
+    # order-insensitive, hence the final visited array (and the set of
+    # newly-bitted nodes) matches the snapshot-based tiers; the wrapper
+    # sorts/merges the output pairs to restore the sorted contract.
+    cap = 64
+    out_nodes = np.empty(cap, np.int64)
+    out_bits = np.empty(cap, np.uint64)
+    m = 0
+    scanned = 0
+    n_waves = wave_colors.shape[0]
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        fb = frontier_bits[i]
+        scanned += indptr[f + 1] - indptr[f]
+        for e in range(indptr[f], indptr[f + 1]):
+            v = indices[e]
+            cv = color[v]
+            # binary search cv in wave_colors
+            lo = 0
+            hi = n_waves
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if wave_colors[mid] < cv:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo >= n_waves or wave_colors[lo] != cv:
+                continue
+            new_bits = fb & wave_masks[lo] & ~visited[v]
+            if new_bits == np.uint64(0):
+                continue
+            visited[v] |= new_bits
+            if m >= out_nodes.shape[0]:
+                out_nodes = _grow(out_nodes, m + 1)
+                out_bits = _grow(out_bits, m + 1)
+            out_nodes[m] = v
+            out_bits[m] = new_bits
+            m += 1
+    return out_nodes[:m], out_bits[:m], scanned
+
+
+@_njit
+def _ms_intersect_loop(nodes, bits, fw_visited, bw_visited):
+    # Scalar form of the packed-uint64 classification; the tie-break is
+    # the same lowest-set-bit rule: claim & (~claim + 1).
+    m = nodes.shape[0]
+    cat = np.empty(m, np.uint8)
+    one = np.uint64(1)
+    zero = np.uint64(0)
+    for i in range(m):
+        v = nodes[i]
+        b = bits[i]
+        f = fw_visited[v]
+        w = bw_visited[v]
+        claim = f & w
+        if claim != zero:
+            if (claim & (~claim + one)) == b:
+                cat[i] = 0  # MS_SCC
+            else:
+                cat[i] = 4  # MS_CLAIMED
+        elif (f & b) != zero:
+            cat[i] = 1  # MS_FW_ONLY
+        elif (w & b) != zero:
+            cat[i] = 2  # MS_BW_ONLY
+        else:
+            cat[i] = 3  # MS_UNREACHED
+    return cat
+
+
+@_njit
 def _dfs_collect_loop(indptr, indices, pivot, olds, news, color):
     n_trans = olds.shape[0]
     cap = 64
@@ -358,6 +441,33 @@ def dfs_collect_colored(indptr, indices, pivot, olds, news, color):
     return _parts_by_slot(nodes, slots, news), int(edges)
 
 
+def ms_expand_frontier(
+    indptr, indices, frontier, frontier_bits, visited, color,
+    wave_colors, wave_masks,
+):
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return _EMPTY, _EMPTY_U64, 0
+    nodes, nbits, scanned = _ms_expand_loop(
+        indptr, indices, frontier, frontier_bits, visited, color,
+        wave_colors, wave_masks,
+    )
+    if nodes.size == 0:
+        return _EMPTY, _EMPTY_U64, int(scanned)
+    # The loop merges duplicate targets into ``visited`` on the fly but
+    # may append the same node once per contributing source; restore
+    # the sorted-unique output contract with one OR-fold.
+    order = np.argsort(nodes, kind="stable")
+    ns = nodes[order]
+    bs = nbits[order]
+    starts = np.flatnonzero(np.r_[True, ns[1:] != ns[:-1]])
+    return ns[starts], np.bitwise_or.reduceat(bs, starts), int(scanned)
+
+
+def ms_fwbw_intersect(nodes, bits, fw_visited, bw_visited):
+    return _ms_intersect_loop(nodes, bits, fw_visited, bw_visited)
+
+
 if HAS_NUMBA:  # pragma: no cover - exercised only with numba installed
     register("expand_frontier", "numba")(expand_frontier)
     register("bfs_level_transform", "numba")(bfs_level_transform)
@@ -366,3 +476,5 @@ if HAS_NUMBA:  # pragma: no cover - exercised only with numba installed
     register("wcc_hook_round", "numba")(wcc_hook_round)
     register("trim2_pattern_pairs", "numba")(trim2_pattern_pairs)
     register("dfs_collect_colored", "numba")(dfs_collect_colored)
+    register("ms_expand_frontier", "numba")(ms_expand_frontier)
+    register("ms_fwbw_intersect", "numba")(ms_fwbw_intersect)

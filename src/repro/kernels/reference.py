@@ -30,9 +30,32 @@ __all__ = [
     "wcc_hook_round",
     "trim2_pattern_pairs",
     "dfs_collect_colored",
+    "ms_expand_frontier",
+    "ms_fwbw_intersect",
+    "MS_MAX_WAVES",
+    "MS_SCC",
+    "MS_FW_ONLY",
+    "MS_BW_ONLY",
+    "MS_UNREACHED",
+    "MS_CLAIMED",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+
+#: one ``uint64`` mask per node bounds the batch width.
+MS_MAX_WAVES = 64
+
+#: :func:`ms_fwbw_intersect` categories.  ``MS_SCC`` — the queried wave
+#: claims the node as an SCC member (lowest claiming wave wins the
+#: tie-break); ``MS_CLAIMED`` — some *other* wave claims it;
+#: ``MS_FW_ONLY`` / ``MS_BW_ONLY`` — reached in exactly one direction
+#: by the queried wave; ``MS_UNREACHED`` — untouched by it.
+MS_SCC = 0
+MS_FW_ONLY = 1
+MS_BW_ONLY = 2
+MS_UNREACHED = 3
+MS_CLAIMED = 4
 
 #: frontier-density threshold for the adaptive dedup: with more than
 #: ``n / DEDUP_DENSITY_DIVISOR`` candidate entries the O(n) bitmap
@@ -369,3 +392,99 @@ def dfs_collect_colored(
         for nw in news
     ]
     return parts, edges
+
+
+@register("ms_expand_frontier", "numpy")
+def ms_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    frontier_bits: np.ndarray,
+    visited: np.ndarray,
+    color: np.ndarray,
+    wave_colors: np.ndarray,
+    wave_masks: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """One CSR sweep advancing up to 64 bit-packed BFS waves.
+
+    ``frontier``/``frontier_bits`` carry, per frontier node, the
+    ``uint64`` mask of waves standing on it; ``visited`` is the dense
+    per-node wave-membership mask, updated **in place**.  A target
+    ``v`` reached from a frontier node carrying wave ``j`` joins wave
+    ``j`` iff ``color[v]`` equals wave ``j``'s partition colour —
+    ``wave_colors`` (sorted ascending, distinct) paired with
+    ``wave_masks`` (the OR of the bits of every wave owning that
+    colour) encode that eligibility — and ``v`` does not already carry
+    bit ``j``.
+
+    Returns ``(next_frontier, next_bits, scanned)``: the sorted unique
+    nodes that gained at least one bit this sweep, the bits each
+    gained, and the adjacency entries inspected.  Newly gained bits
+    are computed against ``visited`` as of sweep entry (snapshot
+    semantics), so the result is independent of expansion order.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return _EMPTY, _EMPTY_U64, 0
+    counts = segment_counts(indptr, frontier)
+    targets = expand_frontier(indptr, indices, frontier)
+    scanned = int(targets.size)
+    if scanned == 0:
+        return _EMPTY, _EMPTY_U64, 0
+    src_bits = np.repeat(frontier_bits, counts)
+    tc = color[targets]
+    pos = np.minimum(
+        np.searchsorted(wave_colors, tc), wave_colors.size - 1
+    )
+    eligible = np.where(
+        wave_colors[pos] == tc,
+        src_bits & wave_masks[pos],
+        np.uint64(0),
+    )
+    live = eligible != 0
+    t = targets[live]
+    b = eligible[live]
+    if t.size == 0:
+        return _EMPTY, _EMPTY_U64, scanned
+    uniq = np.unique(t)
+    acc = np.zeros(uniq.size, dtype=np.uint64)
+    np.bitwise_or.at(acc, np.searchsorted(uniq, t), b)
+    gained = acc & ~visited[uniq]
+    fresh = gained != 0
+    nxt = uniq[fresh]
+    nbits = gained[fresh]
+    visited[nxt] |= nbits
+    return nxt, nbits, scanned
+
+
+@register("ms_fwbw_intersect", "numpy")
+def ms_fwbw_intersect(
+    nodes: np.ndarray,
+    bits: np.ndarray,
+    fw_visited: np.ndarray,
+    bw_visited: np.ndarray,
+) -> np.ndarray:
+    """Classify ``nodes`` against the FW/BW wave-membership masks.
+
+    ``bits[i]`` is the single wave bit on whose behalf ``nodes[i]`` is
+    queried.  A node lying in ``fw & bw`` of *any* wave belongs to
+    some pivot's SCC; the deterministic tie-break awards it to the
+    **lowest-indexed** claiming wave (the least significant set bit of
+    ``fw & bw``), so the category is :data:`MS_SCC` when that wave is
+    the querying one and :data:`MS_CLAIMED` otherwise — regardless of
+    what the querying wave itself reached, because the node will be
+    detached by its claimant.  Unclaimed nodes fall into
+    :data:`MS_FW_ONLY` / :data:`MS_BW_ONLY` / :data:`MS_UNREACHED`
+    relative to the querying wave's bit.
+    """
+    f = fw_visited[nodes]
+    w = bw_visited[nodes]
+    claim = f & w
+    cat = np.full(nodes.shape[0], MS_UNREACHED, dtype=np.uint8)
+    cat[(f & bits) != 0] = MS_FW_ONLY
+    cat[((w & bits) != 0) & ((f & bits) == 0)] = MS_BW_ONLY
+    claimed = claim != 0
+    cat[claimed] = MS_CLAIMED
+    low = claim & (~claim + np.uint64(1))  # lowest set bit (0 if none)
+    cat[claimed & (low == bits)] = MS_SCC
+    return cat

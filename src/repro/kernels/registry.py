@@ -197,14 +197,27 @@ def available_backends(name: str) -> tuple[str, ...]:
 
 
 def backend_info() -> Dict[str, object]:
-    """Machine-readable dispatch state (benchmarks embed this)."""
+    """Machine-readable dispatch state (benchmarks embed this).
+
+    ``resolved`` names what actually runs: ``"numba"`` only when the
+    JIT kernels are importable, ``"fastpath"`` when the accelerated
+    slot is active but numba is absent (the tuned pure-NumPy
+    fallbacks), ``"numpy"`` for the reference tier.  A report of
+    ``"numba"`` alongside ``numba_available: false`` was a bug —
+    ``auto`` must never claim a backend that cannot be imported.
+    """
     requested = _override or os.environ.get(ENV_VAR) or "auto"
-    resolved = resolve_backend()
+    slot = resolve_backend()
+    jit_active = slot == "numba" and numba_available()
+    if slot == "numba" and not jit_active:
+        resolved = "fastpath"
+    else:
+        resolved = slot
     return {
         "requested": requested,
         "resolved": resolved,
         "numba_available": numba_available(),
-        "jit_active": resolved == "numba" and numba_available(),
+        "jit_active": jit_active,
         "kernels": {
             name: available_backends(name) for name in kernel_names()
         },

@@ -169,6 +169,205 @@ def _exec_task(
     return children, task_cost, log_entry
 
 
+def _exec_batch_task(
+    specs: Sequence[Tuple[int, Optional[np.ndarray]]],
+    seqs: Optional[Sequence[int]] = None,
+    attempt: int = 0,
+    triples: Optional[Sequence[Tuple[int, int, int]]] = None,
+):
+    """Run ≤64 Recur-FWBW tasks as one multi-source sweep in a worker.
+
+    The batched twin of :func:`_exec_task`: same shared arrays, same
+    counters, same fault hooks (``seqs`` aligns one dispatcher
+    sequence id per member so injected faults keep matching), same
+    pivot rule (first candidate).  Returns the per-member
+    ``(children, task_cost, log_entry)`` list aligned with ``specs``.
+
+    ``triples`` optionally carries master-allocated colour triples per
+    member (the supervisor's repair bookkeeping); without it the live
+    members draw their triples under one ``color_counter`` lock in the
+    same sequential :func:`~repro.core.state.skip_colour_triple` chain
+    per-task execution would.
+    """
+    ctx = _WORKER_CTX
+    g = ctx["graph"]
+    color: np.ndarray = ctx["color"]
+    mark: np.ndarray = ctx["mark"]
+    labels: np.ndarray = ctx["labels"]
+    phase_of: np.ndarray = ctx["phase_of"]
+    scc_counter = ctx["scc_counter"]
+    color_counter = ctx["color_counter"]
+    cost = ctx["cost"]
+    phase_id = ctx["phase_id"]
+    faults = ctx.get("faults")
+    if seqs is None:
+        seqs = [-1] * len(specs)
+
+    from .. import kernels
+
+    backend = ctx.get("kernel_backend")
+    if backend is not None:
+        kernels.set_backend(backend)
+    from ..core.recurfwbw import multi_source_reach
+    from ..core.state import skip_colour_triple
+
+    if faults is not None:
+        for seq in seqs:
+            faults.fire("task", seq, stage="pre", attempt=attempt)
+
+    candidates: List[Optional[np.ndarray]] = []
+    select_costs: List[float] = []
+    for c, nodes in specs:
+        if nodes is None:
+            cand = np.flatnonzero(color == c)
+            select_costs.append(cost.stream(nodes=color.shape[0]))
+        else:
+            cand = nodes[color[nodes] == c]
+            select_costs.append(cost.stream(nodes=nodes.size))
+        candidates.append(cand if cand.size else None)
+
+    results: List = [None] * len(specs)
+    live = []
+    for i, cand in enumerate(candidates):
+        if cand is None:
+            results[i] = ([], select_costs[i], None)
+        else:
+            live.append(i)
+    if not live:
+        return results
+
+    pivots = np.array(
+        [int(candidates[i][0]) for i in live], dtype=np.int64
+    )
+    live_colors = np.array(
+        [specs[i][0] for i in live], dtype=np.int64
+    )
+    if triples is None:
+        with color_counter.get_lock():
+            nxt = color_counter.value
+            live_triples = []
+            for i in live:
+                triple, nxt = skip_colour_triple(nxt, specs[i][0])
+                live_triples.append(triple)
+            color_counter.value = nxt
+    else:
+        live_triples = [triples[i] for i in live]
+
+    bits, fw_visited, bw_visited = multi_source_reach(
+        g.indptr, g.indices, g.in_indptr, g.in_indices,
+        color, live_colors, pivots,
+    )
+    if faults is not None:
+        for i in live:
+            faults.fire("task", seqs[i], stage="mid", attempt=attempt)
+
+    sizes = np.array(
+        [candidates[i].size for i in live], dtype=np.int64
+    )
+    concat = np.concatenate([candidates[i] for i in live])
+    cat = kernels.ms_fwbw_intersect(
+        concat, np.repeat(bits, sizes), fw_visited, bw_visited
+    )
+    counts_out = kernels.segment_counts(g.indptr, concat)
+    counts_in = kernels.segment_counts(g.in_indptr, concat)
+    bounds = np.zeros(len(live) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+
+    with scc_counter.get_lock():
+        base = scc_counter.value
+        scc_counter.value += len(live)
+
+    MS_SCC, MS_FW_ONLY, MS_BW_ONLY = (
+        kernels.MS_SCC, kernels.MS_FW_ONLY, kernels.MS_BW_ONLY,
+    )
+    for k, i in enumerate(live):
+        lo, hi = bounds[k], bounds[k + 1]
+        ck = cat[lo:hi]
+        cand = concat[lo:hi]
+        scc_nodes = cand[ck == MS_SCC]
+        fw_only = cand[ck == MS_FW_ONLY]
+        bw_only = cand[ck == MS_BW_ONLY]
+        remain = cand[ck > MS_BW_ONLY]
+        cfw, cbw, _cscc = live_triples[k]
+        sid = base + k
+        labels[scc_nodes] = sid
+        mark[scc_nodes] = True
+        color[scc_nodes] = -1  # DONE_COLOR
+        phase_of[scc_nodes] = phase_id
+        if faults is not None and faults.poison("task", seqs[i], attempt):
+            pivot = int(pivots[k])
+            labels[pivot] = sid + 1 if sid == 0 else sid - 1
+        color[fw_only] = cfw
+        color[bw_only] = cbw
+        fw_edges = int(counts_out[lo:hi][ck <= MS_FW_ONLY].sum())
+        bw_edges = int(
+            counts_in[lo:hi][
+                (ck == MS_SCC) | (ck == MS_BW_ONLY)
+            ].sum()
+        )
+        visited = (
+            scc_nodes.size + fw_only.size + bw_only.size + scc_nodes.size
+        )
+        task_cost = select_costs[i] + cost.dfs(
+            nodes=visited, edges=fw_edges + bw_edges
+        )
+        hybrid = specs[i][1] is not None
+        children = [
+            (child_color, child_nodes if hybrid else None)
+            for child_color, child_nodes in (
+                (specs[i][0], remain),
+                (cfw, fw_only),
+                (cbw, bw_only),
+            )
+            if child_nodes.size
+        ]
+        log_entry = (
+            int(scc_nodes.size),
+            int(fw_only.size),
+            int(bw_only.size),
+            int(remain.size),
+        )
+        results[i] = (children, task_cost, log_entry)
+    if faults is not None:
+        for i in live:
+            faults.fire("task", seqs[i], stage="post", attempt=attempt)
+    return results
+
+
+def _plan_tuple_batches(pending, policy):
+    """Group a generation's ``(parent, color, nodes)`` tuples into
+    batch runs and singles — the dispatch-loop twin of
+    :func:`~repro.core.recurfwbw.plan_batches`."""
+    entries: List[Tuple[str, object]] = []
+    run: List = []
+    colors: set = set()
+
+    def flush() -> None:
+        if len(run) >= policy.min_run:
+            entries.append(("batch", list(run)))
+        else:
+            entries.extend(("single", t) for t in run)
+        run.clear()
+        colors.clear()
+
+    for t in pending:
+        _parent, c, nd = t
+        batchable = nd is not None and (
+            policy.max_item_nodes is None
+            or nd.size <= policy.max_item_nodes
+        )
+        if not batchable:
+            flush()
+            entries.append(("single", t))
+            continue
+        if len(run) >= policy.width or c in colors:
+            flush()
+        run.append(t)
+        colors.add(c)
+    flush()
+    return entries
+
+
 def _dead_workers(pool) -> int:
     """Count dead worker processes in a raw :class:`multiprocessing.Pool`
     (kept for callers holding one; :class:`~repro.engine.pool.WorkerPool`
@@ -226,6 +425,7 @@ def run_recur_phase_processes(
     phase: str = "recur_fwbw",
     task_timeout: float | None = 120.0,
     session=None,
+    phase2_batch=None,
 ) -> int:
     """Drain the phase-2 queue with real worker processes.
 
@@ -252,55 +452,94 @@ def run_recur_phase_processes(
         raise RuntimeError("process backend requires the 'fork' start method")
     from .trace import Task
 
+    policy = phase2_batch
     mirror, pool, owns = _executor_resources(state, num_workers, session)
     try:
         mirror.load(state)
         tasks: List[Task] = []
         seq = 0  # dispatch sequence id (deterministic fault matching)
+        n_batches = n_batched = 0
+
+        def get_result(fut):
+            try:
+                return fut.get(timeout=task_timeout)
+            except mp.TimeoutError:
+                dead = pool.dead_workers()
+                diagnosis = (
+                    f"{dead} worker(s) died (pool broken)"
+                    if dead
+                    else "workers alive but task hung"
+                )
+                if not owns:
+                    # Condemn the warm pool: a hung worker could
+                    # keep mutating the shared mirror.  The session
+                    # respawns a fresh pool on its next run.
+                    pool.terminate()
+                raise RuntimeError(
+                    "phase-2 task did not complete within "
+                    f"{task_timeout:.1f}s: {diagnosis}; use the "
+                    "'supervised' backend for retry/recovery"
+                ) from None
+
+        def commit(parent, children, task_cost, log_entry):
+            idx = len(tasks)
+            tasks.append(Task(cost=task_cost, parent=parent))
+            if log_entry is not None:
+                state.profile.log_task(*log_entry)
+            for c, nd in children:
+                pending.append((idx, c, nd))
+
         # (parent_index, color, nodes) items; breadth-first dispatch
         pending = [(-1, c, nd) for c, nd in initial]
         while pending:
-            batch = pending
+            generation = pending
             pending = []
+            if policy is not None:
+                entries = _plan_tuple_batches(generation, policy)
+            else:
+                entries = [("single", t) for t in generation]
             futures = []
-            for parent, c, nd in batch:
-                futures.append(
-                    (parent, pool.apply_async(_exec_task, (c, nd, seq)))
-                )
-                seq += 1
+            for kind, payload in entries:
+                if kind == "batch":
+                    specs = [(c, nd) for _p, c, nd in payload]
+                    member_seqs = list(range(seq, seq + len(specs)))
+                    seq += len(specs)
+                    futures.append(
+                        (
+                            [p for p, _c, _nd in payload],
+                            pool.apply_async(
+                                _exec_batch_task, (specs, member_seqs)
+                            ),
+                        )
+                    )
+                    n_batches += 1
+                    n_batched += len(specs)
+                else:
+                    parent, c, nd = payload
+                    futures.append(
+                        (
+                            parent,
+                            pool.apply_async(_exec_task, (c, nd, seq)),
+                        )
+                    )
+                    seq += 1
             for parent, fut in futures:
-                try:
-                    children, task_cost, log_entry = fut.get(
-                        timeout=task_timeout
-                    )
-                except mp.TimeoutError:
-                    dead = pool.dead_workers()
-                    diagnosis = (
-                        f"{dead} worker(s) died (pool broken)"
-                        if dead
-                        else "workers alive but task hung"
-                    )
-                    if not owns:
-                        # Condemn the warm pool: a hung worker could
-                        # keep mutating the shared mirror.  The session
-                        # respawns a fresh pool on its next run.
-                        pool.terminate()
-                    raise RuntimeError(
-                        "phase-2 task did not complete within "
-                        f"{task_timeout:.1f}s: {diagnosis}; use the "
-                        "'supervised' backend for retry/recovery"
-                    ) from None
-                idx = len(tasks)
-                tasks.append(Task(cost=task_cost, parent=parent))
-                if log_entry is not None:
-                    state.profile.log_task(*log_entry)
-                for c, nd in children:
-                    pending.append((idx, c, nd))
+                if isinstance(parent, list):
+                    for p, (children, task_cost, log_entry) in zip(
+                        parent, get_result(fut)
+                    ):
+                        commit(p, children, task_cost, log_entry)
+                else:
+                    children, task_cost, log_entry = get_result(fut)
+                    commit(parent, children, task_cost, log_entry)
 
         # copy shared results back into the state
         mirror.flush(state)
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         state.profile.bump("recur_tasks", len(tasks))
+        if n_batches:
+            state.profile.bump("phase2_batches", n_batches)
+            state.profile.bump("phase2_batched_tasks", n_batched)
         return len(tasks)
     finally:
         if owns:

@@ -52,7 +52,7 @@ from ..engine.pool import WorkerPool, fork_available
 from ..engine.shm import SharedStateMirror, arm_worker_context
 from ..errors import ReproError
 from .faults import FaultPlan
-from .mp_backend import _exec_task
+from .mp_backend import _exec_batch_task, _exec_task
 
 __all__ = [
     "SupervisorConfig",
@@ -123,6 +123,48 @@ class _STask:
     triple: Tuple[int, int, int] = (0, 0, 0)
 
 
+def _plan_stask_units(batch, policy):
+    """Group a generation's :class:`_STask` list into batch units.
+
+    Only first-attempt hybrid tasks within the storm profile batch —
+    a retried task always re-runs as a single so
+    :func:`repair_partition`'s per-task damage confinement argument
+    stays simple.  Units keep generation order and pairwise-distinct
+    colours (the multi-source kernel's wave contract).
+    """
+    units: List = []
+    run: List[_STask] = []
+    colors: set = set()
+
+    def flush() -> None:
+        if len(run) >= policy.min_run:
+            units.append(list(run))
+        else:
+            units.extend(run)
+        run.clear()
+        colors.clear()
+
+    for t in batch:
+        eligible = (
+            t.attempt == 0
+            and t.nodes is not None
+            and (
+                policy.max_item_nodes is None
+                or t.nodes.size <= policy.max_item_nodes
+            )
+        )
+        if not eligible:
+            flush()
+            units.append(t)
+            continue
+        if len(run) >= policy.width or t.color in colors:
+            flush()
+        run.append(t)
+        colors.add(t.color)
+    flush()
+    return units
+
+
 def repair_partition(
     color: np.ndarray,
     mark: np.ndarray,
@@ -167,6 +209,7 @@ def run_supervised_recur_phase(
     pivot_strategy: str = "random",
     config: SupervisorConfig | None = None,
     session=None,
+    phase2_batch=None,
 ) -> SupervisorReport:
     """Drain the phase-2 queue under supervision; always terminates.
 
@@ -199,6 +242,9 @@ def run_supervised_recur_phase(
                 phase=phase,
                 pivot_strategy=pivot_strategy,
                 backend="serial",
+                phase2_batch=(
+                    phase2_batch if phase2_batch is not None else False
+                ),
             )
         profile.bump("supervisor_degrade_" + reason)
 
@@ -215,6 +261,7 @@ def run_supervised_recur_phase(
                 cfg,
                 report,
                 session,
+                phase2_batch,
             )
         except PoolBrokenError:
             _degrade("pool_broken")
@@ -296,6 +343,7 @@ def _run_pool_supervised(
     cfg: SupervisorConfig,
     report: SupervisorReport,
     session=None,
+    phase2_batch=None,
 ) -> int:
     """The supervised pool loop; raises :class:`PoolBrokenError` when
     the retry budget is exhausted."""
@@ -322,6 +370,8 @@ def _run_pool_supervised(
             pending.append(_STask(seq=seq, color=c, nodes=nd))
             seq += 1
 
+        policy = phase2_batch
+        n_batches = n_batched = 0
         while pending:
             batch, pending = pending, []
             for t in batch:
@@ -331,29 +381,71 @@ def _run_pool_supervised(
                 t.triple, next_color = skip_colour_triple(
                     next_color, t.color
                 )
-            futures = [
-                (
-                    t,
-                    pool.apply_async(
-                        _exec_task,
-                        (t.color, t.nodes, t.seq, t.attempt, t.triple),
-                    ),
-                )
-                for t in batch
-            ]
+            units = (
+                _plan_stask_units(batch, policy)
+                if policy is not None
+                else list(batch)
+            )
+            futures = []
+            for u in units:
+                if isinstance(u, list):
+                    futures.append(
+                        (
+                            u,
+                            pool.apply_async(
+                                _exec_batch_task,
+                                (
+                                    [(t.color, t.nodes) for t in u],
+                                    [t.seq for t in u],
+                                    0,
+                                    [t.triple for t in u],
+                                ),
+                            ),
+                        )
+                    )
+                    n_batches += 1
+                    n_batched += len(u)
+                else:
+                    futures.append(
+                        (
+                            u,
+                            pool.apply_async(
+                                _exec_task,
+                                (
+                                    u.color,
+                                    u.nodes,
+                                    u.seq,
+                                    u.attempt,
+                                    u.triple,
+                                ),
+                            ),
+                        )
+                    )
+
+            def commit(t: _STask, children, task_cost, log_entry) -> None:
+                nonlocal seq
+                idx = len(tasks)
+                tasks.append(Task(cost=task_cost, parent=t.parent))
+                if log_entry is not None:
+                    profile.log_task(*log_entry)
+                for c, nd in children:
+                    pending.append(
+                        _STask(seq=seq, color=c, nodes=nd, parent=idx)
+                    )
+                    seq += 1
+
             failed: List[_STask] = []
             broken = False
-            for t, fut in futures:
+            for u, fut in futures:
+                members = u if isinstance(u, list) else [u]
                 if broken:
                     # The pool is condemned; only harvest what already
                     # finished (bounded by the grace window below).
                     if not fut.ready():
-                        failed.append(t)
+                        failed.extend(members)
                         continue
                 try:
-                    children, task_cost, log_entry = fut.get(
-                        timeout=cfg.task_timeout
-                    )
+                    res = fut.get(timeout=cfg.task_timeout)
                 except mp.TimeoutError:
                     report.timeouts += 1
                     profile.bump("supervisor_timeouts")
@@ -361,7 +453,9 @@ def _run_pool_supervised(
                     if deaths:
                         report.worker_deaths += deaths
                         profile.bump("supervisor_worker_deaths", deaths)
-                    failed.append(t)
+                    # A failed batch unit fails all its members; each
+                    # is repaired and retried individually below.
+                    failed.extend(members)
                     # A hung worker may still mutate shared state later;
                     # a crashed one broke the pool's result plumbing.
                     # Either way this pool cannot be trusted: give the
@@ -372,17 +466,16 @@ def _run_pool_supervised(
                 except Exception:
                     report.task_errors += 1
                     profile.bump("supervisor_task_errors")
-                    failed.append(t)
+                    failed.extend(members)
                     continue
-                idx = len(tasks)
-                tasks.append(Task(cost=task_cost, parent=t.parent))
-                if log_entry is not None:
-                    profile.log_task(*log_entry)
-                for c, nd in children:
-                    pending.append(
-                        _STask(seq=seq, color=c, nodes=nd, parent=idx)
-                    )
-                    seq += 1
+                if isinstance(u, list):
+                    for t, (children, task_cost, log_entry) in zip(
+                        u, res
+                    ):
+                        commit(t, children, task_cost, log_entry)
+                else:
+                    children, task_cost, log_entry = res
+                    commit(u, children, task_cost, log_entry)
 
             if broken:
                 pool.rebuild()
@@ -415,6 +508,9 @@ def _run_pool_supervised(
         mirror.flush(state)
         state.trace.task_dag(phase, tasks, queue_k=queue_k)
         profile.bump("recur_tasks", len(tasks))
+        if n_batches:
+            profile.bump("phase2_batches", n_batches)
+            profile.bump("phase2_batched_tasks", n_batched)
         return len(tasks)
     finally:
         if owns:

@@ -1,0 +1,161 @@
+"""Batched multi-source phase 2 vs the per-pivot path, end to end.
+
+The contract (DESIGN.md §13): on a deterministic drain the batched
+path is *bit-identical* to the per-pivot path — same labels, same
+trace records (costs and scanned-edge attribution included) — under
+every kernel backend.  Deterministic drains are the serial driver and
+the single-worker process executors (FIFO master dispatch); the
+threaded queue's local-deque order already makes its per-pivot drain
+nondeterministic, so there the batched path carries the executor's
+existing guarantee: a correct partition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SCCState
+from repro.core.parfwbw import par_fwbw
+from repro.core.recurfwbw import (
+    Phase2BatchPolicy,
+    plan_batches,
+    resolve_batch_policy,
+    run_recur_phase,
+    WorkItem,
+)
+from repro.core.result import same_partition
+from repro.core.wcc import par_wcc
+from repro.generators import datasets
+from repro.kernels import use_backend
+from tests.conftest import scipy_scc_labels
+
+GENERATORS = datasets.dataset_names()
+KERNEL_BACKENDS = ("numpy", "numba")
+SCALE = 0.02
+
+
+def tail_state(name):
+    """Post-phase-1 storm: giant SCC peeled, WCCs seed the queue."""
+    g = datasets.generate(name, scale=SCALE, seed=7).graph
+    s = SCCState(g, seed=11)
+    par_fwbw(s, 0, giant_threshold=0.01, max_trials=3)
+    return g, s, par_wcc(s)
+
+
+def drain(name, *, executor="serial", kernel="numpy", batch=False):
+    g, s, items = tail_state(name)
+    with use_backend(kernel):
+        run_recur_phase(
+            s, items, backend=executor, num_threads=1,
+            phase2_batch=batch,
+        )
+    return g, s
+
+
+class TestSerialBitIdentical:
+    @pytest.mark.parametrize("kernel", KERNEL_BACKENDS)
+    @pytest.mark.parametrize("name", GENERATORS)
+    def test_batched_equals_per_pivot(self, name, kernel):
+        g, base = drain(name, kernel=kernel, batch=False)
+        _, batched = drain(name, kernel=kernel, batch=True)
+        assert np.array_equal(base.labels, batched.labels)
+        assert base.trace.records == batched.trace.records
+        assert same_partition(batched.labels, scipy_scc_labels(g))
+        assert batched.profile.counters.get("phase2_batches", 0) > 0
+        assert base.profile.counters.get("phase2_batches") is None
+
+
+class TestProcessExecutorsBitIdentical:
+    @pytest.mark.parametrize("executor", ("processes", "supervised"))
+    @pytest.mark.parametrize("kernel", KERNEL_BACKENDS)
+    def test_batched_equals_per_pivot(self, executor, kernel):
+        g, base = drain(
+            "wiki", executor=executor, kernel=kernel, batch=False
+        )
+        _, batched = drain(
+            "wiki", executor=executor, kernel=kernel, batch=True
+        )
+        assert np.array_equal(base.labels, batched.labels)
+        assert base.trace.records == batched.trace.records
+        assert same_partition(batched.labels, scipy_scc_labels(g))
+        assert batched.profile.counters.get("phase2_batches", 0) > 0
+
+
+class TestThreadsCorrect:
+    @pytest.mark.parametrize("kernel", KERNEL_BACKENDS)
+    def test_batched_partition_correct(self, kernel):
+        g, s, items = tail_state("flickr")
+        with use_backend(kernel):
+            run_recur_phase(
+                s, items, backend="threads", num_threads=2,
+                phase2_batch=True,
+            )
+        assert same_partition(s.labels, scipy_scc_labels(g))
+        assert s.profile.counters.get("phase2_batches", 0) > 0
+
+
+class TestPolicy:
+    def test_resolution(self):
+        assert resolve_batch_policy(False) is None
+        assert resolve_batch_policy(None) is None
+        default = resolve_batch_policy(True)
+        assert isinstance(default, Phase2BatchPolicy)
+        assert default.width == 64
+        custom = Phase2BatchPolicy(width=8)
+        assert resolve_batch_policy(custom) is custom
+        with pytest.raises(TypeError):
+            resolve_batch_policy("yes")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase2BatchPolicy(width=0)
+        with pytest.raises(ValueError):
+            Phase2BatchPolicy(width=65)
+        with pytest.raises(ValueError):
+            Phase2BatchPolicy(min_run=0)
+        with pytest.raises(ValueError):
+            Phase2BatchPolicy(max_item_nodes=0)
+
+    def _items(self, colors, size=4):
+        return [
+            WorkItem(color=c, nodes=np.arange(size)) for c in colors
+        ]
+
+    def test_width_cap(self):
+        policy = Phase2BatchPolicy(width=4)
+        plans = plan_batches(self._items(range(10)), policy)
+        assert [
+            len(p) if isinstance(p, list) else 1 for p in plans
+        ] == [4, 4, 2]
+
+    def test_repeated_color_breaks_run(self):
+        policy = Phase2BatchPolicy(width=8)
+        plans = plan_batches(self._items([1, 2, 2, 3]), policy)
+        # the duplicate colour may not share a run with its twin
+        assert isinstance(plans[0], list)
+        assert [it.color for it in plans[0]] == [1, 2]
+        assert isinstance(plans[1], list)
+        assert [it.color for it in plans[1]] == [2, 3]
+
+    def test_short_runs_degrade_to_singles(self):
+        policy = Phase2BatchPolicy(width=8, min_run=3)
+        plans = plan_batches(self._items([1, 2]), policy)
+        assert all(isinstance(p, WorkItem) for p in plans)
+
+    def test_oversized_items_not_batched(self):
+        policy = Phase2BatchPolicy(width=8, max_item_nodes=3)
+        small = self._items([1, 2], size=2)
+        big = self._items([3], size=9)
+        plans = plan_batches(small + big, policy)
+        assert isinstance(plans[0], list) and len(plans[0]) == 2
+        assert isinstance(plans[1], WorkItem)
+
+    def test_scan_items_not_batched(self):
+        # scan-representation items (nodes=None) always run per-pivot
+        policy = Phase2BatchPolicy()
+        items = [WorkItem(color=c, nodes=None) for c in (1, 2, 3)]
+        plans = plan_batches(items, policy)
+        assert all(isinstance(p, WorkItem) for p in plans)
+
+    def test_no_policy_passthrough(self):
+        items = self._items([1, 2, 3])
+        assert plan_batches(items, None) == items

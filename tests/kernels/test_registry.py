@@ -27,6 +27,8 @@ ALL_KERNELS = (
     "wcc_hook_round",
     "trim2_pattern_pairs",
     "dfs_collect_colored",
+    "ms_expand_frontier",
+    "ms_fwbw_intersect",
 )
 
 
@@ -127,12 +129,37 @@ class TestRegistryContents:
             "requested", "resolved", "numba_available", "jit_active",
             "kernels",
         }
-        assert info["resolved"] in ("numpy", "numba")
+        assert info["resolved"] in ("numpy", "numba", "fastpath")
         assert isinstance(info["numba_available"], bool)
         for name in ALL_KERNELS:
             assert name in info["kernels"]
         if not info["numba_available"]:
             assert info["jit_active"] is False
+
+    def test_backend_info_never_claims_numba_without_numba(self):
+        # Regression: backend_info() used to echo the resolved slot
+        # name ("numba") even when numba was not importable, so
+        # benchmark JSON recorded a JIT run that never happened.  The
+        # (resolved, numba_available, jit_active) triple must be
+        # consistent: "numba" only ever appears with the JIT active.
+        info = backend_info()
+        triple = (
+            info["resolved"],
+            info["numba_available"],
+            info["jit_active"],
+        )
+        if registry.numba_available():
+            assert triple == ("numba", True, True)
+        else:
+            assert triple == ("fastpath", False, False)
+        if info["resolved"] == "numba":
+            assert info["jit_active"]
+
+    def test_backend_info_numpy_pin_reports_numpy(self):
+        with use_backend("numpy"):
+            info = backend_info()
+        assert info["resolved"] == "numpy"
+        assert info["jit_active"] is False
 
     def test_numba_request_without_numba_warns_once(self):
         if registry.numba_available():
