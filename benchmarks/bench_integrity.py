@@ -1,0 +1,194 @@
+"""Integrity-tier overhead benchmark: what "trust but verify" costs.
+
+Serves the same warm request stream through two in-process
+:class:`~repro.service.server.SCCService` instances — the control arm
+with checksums and auditing off, the guarded arm with block-CRC
+sidecars on and the background auditor sampling at 5% — and compares
+mean warm latency.  Also prices result certification per level as
+information (certification is per-request opt-in, not standing
+overhead).  Writes ``BENCH_integrity.json``; with ``--check`` the run
+fails unless the guarded arm stays within the 5% overhead budget the
+roadmap promises.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+#: the acceptance gate: checksums + 5% audit sampling may cost at most
+#: this fraction of warm serving latency.
+OVERHEAD_BUDGET = 0.05
+
+
+def serve_stream(cfg_kwargs, requests, *, warmup):
+    """Mean warm-request latency through one service instance."""
+    from repro.service.server import SCCService, ServiceConfig
+
+    walls = []
+    with SCCService(ServiceConfig(**cfg_kwargs)) as svc:
+        for req in requests[:warmup]:
+            resp = svc.handle(req)
+            assert resp["ok"], resp
+        for req in requests:
+            t0 = time.perf_counter()
+            resp = svc.handle(req)
+            walls.append(time.perf_counter() - t0)
+            assert resp["ok"], resp
+        if svc.auditor is not None:
+            svc.auditor.drain(timeout=60)
+            audit = svc.auditor.to_dict()
+        else:
+            audit = None
+        stats = svc.stats()
+    walls.sort()
+    return {
+        "requests": len(walls),
+        "mean_wall_s": round(sum(walls) / len(walls), 6),
+        "p50_wall_s": round(walls[len(walls) // 2], 6),
+        "p95_wall_s": round(walls[int(len(walls) * 0.95)], 6),
+        "audit": audit,
+        "integrity": stats["integrity"],
+    }
+
+
+def bench_certify(graph, scale, seed):
+    """Per-level certification cost over one method2 result."""
+    from repro.engine import Engine
+    from repro.integrity import CERTIFY_LEVELS, certify_result
+
+    rows = {}
+    with Engine(backend="serial", canonical=True) as eng:
+        sess = eng.load(graph, scale=scale)
+        result = eng.run(sess, method="method2", seed=seed)
+        for level in CERTIFY_LEVELS:
+            t0 = time.perf_counter()
+            cert = certify_result(
+                sess.graph, result.labels, level=level, seed=seed
+            )
+            rows[level] = {
+                "wall_s": round(time.perf_counter() - t0, 6),
+                "ok": cert["ok"],
+            }
+    return rows
+
+
+def main(argv=None) -> int:
+    from repro.kernels import backend_info
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller graph, fewer requests (CI smoke; stdout-only "
+        "unless --out is given)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail unless overhead <= {OVERHEAD_BUDGET:.0%}",
+    )
+    ap.add_argument("--graph", default="wiki")
+    ap.add_argument("--scale", type=float, default=None)
+    ap.add_argument("--requests", type=int, default=None)
+    ap.add_argument("--audit-rate", type=float, default=0.05)
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_integrity.json at the repo "
+        "root for full runs, stdout-only for --quick)",
+    )
+    args = ap.parse_args(argv)
+
+    scale = args.scale or (0.1 if args.quick else 0.4)
+    n_requests = args.requests or (20 if args.quick else 60)
+    requests = [
+        {
+            "op": "run",
+            "graph": args.graph,
+            "scale": scale,
+            "id": str(i),
+        }
+        for i in range(n_requests)
+    ]
+    common = {"backend": "serial"}
+
+    arms = {
+        "unguarded": dict(
+            common, checksums=False, audit_rate=0.0
+        ),
+        "guarded": dict(
+            common, checksums=True, audit_rate=args.audit_rate
+        ),
+    }
+    doc = {
+        "benchmark": "integrity_overhead",
+        "quick": args.quick,
+        "graph": args.graph,
+        "scale": scale,
+        "audit_rate": args.audit_rate,
+        "budget": OVERHEAD_BUDGET,
+        "kernels": backend_info(),
+        "arms": {},
+    }
+    for name, cfg in arms.items():
+        row = serve_stream(cfg, requests, warmup=3)
+        doc["arms"][name] = row
+        print(
+            f"{name:>10s}: mean {row['mean_wall_s']*1e3:8.2f} ms  "
+            f"p50 {row['p50_wall_s']*1e3:8.2f} ms  "
+            f"p95 {row['p95_wall_s']*1e3:8.2f} ms  "
+            f"x{row['requests']}"
+        )
+
+    base = doc["arms"]["unguarded"]["mean_wall_s"]
+    cost = doc["arms"]["guarded"]["mean_wall_s"]
+    overhead = (cost - base) / base
+    doc["overhead_frac"] = round(overhead, 4)
+    guarded = doc["arms"]["guarded"]
+    assert guarded["integrity"]["checksums"] is True
+    assert guarded["integrity"]["verifications"] > 0, (
+        "guarded arm never verified a sidecar — the benchmark is not "
+        "measuring the integrity tier"
+    )
+    print(
+        f"integrity overhead: {overhead:+.2%} of warm serving latency "
+        f"(checksums on, audit_rate={args.audit_rate})"
+    )
+
+    doc["certify"] = bench_certify(args.graph, scale, seed=0)
+    for level, row in doc["certify"].items():
+        print(
+            f"certify[{level:>6s}]: {row['wall_s']*1e3:8.2f} ms  "
+            f"ok={row['ok']}"
+        )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = str(
+            Path(__file__).resolve().parent.parent
+            / "BENCH_integrity.json"
+        )
+    if out:
+        Path(out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out}")
+
+    if args.check and overhead > OVERHEAD_BUDGET:
+        print(
+            f"FAIL: overhead {overhead:.2%} exceeds the "
+            f"{OVERHEAD_BUDGET:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,9 @@ answering JSON requests on stdin or a Unix socket.
 
 Failures exit with the typed codes documented in
 :mod:`repro.errors` (11 = ingest, 12 = validation, 13 = checkpoint,
-14 = phase timeout, ... 17 = overload shed, 18 = memory budget), so
-scripts can branch on *what* failed.
+14 = phase timeout, ... 17 = overload shed, 18 = memory budget,
+20 = integrity/corruption detected), so scripts can branch on *what*
+failed.
 """
 
 from __future__ import annotations
@@ -146,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults for a recovery demo: 'kind@index[:stage]' "
         "list (e.g. 'crash@2,hang@0:mid,poison@5') or a JSON spec "
         "list; forces the supervised backend",
+    )
+    p_scc.add_argument(
+        "--certify",
+        nargs="?",
+        const="sample",
+        default=None,
+        choices=("crc", "sample", "full"),
+        help="emit a machine-checkable result certificate: 'crc' tags "
+        "the canonical labels, 'sample' (the bare-flag default) also "
+        "proves FW∧BW membership for sampled SCCs, 'full' adds an "
+        "independent Tarjan cross-check; a failed proof exits 20",
     )
     p_scc.add_argument(
         "--phase2-batch",
@@ -288,6 +300,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="default wall-clock budget per job in seconds (a job's "
         "own 'timeout' field wins); expiry fails typed (exit 14)",
+    )
+    p_batch.add_argument(
+        "--certify",
+        nargs="?",
+        const="sample",
+        default=None,
+        choices=("crc", "sample", "full"),
+        help="default certification level for every job (a job's own "
+        "'certify' field wins); certificates land in the report",
+    )
+    p_batch.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="disable the block-CRC integrity sidecars over warm "
+        "session arrays (on by default; a mismatch fails the job "
+        "typed with exit 20 and quarantines the session)",
     )
 
     p_serve = sub.add_parser(
@@ -442,6 +470,35 @@ def build_parser() -> argparse.ArgumentParser:
         "admission sequence number) — chaos drills for the retry "
         "path and circuit breaker",
     )
+    p_serve.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="disable the block-CRC integrity sidecars over warm "
+        "session arrays (on by default)",
+    )
+    p_serve.add_argument(
+        "--on-corruption",
+        default="quarantine",
+        choices=("quarantine", "fail"),
+        help="response to detected corruption: 'quarantine' evicts "
+        "the session and retries from source (default), 'fail' "
+        "answers the request typed with exit code 20",
+    )
+    p_serve.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.0,
+        help="fraction of completed requests re-executed on the "
+        "serial reference path by the background self-auditor; a CRC "
+        "mismatch quarantines the session and marks the serving "
+        "backend suspect (0 = off)",
+    )
+    p_serve.add_argument(
+        "--audit-seed",
+        type=int,
+        default=0,
+        help="seed for the auditor's deterministic request sample",
+    )
 
     p_dist = sub.add_parser(
         "distributed",
@@ -553,6 +610,22 @@ def _cmd_scc(args) -> int:
             )
     result = strongly_connected_components(g, args.method, **kwargs)
     print(f"method: {args.method}")
+    if args.certify:
+        from .integrity import certify_result
+
+        cert = certify_result(
+            g, result.labels, level=args.certify, seed=args.seed
+        )
+        proved = sum(1 for p in cert["sampled"] if p["proved"])
+        extra = (
+            ", Tarjan cross-checked" if cert["tarjan_checked"] else ""
+        )
+        print(
+            f"certificate [{cert['level']}]: ok, "
+            f"labels crc32={cert['labels_crc32']:#010x}, "
+            f"{proved}/{len(cert['sampled'])} sampled SCC(s) proved"
+            f"{extra}"
+        )
     if args.method not in ("tarjan", "kosaraju", "gabow"):
         from .kernels import backend_info
 
@@ -683,8 +756,14 @@ def _cmd_batch(args) -> int:
         # This flag injects at the per-job boundary; the parser's
         # default site is the task kernel, so pin every spec to "job"
         # (per-task injection belongs in a job's own fault_plan field).
+        # "phase"-site corrupt specs — the only legal site for
+        # run-owned labels/color — keep their site and fire at phase
+        # boundaries inside every job's run.
         fault_plan = FaultPlan(
-            dataclasses.replace(s, site="job") for s in parsed.specs
+            s
+            if s.kind == "corrupt" and s.site == "phase"
+            else dataclasses.replace(s, site="job")
+            for s in parsed.specs
         )
 
     if args.job_timeout is not None:
@@ -693,6 +772,15 @@ def _cmd_batch(args) -> int:
         jobs = [
             dataclasses.replace(job, timeout=args.job_timeout)
             if job.timeout is None
+            else job
+            for job in jobs
+        ]
+    if args.certify is not None:
+        import dataclasses
+
+        jobs = [
+            dataclasses.replace(job, certify=args.certify)
+            if job.certify is None
             else job
             for job in jobs
         ]
@@ -718,7 +806,7 @@ def _cmd_batch(args) -> int:
             f"({rec.seconds:.2f}s{warm}{tries})"
         )
 
-    with Engine() as engine:
+    with Engine(integrity=not args.no_checksums) as engine:
         report = run_batch(
             engine,
             jobs,
@@ -727,8 +815,14 @@ def _cmd_batch(args) -> int:
             progress=progress,
         )
     shed = f", {report.jobs_shed} shed" if report.jobs_shed else ""
+    certified = (
+        f", {report.certificates_issued} certified"
+        if report.certificates_issued
+        else ""
+    )
     print(
-        f"batch: {report.jobs_ok}/{report.jobs_total} ok{shed} in "
+        f"batch: {report.jobs_ok}/{report.jobs_total} ok{shed}"
+        f"{certified} in "
         f"{report.seconds:.2f}s over {len(report.sessions)} session(s)"
     )
     if args.output:
@@ -759,9 +853,14 @@ def _cmd_serve(args) -> int:
             print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
             return 2
         # This flag injects at the per-request boundary (index = the
-        # request's admission sequence number).
+        # request's admission sequence number).  "phase"-site corrupt
+        # specs — the only legal site for run-owned labels/color —
+        # keep their site and fire inside every request's run.
         fault_plan = FaultPlan(
-            dataclasses.replace(s, site="request") for s in parsed.specs
+            s
+            if s.kind == "corrupt" and s.site == "phase"
+            else dataclasses.replace(s, site="request")
+            for s in parsed.specs
         )
     governor = None
     if args.soft_limit_mb is not None or args.hard_limit_mb is not None:
@@ -801,6 +900,10 @@ def _cmd_serve(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         governor=governor,
         default_deadline=args.request_timeout,
+        checksums=not args.no_checksums,
+        on_corruption=args.on_corruption,
+        audit_rate=args.audit_rate,
+        audit_seed=args.audit_seed,
     )
     with SCCService(config, fault_plan=fault_plan) as service:
         if args.preload:

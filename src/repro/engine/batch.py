@@ -68,11 +68,16 @@ class BatchJob:
     scale: Optional[float] = None
     workers: int = 2
     on_error: str = "strict"
-    #: per-job fault plan string (tests/demos); forces the supervised
-    #: backend, exactly like ``repro scc --fault-plan``.
+    #: per-job fault plan string (tests/demos).  ``corrupt`` specs rot
+    #: the warm session's arrays before the run (the integrity drill);
+    #: any other kind forces the supervised backend, exactly like
+    #: ``repro scc --fault-plan``.
     fault_plan: Optional[str] = None
     #: wall-clock budget for this job, seconds (None = unbounded).
     timeout: Optional[float] = None
+    #: certification level for the result ("crc", "sample", "full";
+    #: None = no certificate) — see :func:`repro.integrity.certify_result`.
+    certify: Optional[str] = None
     options: dict = field(default_factory=dict)
     label: Optional[str] = None
 
@@ -118,6 +123,9 @@ class JobRecord:
     attempts: int = 1
     #: True when the job never ran because the batch was interrupted.
     shed: bool = False
+    #: the machine-checkable result certificate, when the job asked
+    #: for one (see :func:`repro.integrity.certify_result`).
+    certificate: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -138,6 +146,7 @@ class JobRecord:
             "session_fingerprint": self.session_fingerprint,
             "attempts": self.attempts,
             "shed": self.shed,
+            "certificate": self.certificate,
         }
 
 
@@ -174,12 +183,27 @@ class BatchReport:
                 return r.exit_code
         return 0
 
+    @property
+    def certificates_issued(self) -> int:
+        return sum(1 for r in self.records if r.certificate is not None)
+
+    @property
+    def integrity_failures(self) -> int:
+        """Jobs that failed with detected corruption (exit 20)."""
+        return sum(
+            1
+            for r in self.records
+            if not r.ok and r.error_type == "IntegrityError"
+        )
+
     def to_dict(self) -> dict:
         return {
             "jobs_total": self.jobs_total,
             "jobs_ok": self.jobs_ok,
             "jobs_failed": self.jobs_failed,
             "jobs_shed": self.jobs_shed,
+            "certificates_issued": self.certificates_issued,
+            "integrity_failures": self.integrity_failures,
             "seconds": self.seconds,
             "sessions": self.sessions,
             "jobs": [r.to_dict() for r in self.records],
@@ -303,17 +327,24 @@ def run_batch(
                 from ..runtime.lifecycle import phase_deadline
 
                 with phase_deadline(_job.timeout, f"job[{_index}]"):
-                    return _run_job(engine, _job)
+                    return _run_job(
+                        engine,
+                        _job,
+                        attempt=attempt,
+                        batch_plan=fault_plan,
+                        job_index=_index,
+                    )
 
             try:
                 if retry is not None:
                     outcome = retry.execute(attempt_job, key=index)
                     rec.attempts = outcome.attempts
-                    fingerprint, result, warm = outcome.value
+                    fingerprint, result, warm, cert = outcome.value
                 else:
-                    fingerprint, result, warm = attempt_job(0)
+                    fingerprint, result, warm, cert = attempt_job(0)
                 rec.session_fingerprint = fingerprint
                 rec.warm = warm
+                rec.certificate = cert
                 rec.num_sccs = result.num_sccs
                 rec.largest_scc = result.largest_scc_size()
                 rec.giant_fraction = result.giant_fraction()
@@ -349,9 +380,16 @@ def _note_attempts(rec: JobRecord, exc: BaseException) -> None:
         rec.attempts = outcome.attempts
 
 
-def _run_job(engine, job: BatchJob):
+def _run_job(
+    engine,
+    job: BatchJob,
+    attempt: int = 0,
+    batch_plan=None,
+    job_index: int = 0,
+):
     """One job body: resolve the session, run, return the essentials."""
-    from ..runtime.faults import FaultPlan
+    from ..errors import IntegrityError
+    from ..runtime.faults import FaultPlan, apply_corruption
     from ..runtime.supervisor import SupervisorConfig
 
     session = engine.load(
@@ -359,11 +397,49 @@ def _run_job(engine, job: BatchJob):
     )
     backend = job.backend
     supervisor = None
+    run_fault_plan = None
+    corrupt_specs = []
     if job.fault_plan:
-        backend = "supervised"  # only the supervised backend recovers
-        supervisor = SupervisorConfig(
-            fault_plan=FaultPlan.parse(job.fault_plan)
+        plan = FaultPlan.parse(job.fault_plan)
+        # job-carried specs target *this* job regardless of site/index.
+        corrupt_specs += [s for s in plan.specs if s.kind == "corrupt"]
+        rest = [s for s in plan.specs if s.kind != "corrupt"]
+        if rest:
+            # only the supervised backend recovers from the rest.
+            backend = "supervised"
+            supervisor = SupervisorConfig(fault_plan=FaultPlan(rest))
+    if batch_plan is not None:
+        # batch-level --fault-plan: "job"-site corruptions pick their
+        # job by manifest position; "phase"-site ones (the only legal
+        # site for run-owned labels/color) ride along into every job.
+        corrupt_specs += list(
+            batch_plan.corruptions("job", job_index, attempt)
         )
+        corrupt_specs += [
+            s
+            for s in batch_plan.specs
+            if s.kind == "corrupt" and s.site == "phase"
+        ]
+    if corrupt_specs:
+        # "phase"-site corruptions fire at exact phase boundaries
+        # inside the engine; anything else rots the warm session right
+        # now (attempt < times, so the default 1 lets the retry's
+        # rebuilt session through clean).
+        phase_specs = [
+            s
+            for s in corrupt_specs
+            if s.site == "phase" and attempt < s.times
+        ]
+        if phase_specs:
+            run_fault_plan = FaultPlan(phase_specs)
+        for spec in corrupt_specs:
+            if spec.site == "phase" or attempt >= spec.times:
+                continue
+            if spec.array in ("in_indptr", "in_indices"):
+                session.ensure_transpose()
+            elif spec.array in ("out_degrees", "in_degrees"):
+                session.effective_degrees()
+            apply_corruption(session.integrity_arrays()[spec.array], spec)
     runs_before = session.stats.runs
     warm_before = session.stats.warm_runs
 
@@ -378,18 +454,35 @@ def _run_job(engine, job: BatchJob):
             # cooperative twin of the SIGALRM job guard: enforced at
             # phase boundaries even off the main thread.
             deadline=job.timeout,
+            fault_plan=run_fault_plan,
             **job.options,
         )
 
-    if job.kernels is not None:
-        from ..kernels import use_backend
+    try:
+        if job.kernels is not None:
+            from ..kernels import use_backend
 
-        with use_backend(job.kernels):
+            with use_backend(job.kernels):
+                result = execute()
+        else:
             result = execute()
-    else:
-        result = execute()
+        certificate = None
+        if job.certify:
+            from ..integrity import certify_result
+
+            certificate = certify_result(
+                session.graph,
+                result.labels,
+                level=job.certify,
+                seed=job.seed,
+            )
+    except IntegrityError:
+        # detected corruption: evict the rotten session so a retry —
+        # or the next job against this graph — rebuilds from source.
+        engine.quarantine(session.fingerprint)
+        raise
     warm = (
         session.stats.runs == runs_before + 1
         and session.stats.warm_runs == warm_before + 1
     )
-    return session.fingerprint, result, warm
+    return session.fingerprint, result, warm, certificate

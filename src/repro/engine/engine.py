@@ -83,6 +83,13 @@ class Engine:
     max_sessions:
         Session-cache capacity; least-recently-used sessions beyond it
         are closed and evicted.
+    integrity:
+        Seal session arrays into block-CRC sidecars
+        (:mod:`repro.integrity.checksums`) and verify them at session
+        borrow, at every pipeline phase boundary, and before a result
+        is returned.  A mismatch raises
+        :class:`~repro.errors.IntegrityError` (exit 20); the serving
+        layer answers it with :meth:`quarantine`.
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class Engine:
         cost: CostModel = DEFAULT_COST_MODEL,
         canonical: bool = True,
         max_sessions: int = 8,
+        integrity: bool = False,
     ) -> None:
         get_executor(backend)  # validate eagerly
         if max_sessions < 1:
@@ -102,6 +110,8 @@ class Engine:
         self.cost = cost
         self.canonical = canonical
         self.max_sessions = max_sessions
+        self.integrity = integrity
+        self.quarantines = 0
         self._sessions: "OrderedDict[int, GraphSession]" = OrderedDict()
         self._by_source: Dict[tuple, int] = {}
         self._closed = False
@@ -117,7 +127,9 @@ class Engine:
         key = graph_fingerprint(graph)
         sess = self._sessions.get(key)
         if sess is None or sess.closed:
-            sess = GraphSession(graph, name=name, cost=self.cost)
+            sess = GraphSession(
+                graph, name=name, cost=self.cost, integrity=self.integrity
+            )
             self._admit(key, sess)
         else:
             self._sessions.move_to_end(key)
@@ -164,6 +176,7 @@ class Engine:
                 name=name or source,
                 cost=self.cost,
                 load_seconds=load_seconds,
+                integrity=self.integrity,
             )
             self._admit(key, sess)
         else:
@@ -212,6 +225,27 @@ class Engine:
             evicted += 1
         return evicted
 
+    def quarantine(self, fingerprint: int) -> bool:
+        """Evict one session *because its bytes can no longer be
+        trusted* (checksum mismatch, audit disagreement).
+
+        Unlike LRU eviction this also purges every source-cache entry
+        pointing at the fingerprint, so the next request for the same
+        input rebuilds the session from the original source instead of
+        resurrecting the rotten arrays.  Returns True when a session
+        was actually quarantined; counted in :attr:`quarantines`.
+        """
+        sess = self._sessions.pop(fingerprint, None)
+        if sess is None:
+            return False
+        sess.close()
+        for skey in [
+            k for k, v in self._by_source.items() if v == fingerprint
+        ]:
+            del self._by_source[skey]
+        self.quarantines += 1
+        return True
+
     def estimated_bytes(self) -> int:
         """Approximate bytes pinned by every live session."""
         return sum(s.estimated_bytes() for s in self._sessions.values())
@@ -234,6 +268,7 @@ class Engine:
         supervisor=None,
         canonical: bool | None = None,
         deadline: float | None = None,
+        fault_plan=None,
         **method_kwargs,
     ) -> SCCResult:
         """One SCC detection over a (warm) session.
@@ -246,13 +281,18 @@ class Engine:
         wall-clock seconds: for the pipelines it is checked at every
         phase boundary and threaded into the deadline-aware phase-2
         executors (cooperative — safe from any thread); expiry raises
-        :class:`~repro.errors.PhaseTimeoutError`.  Remaining keywords
-        flow to the method (``queue_k``, ``pivot_strategy``, ...).
+        :class:`~repro.errors.PhaseTimeoutError`.  ``fault_plan`` arms
+        ``corrupt``-kind faults at the ``"phase"`` site for the
+        pipelines — seeded bit flips driven into warm arrays at exact
+        phase boundaries, the silent-data-corruption drill the
+        integrity sidecars must catch.  Remaining keywords flow to the
+        method (``queue_k``, ``pivot_strategy``, ...).
         """
         self._check_open()
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive")
         session = self.session(target)
+        session.verify_integrity(context="session:borrow")
         backend = backend if backend is not None else self.backend
         num_workers = (
             num_workers if num_workers is not None else self.num_workers
@@ -273,6 +313,7 @@ class Engine:
                 cost=cost,
                 supervisor=supervisor,
                 deadline=deadline,
+                fault_plan=fault_plan,
                 **method_kwargs,
             )
         else:
@@ -285,6 +326,7 @@ class Engine:
                 cost=cost,
                 **method_kwargs,
             )
+            session.verify_integrity(context="session:return")
         warm = was_run and (
             session.stats.setup_seconds() == setup_before
         )
@@ -292,6 +334,89 @@ class Engine:
         if canonical:
             result.labels = canonical_labels(result.labels)
         return result
+
+    def _integrity_plan(self, plan, session, state, fault_plan):
+        """Wrap every phase with the silent-corruption defenses.
+
+        Two independent jobs share the wrapper because they must agree
+        on ordering:
+
+        * ``corrupt``-kind faults at the ``"phase"`` site flip seeded
+          bits in warm arrays: ``pre``-stage before the phase's entry
+          verification (caught immediately), ``mid``/``post`` after the
+          phase's state reseal (caught at the next boundary or the
+          final verification) — exactly where real rot lands, between
+          the moments anything looks.
+        * When the session carries checksum sidecars, a run-local
+          sidecar seals the mutable :class:`SCCState` arrays (labels,
+          colours) after every phase and re-verifies graph + state
+          seals at every phase entry, so corruption never crosses a
+          phase boundary undetected.
+
+        Returns ``(wrapped_plan, final_verify)``; ``final_verify``
+        runs after the plan completes, before the result escapes.
+        """
+        import dataclasses
+
+        from ..errors import IntegrityError
+        from ..runtime.faults import apply_corruption
+
+        run_cs = None
+        if session.checksums is not None:
+            from ..integrity import ChecksummedArrays
+
+            run_cs = ChecksummedArrays()
+            # seal the fresh state immediately: a flip landing before
+            # the first phase must not be absorbed into the baseline.
+            run_cs.seal("labels", state.labels)
+            run_cs.seal("color", state.color)
+
+        def resolve(name):
+            if name in ("labels", "color"):
+                return getattr(state, name)
+            if name in ("out_degrees", "in_degrees"):
+                session.effective_degrees()
+            return session.integrity_arrays()[name]
+
+        def corrupt(index, stages):
+            if fault_plan is None:
+                return
+            for spec in fault_plan.corruptions("phase", index):
+                if spec.stage in stages:
+                    apply_corruption(resolve(spec.array), spec)
+
+        def reseal():
+            if run_cs is not None:
+                run_cs.seal("labels", state.labels)
+                run_cs.seal("color", state.color)
+
+        def verify(context):
+            session.verify_integrity(context=context)
+            if run_cs is None:
+                return
+            try:
+                run_cs.verify("labels", state.labels, context=context)
+                run_cs.verify("color", state.color, context=context)
+            except IntegrityError:
+                session.stats.integrity_failures += 1
+                raise
+            session.stats.integrity_verifications += 2
+
+        def wrap(i, ph):
+            inner = ph.fn
+
+            def fn(st, ctx, _inner=inner, _i=i, _name=ph.name):
+                corrupt(_i, ("pre",))
+                verify(f"phase[{_i}]:{_name}")
+                out = _inner(st, ctx)
+                reseal()
+                corrupt(_i, ("mid", "post"))
+                return out
+
+            return dataclasses.replace(ph, fn=fn)
+
+        wrapped = [wrap(i, ph) for i, ph in enumerate(plan)]
+        return wrapped, (lambda: verify("run:final"))
 
     def _run_plan(
         self,
@@ -304,6 +429,7 @@ class Engine:
         cost: CostModel,
         supervisor,
         deadline: float | None = None,
+        fault_plan=None,
         **method_kwargs,
     ) -> SCCResult:
         from ..core.method1 import method1_phases
@@ -328,7 +454,14 @@ class Engine:
             plan = _bound_plan(plan, expiry, deadline)
             ctx["deadline"] = expiry
         state = SCCState(session.graph, seed=seed, cost=cost)
+        final_verify = None
+        if session.checksums is not None or fault_plan is not None:
+            plan, final_verify = self._integrity_plan(
+                plan, session, state, fault_plan
+            )
         run_plan(state, plan, ctx)
+        if final_verify is not None:
+            final_verify()
         state.check_done()
         return SCCResult(
             labels=state.labels,

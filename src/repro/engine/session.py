@@ -76,6 +76,9 @@ class SessionStats:
     #: cache hits on already-built artifacts.
     transpose_reuses: int = 0
     pool_reuses: int = 0
+    #: integrity-tier accounting (0 when checksums are off).
+    integrity_verifications: int = 0
+    integrity_failures: int = 0
 
     def setup_seconds(self) -> float:
         """Total one-time setup paid so far (load + derive + fork)."""
@@ -100,6 +103,8 @@ class SessionStats:
             "warm_runs": self.warm_runs,
             "transpose_reuses": self.transpose_reuses,
             "pool_reuses": self.pool_reuses,
+            "integrity_verifications": self.integrity_verifications,
+            "integrity_failures": self.integrity_failures,
         }
 
 
@@ -121,6 +126,7 @@ class GraphSession:
         name: Optional[str] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
         load_seconds: float = 0.0,
+        integrity: bool = False,
     ) -> None:
         self.graph = graph
         self.name = name
@@ -133,6 +139,16 @@ class GraphSession:
         self._pool: Optional[WorkerPool] = None
         self._pool_signature: Optional[tuple] = None
         self._closed = False
+        self.checksums = None
+        if integrity:
+            from ..integrity import ChecksummedArrays
+
+            self.checksums = ChecksummedArrays()
+            self.checksums.seal("indptr", graph.indptr)
+            self.checksums.seal("indices", graph.indices)
+            if graph._in_indptr is not None:
+                self.checksums.seal("in_indptr", graph._in_indptr)
+                self.checksums.seal("in_indices", graph._in_indices)
 
     # -- cached derived artifacts ---------------------------------------
     def ensure_transpose(self) -> None:
@@ -145,6 +161,9 @@ class GraphSession:
         t0 = time.perf_counter()
         self.graph.in_indptr
         self.stats.transpose_seconds += time.perf_counter() - t0
+        if self.checksums is not None:
+            self.checksums.seal("in_indptr", self.graph._in_indptr)
+            self.checksums.seal("in_indices", self.graph._in_indices)
 
     def effective_degrees(self) -> Tuple[np.ndarray, np.ndarray]:
         """Cached ``(out_degrees, in_degrees)`` of the full graph."""
@@ -157,7 +176,47 @@ class GraphSession:
                 self.graph.in_degrees(),
             )
             self.stats.degrees_seconds += time.perf_counter() - t0
+            if self.checksums is not None:
+                self.checksums.seal("out_degrees", self._degrees[0])
+                self.checksums.seal("in_degrees", self._degrees[1])
         return self._degrees
+
+    # -- integrity ------------------------------------------------------
+    def integrity_arrays(self) -> dict:
+        """Name -> array for every sealable artifact materialized so
+        far (the ``corrupt`` fault kind targets these same names)."""
+        arrays = {
+            "indptr": self.graph.indptr,
+            "indices": self.graph.indices,
+        }
+        if self.graph._in_indptr is not None:
+            arrays["in_indptr"] = self.graph._in_indptr
+            arrays["in_indices"] = self.graph._in_indices
+        if self._degrees is not None:
+            arrays["out_degrees"] = self._degrees[0]
+            arrays["in_degrees"] = self._degrees[1]
+        return arrays
+
+    def verify_integrity(self, *, context: str = "") -> int:
+        """Verify every sealed session array against its sidecar.
+
+        No-op (returns 0) when checksums are off.  Raises
+        :class:`~repro.errors.IntegrityError` on the first mismatch;
+        the failure is counted so a quarantined session's stats still
+        tell the story after it is evicted.
+        """
+        if self.checksums is None:
+            return 0
+        self._check_open()
+        try:
+            checked = self.checksums.verify_all(
+                self.integrity_arrays(), context=context
+            )
+        except Exception:
+            self.stats.integrity_failures += 1
+            raise
+        self.stats.integrity_verifications += checked
+        return checked
 
     def validate(self) -> None:
         """Structural validation, at most once per session."""

@@ -21,6 +21,7 @@ class                     exit  raised when
 ``ServiceOverloadError``    17  admission control shed the request
 ``MemoryBudgetError``       18  request refused: memory budget would be blown
 ``WorkerLostError``         19  a serving worker died and replay was impossible
+``IntegrityError``          20  checksum/certification caught silent corruption
 ========================  ====  =============================================
 
 Every exit code is unique across the taxonomy — a retry controller or
@@ -48,6 +49,7 @@ __all__ = [
     "ServiceOverloadError",
     "MemoryBudgetError",
     "WorkerLostError",
+    "IntegrityError",
     "exit_code_for",
 ]
 
@@ -188,6 +190,44 @@ class WorkerLostError(ReproError, RuntimeError):
         self.worker = worker
         if worker is not None:
             message = f"worker {worker}: {message}"
+        super().__init__(message)
+
+
+class IntegrityError(ReproError, RuntimeError):
+    """Silent data corruption was caught before it could be served.
+
+    Raised by the integrity tier (:mod:`repro.integrity`) when a
+    block checksum over warm session state mismatches, when a result
+    certificate fails its reachability proof, or when the self-audit
+    loop finds a label CRC that disagrees with the serial reference
+    re-execution.  The serving layer treats it as *transient* under
+    the default ``on_corruption="quarantine"`` policy — the session is
+    evicted and rebuilt from source, so a retry runs on fresh arrays —
+    and as permanent (fail fast, exit 20) under ``"fail"``.
+    """
+
+    exit_code = 20
+
+    def __init__(
+        self,
+        message: str = "integrity check failed",
+        *,
+        array: Optional[str] = None,
+        block: Optional[int] = None,
+        context: Optional[str] = None,
+    ) -> None:
+        self.array = array
+        self.block = block
+        self.context = context
+        detail = []
+        if array is not None:
+            detail.append(f"array={array}")
+        if block is not None:
+            detail.append(f"block={block}")
+        if context:
+            detail.append(f"at {context}")
+        if detail:
+            message = f"{message} ({', '.join(detail)})"
         super().__init__(message)
 
 

@@ -1,0 +1,38 @@
+"""End-to-end integrity tier: trust the warm state, but verify it.
+
+The serving stack keeps graph sessions warm for hours and forks
+workers that inherit their arrays; every response's correctness
+silently assumes those bytes never rot.  This package removes the
+assumption with three cooperating defenses (DESIGN.md §14):
+
+* :mod:`repro.integrity.checksums` — block-CRC sidecars
+  (:class:`ChecksummedArrays`) over session-owned CSR/transpose/degree
+  arrays and run-owned label state, verified at session borrow, at
+  every phase boundary, and before a response is emitted; a mismatch
+  raises :class:`~repro.errors.IntegrityError` (exit 20);
+* :mod:`repro.integrity.certify` — machine-checkable result
+  certificates (:func:`certify_result`): canonical CRC, sampled FW∧BW
+  membership proofs reusing the phase-2 multi-source kernels, and a
+  full Tarjan cross-check tier for small graphs;
+* :mod:`repro.integrity.audit` — the continuous self-audit loop
+  (:class:`SelfAuditor`): a deterministic sample of completed requests
+  re-executed on the serial reference-NumPy path, mismatches
+  quarantining the session and marking the backend suspect.
+
+Chaos drills drive the whole detect → quarantine → rebuild → correct
+path with the deterministic ``corrupt`` fault kind
+(:mod:`repro.runtime.faults`).
+"""
+
+from .audit import AuditRecord, SelfAuditor
+from .certify import CERTIFY_LEVELS, certify_result
+from .checksums import DEFAULT_BLOCK_BYTES, ChecksummedArrays
+
+__all__ = [
+    "AuditRecord",
+    "SelfAuditor",
+    "CERTIFY_LEVELS",
+    "certify_result",
+    "ChecksummedArrays",
+    "DEFAULT_BLOCK_BYTES",
+]

@@ -1,0 +1,247 @@
+"""The continuous self-audit loop: re-run a sample, compare CRCs.
+
+Checksums catch *storage* rot; certification proves one result.  The
+:class:`SelfAuditor` closes the remaining gap — a systematically wrong
+fast path (a miscompiled kernel, a broken executor) that produces
+internally consistent wrong answers — by re-executing a deterministic
+sample of completed requests on its own small engine pinned to the
+**serial backend + reference-NumPy kernel tier** (the implementations
+the whole library was validated against) and comparing canonical label
+CRCs.
+
+Design points:
+
+* **deterministic sampling** — a request is audited iff
+  ``crc32(seed:seq) / 2^32 < rate``; replays and multi-process fronts
+  sample identically, and tests can force any request in or out.
+* **off the hot path** — submissions enqueue onto a bounded queue and
+  a daemon thread drains it; a full queue *drops* the audit (counted,
+  never blocking a response).
+* **mismatch = corruption** — the callback receives the request, the
+  served CRC and the reference CRC; the service quarantines the
+  session, marks the serving backend suspect through its breakers,
+  and counts the event (see :mod:`repro.service.server`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from typing import Callable, Optional
+
+from ..ioutil import crc32_chunks
+
+__all__ = ["AuditRecord", "SelfAuditor"]
+
+
+class AuditRecord:
+    """One completed request eligible for re-execution."""
+
+    __slots__ = (
+        "seq",
+        "request",
+        "labels_crc32",
+        "backend_used",
+        "fingerprint",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        request: dict,
+        labels_crc32: int,
+        backend_used: Optional[str],
+        fingerprint: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.request = request
+        self.labels_crc32 = labels_crc32
+        self.backend_used = backend_used
+        self.fingerprint = fingerprint
+
+
+class SelfAuditor:
+    """Background re-execution of sampled requests on the reference
+    path.
+
+    ``on_mismatch(record, reference_crc)`` fires from the audit thread
+    when the reference disagrees with what was served.  ``engine`` may
+    be injected for tests; by default the auditor owns a tiny serial
+    engine with integrity checksums on (the reference must not itself
+    serve from rotten arrays).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        seed: int = 0,
+        max_queue: int = 64,
+        engine=None,
+        on_mismatch: Optional[Callable] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("audit rate must be within [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self.on_mismatch = on_mismatch
+        self._own_engine = engine is None
+        if engine is None:
+            from ..engine.engine import Engine
+
+            engine = Engine(
+                backend="serial",
+                canonical=True,
+                max_sessions=2,
+                integrity=True,
+            )
+        self.engine = engine
+        self._queue: "queue.Queue[Optional[AuditRecord]]" = queue.Queue(
+            maxsize=max_queue
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        # counters
+        self.sampled = 0
+        self.audits_run = 0
+        self.mismatches = 0
+        self.dropped = 0
+        self.errors = 0
+
+    # -- sampling -------------------------------------------------------
+    def selects(self, seq: int) -> bool:
+        """Deterministic verdict: is request ``seq`` in the sample?"""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        token = f"{self.seed}:{seq}".encode()
+        return (zlib.crc32(token) & 0xFFFFFFFF) / 2**32 < self.rate
+
+    def maybe_submit(
+        self,
+        seq: int,
+        request: dict,
+        labels_crc32: Optional[int],
+        backend_used: Optional[str] = None,
+        fingerprint: Optional[int] = None,
+    ) -> bool:
+        """Enqueue the request for audit when the sample selects it.
+
+        Returns True when enqueued.  Never blocks: a full queue drops
+        the audit and counts it.
+        """
+        if labels_crc32 is None or not self.selects(seq):
+            return False
+        self.sampled += 1
+        record = AuditRecord(
+            seq, dict(request), labels_crc32, backend_used, fingerprint
+        )
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            self.dropped += 1
+            return False
+        self._ensure_thread()
+        return True
+
+    # -- the audit itself ----------------------------------------------
+    def reference_crc(self, request: dict) -> int:
+        """Re-execute ``request`` on the serial reference path."""
+        from ..kernels import use_backend
+
+        with self._lock:
+            session = self.engine.load(
+                request["graph"],
+                scale=request.get("scale"),
+                seed=None,
+                on_error=request.get("on_error", "strict"),
+            )
+            with use_backend("numpy"):
+                result = self.engine.run(
+                    session,
+                    method=request.get("method", "method2"),
+                    backend="serial",
+                    seed=request.get("seed", 0),
+                    **(request.get("options") or {}),
+                )
+        return crc32_chunks(result.labels.tobytes())
+
+    def audit_once(self, record: AuditRecord) -> bool:
+        """Run one audit synchronously; returns True when it matched."""
+        reference = self.reference_crc(record.request)
+        self.audits_run += 1
+        if reference == record.labels_crc32:
+            return True
+        self.mismatches += 1
+        if self.on_mismatch is not None:
+            self.on_mismatch(record, reference)
+        return False
+
+    # -- background thread ----------------------------------------------
+    def _ensure_thread(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="self-auditor"
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                record = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if record is None:
+                self._queue.task_done()
+                break
+            try:
+                self.audit_once(record)
+            except Exception:
+                # an audit must never take the service down; the
+                # error counter is its trace.
+                self.errors += 1
+            finally:
+                self._queue.task_done()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every queued audit has run (tests, drain path).
+
+        Returns True when the queue fully drained within ``timeout``.
+        """
+        import time
+
+        done = threading.Event()
+
+        def _wait() -> None:
+            self._queue.join()
+            done.set()
+
+        waiter = threading.Thread(target=_wait, daemon=True)
+        waiter.start()
+        return done.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop the audit thread and release the reference engine."""
+        self._stopped.set()
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._own_engine:
+            self.engine.close()
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "sampled": self.sampled,
+            "audits_run": self.audits_run,
+            "mismatches": self.mismatches,
+            "dropped": self.dropped,
+            "errors": self.errors,
+        }

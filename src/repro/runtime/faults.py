@@ -4,8 +4,10 @@ A :class:`FaultPlan` is a seedable, fully deterministic description of
 *which* task executions fail and *how*: a worker process can be killed
 mid-task (``crash``), a task can be delayed past its deadline
 (``hang``), an exception can be raised inside the task body
-(``raise``), or a shared-memory label write can be silently corrupted
-(``poison``).  The plan is matched against ``(site, index, attempt)``
+(``raise``), a shared-memory label write can be silently corrupted
+(``poison``), or seeded bit flips can be driven into a named warm
+array (``corrupt`` — the silent-data-corruption drill the integrity
+tier detects).  The plan is matched against ``(site, index, attempt)``
 triples that the *dispatcher* assigns — not against per-process event
 counters — so injection stays deterministic across forked workers,
 pool rebuilds and retries.
@@ -64,9 +66,11 @@ import numpy as np
 __all__ = [
     "FAULT_KINDS",
     "FAULT_STAGES",
+    "CORRUPTIBLE_ARRAYS",
     "FaultInjected",
     "FaultSpec",
     "FaultPlan",
+    "apply_corruption",
     "install_plan",
     "clear_plan",
     "active_plan",
@@ -74,7 +78,20 @@ __all__ = [
 ]
 
 #: supported failure modes.
-FAULT_KINDS = ("crash", "hang", "raise", "poison")
+FAULT_KINDS = ("crash", "hang", "raise", "poison", "corrupt")
+
+#: array names a ``corrupt`` fault may target (warm session state the
+#: integrity tier seals; see :mod:`repro.integrity`).
+CORRUPTIBLE_ARRAYS = (
+    "indptr",
+    "indices",
+    "in_indptr",
+    "in_indices",
+    "out_degrees",
+    "in_degrees",
+    "labels",
+    "color",
+)
 #: task-lifecycle points at which a fault can fire.
 FAULT_STAGES = ("pre", "mid", "post")
 
@@ -102,6 +119,11 @@ class FaultSpec:
         supervisor's retry budget to force degradation.
     hang_seconds: sleep duration for ``hang`` faults.  Must exceed the
         supervisor's task timeout to register as a hang.
+    array: for ``corrupt`` faults, the warm array to flip bits in
+        (one of :data:`CORRUPTIBLE_ARRAYS`); ignored otherwise.
+    bit_flips: for ``corrupt`` faults, how many bits to flip.
+    flip_seed: for ``corrupt`` faults, the RNG seed choosing *which*
+        bits — same seed, same flips, every run.
     """
 
     kind: str
@@ -110,6 +132,9 @@ class FaultSpec:
     stage: str = "pre"
     times: int = 1
     hang_seconds: float = 30.0
+    array: str = "indices"
+    bit_flips: int = 1
+    flip_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -120,6 +145,21 @@ class FaultSpec:
             raise ValueError("index must be >= 0 and times >= 1")
         if self.hang_seconds <= 0:
             raise ValueError("hang_seconds must be positive")
+        if self.kind == "corrupt":
+            if self.array not in CORRUPTIBLE_ARRAYS:
+                raise ValueError(
+                    f"corrupt target {self.array!r} is not one of "
+                    f"{CORRUPTIBLE_ARRAYS}"
+                )
+            if self.bit_flips < 1:
+                raise ValueError("bit_flips must be >= 1")
+            if self.array in ("labels", "color") and self.site != "phase":
+                # run-owned state only exists between phase boundaries;
+                # any other site would be a silent no-op.
+                raise ValueError(
+                    f"corrupt target {self.array!r} requires "
+                    f"site='phase' (got {self.site!r})"
+                )
 
 
 class FaultPlan:
@@ -165,7 +205,12 @@ class FaultPlan:
 
         Two formats: a JSON list of spec objects, or a compact
         comma-separated ``kind@index[:stage]`` list, e.g.
-        ``"crash@2,hang@0:mid,poison@5"``.
+        ``"crash@2,hang@0:mid,poison@5"``.  A ``corrupt`` kind names
+        its target array with a dot — ``corrupt.indptr@0:post`` flips
+        one seeded bit in the warm ``indptr`` array.  Run-owned arrays
+        (``corrupt.labels@1:post``) imply the ``"phase"`` site: they
+        only exist between phase boundaries, so the index is the phase
+        position and the flip fires inside :meth:`Engine.run`.
         """
         text = text.strip()
         if not text:
@@ -182,12 +227,17 @@ class FaultPlan:
                     f"bad fault spec {part!r}: expected kind@index[:stage]"
                 )
             kind, _, where = part.partition("@")
+            kind, _, array = kind.strip().partition(".")
             idx_str, _, stage = where.partition(":")
+            extra = {"array": array} if array else {}
+            if array in ("labels", "color"):
+                extra["site"] = "phase"
             specs.append(
                 FaultSpec(
-                    kind=kind.strip(),
+                    kind=kind,
                     index=int(idx_str),
                     stage=stage.strip() or "pre",
+                    **extra,
                 )
             )
         return cls(specs)
@@ -222,7 +272,13 @@ class FaultPlan:
         simulate one worker death would take the test runner with it.
         """
         spec = self.match(site, index, attempt)
-        if spec is None or spec.stage != stage or spec.kind == "poison":
+        if (
+            spec is None
+            or spec.stage != stage
+            or spec.kind in ("poison", "corrupt")
+        ):
+            # poison corrupts the commit, corrupt flips warm arrays —
+            # both are applied by their own call sites, never here.
             return
         if spec.kind == "hang":
             time.sleep(spec.hang_seconds)
@@ -239,6 +295,38 @@ class FaultPlan:
         spec = self.match(site, index, attempt)
         return spec is not None and spec.kind == "poison"
 
+    def corruptions(
+        self,
+        site: str,
+        index: int,
+        attempt: int = 0,
+        *,
+        stage: Optional[str] = None,
+    ) -> tuple:
+        """Every ``corrupt`` spec armed for this ``(site, index,
+        attempt)`` (optionally filtered by stage).
+
+        Unlike :meth:`match` this returns *all* hits: one drill may
+        rot several arrays at the same boundary.  The caller applies
+        them with :func:`apply_corruption` against the arrays it owns.
+        """
+        return tuple(
+            s
+            for s in self.specs
+            if s.kind == "corrupt"
+            and s.site == site
+            and s.index == index
+            and attempt < s.times
+            and (stage is None or s.stage == stage)
+        )
+
+    def has_only_corruptions(self) -> bool:
+        """True when every spec is a ``corrupt`` (integrity drills
+        need no supervised backend — detection is the engine's job)."""
+        return bool(self.specs) and all(
+            s.kind == "corrupt" for s in self.specs
+        )
+
     # -- misc ----------------------------------------------------------
     def __len__(self) -> int:
         return len(self.specs)
@@ -248,6 +336,37 @@ class FaultPlan:
             f"{s.kind}@{s.site}:{s.index}:{s.stage}" for s in self.specs
         )
         return f"FaultPlan({inner})"
+
+
+def apply_corruption(array: np.ndarray, spec: FaultSpec) -> List[int]:
+    """Flip ``spec.bit_flips`` seeded bits in ``array``'s buffer.
+
+    The flips go through the array's *ultimate base* — warm graph
+    arrays are read-only views over writeable owners (see
+    :mod:`repro.graph.csr`), exactly the shape real rot takes: the
+    bytes change underneath every guard except a checksum.  Bit
+    positions are drawn from ``default_rng(spec.flip_seed)``, so the
+    same spec flips the same bits every run.  Returns the flipped bit
+    positions (empty for a zero-byte array — nothing to rot).
+    """
+    if spec.kind != "corrupt":
+        raise ValueError(f"not a corrupt spec: {spec.kind!r}")
+    base = array
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    if not base.flags.writeable:  # pragma: no cover - defensive
+        raise ValueError(
+            f"cannot corrupt {spec.array!r}: owning buffer is read-only"
+        )
+    raw = base.view(np.uint8).reshape(-1)
+    nbits = int(raw.size) * 8
+    if nbits == 0:
+        return []
+    rng = np.random.default_rng(spec.flip_seed)
+    positions = rng.integers(0, nbits, size=spec.bit_flips)
+    for pos in positions:
+        raw[int(pos) // 8] ^= np.uint8(1 << (int(pos) % 8))
+    return [int(p) for p in positions]
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..errors import (
     GraphIngestError,
     GraphValidationError,
+    IntegrityError,
     MemoryBudgetError,
     PhaseTimeoutError,
     ReproError,
@@ -67,6 +68,11 @@ TRANSIENT = (
     EOFError,
     # a respawned serving worker can handle the retry.
     WorkerLostError,
+    # detected corruption: the service quarantines the rotten session
+    # before re-raising, so the retry rebuilds from source and serves
+    # clean bytes.  ``--on-corruption fail`` flips this per-exception
+    # via ``transient_hint``, which outranks the class check.
+    IntegrityError,
 )
 
 #: failure classes where a retry replays the exact same failure.

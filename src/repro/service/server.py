@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import (
+    IntegrityError,
     PhaseTimeoutError,
     ReproError,
     ServiceOverloadError,
@@ -99,6 +100,7 @@ _RUN_KEYS = frozenset(
         "nodes",
         "edges",
         "fault_plan",
+        "certify",
     )
 )
 
@@ -126,6 +128,16 @@ class ServiceConfig:
     max_worker_restarts: int = 3
     #: crash-safe request journal path (None = no journal).
     journal_path: Optional[str] = None
+    #: block-CRC sidecars over warm session arrays (repro.integrity).
+    checksums: bool = True
+    #: response to detected corruption: ``"quarantine"`` evicts the
+    #: session and retries from source; ``"fail"`` answers exit 20.
+    on_corruption: str = "quarantine"
+    #: fraction of completed requests re-executed on the serial
+    #: reference path by the background auditor (0 = off).
+    audit_rate: float = 0.0
+    #: seed for the auditor's deterministic request sample.
+    audit_seed: int = 0
 
     def shard(self) -> "ServiceConfig":
         """The per-worker slice of this config.
@@ -160,6 +172,10 @@ class ServiceConfig:
             journal_path=None,
             max_sessions=max(1, self.max_sessions // n),
             governor=governor,
+            # the front audits end-to-end (it sees the final CRCs);
+            # workers auditing their own answers would double the cost
+            # without widening coverage.
+            audit_rate=0.0,
         )
 
 
@@ -184,11 +200,17 @@ class SCCService:
         from ..engine.engine import Engine
 
         self.config = cfg = config or ServiceConfig()
+        if cfg.on_corruption not in ("quarantine", "fail"):
+            raise ValueError(
+                f"on_corruption must be 'quarantine' or 'fail', "
+                f"got {cfg.on_corruption!r}"
+            )
         self.engine = engine or Engine(
             backend=cfg.backend,
             num_workers=cfg.workers,
             canonical=cfg.canonical,
             max_sessions=cfg.max_sessions,
+            integrity=cfg.checksums,
         )
         self.governor = (
             MemoryGovernor(self.engine, cfg.governor, clock=clock)
@@ -245,6 +267,15 @@ class SCCService:
         self._shedding = False
         self._started = clock()
         self._clock = clock
+        self.auditor = None
+        if cfg.audit_rate > 0:
+            from ..integrity import SelfAuditor
+
+            self.auditor = SelfAuditor(
+                rate=cfg.audit_rate,
+                seed=cfg.audit_seed,
+                on_mismatch=self._on_audit_mismatch,
+            )
         # stats
         self.requests = 0
         self.completed = 0
@@ -253,6 +284,9 @@ class SCCService:
         self.retried = 0
         self.degraded_runs = 0
         self.transport_errors = 0
+        self.integrity_detected = 0
+        self.integrity_quarantines = 0
+        self.certificates_issued = 0
 
     # -- lifecycle ------------------------------------------------------
     def drain(self) -> None:
@@ -277,9 +311,32 @@ class SCCService:
         """Phase 2: drain the worker fleet, then release everything."""
         if self.supervisor is not None:
             self.supervisor.stop()
+        if self.auditor is not None:
+            self.auditor.stop()
         self.engine.close()
         if self.journal is not None:
             self.journal.close()
+
+    def _on_audit_mismatch(self, record, reference_crc: int) -> None:
+        """An audited request's reference replay disagreed: the served
+        answer was wrong and nothing upstream noticed.  Quarantine the
+        session the answer came from (in-process topology; a sharded
+        worker's session is out of the front engine's reach, which the
+        no-op quarantine tolerates) and mark the serving backend
+        suspect so the breakers steer the next requests away."""
+        self.integrity_detected += 1
+        if (
+            record.fingerprint is not None
+            and self.config.on_corruption == "quarantine"
+        ):
+            try:
+                with self._engine_turn():
+                    if self.engine.quarantine(record.fingerprint):
+                        self.integrity_quarantines += 1
+            except ServiceOverloadError:
+                pass  # draining: the sessions die with the service.
+        if record.backend_used:
+            self.breakers.record(record.backend_used, ok=False)
 
     def __enter__(self) -> "SCCService":
         return self
@@ -414,6 +471,24 @@ class SCCService:
                     ok=True,
                     labels_crc32=response.get("labels_crc32"),
                 )
+            if response.get("certificate") is not None:
+                self.certificates_issued += 1
+            if self.auditor is not None and response.get("ok"):
+                # the reference replay must be clean: strip the chaos
+                # drill, keep everything that shapes the answer.
+                audit_req = {
+                    k: v
+                    for k, v in request.items()
+                    if k in _RUN_KEYS
+                    and k not in ("fault_plan", "certify", "id")
+                }
+                self.auditor.maybe_submit(
+                    seq,
+                    audit_req,
+                    response.get("labels_crc32"),
+                    backend_used=response.get("backend_used"),
+                    fingerprint=response.get("session_fingerprint"),
+                )
             response["seconds"] = time.perf_counter() - t0
             return response
         except Exception as exc:
@@ -445,17 +520,83 @@ class SCCService:
             time.monotonic() + float(budget) if budget is not None else None
         )
         supervisor = None
+        corrupt_specs: tuple = ()
         if request.get("fault_plan"):
             # per-request chaos drill, exactly like a batch job's
-            # fault_plan field: forces the supervised backend.
+            # fault_plan field.  ``corrupt`` specs rot the warm arrays
+            # right here (detection is the integrity tier's job, no
+            # supervised backend needed); anything else still forces
+            # the supervised backend.
             from ..runtime.faults import FaultPlan
             from ..runtime.supervisor import SupervisorConfig
 
-            requested = "supervised"
-            supervisor = SupervisorConfig(
-                fault_plan=FaultPlan.parse(request["fault_plan"])
+            plan = FaultPlan.parse(request["fault_plan"])
+            corrupt_specs = tuple(
+                s for s in plan.specs if s.kind == "corrupt"
             )
+            rest = [s for s in plan.specs if s.kind != "corrupt"]
+            if rest:
+                requested = "supervised"
+                supervisor = SupervisorConfig(fault_plan=FaultPlan(rest))
         used = [requested]
+
+        def corrupt_session(session, attempt: int) -> None:
+            """Apply armed bit flips to the warm session's arrays.
+
+            Request-carried ``corrupt`` specs target *this* request
+            regardless of their site/index (``times`` still bounds the
+            attempts hit, so the default 1 rots the first attempt and
+            lets the retry's rebuilt session through); the service
+            plan's specs match the ``"request"`` site by admission
+            sequence as usual.  ``"phase"``-site specs are not applied
+            here — they ride into :meth:`Engine.run` to fire at exact
+            phase boundaries.
+            """
+            from ..runtime.faults import apply_corruption
+
+            armed = [
+                s
+                for s in corrupt_specs
+                if s.site != "phase" and attempt < s.times
+            ]
+            if self.fault_plan is not None:
+                armed.extend(
+                    self.fault_plan.corruptions("request", seq, attempt)
+                )
+            for spec in armed:
+                if spec.array in ("labels", "color"):
+                    continue  # run-owned state: use a "phase" plan.
+                if spec.array in ("in_indptr", "in_indices"):
+                    session.ensure_transpose()
+                elif spec.array in ("out_degrees", "in_degrees"):
+                    session.effective_degrees()
+                apply_corruption(
+                    session.integrity_arrays()[spec.array], spec
+                )
+
+        def phase_fault_plan(attempt: int):
+            """The boundary-timed slice of the drill for this attempt
+            (``times``-gated like the direct flips above).  Service-
+            level "phase"-site corrupt specs (from ``--fault-plan``)
+            hit every request's run the same way."""
+            armed = [
+                s
+                for s in corrupt_specs
+                if s.site == "phase" and attempt < s.times
+            ]
+            if self.fault_plan is not None:
+                armed.extend(
+                    s
+                    for s in self.fault_plan.specs
+                    if s.kind == "corrupt"
+                    and s.site == "phase"
+                    and attempt < s.times
+                )
+            if not armed:
+                return None
+            from ..runtime.faults import FaultPlan
+
+            return FaultPlan(armed)
 
         def attempt_fn(attempt: int):
             backend = self.breakers.resolve(requested)
@@ -480,23 +621,52 @@ class SCCService:
                     seed=None,
                     on_error=request.get("on_error", "strict"),
                 )
+                corrupt_session(session, attempt)
                 runs_before = session.stats.runs
                 warm_before = session.stats.warm_runs
-                result = self.engine.run(
-                    session,
-                    method=request.get("method", "method2"),
-                    backend=backend,
-                    num_workers=workers,
-                    seed=request.get("seed", 0),
-                    supervisor=supervisor,
-                    deadline=remaining,
-                    **(request.get("options") or {}),
-                )
+                try:
+                    result = self.engine.run(
+                        session,
+                        method=request.get("method", "method2"),
+                        backend=backend,
+                        num_workers=workers,
+                        seed=request.get("seed", 0),
+                        supervisor=supervisor,
+                        deadline=remaining,
+                        fault_plan=phase_fault_plan(attempt),
+                        **(request.get("options") or {}),
+                    )
+                    certificate = None
+                    if request.get("certify"):
+                        from ..integrity import certify_result
+
+                        level = request["certify"]
+                        certificate = certify_result(
+                            session.graph,
+                            result.labels,
+                            level=(
+                                "sample" if level is True else str(level)
+                            ),
+                            seed=int(request.get("seed", 0) or 0),
+                        )
+                except IntegrityError as exc:
+                    # corruption (or a failed certificate) caught
+                    # before any response: quarantine the rotten
+                    # session so the retry rebuilds from source, or
+                    # fail the request typed when the operator asked
+                    # for loud failures.
+                    self.integrity_detected += 1
+                    if self.config.on_corruption == "quarantine":
+                        if self.engine.quarantine(session.fingerprint):
+                            self.integrity_quarantines += 1
+                    else:
+                        exc.transient_hint = False
+                    raise
                 warm = (
                     session.stats.runs == runs_before + 1
                     and session.stats.warm_runs == warm_before + 1
                 )
-            return backend, session, result, warm
+            return backend, session, result, warm, certificate
 
         def on_failure(exc: BaseException, attempt: int) -> None:
             # Only infra failures are backend-health signals; a typo'd
@@ -507,7 +677,7 @@ class SCCService:
         outcome = self.config.retry.execute(
             attempt_fn, key=seq, on_failure=on_failure
         )
-        backend, session, result, warm = outcome.value
+        backend, session, result, warm, certificate = outcome.value
         self.breakers.record(backend, ok=True)
         if outcome.attempts > 1:
             self.retried += 1
@@ -515,7 +685,7 @@ class SCCService:
             self.degraded_runs += 1
         if self.governor is not None:
             self.governor.relieve()
-        return {
+        response = {
             "op": "run",
             "id": request.get("id"),
             "ok": True,
@@ -533,6 +703,9 @@ class SCCService:
             "retried_errors": outcome.errors,
             "session_fingerprint": session.fingerprint,
         }
+        if certificate is not None:
+            response["certificate"] = certificate
+        return response
 
     def _execute_sharded(
         self,
@@ -662,6 +835,21 @@ class SCCService:
             "transport_errors": self.transport_errors,
             "uptime_seconds": self._clock() - self._started,
             "admission": self.admission.to_dict(),
+            "integrity": {
+                "checksums": self.config.checksums,
+                "on_corruption": self.config.on_corruption,
+                "detected": self.integrity_detected,
+                "quarantines": self.integrity_quarantines,
+                "engine_quarantines": self.engine.quarantines,
+                "certificates_issued": self.certificates_issued,
+                "verifications": sum(
+                    s.stats.integrity_verifications
+                    for s in self.engine.sessions
+                ),
+                "audit": (
+                    self.auditor.to_dict() if self.auditor else None
+                ),
+            },
             "breakers": self.breakers.to_dict(),
             "governor": (
                 self.governor.to_dict() if self.governor else None
@@ -692,6 +880,9 @@ class SCCService:
                 self.supervisor.collect_stats()
             except Exception:
                 pass
+        if self.auditor is not None:
+            # let queued audits land so the report tells the truth.
+            self.auditor.drain(timeout=10.0)
         with atomic_path(path, suffix=".json") as tmp:
             with open(tmp, "w") as fh:
                 json.dump(self.stats(), fh, indent=2, sort_keys=True)

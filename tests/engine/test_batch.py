@@ -158,6 +158,85 @@ class TestBatchHardening:
             BatchJob(graph="wiki", scale=0.05, method="method1"),
         ]
 
+    def test_batch_level_corrupt_targets_its_job_by_index(self):
+        """A batch-level ``corrupt`` spec pinned to the "job" site (the
+        CLI --fault-plan route) rots exactly the indexed job's warm
+        arrays; the integrity tier detects it and the retry recovers on
+        a rebuilt session.  The other job never sees the flip."""
+        from repro.service.retry import RetryPolicy
+
+        plan = FaultPlan(
+            [FaultSpec(kind="corrupt", site="job", index=0, array="indices")]
+        )
+        with Engine(integrity=True) as eng:
+            report = run_batch(
+                eng,
+                self.jobs(),
+                fault_plan=plan,
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, jitter=0.0
+                ),
+            )
+        hit, clean = report.records
+        assert hit.ok, hit.error
+        assert hit.attempts == 2
+        assert clean.ok and clean.attempts == 1
+        assert hit.num_sccs == clean.num_sccs
+
+    def test_batch_level_phase_corrupt_rides_into_every_job(self):
+        """A batch-level "phase"-site ``corrupt`` spec (run-owned
+        labels) fires at a phase boundary inside every job's run; each
+        job detects, retries, and lands on the clean answer."""
+        from repro.service.retry import RetryPolicy
+
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    kind="corrupt",
+                    site="phase",
+                    index=1,
+                    stage="post",
+                    array="labels",
+                )
+            ]
+        )
+        jobs = [
+            BatchJob(graph="wiki", scale=0.05, method="method2"),
+            BatchJob(graph="wiki", scale=0.05, method="method2"),
+        ]
+        with Engine(integrity=True) as eng:
+            report = run_batch(
+                eng,
+                jobs,
+                fault_plan=plan,
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, jitter=0.0
+                ),
+            )
+        assert all(r.ok for r in report.records), [
+            r.error for r in report.records
+        ]
+        assert [r.attempts for r in report.records] == [2, 2]
+        assert len({r.num_sccs for r in report.records}) == 1
+
+    def test_batch_level_corrupt_fails_typed_without_retry(self):
+        """No retry policy: the detected corruption surfaces as a typed
+        IntegrityError failure (exit 20) and the session is
+        quarantined, so the next job rebuilds and runs clean."""
+        plan = FaultPlan(
+            [FaultSpec(kind="corrupt", site="job", index=0, array="indptr")]
+        )
+        with Engine(integrity=True) as eng:
+            report = run_batch(eng, self.jobs(), fault_plan=plan)
+            quarantines = eng.quarantines
+        hit, clean = report.records
+        assert not hit.ok
+        assert hit.error_type == "IntegrityError"
+        assert hit.exit_code == 20
+        assert clean.ok
+        assert quarantines == 1
+        assert report.integrity_failures == 1
+
     def test_retry_recovers_transient_job_fault(self):
         """With a retry policy, a job-site fault with times=1 fails the
         first attempt and the second attempt lands clean."""

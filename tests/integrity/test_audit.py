@@ -1,0 +1,141 @@
+"""Gate for the continuous self-audit loop (repro.integrity.audit)."""
+
+import pytest
+
+from repro.core import tarjan_scc
+from repro.core.result import canonical_labels
+from repro.integrity import SelfAuditor
+from repro.ioutil import crc32_chunks
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    """A small on-disk edge list the auditor can reload from source."""
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]
+    path = tmp_path / "audit_graph.txt"
+    path.write_text("".join(f"{u} {v}\n" for u, v in edges))
+    return str(path)
+
+
+def served_crc(edge_file):
+    from repro.graph import read_edge_list
+
+    g = read_edge_list(edge_file)
+    labels = canonical_labels(tarjan_scc(g))
+    return crc32_chunks(labels.tobytes())
+
+
+class TestSampling:
+    def test_deterministic_and_rate_shaped(self):
+        aud = SelfAuditor(rate=0.25, seed=7)
+        picks = [aud.selects(i) for i in range(4000)]
+        assert picks == [aud.selects(i) for i in range(4000)]
+        frac = sum(picks) / len(picks)
+        assert 0.18 < frac < 0.32
+        aud.stop()
+
+    def test_rate_bounds(self):
+        aud0 = SelfAuditor(rate=0.0)
+        aud1 = SelfAuditor(rate=1.0)
+        assert not any(aud0.selects(i) for i in range(100))
+        assert all(aud1.selects(i) for i in range(100))
+        aud0.stop()
+        aud1.stop()
+        with pytest.raises(ValueError):
+            SelfAuditor(rate=1.5)
+
+    def test_none_crc_never_submitted(self):
+        aud = SelfAuditor(rate=1.0)
+        assert not aud.maybe_submit(0, {"graph": "x"}, None)
+        assert aud.sampled == 0
+        aud.stop()
+
+
+class TestAuditing:
+    def test_matching_crc_passes(self, edge_file):
+        aud = SelfAuditor(rate=1.0)
+        try:
+            req = {"graph": edge_file, "method": "method2", "seed": 0}
+            assert aud.maybe_submit(3, req, served_crc(edge_file))
+            assert aud.drain(60)
+            assert aud.audits_run == 1
+            assert aud.mismatches == 0
+        finally:
+            aud.stop()
+
+    def test_mismatch_fires_callback_with_record(self, edge_file):
+        hits = []
+        aud = SelfAuditor(
+            rate=1.0,
+            on_mismatch=lambda rec, ref: hits.append((rec, ref)),
+        )
+        try:
+            req = {"graph": edge_file, "method": "method2", "seed": 0}
+            good = served_crc(edge_file)
+            aud.maybe_submit(0, req, good ^ 0xDEAD, fingerprint=42)
+            assert aud.drain(60)
+            assert aud.mismatches == 1
+            (rec, ref), = hits
+            assert ref == good
+            assert rec.fingerprint == 42
+            assert rec.labels_crc32 == good ^ 0xDEAD
+        finally:
+            aud.stop()
+
+    def test_bad_request_counts_error_not_crash(self):
+        aud = SelfAuditor(rate=1.0)
+        try:
+            aud.maybe_submit(0, {"graph": "/nonexistent/zz"}, 123)
+            assert aud.drain(60)
+            assert aud.errors == 1
+            assert aud.mismatches == 0
+        finally:
+            aud.stop()
+
+    def test_full_queue_drops_not_blocks(self):
+        aud = SelfAuditor(rate=1.0, max_queue=1)
+        # fill the queue without starting the drain thread so the next
+        # submission finds it full
+        aud._queue.put_nowait(None)
+        assert not aud.maybe_submit(0, {"graph": "x"}, 1)
+        assert aud.dropped == 1
+        aud.stop()
+
+    def test_reference_path_is_serial_numpy(self, edge_file):
+        """The reference replay must agree with Tarjan regardless of
+        the process-global kernel selection at submit time."""
+        from repro.kernels import use_backend
+
+        aud = SelfAuditor(rate=1.0)
+        try:
+            with use_backend("numba"):
+                ref = aud.reference_crc(
+                    {"graph": edge_file, "method": "method1", "seed": 3}
+                )
+            assert ref == served_crc(edge_file)
+        finally:
+            aud.stop()
+
+    def test_to_dict_counters(self, edge_file):
+        aud = SelfAuditor(rate=1.0)
+        try:
+            req = {"graph": edge_file, "method": "method2", "seed": 0}
+            aud.maybe_submit(0, req, served_crc(edge_file))
+            assert aud.drain(60)
+            d = aud.to_dict()
+            assert d["sampled"] == 1
+            assert d["audits_run"] == 1
+            assert d["mismatches"] == 0
+            assert d["rate"] == 1.0
+        finally:
+            aud.stop()
+
+    def test_stop_is_idempotent_and_releases_engine(self, edge_file):
+        aud = SelfAuditor(rate=1.0)
+        req = {"graph": edge_file, "method": "method2", "seed": 0}
+        aud.maybe_submit(0, req, served_crc(edge_file))
+        aud.drain(60)
+        aud.stop()
+        aud.stop()
+        with pytest.raises(RuntimeError):
+            aud.engine.load(edge_file)

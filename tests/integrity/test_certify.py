@@ -1,0 +1,134 @@
+"""Gate for result certification (repro.integrity.certify).
+
+A certificate must accept every true SCC partition and reject every
+perturbed one: membership proofs re-derive strong connectivity from
+the graph itself, so relabelings pass and *partition* changes fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import tarjan_scc
+from repro.core.result import canonical_labels
+from repro.errors import IntegrityError
+from repro.generators import generate
+from repro.graph import from_edge_list
+from repro.integrity import CERTIFY_LEVELS, certify_result
+
+from tests.conftest import SMALL_GRAPHS, random_digraph
+
+
+def true_labels(g):
+    return canonical_labels(tarjan_scc(g))
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("name", sorted(SMALL_GRAPHS))
+    @pytest.mark.parametrize("level", CERTIFY_LEVELS)
+    def test_true_partition_certifies(self, name, level):
+        edges, n = SMALL_GRAPHS[name]
+        g = from_edge_list(edges, n)
+        cert = certify_result(g, true_labels(g), level=level)
+        assert cert["ok"]
+        assert cert["n"] == n
+        assert cert["level"] == level
+        if level == "full":
+            assert cert["tarjan_checked"]
+        if level in ("sample", "full") and n:
+            assert cert["sampled"]
+            assert all(p["proved"] for p in cert["sampled"])
+
+    def test_surrogate_dataset_certifies(self):
+        g = generate("wiki", scale=0.02, seed=1).graph
+        cert = certify_result(g, true_labels(g), level="full", k=16)
+        assert cert["ok"]
+        assert cert["num_sccs"] == np.unique(true_labels(g)).size
+        # the giant SCC is always in the sample
+        labels = true_labels(g)
+        _, counts = np.unique(labels, return_counts=True)
+        giant_size = int(counts.max())
+        assert any(
+            p["size"] == giant_size for p in cert["sampled"]
+        )
+
+    def test_relabeling_is_not_a_failure(self):
+        """Swapping two label *values* keeps the partition; only the
+        crc changes, not the proofs."""
+        g = random_digraph(200, 600, seed=5)
+        labels = true_labels(g)
+        uniq = np.unique(labels)
+        if uniq.size < 2:
+            pytest.skip("needs >= 2 SCCs")
+        swapped = labels.copy()
+        swapped[labels == uniq[0]] = uniq[1]
+        swapped[labels == uniq[1]] = uniq[0]
+        cert = certify_result(g, swapped, level="sample", k=32)
+        assert cert["ok"]
+
+    def test_sampling_is_deterministic(self):
+        g = random_digraph(300, 900, seed=9)
+        labels = true_labels(g)
+        c1 = certify_result(g, labels, seed=4, k=4)
+        c2 = certify_result(g, labels, seed=4, k=4)
+        assert c1 == c2
+
+
+class TestRejects:
+    def test_split_scc_fails_the_proof(self):
+        """Carving one node out of a cycle's SCC leaves a label group
+        that is not strongly connected."""
+        g = from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        labels = true_labels(g)  # one SCC
+        bad = labels.copy()
+        bad[2] = labels.max() + 1
+        cert = certify_result(g, bad, level="sample", k=8, strict=False)
+        assert not cert["ok"]
+        assert cert["failures"]
+
+    def test_merged_sccs_fail_the_proof(self):
+        g = from_edge_list(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)], 4
+        )
+        labels = true_labels(g)  # two 2-cycles
+        bad = np.zeros_like(labels)  # claim: one giant SCC
+        cert = certify_result(g, bad, level="sample", strict=False)
+        assert not cert["ok"]
+
+    def test_strict_raises_exit_20(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)], 3)
+        bad = np.array([0, 0, 1], dtype=np.int64)
+        with pytest.raises(IntegrityError) as exc:
+            certify_result(g, bad, level="sample")
+        assert exc.value.exit_code == 20
+
+    def test_full_level_tarjan_cross_check(self):
+        """A partition the sampler happens to miss still fails the
+        independent Tarjan cross-check (k=0 disables sampling)."""
+        g = from_edge_list([(0, 1), (1, 0), (2, 3), (3, 2)], 4)
+        bad = np.array([0, 0, 0, 0], dtype=np.int64)
+        cert = certify_result(
+            g, bad, level="full", k=0, strict=False
+        )
+        assert cert["tarjan_checked"]
+        assert not cert["ok"]
+        assert any("Tarjan" in f for f in cert["failures"])
+
+
+class TestValidation:
+    def test_unknown_level(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError, match="certify level"):
+            certify_result(g, np.zeros(2, np.int64), level="xxl")
+
+    def test_label_shape_mismatch(self):
+        g = from_edge_list([(0, 1)], 2)
+        with pytest.raises(ValueError, match="cover"):
+            certify_result(g, np.zeros(3, np.int64))
+
+    def test_large_graph_skips_tarjan_tier(self):
+        g = random_digraph(100, 300, seed=1)
+        cert = certify_result(
+            g, true_labels(g), level="full", tarjan_max_nodes=10
+        )
+        assert cert["ok"]
+        assert not cert["tarjan_checked"]

@@ -82,6 +82,33 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan([FaultSpec(kind="meteor")])
 
+    def test_parse_corrupt_compact(self):
+        plan = FaultPlan.parse("corrupt.indptr@0:post")
+        (spec,) = plan.specs
+        assert spec.kind == "corrupt"
+        assert spec.array == "indptr"
+        assert spec.index == 0
+        assert spec.stage == "post"
+        assert spec.site == "task"  # storage arrays keep the default site
+
+    def test_parse_corrupt_run_arrays_imply_phase_site(self):
+        # labels/color only exist inside a run, so the compact grammar
+        # must route them to the phase site where the run-local seals
+        # can catch the flip — any other site would silently no-op.
+        for array in ("labels", "color"):
+            plan = FaultPlan.parse(f"corrupt.{array}@1:post")
+            (spec,) = plan.specs
+            assert spec.site == "phase", array
+            assert spec.array == array
+
+    def test_corrupt_run_arrays_reject_non_phase_sites(self):
+        with pytest.raises(ValueError, match="requires site='phase'"):
+            FaultSpec(kind="corrupt", site="task", array="labels")
+        with pytest.raises(ValueError, match="requires site='phase'"):
+            FaultSpec(kind="corrupt", site="request", array="color")
+        # the phase site itself is fine
+        FaultSpec(kind="corrupt", site="phase", array="labels")
+
     def test_global_arming(self):
         assert faults_mod.active_plan() is None
         with faults_mod.injected(FaultPlan.single("raise")) as plan:

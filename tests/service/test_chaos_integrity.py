@@ -1,0 +1,226 @@
+"""Silent-data-corruption chaos drills for ``repro serve``.
+
+Seeded bit flips rot warm session arrays mid-request; the integrity
+tier must detect before any response escapes, quarantine the rotten
+session, rebuild from source, and answer with labels bit-identical to
+a cold serial reference — in-process and across a ``--workers N``
+sharded front.  ``--on-corruption fail`` converts the same rot into a
+typed exit-20 answer with no retry.
+
+Excluded from tier-1 (``-m 'not chaos'``); run with ``pytest -m chaos``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.api import strongly_connected_components
+from repro.core.result import canonical_labels
+from repro.generators import generate
+from repro.ioutil import crc32_chunks
+
+pytestmark = pytest.mark.chaos
+
+GRAPH, SCALE = "wiki", 0.05
+
+
+def expected_crc():
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    labels = canonical_labels(
+        strongly_connected_components(g, "tarjan").labels
+    )
+    return crc32_chunks(labels.tobytes())
+
+
+def serve(args, requests, *, timeout=120):
+    """Run ``repro serve`` interactively: write one request, read its
+    response, then the next.  The lockstep matters here — piping the
+    whole payload at once races the trailing ``shutdown`` (which
+    drains and sheds queued work) against the drills' detect-and-retry
+    attempts, which hold the engine for real work."""
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    responses = []
+    try:
+        for req in requests:
+            proc.stdin.write(json.dumps(req) + "\n")
+            proc.stdin.flush()
+            line = proc.stdout.readline()
+            assert line, proc.stderr.read()
+            responses.append(json.loads(line))
+        _, err = proc.communicate(timeout=timeout)
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    assert proc.returncode == 0, err
+    return responses
+
+
+def run_request(ident, **extra):
+    req = {"op": "run", "graph": GRAPH, "scale": SCALE, "id": ident}
+    req.update(extra)
+    return req
+
+
+class TestSDCDrills:
+    def test_in_process_detect_quarantine_recover(self, tmp_path):
+        """Rot the warm CSR on the first attempt: detection must force
+        a retry off a rebuilt session and the certified answer must be
+        bit-identical to the cold reference."""
+        report = tmp_path / "sdc_report.json"
+        responses = serve(
+            ["--report", str(report), "--audit-rate", "1.0"],
+            [
+                run_request(
+                    "rot",
+                    fault_plan="corrupt.indices@0",
+                    certify="full",
+                ),
+                run_request("clean"),
+                {"op": "shutdown"},
+            ],
+        )
+        want = expected_crc()
+        by_id = {r.get("id"): r for r in responses if "id" in r}
+        rot = by_id["rot"]
+        assert rot["ok"], rot
+        assert rot["attempts"] >= 2  # first attempt served rot
+        assert rot["labels_crc32"] == want
+        assert rot["certificate"]["ok"]
+        assert by_id["clean"]["ok"]
+        assert by_id["clean"]["labels_crc32"] == want
+
+        stats = json.loads(report.read_text())
+        integ = stats["integrity"]
+        assert integ["checksums"] is True
+        assert integ["detected"] >= 1
+        assert integ["quarantines"] >= 1
+        assert integ["engine_quarantines"] >= 1
+        assert integ["certificates_issued"] == 1
+        audit = integ["audit"]
+        assert audit["audits_run"] == audit["sampled"] >= 1
+        assert audit["mismatches"] == 0
+
+    def test_phase_boundary_rot_is_also_caught(self):
+        """A flip landing *between* phases (post-stage at the phase
+        site) is caught at the next boundary, not served."""
+        responses = serve(
+            [],
+            [
+                run_request(
+                    "mid",
+                    fault_plan=json.dumps(
+                        [
+                            {
+                                "kind": "corrupt",
+                                "site": "phase",
+                                "index": 1,
+                                "stage": "post",
+                                "array": "labels",
+                            }
+                        ]
+                    ),
+                ),
+                {"op": "shutdown"},
+            ],
+        )
+        (run,) = [r for r in responses if r.get("id") == "mid"]
+        assert run["ok"], run
+        assert run["attempts"] >= 2
+        assert run["labels_crc32"] == expected_crc()
+
+    def test_on_corruption_fail_answers_exit_20(self):
+        responses = serve(
+            ["--on-corruption", "fail", "--retries", "3"],
+            [
+                run_request("rot", fault_plan="corrupt.indptr@0"),
+                {"op": "shutdown"},
+            ],
+        )
+        (run,) = [r for r in responses if r.get("id") == "rot"]
+        assert not run["ok"]
+        assert run["exit_code"] == 20
+        assert run["error_type"] == "IntegrityError"
+        assert run["attempts"] == 1  # loud mode never retries rot
+
+    def test_no_checksums_serves_blind(self):
+        """The control arm: with sidecars off the same drill is not
+        detected (labels may rot silently) — proving the detection in
+        the other drills comes from the integrity tier, not luck.  The
+        flip lands in run-local labels so the kernels stay in-bounds."""
+        responses = serve(
+            ["--no-checksums", "--retries", "1"],
+            [
+                run_request(
+                    "blind",
+                    fault_plan=json.dumps(
+                        [
+                            {
+                                "kind": "corrupt",
+                                "site": "phase",
+                                "index": 0,
+                                "stage": "post",
+                                "array": "labels",
+                                "flip_seed": 3,
+                            }
+                        ]
+                    ),
+                ),
+                {"op": "shutdown"},
+            ],
+        )
+        (run,) = [r for r in responses if r.get("id") == "blind"]
+        assert run["attempts"] == 1  # nothing noticed, nothing retried
+
+
+class TestShardedSDC:
+    def test_sharded_front_detects_and_recovers(self, tmp_path):
+        """Same drill across a 3-worker sharded front: the worker
+        detects and retries internally; the front's end-to-end answer
+        is certified and bit-identical to the cold reference."""
+        report = tmp_path / "sdc_shard_report.json"
+        responses = serve(
+            [
+                "--workers",
+                "3",
+                "--report",
+                str(report),
+                "--audit-rate",
+                "1.0",
+            ],
+            [
+                run_request(
+                    "rot",
+                    fault_plan="corrupt.indices@0",
+                    certify="sample",
+                ),
+                run_request("clean"),
+                {"op": "shutdown"},
+            ],
+            timeout=180,
+        )
+        want = expected_crc()
+        by_id = {r.get("id"): r for r in responses if "id" in r}
+        rot = by_id["rot"]
+        assert rot["ok"], rot
+        assert rot["attempts"] >= 2  # worker-internal detection+retry
+        assert rot["labels_crc32"] == want
+        assert rot["certificate"]["ok"]
+        assert by_id["clean"]["labels_crc32"] == want
+
+        stats = json.loads(report.read_text())
+        audit = stats["integrity"]["audit"]
+        assert audit["audits_run"] >= 1
+        assert audit["mismatches"] == 0

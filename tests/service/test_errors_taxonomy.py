@@ -96,6 +96,7 @@ class TestTaxonomy:
             ("ServiceOverloadError", 17),
             ("MemoryBudgetError", 18),
             ("WorkerLostError", 19),
+            ("IntegrityError", 20),
         ],
     )
     def test_service_codes_pinned(self, name, code):

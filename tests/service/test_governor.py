@@ -67,6 +67,29 @@ class TestRssSampling:
         )
         assert process_rss_bytes() > 0  # /proc/self on Linux CI
 
+    def test_ioutil_reader_sees_the_named_child_process(self):
+        # regression: a foreign pid must read /proc/<pid>/statm, not
+        # silently report the *calling* process.  A bare interpreter
+        # child is an order of magnitude smaller than this test runner
+        # (numpy + scipy resident), so echoing self would fail loudly.
+        import subprocess
+        import sys
+
+        from repro.ioutil import process_rss_bytes
+
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(30)"]
+        )
+        try:
+            child_rss = process_rss_bytes(child.pid)
+            assert child_rss is not None and child_rss > 0
+            assert child_rss < process_rss_bytes()
+        finally:
+            child.kill()
+            child.wait()
+        # a reaped pid has no /proc entry: None, never a fallback.
+        assert process_rss_bytes(child.pid) is None
+
     def test_config_validation(self):
         with pytest.raises(ValueError, match="hard limit"):
             GovernorConfig(soft_limit_bytes=100, hard_limit_bytes=50)
