@@ -499,6 +499,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the auditor's deterministic request sample",
     )
+    p_serve.add_argument(
+        "--compact-ratio",
+        type=float,
+        default=None,
+        help="delta-log size (as a fraction of the base edge count) "
+        "past which a mutable session's overlay compacts into a fresh "
+        "base CSR (default: the graph layer's 0.25)",
+    )
+    p_serve.add_argument(
+        "--damage-threshold",
+        type=float,
+        default=None,
+        help="component-size fraction of the graph past which an "
+        "intra-SCC delete falls back to one full recompute instead of "
+        "the restricted FW-BW split (default: the engine's 0.5)",
+    )
 
     p_dist = sub.add_parser(
         "distributed",
@@ -904,6 +920,8 @@ def _cmd_serve(args) -> int:
         on_corruption=args.on_corruption,
         audit_rate=args.audit_rate,
         audit_seed=args.audit_seed,
+        compact_ratio=args.compact_ratio,
+        damage_threshold=args.damage_threshold,
     )
     with SCCService(config, fault_plan=fault_plan) as service:
         if args.preload:

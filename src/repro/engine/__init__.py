@@ -15,7 +15,10 @@ the load-once/run-many serving surface above them:
   loaded once, with cached transpose/degrees/validation and a warm
   worker pool;
 * :mod:`repro.engine.engine` — :class:`Engine`: fingerprint-keyed
-  session cache plus ``run()`` / ``run_many()``;
+  session cache plus ``run()`` / ``run_many()`` / ``update()``;
+* :mod:`repro.engine.dynamic` — :class:`DynamicSCC`: incremental SCC
+  maintenance over a mutable :class:`~repro.graph.delta.DeltaCSR`
+  overlay (streaming edge inserts/deletes);
 * :mod:`repro.engine.batch` — manifest parsing and per-job-isolated
   batch execution behind ``repro batch``.
 """
@@ -47,6 +50,14 @@ def __getattr__(name: str):
         from .engine import Engine
 
         return Engine
+    if name == "UpdateReport":
+        from .engine import UpdateReport
+
+        return UpdateReport
+    if name in ("DynamicSCC", "DynamicStats", "DEFAULT_DAMAGE_THRESHOLD"):
+        from . import dynamic
+
+        return getattr(dynamic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -61,6 +72,10 @@ __all__ = [
     "load_manifest",
     "run_batch",
     "Engine",
+    "UpdateReport",
+    "DynamicSCC",
+    "DynamicStats",
+    "DEFAULT_DAMAGE_THRESHOLD",
     "WorkerPool",
     "fork_available",
     "GraphSession",

@@ -24,17 +24,22 @@ order (bit-identical to calling the method functions directly).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
-from typing import Dict, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.result import SCCResult, canonical_labels
 from ..graph import CSRGraph
+from ..ioutil import crc32_chunks
 from ..runtime.cost import CostModel, DEFAULT_COST_MODEL
 from .backends import get_executor
 from .session import GraphSession, graph_fingerprint
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "UpdateReport"]
 
 #: methods that accept neither seed nor backend options.
 _SEQUENTIAL = ("tarjan", "kosaraju", "gabow")
@@ -64,6 +69,46 @@ def _bound_plan(plan, expiry: float, budget: float):
         return dataclasses.replace(ph, fn=fn)
 
     return [bound(ph) for ph in plan]
+
+
+def _method2_labels(g: CSRGraph) -> np.ndarray:
+    """From-scratch labels via the paper's Method-2 pipeline.
+
+    The recompute hook handed to :class:`~repro.engine.dynamic.
+    DynamicSCC` — the partition is unique, so any correct method works,
+    and the pipeline beats the serial Tarjan fallback on the large
+    graphs where rebuilds actually hurt.
+    """
+    from ..core.api import strongly_connected_components
+
+    return strongly_connected_components(g, "method2").labels
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`Engine.update` batch did to a mutable session.
+
+    ``applied`` says the *graph* changed (at least one insert/delete
+    was not an idempotent no-op); ``changed`` says the *labels* did.
+    ``labels_crc32`` is the CRC of the canonicalized maintained labels
+    — directly comparable to the CRC of a from-scratch run's canonical
+    labels, which is exactly how the equivalence tests and the service
+    certificates use it.
+    """
+
+    fingerprint: int
+    version: int
+    applied: bool
+    changed: bool
+    compacted: bool
+    inserts: int
+    deletes: int
+    num_components: int
+    labels_crc32: int
+    stats: dict
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
 
 
 class Engine:
@@ -148,24 +193,40 @@ class Engine:
 
         ``source`` is a surrogate dataset name (see ``repro datasets``)
         or an edge-list path.  Loading the same source again returns
-        the existing warm session without touching the input.
+        the existing warm session — *after* checking the file has not
+        changed on disk (mtime + size): a rewritten edge list drops
+        the stale mapping and reloads instead of silently serving the
+        bytes it used to contain.  Generated datasets are immutable by
+        construction and skip the check.
         """
         self._check_open()
-        skey = (source, scale, seed, on_error)
-        fp = self._by_source.get(skey)
-        if fp is not None:
-            sess = self._sessions.get(fp)
-            if sess is not None and not sess.closed:
-                self._sessions.move_to_end(fp)
-                return sess
         from ..generators import DATASETS, generate
 
+        is_dataset = source in DATASETS
+        skey = (source, scale, seed, on_error)
+        entry = self._by_source.get(skey)
+        if entry is not None:
+            fp, token = entry
+            sess = self._sessions.get(fp)
+            if sess is not None and not sess.closed:
+                fresh = None if is_dataset else self._source_token(source)
+                # an unstat-able source (deleted, permissions) is
+                # treated as unchanged: keep serving the warm session.
+                if token is None or fresh is None or fresh == token:
+                    self._sessions.move_to_end(fp)
+                    return sess
+                del self._by_source[skey]
+
         t0 = time.perf_counter()
-        if source in DATASETS:
+        if is_dataset:
+            token = None
             g = generate(source, scale=scale, seed=seed).graph
         else:
             from ..graph import read_edge_list
 
+            # stat *before* reading: if the file changes mid-read, the
+            # stored token is already stale and the next load reloads.
+            token = self._source_token(source)
             g = read_edge_list(source, on_error=on_error)
         load_seconds = time.perf_counter() - t0
         key = graph_fingerprint(g)
@@ -181,8 +242,18 @@ class Engine:
             self._admit(key, sess)
         else:
             self._sessions.move_to_end(key)
-        self._by_source[skey] = key
+        self._by_source[skey] = (key, token)
         return sess
+
+    @staticmethod
+    def _source_token(source: str) -> Optional[Tuple[int, int]]:
+        """Freshness token ``(st_mtime_ns, st_size)`` for a file path,
+        or ``None`` when it cannot be stat'ed."""
+        try:
+            st = os.stat(source)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     def _admit(self, key: int, sess: GraphSession) -> None:
         self._sessions[key] = sess
@@ -240,7 +311,9 @@ class Engine:
             return False
         sess.close()
         for skey in [
-            k for k, v in self._by_source.items() if v == fingerprint
+            k
+            for k, v in self._by_source.items()
+            if v[0] == fingerprint
         ]:
             del self._by_source[skey]
         self.quarantines += 1
@@ -502,6 +575,85 @@ class Engine:
                 kwargs["num_threads"] = num_workers
         return strongly_connected_components(
             session.graph, method, **kwargs
+        )
+
+    def update(
+        self,
+        target: Union[str, CSRGraph, GraphSession],
+        inserts: Sequence[Tuple[int, int]] = (),
+        deletes: Sequence[Tuple[int, int]] = (),
+        *,
+        compact_ratio: float | None = None,
+        damage_threshold: float | None = None,
+    ) -> UpdateReport:
+        """Apply a batch of edge updates to a (mutable) session.
+
+        ``target`` is a graph, a session, or a loadable source name
+        (resolved through :meth:`load`).  The first update against a
+        session *promotes* it: one full detection seeds the labels,
+        the graph gains a :class:`~repro.graph.delta.DeltaCSR` overlay,
+        and a :class:`~repro.engine.dynamic.DynamicSCC` maintainer
+        takes over — subsequent batches touch only the affected
+        region.  Inserts apply before deletes; both are idempotent
+        (inserting a present edge / deleting an absent one is a no-op),
+        which is what makes journal replay after a crash convergent.
+
+        After an applied batch the session's version advances, the
+        delta log may compact into a fresh base, and the integrity
+        sidecars (when armed) are re-sealed over the mutated state and
+        re-verified before the report escapes.
+        """
+        self._check_open()
+        if isinstance(target, str):
+            session = self.load(target)
+        else:
+            session = self.session(target)
+        session.verify_integrity(context="update:borrow")
+        if session.dynamic is None:
+            from .dynamic import DEFAULT_DAMAGE_THRESHOLD, DynamicSCC
+
+            base = self.run(session, canonical=False)
+            delta = session.make_mutable(compact_ratio=compact_ratio)
+            session.dynamic = DynamicSCC(
+                delta,
+                base.labels,
+                damage_threshold=(
+                    damage_threshold
+                    if damage_threshold is not None
+                    else DEFAULT_DAMAGE_THRESHOLD
+                ),
+                recompute=_method2_labels,
+            )
+            # the sidecars sealed the frozen base; switch them to the
+            # delta state the mutable session now exposes.
+            session.reseal_integrity()
+        dyn = session.dynamic
+        if damage_threshold is not None:
+            dyn.damage_threshold = float(damage_threshold)
+        before = session.delta.mutations
+        i0, d0 = dyn.stats.inserts, dyn.stats.deletes
+        changed = dyn.apply(inserts, deletes)
+        applied = session.delta.mutations != before
+        if applied:
+            session.mark_mutated()
+        compacted = session.delta.maybe_compact()
+        if applied or compacted:
+            session.reseal_integrity()
+        session.verify_integrity(context="update:return")
+        labels = canonical_labels(
+            np.ascontiguousarray(dyn.labels, dtype=np.int64)
+        )
+        return UpdateReport(
+            fingerprint=session.fingerprint,
+            version=session.version,
+            applied=applied,
+            changed=changed,
+            compacted=compacted,
+            inserts=dyn.stats.inserts - i0,
+            deletes=dyn.stats.deletes - d0,
+            num_components=dyn.num_components,
+            labels_crc32=crc32_chunks(labels.tobytes()),
+            stats=dyn.stats.to_dict(),
         )
 
     def run_many(self, jobs, **kwargs):

@@ -128,10 +128,22 @@ class GraphSession:
         load_seconds: float = 0.0,
         integrity: bool = False,
     ) -> None:
-        self.graph = graph
+        self._graph = graph
         self.name = name
         self.cost = cost
         self.fingerprint = graph_fingerprint(graph)
+        #: monotonically increasing mutation epoch.  0 for the frozen
+        #: graph the session was created with; bumped by
+        #: :meth:`mark_mutated` after each applied update batch.  The
+        #: ``fingerprint`` stays the cache identity; ``(fingerprint,
+        #: version)`` — :attr:`versioned_fingerprint` — names the exact
+        #: graph state certificates and checkpoints were taken against.
+        self.version = 0
+        self._delta = None
+        #: the attached :class:`~repro.engine.dynamic.DynamicSCC`
+        #: maintainer, once :meth:`repro.engine.Engine.update` has
+        #: promoted the session to mutable.
+        self.dynamic = None
         self.stats = SessionStats(graph_load_seconds=load_seconds)
         self._degrees: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._validated = False
@@ -150,6 +162,92 @@ class GraphSession:
                 self.checksums.seal("in_indptr", graph._in_indptr)
                 self.checksums.seal("in_indices", graph._in_indices)
 
+    # -- mutable graph state --------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The session's current graph.
+
+        Immutable sessions return the graph they were created with;
+        mutable sessions return the merged snapshot of their delta
+        overlay (cached by the overlay until the next mutation), so
+        every run against the session sees the live edge set.
+        """
+        if self._delta is not None:
+            return self._delta.snapshot()
+        return self._graph
+
+    @property
+    def mutable(self) -> bool:
+        """True once :meth:`make_mutable` attached a delta overlay."""
+        return self._delta is not None
+
+    @property
+    def delta(self):
+        """The :class:`~repro.graph.delta.DeltaCSR` overlay, if any."""
+        return self._delta
+
+    @property
+    def versioned_fingerprint(self) -> Tuple[int, int]:
+        """``(fingerprint, version)`` — the exact graph-state identity."""
+        return (self.fingerprint, self.version)
+
+    def make_mutable(self, *, compact_ratio: Optional[float] = None):
+        """Attach (once) and return the session's delta overlay.
+
+        The base graph stays frozen underneath; updates land in the
+        overlay's edge log and :attr:`graph` switches to serving the
+        merged snapshot.  ``compact_ratio`` only applies on the first
+        call (the overlay keeps its configuration afterwards).
+        """
+        self._check_open()
+        if self._delta is None:
+            from ..graph.delta import DEFAULT_COMPACT_RATIO, DeltaCSR
+
+            self._delta = DeltaCSR(
+                self._graph,
+                compact_ratio=(
+                    compact_ratio
+                    if compact_ratio is not None
+                    else DEFAULT_COMPACT_RATIO
+                ),
+            )
+        return self._delta
+
+    def mark_mutated(self) -> int:
+        """Advance the mutation epoch after an applied update batch.
+
+        Invalidates every artifact derived from the pre-mutation
+        arrays: cached degrees, the structural-validation verdict, and
+        the forked worker pool (its workers inherited the old graph
+        copy-on-write).  The shared mirror survives — it is sized by
+        node count, which updates never change.  Returns the new
+        version.
+        """
+        self._check_open()
+        if self._delta is None:
+            raise RuntimeError("session is not mutable")
+        self.version += 1
+        self._degrees = None
+        self._validated = False
+        self.release_pool()
+        return self.version
+
+    def reseal_integrity(self) -> None:
+        """Re-seal the integrity sidecars over the mutated arrays.
+
+        Mutable sessions seal the *delta state* — base CSR (both
+        directions), tombstone masks, and the flattened add-log — so a
+        bit flip landing in any of them between updates is caught at
+        the next borrow.  No-op when checksums are off.
+        """
+        if self.checksums is None:
+            return
+        from ..integrity import ChecksummedArrays
+
+        self.checksums = ChecksummedArrays()
+        for name, arr in self.integrity_arrays().items():
+            self.checksums.seal(name, arr)
+
     # -- cached derived artifacts ---------------------------------------
     def ensure_transpose(self) -> None:
         """Build (and time) the transpose CSR once; later calls hit the
@@ -161,7 +259,7 @@ class GraphSession:
         t0 = time.perf_counter()
         self.graph.in_indptr
         self.stats.transpose_seconds += time.perf_counter() - t0
-        if self.checksums is not None:
+        if self.checksums is not None and self._delta is None:
             self.checksums.seal("in_indptr", self.graph._in_indptr)
             self.checksums.seal("in_indices", self.graph._in_indices)
 
@@ -176,7 +274,7 @@ class GraphSession:
                 self.graph.in_degrees(),
             )
             self.stats.degrees_seconds += time.perf_counter() - t0
-            if self.checksums is not None:
+            if self.checksums is not None and self._delta is None:
                 self.checksums.seal("out_degrees", self._degrees[0])
                 self.checksums.seal("in_degrees", self._degrees[1])
         return self._degrees
@@ -185,6 +283,21 @@ class GraphSession:
     def integrity_arrays(self) -> dict:
         """Name -> array for every sealable artifact materialized so
         far (the ``corrupt`` fault kind targets these same names)."""
+        if self._delta is not None:
+            fwd = self._delta.forward_view()
+            bwd = self._delta.backward_view()
+            return {
+                "indptr": fwd[0],
+                "indices": fwd[1],
+                "tomb": fwd[2],
+                "add_indptr": fwd[3],
+                "add_indices": fwd[4],
+                "in_indptr": bwd[0],
+                "in_indices": bwd[1],
+                "tomb_in": bwd[2],
+                "add_in_indptr": bwd[3],
+                "add_in_indices": bwd[4],
+            }
         arrays = {
             "indptr": self.graph.indptr,
             "indices": self.graph.indices,
@@ -329,9 +442,17 @@ class GraphSession:
         from ..runtime.cost import DEFAULT_MEMORY_MODEL as mm
 
         g = self.graph
-        total = g.indptr.nbytes + g.indices.nbytes
-        if g._in_indptr is not None:
-            total += g._in_indptr.nbytes + g._in_indices.nbytes
+        if self._delta is not None:
+            # Base CSR (both directions) + tombstones + add-log, plus
+            # the cached merged snapshot currently being served.
+            total = self._delta.nbytes()
+            total += g.indptr.nbytes + g.indices.nbytes
+            if g._in_indptr is not None:
+                total += g._in_indptr.nbytes + g._in_indices.nbytes
+        else:
+            total = g.indptr.nbytes + g.indices.nbytes
+            if g._in_indptr is not None:
+                total += g._in_indptr.nbytes + g._in_indices.nbytes
         if self._degrees is not None:
             total += sum(a.nbytes for a in self._degrees)
         if self._mirror is not None:

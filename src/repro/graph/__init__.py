@@ -15,6 +15,7 @@ from .build import (
     dedup_edges,
     build_csr_arrays,
 )
+from .delta import DeltaCSR, DEFAULT_COMPACT_RATIO
 from .orient import orient_undirected, symmetrize
 from .subgraph import induced_subgraph, color_subgraph
 from .io import (
@@ -37,6 +38,8 @@ __all__ = [
     "from_edge_list",
     "dedup_edges",
     "build_csr_arrays",
+    "DeltaCSR",
+    "DEFAULT_COMPACT_RATIO",
     "orient_undirected",
     "symmetrize",
     "induced_subgraph",

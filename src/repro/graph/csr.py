@@ -190,6 +190,37 @@ class CSRGraph:
         pos = int(np.searchsorted(row, v))
         return pos < row.shape[0] and int(row[pos]) == v
 
+    def has_edges(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_edge` over aligned endpoint arrays.
+
+        One batched binary search against the row-sorted ``indices``
+        array: edge ``us[i] -> vs[i]`` is present iff the composite key
+        ``us[i] * (n + 1) + vs[i]`` occurs among the per-row keys (the
+        same total order :meth:`_sort_rows` sorts by, so the global
+        array is key-sorted and a single ``searchsorted`` answers every
+        query).  Returns a boolean array aligned with the inputs.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError(
+                f"endpoint arrays must align: {us.shape} vs {vs.shape}"
+            )
+        if us.size == 0:
+            return np.zeros(0, dtype=bool)
+        n = np.int64(self.num_nodes)
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64),
+            np.diff(self._indptr),
+        )
+        keys = src * (n + 1) + self._indices
+        probes = us * (n + 1) + vs
+        pos = np.searchsorted(keys, probes)
+        found = np.zeros(us.shape, dtype=bool)
+        in_range = pos < keys.shape[0]
+        found[in_range] = keys[pos[in_range]] == probes[in_range]
+        return found
+
     # ------------------------------------------------------------------
     # Edge iteration / export
     # ------------------------------------------------------------------

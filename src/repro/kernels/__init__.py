@@ -61,6 +61,7 @@ __all__ = [
     "backend_info",
     "bfs_level_transform",
     "dedup_sorted",
+    "delta_expand_frontier",
     "dfs_collect_colored",
     "effective_degrees_arrays",
     "expand_frontier",
@@ -121,6 +122,37 @@ def expand_frontier(
     return get_kernel("expand_frontier")(
         indptr,
         indices,
+        frontier,
+        return_sources=return_sources,
+        unique=unique,
+    )
+
+
+def delta_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    tomb: np.ndarray,
+    add_indptr: np.ndarray,
+    add_indices: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    return_sources: bool = False,
+    unique: bool = False,
+):
+    """Merged-view (base CSR + delta log) frontier expansion.
+
+    Dispatching twin of
+    :func:`repro.kernels.reference.delta_expand_frontier`; the view
+    argument quintuple comes from
+    :meth:`repro.graph.delta.DeltaCSR.forward_view` /
+    :meth:`~repro.graph.delta.DeltaCSR.backward_view`.
+    """
+    return get_kernel("delta_expand_frontier")(
+        indptr,
+        indices,
+        tomb,
+        add_indptr,
+        add_indices,
         frontier,
         return_sources=return_sources,
         unique=unique,

@@ -85,6 +85,38 @@ def _expand_loop(indptr, indices, frontier, with_sources):
 
 
 @_njit
+def _delta_expand_loop(
+    indptr, indices, tomb, add_indptr, add_indices, frontier, with_sources
+):
+    total = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        for e in range(indptr[f], indptr[f + 1]):
+            if not tomb[e]:
+                total += 1
+        total += add_indptr[f + 1] - add_indptr[f]
+    targets = np.empty(total, np.int64)
+    n_src = total if with_sources else 0
+    sources = np.empty(n_src, np.int64)
+    pos = 0
+    for i in range(frontier.shape[0]):
+        f = frontier[i]
+        for e in range(indptr[f], indptr[f + 1]):
+            if tomb[e]:
+                continue
+            targets[pos] = indices[e]
+            if with_sources:
+                sources[pos] = f
+            pos += 1
+        for e in range(add_indptr[f], add_indptr[f + 1]):
+            targets[pos] = add_indices[e]
+            if with_sources:
+                sources[pos] = f
+            pos += 1
+    return targets, sources
+
+
+@_njit
 def _bfs_level_loop(indptr, indices, frontier, color, olds, news):
     n_trans = olds.shape[0]
     cap = 64
@@ -382,6 +414,35 @@ def expand_frontier(
     return targets
 
 
+def delta_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    tomb: np.ndarray,
+    add_indptr: np.ndarray,
+    add_indices: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    return_sources: bool = False,
+    unique: bool = False,
+) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
+    from .reference import dedup_sorted
+
+    if unique and return_sources:
+        raise ValueError("unique=True cannot be combined with return_sources")
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if frontier.size == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    targets, sources = _delta_expand_loop(
+        indptr, indices, tomb, add_indptr, add_indices, frontier,
+        return_sources,
+    )
+    if return_sources:
+        return targets, sources
+    if unique:
+        return dedup_sorted(targets, indptr.shape[0] - 1)
+    return targets
+
+
 def _parts_by_slot(nodes: np.ndarray, slots: np.ndarray, news: np.ndarray):
     """Split per-slot hits into the per-transition sorted arrays,
     merging duplicate target colours like the reference does."""
@@ -470,6 +531,7 @@ def ms_fwbw_intersect(nodes, bits, fw_visited, bw_visited):
 
 if HAS_NUMBA:  # pragma: no cover - exercised only with numba installed
     register("expand_frontier", "numba")(expand_frontier)
+    register("delta_expand_frontier", "numba")(delta_expand_frontier)
     register("bfs_level_transform", "numba")(bfs_level_transform)
     register("effective_degrees", "numba")(effective_degrees_arrays)
     register("trim_decrement", "numba")(trim_decrement)

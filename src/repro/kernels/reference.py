@@ -24,6 +24,7 @@ __all__ = [
     "segment_counts",
     "dedup_sorted",
     "expand_frontier",
+    "delta_expand_frontier",
     "bfs_level_transform",
     "effective_degrees_arrays",
     "trim_decrement",
@@ -488,3 +489,79 @@ def ms_fwbw_intersect(
     low = claim & (~claim + np.uint64(1))  # lowest set bit (0 if none)
     cat[claimed & (low == bits)] = MS_SCC
     return cat
+
+
+@register("delta_expand_frontier", "numpy")
+def delta_expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    tomb: np.ndarray,
+    add_indptr: np.ndarray,
+    add_indices: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    return_sources: bool = False,
+    unique: bool = False,
+) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
+    """Frontier expansion over a merged base + delta adjacency view.
+
+    The mutable-graph twin of :func:`expand_frontier`: the adjacency of
+    a node is its base CSR row minus the entries whose position is
+    flagged in the ``tomb`` mask (aligned with ``indices``), plus its
+    row in the delta-insertion CSR ``(add_indptr, add_indices)``
+    maintained by :class:`repro.graph.delta.DeltaCSR`.
+
+    Output order contract (what backend parity pins): per frontier
+    slot, the surviving base entries come first (in base-row order,
+    i.e. ascending) followed by the delta insertions (ascending); slots
+    follow frontier order.  ``return_sources``/``unique`` behave as in
+    :func:`expand_frontier`.
+    """
+    if unique and return_sources:
+        raise ValueError("unique=True cannot be combined with return_sources")
+    frontier = np.asarray(frontier, dtype=np.int64)
+    num_nodes = indptr.shape[0] - 1
+    if frontier.size == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    counts_b = segment_counts(indptr, frontier)
+    counts_a = segment_counts(add_indptr, frontier)
+    total_b = int(counts_b.sum())
+    total_a = int(counts_a.sum())
+    slots = np.arange(frontier.shape[0], dtype=np.int64)
+    if total_b:
+        starts = indptr[frontier].astype(np.int64, copy=False)
+        cum = np.cumsum(counts_b)
+        idx = np.arange(total_b, dtype=np.int64) + np.repeat(
+            starts - (cum - counts_b), counts_b
+        )
+        live = ~tomb[idx]
+        t_base = indices[idx][live].astype(np.int64, copy=False)
+        slot_b = np.repeat(slots, counts_b)[live]
+    else:
+        t_base = _EMPTY
+        slot_b = _EMPTY
+    if total_a:
+        starts = add_indptr[frontier].astype(np.int64, copy=False)
+        cum = np.cumsum(counts_a)
+        idx = np.arange(total_a, dtype=np.int64) + np.repeat(
+            starts - (cum - counts_a), counts_a
+        )
+        t_add = add_indices[idx].astype(np.int64, copy=False)
+        slot_a = np.repeat(slots, counts_a)
+    else:
+        t_add = _EMPTY
+        slot_a = _EMPTY
+    if t_base.size + t_add.size == 0:
+        return (_EMPTY, _EMPTY) if return_sources else _EMPTY
+    # One stable sort on (slot, base-before-add) keys realizes the
+    # per-slot grouping; within a key group the gather order (ascending
+    # row positions) survives.
+    key = np.concatenate([slot_b * 2, slot_a * 2 + 1])
+    order = np.argsort(key, kind="stable")
+    targets = np.concatenate([t_base, t_add])[order]
+    if return_sources:
+        sources = frontier[np.concatenate([slot_b, slot_a])[order]]
+        return targets, sources
+    if unique:
+        return dedup_sorted(targets, num_nodes)
+    return targets

@@ -523,12 +523,28 @@ class RunHarness:
             g = load_npz(gpath)
         session, owns = self._session_of(g)
         g = session.graph
-        if session.fingerprint != meta["graph_crc"]:
+        # Compare the *actual* arrays being resumed against, not the
+        # session's base fingerprint: a mutable session serves a merged
+        # snapshot whose CRC diverges from the frozen base the moment
+        # an update lands.
+        if _graph_crc(g) != meta["graph_crc"]:
             if owns:
                 session.close()
             raise CheckpointError(
                 "input graph does not match the checkpointed run "
                 "(CRC fingerprint mismatch)",
+                path=path,
+            )
+        if session.mutable and session.version != meta.get(
+            "graph_version", 0
+        ):
+            if owns:
+                session.close()
+            raise CheckpointError(
+                f"checkpoint was taken at graph version "
+                f"{meta.get('graph_version', 0)} but the session has "
+                f"advanced to version {session.version}; a stale "
+                "checkpoint cannot be resumed against mutated state",
                 path=path,
             )
         try:
@@ -605,6 +621,12 @@ class RunHarness:
             # graph_crc doubles as the engine's session fingerprint
             # (one identity, two consumers — see engine.session).
             "graph_crc": graph_crc,
+            # Mutation epoch of the session the run executed on; 0 for
+            # frozen graphs.  Resume refuses a checkpoint whose epoch
+            # no longer matches a mutable session (version fencing).
+            "graph_version": (
+                ctx["session"].version if ctx.get("session") else 0
+            ),
             "has_queue": queue is not None,
             "ctx_backend": ctx.get("backend"),
             "seed": self.seed,

@@ -108,13 +108,23 @@ class RequestJournal:
         ok: bool,
         labels_crc32: Optional[int] = None,
         error_type: Optional[str] = None,
+        version: Optional[int] = None,
     ) -> None:
-        """The request was answered (success or typed failure)."""
+        """The request was answered (success or typed failure).
+
+        ``version`` stamps the graph-state epoch an ``update`` request
+        left its session at; replay after a crash re-drives the
+        still-open updates in seq order, and the monotone version
+        sequence in the journal is how the recovery view (and the
+        chaos drills) prove the deltas re-applied in order.
+        """
         record: dict = {"event": "completed", "seq": seq, "ok": ok}
         if labels_crc32 is not None:
             record["labels_crc32"] = labels_crc32
         if error_type is not None:
             record["error_type"] = error_type
+        if version is not None:
+            record["version"] = int(version)
         self._append(record)
         with self._lock:
             self.completed_count += 1
@@ -179,6 +189,8 @@ class JournalRecovery:
     pending: Dict[int, dict] = field(default_factory=dict)
     #: ``seq -> labels_crc32`` of completed-ok requests that carried one.
     crcs: Dict[int, int] = field(default_factory=dict)
+    #: ``seq -> graph version`` of completed-ok update requests.
+    versions: Dict[int, int] = field(default_factory=dict)
     #: replay events in order, ``(seq, worker, reason)``.
     replays: List[tuple] = field(default_factory=list)
 
@@ -231,6 +243,8 @@ def scan_journal(path) -> JournalRecovery:
                 rec.pending.pop(seq, None)
                 if record.get("ok") and "labels_crc32" in record:
                     rec.crcs[seq] = record["labels_crc32"]
+                if record.get("ok") and "version" in record:
+                    rec.versions[seq] = int(record["version"])
             elif event == "shed":
                 rec.shed += 1
                 rec.pending.pop(seq, None)

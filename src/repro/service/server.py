@@ -5,6 +5,8 @@ one request per connection on a Unix socket)::
 
     {"op": "run", "graph": "wiki", "scale": 0.1, "method": "method2",
      "backend": "processes", "deadline": 5.0, "id": "r1"}
+    {"op": "update", "graph": "wiki", "scale": 0.1,
+     "inserts": [[0, 7], [7, 0]], "deletes": [[3, 4]], "id": "u1"}
     {"op": "health"}
     {"op": "stats"}
     {"op": "shutdown"}
@@ -104,6 +106,25 @@ _RUN_KEYS = frozenset(
     )
 )
 
+#: request keys an ``update`` request may carry.  Updates are streamed
+#: edge mutations against a (promoted-to-)mutable warm session; see
+#: :meth:`repro.engine.Engine.update` and DESIGN.md §15.
+_UPDATE_KEYS = frozenset(
+    (
+        "op",
+        "id",
+        "graph",
+        "scale",
+        "on_error",
+        "inserts",
+        "deletes",
+        "compact_ratio",
+        "damage_threshold",
+        "nodes",
+        "edges",
+    )
+)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -138,6 +159,12 @@ class ServiceConfig:
     audit_rate: float = 0.0
     #: seed for the auditor's deterministic request sample.
     audit_seed: int = 0
+    #: delta-log compaction ratio for mutable sessions (None = the
+    #: graph layer's default, :data:`repro.graph.DEFAULT_COMPACT_RATIO`).
+    compact_ratio: Optional[float] = None
+    #: component-size fraction past which an intra-SCC delete falls
+    #: back to a full rebuild (None = the engine's default).
+    damage_threshold: Optional[float] = None
 
     def shard(self) -> "ServiceConfig":
         """The per-worker slice of this config.
@@ -287,6 +314,8 @@ class SCCService:
         self.integrity_detected = 0
         self.integrity_quarantines = 0
         self.certificates_issued = 0
+        self.updates = 0
+        self.updates_applied = 0
 
     # -- lifecycle ------------------------------------------------------
     def drain(self) -> None:
@@ -370,6 +399,8 @@ class SCCService:
         try:
             if op == "run":
                 return self._handle_run(request)
+            if op == "update":
+                return self._handle_update(request)
             if op == "health":
                 return self._handle_health(request)
             if op == "stats":
@@ -507,6 +538,168 @@ class SCCService:
                     )
             resp["seconds"] = time.perf_counter() - t0
             return resp
+
+    @staticmethod
+    def _edge_pairs(raw, what: str) -> list:
+        """Validate a request's edge list into ``(u, v)`` int pairs."""
+        pairs = []
+        for item in raw or ():
+            try:
+                u, v = item
+                pairs.append((int(u), int(v)))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad {what} entry {item!r}: "
+                    "need [u, v] integer pairs"
+                ) from exc
+        return pairs
+
+    def _handle_update(self, request: dict) -> dict:
+        """One streamed edge-update batch against a mutable session.
+
+        Flows through the same admission gate and journal lifecycle as
+        a ``run`` (accepted -> completed/shed); on the sharded tier the
+        batch is pinned to the worker that owns the graph's mutable
+        session (see :mod:`repro.service.workers`).  The response's
+        ``graph_version`` and ``labels_crc32`` name the exact post-
+        update state — the CRC is bit-comparable to a from-scratch
+        run's canonical labels.
+        """
+        unknown = sorted(set(request) - _UPDATE_KEYS)
+        if unknown:
+            return self._error_response(
+                request,
+                ValueError(
+                    f"unknown request key(s) {unknown}; "
+                    f"known: {sorted(_UPDATE_KEYS)}"
+                ),
+            )
+        if not request.get("graph"):
+            return self._error_response(
+                request,
+                ValueError("update request needs a 'graph' source"),
+            )
+        try:
+            inserts = self._edge_pairs(request.get("inserts"), "inserts")
+            deletes = self._edge_pairs(request.get("deletes"), "deletes")
+        except ValueError as exc:
+            return self._error_response(request, exc)
+        self.requests += 1
+        self.updates += 1
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        t0 = time.perf_counter()
+        journaled = False
+        try:
+            nodes, edges = self._size_hint(request)
+            with self.admission.admit(
+                nodes=nodes,
+                edges=edges,
+                backend=self.config.backend,
+                num_workers=1,
+            ):
+                if self.journal is not None:
+                    self.journal.accepted(seq, request)
+                    journaled = True
+                if (
+                    self.supervisor is not None
+                    and self.supervisor.available
+                ):
+                    response = self._execute_update_sharded(request, seq)
+                else:
+                    response = self._execute_update(
+                        request, inserts, deletes
+                    )
+            self.completed += 1
+            if response.get("applied"):
+                self.updates_applied += 1
+            if journaled:
+                self.journal.completed(
+                    seq,
+                    ok=True,
+                    labels_crc32=response.get("labels_crc32"),
+                    version=response.get("graph_version"),
+                )
+            response["seconds"] = time.perf_counter() - t0
+            return response
+        except Exception as exc:
+            resp = self._error_response(request, exc)
+            if journaled:
+                if resp.get("shed"):
+                    self.journal.shed(
+                        seq,
+                        reason=getattr(exc, "reason", "overload"),
+                    )
+                else:
+                    self.journal.completed(
+                        seq,
+                        ok=False,
+                        error_type=resp.get("error_type"),
+                    )
+            resp["seconds"] = time.perf_counter() - t0
+            return resp
+
+    def _execute_update(
+        self, request: dict, inserts: list, deletes: list
+    ) -> dict:
+        with self._engine_turn():
+            session = self.engine.load(
+                request["graph"],
+                scale=request.get("scale"),
+                seed=None,
+                on_error=request.get("on_error", "strict"),
+            )
+            try:
+                report = self.engine.update(
+                    session,
+                    inserts,
+                    deletes,
+                    compact_ratio=request.get(
+                        "compact_ratio", self.config.compact_ratio
+                    ),
+                    damage_threshold=request.get(
+                        "damage_threshold", self.config.damage_threshold
+                    ),
+                )
+            except IntegrityError:
+                self.integrity_detected += 1
+                if self.config.on_corruption == "quarantine":
+                    if self.engine.quarantine(session.fingerprint):
+                        self.integrity_quarantines += 1
+                raise
+        return {
+            "op": "update",
+            "id": request.get("id"),
+            "ok": True,
+            "graph": request["graph"],
+            "graph_version": report.version,
+            "applied": report.applied,
+            "changed": report.changed,
+            "compacted": report.compacted,
+            "inserts": report.inserts,
+            "deletes": report.deletes,
+            "num_sccs": report.num_components,
+            "labels_crc32": report.labels_crc32,
+            "session_fingerprint": report.fingerprint,
+            "stats": report.stats,
+        }
+
+    def _execute_update_sharded(self, request: dict, seq: int) -> dict:
+        from .workers import RemoteRequestError
+
+        forward = {k: v for k, v in request.items() if k in _UPDATE_KEYS}
+        response = self.supervisor.execute(forward, seq, budget=None)
+        if not response.get("ok", False):
+            if response.get("shed"):
+                raise ServiceOverloadError(
+                    response.get("error", "worker shed the update"),
+                    reason="worker-overload",
+                )
+            raise RemoteRequestError(response)
+        response = dict(response)
+        response["id"] = request.get("id")
+        return response
 
     def _execute(
         self,
@@ -649,6 +842,10 @@ class SCCService:
                             ),
                             seed=int(request.get("seed", 0) or 0),
                         )
+                        # pin the certificate to the exact graph state
+                        # it proves: mutable sessions advance this per
+                        # applied update batch.
+                        certificate["graph_version"] = session.version
                 except IntegrityError as exc:
                     # corruption (or a failed certificate) caught
                     # before any response: quarantine the rotten
@@ -702,6 +899,7 @@ class SCCService:
             "backoff_seconds": outcome.backoff_seconds,
             "retried_errors": outcome.errors,
             "session_fingerprint": session.fingerprint,
+            "graph_version": session.version,
         }
         if certificate is not None:
             response["certificate"] = certificate
@@ -833,6 +1031,8 @@ class SCCService:
             "retried": self.retried,
             "degraded_runs": self.degraded_runs,
             "transport_errors": self.transport_errors,
+            "updates": self.updates,
+            "updates_applied": self.updates_applied,
             "uptime_seconds": self._clock() - self._started,
             "admission": self.admission.to_dict(),
             "integrity": {

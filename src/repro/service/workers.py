@@ -18,6 +18,13 @@ runtime layer already proved (``runtime/supervisor.py``):
   replicate: past ``hot_threshold`` hits a key becomes eligible for up
   to ``hot_replicas`` consecutive ring slots, and dispatch prefers an
   idle replica — affinity when it's free, throughput when it's not.
+  *Mutable* graphs (ones that have taken an ``update``) are the
+  exception: they route by a seed-less token
+  (:func:`mutable_route_token`), never replicate, and pin every later
+  request to the one worker owning the delta state; after that worker
+  dies, the supervisor streams the token's committed update history
+  into the respawn ahead of the next request, so the rebuilt session
+  converges to the exact pre-crash state (updates are idempotent).
 
 * **Supervision** — the pump thread watches every worker: process
   death (SIGKILL, OOM) is caught by ``Process.is_alive``; a wedged
@@ -64,6 +71,7 @@ __all__ = [
     "WorkerTierConfig",
     "HashRing",
     "routing_fingerprint",
+    "mutable_route_token",
     "RemoteRequestError",
     "WorkerSupervisor",
 ]
@@ -71,6 +79,12 @@ __all__ = [
 #: request keys that define which graph (and thus which warm session)
 #: a run request needs — the consistent-hashing routing identity.
 _ROUTE_KEYS = ("graph", "scale", "seed", "on_error")
+
+#: the slice of the routing identity that names a *mutable* session.
+#: ``seed`` is deliberately absent: every request against a mutated
+#: graph must land on the one worker holding its delta state, whatever
+#: seed the run asks for.
+_MUTABLE_KEYS = ("graph", "scale", "on_error")
 
 
 def routing_fingerprint(request: dict) -> int:
@@ -82,6 +96,17 @@ def routing_fingerprint(request: dict) -> int:
     """
     token = "|".join(repr(request.get(k)) for k in _ROUTE_KEYS)
     return zlib.crc32(token.encode("utf-8")) & 0xFFFFFFFF
+
+
+def mutable_route_token(request: dict) -> str:
+    """The pinning identity of a (potentially) mutable session.
+
+    Once a graph has taken an ``update``, every later request for it —
+    update *or* run — must be served by the worker that owns the
+    mutated session; this token is the key the supervisor pins by and
+    keeps the update history under for post-crash replay.
+    """
+    return "|".join(repr(request.get(k)) for k in _MUTABLE_KEYS)
 
 
 class HashRing:
@@ -248,6 +273,18 @@ def _worker_main(conn, index: int, config, tier: WorkerTierConfig) -> None:
                     }
                 ):
                     break
+            elif kind == "replay":
+                # Re-drive a mutable session's committed update history
+                # into this (freshly respawned) worker before the
+                # request queued behind this message runs.  Updates are
+                # idempotent, so replay converges to the exact state
+                # the dead worker held; responses are not sent — the
+                # originals were already answered.
+                for req in msg.get("requests", ()):
+                    try:
+                        service.handle(req)
+                    except Exception:
+                        pass
             elif kind == "stats":
                 send(
                     {
@@ -297,6 +334,7 @@ class _WorkerHandle:
         "completed",
         "last_stats",
         "stats_token",
+        "mutable_applied",
     )
 
     def __init__(self, index: int) -> None:
@@ -314,6 +352,12 @@ class _WorkerHandle:
         self.completed = 0
         self.last_stats: Optional[dict] = None
         self.stats_token = -1
+        #: token -> how many committed update-history entries this
+        #: incarnation of the worker has seen (replayed or applied
+        #: live); reset on respawn.  A length, not a flag, so a worker
+        #: that inherits a pinned token mid-stream (lost slot fallback)
+        #: only replays the tail it missed.
+        self.mutable_applied: Dict[str, int] = {}
 
     @property
     def routable(self) -> bool:
@@ -340,6 +384,7 @@ class _InFlight:
         "dispatched_at",
         "deadline_at",
         "replays",
+        "mutable_token",
     )
 
     def __init__(self, seq, request, budget, route_key, backend) -> None:
@@ -355,6 +400,8 @@ class _InFlight:
         self.dispatched_at = 0.0
         self.deadline_at: Optional[float] = None
         self.replays = 0
+        #: set when this request must pin to a mutable session's owner.
+        self.mutable_token: Optional[str] = None
 
     def fail(self, exc: BaseException) -> None:
         if not self.event.is_set():
@@ -413,6 +460,12 @@ class WorkerSupervisor:
         self._lock = threading.Lock()
         self._inflight: Dict[int, _InFlight] = {}
         self._key_hits: Dict[int, int] = {}
+        #: tokens of graphs that have taken at least one update — every
+        #: later request for them pins (no replicas) to one worker.
+        self._mutable_keys: set = set()
+        #: token -> committed update requests in dispatch order; what a
+        #: respawned worker replays before serving the token again.
+        self._update_history: Dict[str, List[dict]] = {}
         self._pump: Optional[threading.Thread] = None
         self._stop_pump = threading.Event()
         self._stats_token = 0
@@ -467,6 +520,7 @@ class WorkerSupervisor:
         handle.proc = proc
         handle.conn = parent_conn
         handle.last_beat = self._clock()
+        handle.mutable_applied = {}  # fresh engine: no delta state
         handle.state = "starting"
 
     @property
@@ -565,7 +619,20 @@ class WorkerSupervisor:
                 "service draining; request shed before dispatch",
                 reason="draining",
             )
-        key = routing_fingerprint(request)
+        token = mutable_route_token(request)
+        is_update = request.get("op") == "update"
+        with self._lock:
+            if is_update:
+                self._mutable_keys.add(token)
+            pinned = token in self._mutable_keys
+        # A mutated graph's requests route by the seed-less mutable
+        # token — one owner, no replicas — so runs and updates alike
+        # always see the worker holding the delta state.
+        key = (
+            zlib.crc32(token.encode("utf-8")) & 0xFFFFFFFF
+            if pinned
+            else routing_fingerprint(request)
+        )
         entry = _InFlight(
             seq,
             request,
@@ -573,6 +640,8 @@ class WorkerSupervisor:
             key,
             request.get("backend", "serial"),
         )
+        if pinned:
+            entry.mutable_token = token
         with self._lock:
             self._key_hits[key] = self._key_hits.get(key, 0) + 1
             self._inflight[seq] = entry
@@ -610,9 +679,14 @@ class WorkerSupervisor:
         self, entry: _InFlight, *, replay_reason: Optional[str] = None
     ) -> None:
         """Pick a worker for ``entry`` and send it (lock held)."""
-        candidates = self.ring.lookup(
-            entry.route_key, self._replicas_for(entry.route_key)
+        # mutable sessions never replicate: exactly one worker owns
+        # the delta state, hot or not.
+        replicas = (
+            1
+            if entry.mutable_token is not None
+            else self._replicas_for(entry.route_key)
         )
+        candidates = self.ring.lookup(entry.route_key, replicas)
         routable = [
             self._handles[slot]
             for slot in candidates
@@ -645,6 +719,23 @@ class WorkerSupervisor:
             if entry.budget is not None
             else None
         )
+        token = entry.mutable_token
+        if token is not None:
+            # This incarnation of the worker may be missing part of the
+            # token's committed update history (fresh fork, respawn
+            # after a crash, or a lost-slot fallback): queue the unseen
+            # tail ahead of the request.  The pipe is FIFO and the
+            # worker loop is serial, so replay finishes before the
+            # request runs; idempotent updates make re-application
+            # convergent.
+            history = self._update_history.get(token, [])
+            seen = handle.mutable_applied.get(token, 0)
+            if seen < len(history) and not self._send(
+                handle, {"kind": "replay", "requests": history[seen:]}
+            ):
+                self._handle_death_locked(handle, "send-failed")
+                return
+            handle.mutable_applied[token] = len(history)
         if not self._send(
             handle,
             {
@@ -657,6 +748,21 @@ class WorkerSupervisor:
             # replays this entry (and its siblings) onto a survivor.
             self._handle_death_locked(handle, "send-failed")
             return
+        if (
+            token is not None
+            and entry.request.get("op") == "update"
+            and replay_reason is None
+        ):
+            # record in dispatch order (= pipe order = worker execution
+            # order); re-dispatches of the same entry skip the append,
+            # and the serving worker counts the entry as seen (it is
+            # about to apply it as the request itself).
+            self._update_history.setdefault(token, []).append(
+                dict(entry.request)
+            )
+            handle.mutable_applied[token] = len(
+                self._update_history[token]
+            )
         if self.journal is not None:
             if replay_reason is not None:
                 self.journal.replayed(
@@ -928,5 +1034,9 @@ class WorkerSupervisor:
                 "lost_workers": self.lost_workers,
                 "in_flight": len(self._inflight),
                 "routed_keys": len(self._key_hits),
+                "mutable_keys": len(self._mutable_keys),
+                "update_history_entries": sum(
+                    len(v) for v in self._update_history.values()
+                ),
                 "workers": workers,
             }

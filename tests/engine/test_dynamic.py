@@ -1,0 +1,251 @@
+"""DynamicSCC: the incremental maintainer must land every update in
+the right taxonomy bucket, keep the pseudo-topological level invariant,
+and never diverge from a from-scratch recompute of the merged view."""
+
+import numpy as np
+import pytest
+
+from repro.core.tarjan import tarjan_scc
+from repro.engine.dynamic import (
+    DEFAULT_DAMAGE_THRESHOLD,
+    DynamicSCC,
+    rep_labels,
+)
+from repro.graph import from_edge_array
+from repro.graph.delta import DeltaCSR
+from tests.conftest import random_digraph
+
+
+def make_dyn(edges, n, **kwargs):
+    if edges:
+        arr = np.array(edges, dtype=np.int64)
+        src, dst = arr[:, 0], arr[:, 1]
+    else:
+        src = dst = np.empty(0, dtype=np.int64)
+    delta = DeltaCSR(from_edge_array(src, dst, n), compact_ratio=10.0)
+    return DynamicSCC(delta, **kwargs)
+
+
+def assert_levels_hold(dyn):
+    """level[a] < level[b] for every condensation edge a -> b."""
+    src, dst = dyn.delta.edge_array()
+    ls, ld = dyn.labels[src], dyn.labels[dst]
+    inter = ls != ld
+    lvl_s = np.array([dyn.level_of(l) for l in ls[inter]])
+    lvl_d = np.array([dyn.level_of(l) for l in ld[inter]])
+    assert bool((lvl_s < lvl_d).all())
+
+
+class TestInsertTaxonomy:
+    def test_intra_component_insert_is_fast(self):
+        dyn = make_dyn([(0, 1), (1, 2), (2, 0)], 3)
+        assert not dyn.insert(0, 2)
+        assert dyn.stats.fast_inserts == 1
+        assert dyn.num_components == 1
+
+    def test_level_compatible_insert_is_fast(self):
+        # chain 0 -> 1 -> 2: adding 0 -> 2 respects the levels.
+        dyn = make_dyn([(0, 1), (1, 2)], 3)
+        assert not dyn.insert(0, 2)
+        assert dyn.stats.fast_inserts == 1
+        assert dyn.stats.searched_inserts == 0
+        assert_levels_hold(dyn)
+
+    def test_back_edge_merges_cycle(self):
+        dyn = make_dyn([(0, 1), (1, 2), (2, 3)], 4)
+        assert dyn.num_components == 4
+        assert dyn.insert(3, 0)  # closes 0..3 into one SCC
+        assert dyn.stats.merges == 1
+        assert dyn.stats.merged_components == 4
+        assert dyn.num_components == 1
+        assert dyn.labels.tolist() == [0, 0, 0, 0]
+        dyn.verify()
+
+    def test_partial_cycle_merges_only_the_path(self):
+        # 0 -> 1 -> 2 -> 3, back edge 2 -> 0 merges {0,1,2} but not 3.
+        dyn = make_dyn([(0, 1), (1, 2), (2, 3)], 4)
+        assert dyn.insert(2, 0)
+        assert dyn.labels.tolist() == [0, 0, 0, 3]
+        assert sorted(dyn.members(0).tolist()) == [0, 1, 2]
+        assert_levels_hold(dyn)
+        dyn.verify()
+
+    def test_level_violating_insert_without_cycle_cascades(self):
+        # two chains; a cross edge from the deep end of one to the
+        # head of the other violates levels but closes no cycle.
+        dyn = make_dyn([(0, 1), (1, 2), (3, 4)], 5)
+        assert not dyn.insert(2, 3)
+        assert dyn.stats.searched_inserts >= 1
+        assert dyn.stats.merges == 0
+        assert_levels_hold(dyn)
+        dyn.verify()
+
+    def test_noop_insert_counts_noop(self):
+        dyn = make_dyn([(0, 1)], 2)
+        assert not dyn.insert(0, 1)
+        assert dyn.stats.noops == 1
+
+
+class TestDeleteTaxonomy:
+    def test_cross_component_delete_is_fast(self):
+        dyn = make_dyn([(0, 1)], 2)
+        assert not dyn.delete(0, 1)
+        assert dyn.stats.cross_deletes == 1
+        dyn.verify()
+
+    def test_intact_certificate_spares_recompute(self):
+        # complete digraph on 3 nodes: 0 still reaches 1 via 2 after
+        # the delete, so the partition stands without a recompute.
+        dyn = make_dyn(
+            [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)], 3
+        )
+        assert dyn.num_components == 1
+        assert not dyn.delete(0, 1)
+        assert dyn.stats.intact_deletes == 1
+        assert dyn.stats.splits == 0
+        dyn.verify()
+
+    def test_cycle_break_splits_into_singletons(self):
+        # threshold 1.0 keeps the restricted split path even though
+        # the broken component spans the whole graph.
+        dyn = make_dyn([(0, 1), (1, 2), (2, 0)], 3, damage_threshold=1.0)
+        assert dyn.delete(2, 0)
+        assert dyn.stats.splits == 1
+        assert dyn.stats.split_components == 3
+        assert dyn.num_components == 3
+        assert_levels_hold(dyn)
+        dyn.verify()
+
+    def test_split_into_two_sccs(self):
+        # 0<->1 and 2<->3 joined into one SCC by 1->2 and 3->0;
+        # deleting 3->0 splits it back into the two 2-cycles.
+        dyn = make_dyn(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (3, 0)],
+            4,
+            damage_threshold=1.0,
+        )
+        assert dyn.num_components == 1
+        assert dyn.delete(3, 0)
+        assert dyn.stats.splits == 1
+        assert dyn.num_components == 2
+        assert dyn.labels.tolist() == [0, 0, 2, 2]
+        assert_levels_hold(dyn)
+        dyn.verify()
+
+    def test_self_loop_delete_never_splits(self):
+        dyn = make_dyn([(0, 0), (0, 1), (1, 0)], 2)
+        assert not dyn.delete(0, 0)
+        assert dyn.stats.intact_deletes == 1
+        dyn.verify()
+
+    def test_damage_threshold_triggers_rebuild(self):
+        dyn = make_dyn(
+            [(0, 1), (1, 2), (2, 0)], 3, damage_threshold=0.5
+        )
+        # the broken component is the whole graph (> 50% of nodes)
+        assert dyn.delete(2, 0)
+        assert dyn.stats.rebuilds == 1
+        assert dyn.stats.splits == 0
+        dyn.verify()
+
+
+class TestRecomputeHook:
+    def test_custom_recompute_used_for_init_and_rebuild(self):
+        calls = []
+
+        def counting(g):
+            calls.append(g.num_nodes)
+            return tarjan_scc(g)
+
+        dyn = make_dyn(
+            [(0, 1), (1, 2), (2, 0)],
+            3,
+            damage_threshold=0.01,
+            recompute=counting,
+        )
+        assert len(calls) == 1  # initial labels
+        dyn.delete(2, 0)  # any split exceeds the tiny threshold
+        assert len(calls) == 2  # rebuild
+        dyn.verify()
+
+    def test_explicit_labels_skip_recompute(self):
+        edges = [(0, 1), (1, 0), (2, 2)]
+        arr = np.array(edges, dtype=np.int64)
+        g = from_edge_array(arr[:, 0], arr[:, 1], 3)
+        delta = DeltaCSR(g)
+        dyn = DynamicSCC(delta, labels=tarjan_scc(g))
+        assert dyn.labels.tolist() == [0, 0, 2]
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            make_dyn([(0, 1)], 2, damage_threshold=0.0)
+        g = from_edge_array(
+            np.array([0], dtype=np.int64), np.array([1], dtype=np.int64), 2
+        )
+        with pytest.raises(ValueError):
+            DynamicSCC(DeltaCSR(g), labels=np.zeros(5, dtype=np.int64))
+
+
+class TestRepLabels:
+    def test_normalizes_to_min_member(self):
+        labels = np.array([7, 7, 3, 3, 9], dtype=np.int64)
+        assert rep_labels(labels).tolist() == [0, 0, 2, 2, 4]
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, 30).astype(np.int64)
+        once = rep_labels(labels)
+        assert np.array_equal(once, rep_labels(once))
+
+
+class TestFuzzStream:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_stream_never_diverges(self, seed):
+        n = 30
+        base = random_digraph(n, 60, seed=seed)
+        delta = DeltaCSR(base, compact_ratio=10.0)
+        dyn = DynamicSCC(delta)
+        rng = np.random.default_rng(seed + 1000)
+        for step in range(200):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if rng.integers(0, 2):
+                dyn.insert(u, v)
+            else:
+                dyn.delete(u, v)
+            if step % 20 == 19:
+                dyn.verify()
+                assert_levels_hold(dyn)
+        dyn.verify()
+        # the member index and the label array tell the same story
+        total = 0
+        for rep in np.unique(dyn.labels):
+            members = dyn.members(int(rep))
+            assert bool((dyn.labels[members] == rep).all())
+            total += members.size
+        assert total == n
+
+    def test_batch_apply_equals_singles(self):
+        n = 20
+        base = random_digraph(n, 40, seed=6)
+        rng = np.random.default_rng(42)
+        inserts = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)))
+            for _ in range(25)
+        ]
+        deletes = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)))
+            for _ in range(15)
+        ]
+        a = DynamicSCC(DeltaCSR(base, compact_ratio=10.0))
+        a.apply(inserts, deletes)
+        b = DynamicSCC(DeltaCSR(base, compact_ratio=10.0))
+        for e in inserts:
+            b.insert(*e)
+        for e in deletes:
+            b.delete(*e)
+        assert np.array_equal(a.labels, b.labels)
+        a.verify()
+
+    def test_default_damage_threshold_exported(self):
+        assert 0 < DEFAULT_DAMAGE_THRESHOLD <= 1

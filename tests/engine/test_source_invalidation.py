@@ -1,0 +1,84 @@
+"""Source-cache freshness: ``Engine.load`` keys warm sessions by
+source, so a rewritten edge-list file must invalidate the mapping and
+reload — never silently serve the bytes the file used to contain."""
+
+import os
+
+import numpy as np
+
+from repro.engine import Engine
+
+
+def write_edges(path, edges):
+    path.write_text(
+        "".join(f"{u} {v}\n" for u, v in edges), encoding="utf-8"
+    )
+
+
+def bump_mtime(path, ns=2_000_000_000):
+    """Force a visibly different mtime regardless of fs resolution."""
+    st = os.stat(path)
+    os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + ns))
+
+
+class TestFileSourceInvalidation:
+    def test_rewritten_file_reloads(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edges(path, [(0, 1), (1, 2), (2, 0)])
+        with Engine() as eng:
+            first = eng.load(str(path))
+            assert first.graph.num_edges == 3
+            # unchanged file: the warm session is served back
+            assert eng.load(str(path)) is first
+            # rewrite: same length trap avoided via mtime, different
+            # content must produce a session over the new bytes
+            write_edges(path, [(0, 1), (1, 2), (2, 3)])
+            bump_mtime(path)
+            second = eng.load(str(path))
+            assert second is not first
+            assert second.graph.num_nodes == 4
+            assert not second.graph.has_edge(2, 0)
+            assert second.graph.has_edge(2, 3)
+
+    def test_same_size_rewrite_detected_by_mtime(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edges(path, [(0, 1), (1, 2)])
+        with Engine() as eng:
+            first = eng.load(str(path))
+            write_edges(path, [(0, 2), (2, 1)])  # same byte length
+            bump_mtime(path)
+            second = eng.load(str(path))
+            assert second is not first
+            assert second.graph.has_edge(0, 2)
+
+    def test_deleted_file_keeps_serving_warm_session(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edges(path, [(0, 1), (1, 0)])
+        with Engine() as eng:
+            first = eng.load(str(path))
+            os.unlink(path)
+            # unstat-able source is treated as unchanged, not an error
+            assert eng.load(str(path)) is first
+
+    def test_reload_produces_fresh_labels(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edges(path, [(0, 1), (1, 0)])
+        with Engine() as eng:
+            r1 = eng.run(eng.load(str(path)))
+            assert r1.num_sccs == 1
+            write_edges(path, [(0, 1), (1, 2)])
+            bump_mtime(path)
+            r2 = eng.run(eng.load(str(path)))
+            assert r2.num_sccs == 3
+            assert not np.array_equal(r1.labels, r2.labels)
+
+
+class TestDatasetSourcesSkipStat:
+    def test_dataset_source_cached_without_stat(self):
+        with Engine() as eng:
+            a = eng.load("wiki", scale=0.02, seed=7)
+            b = eng.load("wiki", scale=0.02, seed=7)
+            assert a is b
+            # a different parameterization is a different source key
+            c = eng.load("wiki", scale=0.04, seed=7)
+            assert c is not a

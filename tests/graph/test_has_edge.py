@@ -1,0 +1,83 @@
+"""CSRGraph edge membership: ``has_edge`` (binary search on one sorted
+row) and its vectorized batch twin ``has_edges`` (one global
+searchsorted over composite keys) against a linear-scan oracle."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_array
+from tests.conftest import SMALL_GRAPHS, random_digraph
+
+
+def build_small(name):
+    edges, n = SMALL_GRAPHS[name]
+    if edges:
+        arr = np.array(edges, dtype=np.int64)
+        src, dst = arr[:, 0], arr[:, 1]
+    else:
+        src = dst = np.empty(0, dtype=np.int64)
+    return from_edge_array(src, dst, n), set(edges)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_GRAPHS))
+def test_has_edge_exhaustive_on_small_graphs(name):
+    g, edges = build_small(name)
+    for u in range(g.num_nodes):
+        for v in range(g.num_nodes):
+            assert g.has_edge(u, v) == ((u, v) in edges)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_has_edge_matches_linear_scan(seed):
+    g = random_digraph(60, 240, seed=seed, self_loops=True)
+    rng = np.random.default_rng(seed + 10)
+    for _ in range(200):
+        u = int(rng.integers(0, g.num_nodes))
+        v = int(rng.integers(0, g.num_nodes))
+        linear = bool(np.any(g.out_neighbors(u) == v))
+        assert g.has_edge(u, v) == linear
+
+
+class TestHasEdgesBatch:
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_matches_per_edge_has_edge(self, seed):
+        g = random_digraph(80, 300, seed=seed, self_loops=True)
+        rng = np.random.default_rng(seed)
+        # half random probes, half guaranteed-present edges
+        src, dst = g.edge_array()
+        pick = rng.integers(0, src.shape[0], 100)
+        us = np.concatenate(
+            [rng.integers(0, g.num_nodes, 100), src[pick]]
+        ).astype(np.int64)
+        vs = np.concatenate(
+            [rng.integers(0, g.num_nodes, 100), dst[pick]]
+        ).astype(np.int64)
+        got = g.has_edges(us, vs)
+        want = np.array(
+            [g.has_edge(int(u), int(v)) for u, v in zip(us, vs)]
+        )
+        assert got.dtype == np.bool_
+        assert np.array_equal(got, want)
+        assert bool(got[100:].all())  # the present half is all True
+
+    def test_empty_and_shape_checks(self):
+        g = random_digraph(10, 20, seed=0)
+        empty = g.has_edges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert empty.shape == (0,) and empty.dtype == np.bool_
+        with pytest.raises(ValueError):
+            g.has_edges(
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_edgeless_graph(self):
+        g = from_edge_array(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 4
+        )
+        got = g.has_edges(
+            np.array([0, 3], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        )
+        assert not got.any()

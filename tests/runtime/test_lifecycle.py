@@ -9,7 +9,9 @@ older one that verifies.
 
 import os
 import shutil
+import struct
 import time
+import zipfile
 
 import numpy as np
 import pytest
@@ -41,8 +43,18 @@ def ckpt_files(d):
 
 
 def corrupt(path):
+    # Flip one byte inside the largest member's *compressed payload*.
+    # A naive flip at the file midpoint can land in zip structural
+    # slack (e.g. the redundant local-header size fields that readers
+    # never consult) and damage nothing the loader actually reads.
+    with zipfile.ZipFile(path) as zf:
+        info = max(zf.infolist(), key=lambda i: i.compress_size)
     data = bytearray(open(path, "rb").read())
-    data[len(data) // 2] ^= 0xFF
+    fnlen, exlen = struct.unpack_from(
+        "<HH", data, info.header_offset + 26
+    )
+    payload = info.header_offset + 30 + fnlen + exlen
+    data[payload + info.compress_size // 2] ^= 0xFF
     open(path, "wb").write(bytes(data))
 
 

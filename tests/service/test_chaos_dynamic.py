@@ -1,0 +1,180 @@
+"""Chaos drills for streaming updates on the sharded tier: the mutable
+session is pinned to one worker; SIGKILLing that worker mid-stream must
+replay the committed update history onto the respawned worker so the
+stream converges to the same labels a from-scratch application of every
+edit produces.
+
+Excluded from tier-1 (``-m 'not chaos'``); run with ``pytest -m chaos``.
+This is the drill the CI ``dynamic-scc`` job runs.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.result import canonical_labels
+from repro.core.tarjan import tarjan_scc
+from repro.generators import generate
+from repro.graph.delta import DeltaCSR
+from repro.ioutil import crc32_chunks
+from repro.service.journal import scan_journal
+from repro.service.server import SCCService, ServiceConfig
+from repro.service.workers import mutable_route_token
+
+pytestmark = pytest.mark.chaos
+
+HEARTBEAT = 0.2
+GRAPH, SCALE = "wiki", 0.08
+
+
+def make_batches(num_batches, node_range=500, seed=99):
+    """Deterministic mixed insert/delete batches and the flat edit
+    list an oracle can re-apply from scratch."""
+    rng = np.random.default_rng(seed)
+    batches, edits = [], []
+    for _ in range(num_batches):
+        ins = [
+            [int(u), int(v)]
+            for u, v in rng.integers(0, node_range, (8, 2))
+        ]
+        dels = [
+            [int(u), int(v)]
+            for u, v in rng.integers(0, node_range, (4, 2))
+        ]
+        batches.append((ins, dels))
+        edits.extend((True, u, v) for u, v in ins)
+        edits.extend((False, u, v) for u, v in dels)
+    return batches, edits
+
+
+def oracle_crc(edits):
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    delta = DeltaCSR(g)
+    for ins, u, v in edits:
+        (delta.add_edge if ins else delta.remove_edge)(u, v)
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes())
+
+
+def update_request(ins, dels, i):
+    return {
+        "op": "update",
+        "id": str(i),
+        "graph": GRAPH,
+        "scale": SCALE,
+        "inserts": ins,
+        "deletes": dels,
+    }
+
+
+class TestMutableSessionPinning:
+    def test_stream_pins_to_one_worker(self, tmp_path):
+        """Without any faults: every update of a stream lands on the
+        same worker, versions step monotonically, and the final state
+        matches the from-scratch oracle."""
+        cfg = ServiceConfig(
+            worker_processes=2,
+            heartbeat_interval=HEARTBEAT,
+            journal_path=str(tmp_path / "requests.ndjson"),
+        )
+        batches, edits = make_batches(6)
+        svc = SCCService(cfg)
+        try:
+            responses = [
+                svc.handle(update_request(ins, dels, i))
+                for i, (ins, dels) in enumerate(batches)
+            ]
+            assert all(r["ok"] for r in responses)
+            workers = {r["worker"] for r in responses}
+            assert len(workers) == 1
+            versions = [r["graph_version"] for r in responses]
+            assert versions == sorted(versions)
+            assert versions[0] >= 1 and versions[-1] <= len(batches)
+            assert responses[-1]["labels_crc32"] == oracle_crc(edits)
+            # a pinned run request also routes to the session's worker
+            run = svc.handle(
+                {"op": "run", "graph": GRAPH, "scale": SCALE}
+            )
+            assert run["ok"]
+            assert run["worker"] in workers
+            assert run["labels_crc32"] == oracle_crc(edits)
+            stats = svc.supervisor.to_dict()
+            assert stats["mutable_keys"] == 1
+            assert stats["update_history_entries"] == len(batches)
+        finally:
+            svc.drain()
+            svc.close()
+
+    def test_route_token_ignores_seed(self):
+        a = mutable_route_token(
+            {"op": "update", "graph": "wiki", "scale": 0.1, "seed": 1}
+        )
+        b = mutable_route_token(
+            {"op": "run", "graph": "wiki", "scale": 0.1, "seed": 2}
+        )
+        assert a == b
+        c = mutable_route_token({"op": "run", "graph": "wiki", "scale": 0.2})
+        assert a != c
+
+
+class TestCrashReplayConvergence:
+    def test_sigkill_mid_stream_converges_to_oracle(self, tmp_path):
+        """The acceptance drill: SIGKILL the pinned worker mid-update-
+        stream.  The supervisor replays the committed update history
+        into the respawned worker before the next update runs, so the
+        stream's final labels are bit-identical to the oracle and the
+        journal's version stamps stay monotone."""
+        journal = tmp_path / "requests.ndjson"
+        cfg = ServiceConfig(
+            worker_processes=2,
+            heartbeat_interval=HEARTBEAT,
+            journal_path=str(journal),
+        )
+        batches, edits = make_batches(12)
+        kill_after = 5
+        svc = SCCService(cfg)
+        try:
+            responses = []
+            for i, (ins, dels) in enumerate(batches):
+                responses.append(
+                    svc.handle(update_request(ins, dels, i))
+                )
+                assert responses[-1]["ok"], responses[-1]
+                if i == kill_after:
+                    victim_index = responses[-1]["worker"]
+                    with svc.supervisor._lock:
+                        victim = svc.supervisor._handles[victim_index]
+                        pid = victim.pid
+                    os.kill(pid, signal.SIGKILL)
+                    # let the heartbeat notice before the next update
+                    deadline = time.time() + HEARTBEAT * 20
+                    while time.time() < deadline:
+                        with svc.supervisor._lock:
+                            if victim.state != "live" or victim.pid != pid:
+                                break
+                        time.sleep(0.01)
+            versions = [r["graph_version"] for r in responses]
+            assert versions == sorted(versions)
+            assert versions[-1] <= len(batches)
+            want = oracle_crc(edits)
+            assert responses[-1]["labels_crc32"] == want
+            assert svc.supervisor.deaths >= 1
+            # a fresh run against the replayed session agrees too
+            run = svc.handle(
+                {"op": "run", "graph": GRAPH, "scale": SCALE}
+            )
+            assert run["ok"]
+            assert run["labels_crc32"] == want
+            live = svc.stats()["journal"]
+            assert live["balanced"] is True
+        finally:
+            svc.drain()
+            svc.close()
+        rec = scan_journal(journal)
+        assert rec.balanced
+        assert rec.accepted == len(batches) + 1
+        stamped = [rec.versions[s] for s in sorted(rec.versions)]
+        assert stamped == versions

@@ -1,0 +1,236 @@
+"""The ``update`` request type: validation, version monotonicity, CRC
+agreement with full runs, journal version stamps, config plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import canonical_labels
+from repro.core.tarjan import tarjan_scc
+from repro.engine.dynamic import DynamicSCC
+from repro.generators import generate
+from repro.graph.delta import DeltaCSR
+from repro.ioutil import crc32_chunks
+from repro.service.journal import scan_journal
+from repro.service.server import SCCService, ServiceConfig
+
+GRAPH, SCALE = "wiki", 0.05
+
+
+def in_process_service(**kwargs):
+    return SCCService(
+        ServiceConfig(worker_processes=0, **kwargs)
+    )
+
+
+def oracle_crc(edits):
+    """CRC of canonical labels after applying ``edits`` from scratch."""
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    delta = DeltaCSR(g)
+    for ins, u, v in edits:
+        (delta.add_edge if ins else delta.remove_edge)(u, v)
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes())
+
+
+def update_request(inserts=(), deletes=(), **extra):
+    req = {
+        "op": "update",
+        "graph": GRAPH,
+        "scale": SCALE,
+        "inserts": [list(e) for e in inserts],
+        "deletes": [list(e) for e in deletes],
+    }
+    req.update(extra)
+    return req
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(update_request(bogus=1))
+            assert not resp["ok"]
+            assert "bogus" in resp["error"]
+        finally:
+            svc.close()
+
+    def test_graph_required(self):
+        svc = in_process_service()
+        try:
+            req = update_request()
+            del req["graph"]
+            resp = svc.handle(req)
+            assert not resp["ok"]
+            assert "graph" in resp["error"]
+        finally:
+            svc.close()
+
+    def test_malformed_pairs_rejected(self):
+        svc = in_process_service()
+        try:
+            for bad in ([[1]], [[1, 2, 3]], [["a", "b"]], "nope", [1]):
+                resp = svc.handle(
+                    {"op": "update", "graph": GRAPH, "inserts": bad}
+                )
+                assert not resp["ok"], bad
+        finally:
+            svc.close()
+
+
+class TestUpdateSemantics:
+    def test_version_monotone_and_crc_matches_run(self, tmp_path):
+        journal = tmp_path / "requests.ndjson"
+        svc = in_process_service(journal_path=str(journal))
+        edits = []
+        try:
+            run0 = svc.handle(
+                {"op": "run", "graph": GRAPH, "scale": SCALE}
+            )
+            assert run0["ok"]
+            assert run0["graph_version"] == 0
+            rng = np.random.default_rng(5)
+            n = 0
+            versions = []
+            for _ in range(4):
+                ins = [
+                    [int(a), int(b)]
+                    for a, b in rng.integers(0, 2000, (6, 2))
+                ]
+                dels = [
+                    [int(a), int(b)]
+                    for a, b in rng.integers(0, 2000, (3, 2))
+                ]
+                resp = svc.handle(
+                    update_request(inserts=ins, deletes=dels)
+                )
+                assert resp["ok"], resp
+                versions.append(resp["graph_version"])
+                edits.extend((True, u, v) for u, v in ins)
+                edits.extend((False, u, v) for u, v in dels)
+            assert versions == sorted(versions)
+            assert versions[-1] >= 1
+            # the update CRC is the run CRC is the oracle CRC
+            want = oracle_crc(edits)
+            assert resp["labels_crc32"] == want
+            run1 = svc.handle(
+                {"op": "run", "graph": GRAPH, "scale": SCALE}
+            )
+            assert run1["ok"]
+            assert run1["labels_crc32"] == want
+            assert run1["graph_version"] == versions[-1]
+            # certified runs carry the graph epoch they labelled
+            cert = run1.get("certificate")
+            if cert is not None:
+                assert cert["graph_version"] == versions[-1]
+            stats = svc.stats()
+            assert stats["updates"] == 4
+            assert stats["updates_applied"] >= 1
+        finally:
+            svc.drain()
+            svc.close()
+        rec = scan_journal(journal)
+        assert rec.balanced
+        stamped = [rec.versions[s] for s in sorted(rec.versions)]
+        assert stamped == versions
+
+    def test_idempotent_replay_does_not_bump_version(self):
+        svc = in_process_service()
+        try:
+            first = svc.handle(update_request(inserts=[(1, 2)]))
+            assert first["ok"] and first["applied"]
+            v = first["graph_version"]
+            again = svc.handle(update_request(inserts=[(1, 2)]))
+            assert again["ok"]
+            assert not again["applied"]
+            assert again["graph_version"] == v
+            assert again["labels_crc32"] == first["labels_crc32"]
+        finally:
+            svc.close()
+
+    def test_update_response_shape(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(update_request(inserts=[(0, 1)]))
+            assert resp["ok"]
+            for key in (
+                "graph_version",
+                "applied",
+                "changed",
+                "compacted",
+                "inserts",
+                "deletes",
+                "num_sccs",
+                "labels_crc32",
+                "session_fingerprint",
+                "stats",
+                "seconds",
+            ):
+                assert key in resp, key
+            assert resp["stats"]["inserts"] == 1
+        finally:
+            svc.close()
+
+    def test_config_knobs_reach_the_engine(self):
+        svc = in_process_service(
+            compact_ratio=1e-9, damage_threshold=1.0
+        )
+        try:
+            resp = svc.handle(
+                update_request(inserts=[(1, 2), (2, 1)])
+            )
+            assert resp["ok"]
+            # a vanishing compact ratio forces compaction every batch
+            assert resp["compacted"]
+            session = svc.engine.load(GRAPH, scale=SCALE, seed=None)
+            assert session.dynamic.damage_threshold == 1.0
+            assert session.delta.log_size == 0
+        finally:
+            svc.close()
+
+    def test_per_request_knob_overrides_config(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                update_request(
+                    inserts=[(3, 4)], damage_threshold=0.25
+                )
+            )
+            assert resp["ok"]
+            session = svc.engine.load(GRAPH, scale=SCALE, seed=None)
+            assert session.dynamic.damage_threshold == 0.25
+        finally:
+            svc.close()
+
+
+class TestMutableSessionIntegrity:
+    def test_updates_keep_checksums_fresh(self):
+        """Every update re-seals the delta arrays; a subsequent borrow
+        must verify clean rather than tripping on stale sidecars."""
+        svc = in_process_service()
+        try:
+            for i in range(5):
+                resp = svc.handle(
+                    update_request(inserts=[(i, i + 1)])
+                )
+                assert resp["ok"], resp
+            run = svc.handle(
+                {"op": "run", "graph": GRAPH, "scale": SCALE}
+            )
+            assert run["ok"]
+            assert svc.stats()["integrity"]["detected"] == 0
+        finally:
+            svc.close()
+
+    def test_dynamic_session_agrees_with_maintainer(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                update_request(inserts=[(10, 20), (20, 10)])
+            )
+            assert resp["ok"]
+            session = svc.engine.load(GRAPH, scale=SCALE, seed=None)
+            assert isinstance(session.dynamic, DynamicSCC)
+            session.dynamic.verify()
+            assert session.version == resp["graph_version"]
+        finally:
+            svc.close()
