@@ -1,0 +1,233 @@
+"""Live-stream ingestion benchmark: the full feed-to-labels path.
+
+Writes an R-MAT edit feed (text dialect, ``+ u v`` / ``- u v``) to a
+file and drives it through the real ingestion tier — ``FileTailSource``
+→ ``RecordParser`` → ``StreamConsumer`` batching → ``Engine.update``
+against a warm mutable session — the same code path ``repro stream``
+runs in production.  Two gates (with ``--check``):
+
+- **correctness**: the maintained labels after the feed drains must be
+  bit-identical (CRC32 over canonical labels) to a from-scratch
+  Tarjan run over the same edit sequence applied to a fresh
+  ``DeltaCSR``;
+- **freshness**: p95 batch age at apply time (how stale an edit is by
+  the time it lands in the labels) must stay under
+  ``FRESHNESS_P95_CEILING`` seconds, and sustained throughput must
+  clear ``EDITS_PER_S_FLOOR`` edits/sec.
+
+Writes a machine-readable ``BENCH_stream.json``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from bench_dynamic import rmat_edges  # noqa: E402  (same edit shape)
+
+#: p95 batch age at apply time must stay under this (seconds).  The
+#: consumer's batch_age is 0.05s here, so anything near a second means
+#: apply cost — not batching policy — is gating freshness.
+FRESHNESS_P95_CEILING = 1.0
+
+#: sustained throughput floor over the whole drain (edits/sec through
+#: parse + batch + incremental maintenance), deliberately modest so CI
+#: machines under load do not flap.
+EDITS_PER_S_FLOOR = 100.0
+
+GRAPH = "wiki"
+
+
+def make_feed(path, rng, g, num_batches, inserts_per, deletes_per):
+    """Write the edit stream as a text-dialect feed file.
+
+    Returns the ordered edit list for the oracle.
+    """
+    src, dst = g.edge_array()
+    edits = []
+    with open(path, "w") as f:
+        f.write("# bench_stream feed\n")
+        for _ in range(num_batches):
+            ins_u, ins_v = rmat_edges(rng, g.num_nodes, inserts_per)
+            for u, v in zip(ins_u.tolist(), ins_v.tolist()):
+                f.write(f"+ {u} {v}\n")
+                edits.append(("add", u, v))
+            pick = rng.integers(0, src.shape[0], deletes_per)
+            for u, v in zip(src[pick].tolist(), dst[pick].tolist()):
+                f.write(f"- {u} {v}\n")
+                edits.append(("remove", u, v))
+        f.write('{"end": true}\n')
+    return edits
+
+
+def oracle_crc(graph_name, scale, edits):
+    from repro.core.result import canonical_labels
+    from repro.core.tarjan import tarjan_scc
+    from repro.generators import generate
+    from repro.graph.delta import DeltaCSR
+    from repro.ioutil import crc32_chunks
+
+    delta = DeltaCSR(generate(graph_name, scale=scale, seed=None).graph)
+    for kind, u, v in edits:
+        if kind == "add":
+            delta.add_edge(u, v)
+        else:
+            delta.remove_edge(u, v)
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes())
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller graph and stream (CI smoke; stdout-only unless "
+        "--out is given)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the gates: labels bit-identical to the "
+        "from-scratch oracle, p95 freshness lag <= "
+        f"{FRESHNESS_P95_CEILING}s, throughput >= "
+        f"{EDITS_PER_S_FLOOR:.0f} edits/s",
+    )
+    ap.add_argument("--scale", type=float, default=None)
+    ap.add_argument("--batches", type=int, default=None)
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_stream.json next to the "
+        "repo root for full runs, stdout-only for --quick)",
+    )
+    args = ap.parse_args(argv)
+
+    import tempfile
+
+    from repro.engine import Engine
+    from repro.ingest.consumer import EngineApplier, StreamConsumer
+    from repro.ingest.sources import FileTailSource
+    from repro.kernels import backend_info
+
+    scale = args.scale or (0.1 if args.quick else 0.3)
+    num_batches = args.batches or (30 if args.quick else 100)
+    inserts_per, deletes_per = 8, 4
+    rng = np.random.default_rng(2024)
+
+    with Engine(backend="serial") as eng, \
+            tempfile.TemporaryDirectory() as tmp:
+        session = eng.load(GRAPH, scale=scale, seed=None)
+        g = session.graph
+        feed = str(Path(tmp) / "feed.txt")
+        edits = make_feed(
+            feed, rng, g, num_batches, inserts_per, deletes_per
+        )
+
+        # warm the pipeline and promote outside the timed region (the
+        # one-time promotion pays a full run; the stream gate is about
+        # steady state).
+        eng.run(session, method="method2")
+        t0 = time.perf_counter()
+        eng.update(session, [], [])
+        promote_s = time.perf_counter() - t0
+
+        source = FileTailSource(feed, follow=False)
+        consumer = StreamConsumer(
+            source,
+            EngineApplier(eng, session),
+            batch_edges=inserts_per + deletes_per,
+            batch_age=0.05,
+        )
+        t0 = time.perf_counter()
+        stats = consumer.run()
+        drain_s = time.perf_counter() - t0
+        source.close()
+
+    total_edits = len(edits)
+    edits_per_s = stats["records_applied"] / max(drain_s, 1e-12)
+    lag = stats["freshness_lag"]
+    doc = {
+        "benchmark": "stream_ingest",
+        "quick": args.quick,
+        "kernels": backend_info(),
+        "graph": GRAPH,
+        "scale": scale,
+        "num_nodes": int(g.num_nodes),
+        "num_edges": int(g.num_edges),
+        "edits_total": total_edits,
+        "records_applied": stats["records_applied"],
+        "batches": stats["batches"],
+        "conflict_flushes": stats["conflict_flushes"],
+        "promotion_s": round(promote_s, 6),
+        "drain_s": round(drain_s, 6),
+        "edits_per_s": round(edits_per_s, 1),
+        "freshness_mean_s": round(lag["mean"], 6),
+        "freshness_p95_s": round(lag["p95"], 6),
+        "freshness_max_s": round(lag["max"], 6),
+        "final_version": stats["graph_version"],
+        "final_labels_crc32": stats["labels_crc32"],
+    }
+    print(
+        f"{GRAPH}@{scale}: n={g.num_nodes} m={g.num_edges}, "
+        f"{total_edits} edits drained in {drain_s * 1e3:.1f} ms "
+        f"({stats['batches']} batches)"
+    )
+    print(
+        f"throughput {edits_per_s:8.1f} edits/s   "
+        f"freshness mean/p95/max "
+        f"{lag['mean'] * 1e3:.1f}/{lag['p95'] * 1e3:.1f}/"
+        f"{lag['max'] * 1e3:.1f} ms"
+    )
+
+    want = oracle_crc(GRAPH, scale, edits)
+    doc["oracle_crc32"] = want
+    doc["labels_match_oracle"] = bool(
+        stats["labels_crc32"] == want
+    )
+    checks = {
+        "labels_match_oracle": doc["labels_match_oracle"],
+        "freshness_p95_s": doc["freshness_p95_s"],
+        "freshness_p95_ceiling": FRESHNESS_P95_CEILING,
+        "edits_per_s": doc["edits_per_s"],
+        "edits_per_s_floor": EDITS_PER_S_FLOOR,
+    }
+    doc["checks"] = checks
+    print(f"checks: {json.dumps(checks, sort_keys=True)}")
+    if args.check:
+        assert doc["labels_match_oracle"], (
+            f"streamed labels diverged from the from-scratch oracle "
+            f"(crc {stats['labels_crc32']} != {want})"
+        )
+        assert lag["p95"] <= FRESHNESS_P95_CEILING, (
+            f"p95 freshness lag {lag['p95']:.3f}s over ceiling "
+            f"{FRESHNESS_P95_CEILING}s"
+        )
+        assert edits_per_s >= EDITS_PER_S_FLOOR, (
+            f"throughput {edits_per_s:.1f} edits/s under floor "
+            f"{EDITS_PER_S_FLOOR:.0f}"
+        )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = str(
+            Path(__file__).resolve().parent.parent
+            / "BENCH_stream.json"
+        )
+    if out:
+        Path(out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

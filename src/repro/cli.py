@@ -34,6 +34,7 @@ failed.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -515,6 +516,152 @@ def build_parser() -> argparse.ArgumentParser:
         "intra-SCC delete falls back to one full recompute instead of "
         "the restricted FW-BW split (default: the engine's 0.5)",
     )
+    p_serve.add_argument(
+        "--read-deadline",
+        type=float,
+        default=30.0,
+        help="socket transport: seconds a connection may take to "
+        "deliver its newline-terminated request before it is dropped "
+        "and counted as a transport error (slow-loris guard)",
+    )
+    p_serve.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=1 << 20,
+        help="socket transport: request line length cap in bytes; "
+        "over-length requests are answered with a typed error and "
+        "counted as transport errors",
+    )
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="consume a live edge feed into incremental SCC "
+        "maintenance (resumable via checkpointed watermarks)",
+        parents=[kernel_parent],
+    )
+    p_stream.add_argument(
+        "graph",
+        help="base graph: surrogate dataset name or edge-list path",
+    )
+    p_stream.add_argument(
+        "--source",
+        required=True,
+        help="feed spec: tail:<path> (follow a growing file), "
+        "tail-once:<path> (read to EOF), socket:<path> (Unix), "
+        "tcp:<host>:<port>, or pipe:- (stdin)",
+    )
+    p_stream.add_argument(
+        "--connect",
+        default=None,
+        help="apply batches through a serve daemon on this Unix "
+        "socket (one update request per batch) instead of an "
+        "in-process engine",
+    )
+    p_stream.add_argument(
+        "--checkpoint",
+        default=None,
+        help="CRC-guarded watermark file: a killed consumer restarted "
+        "with the same path resumes without re-applying committed "
+        "edits",
+    )
+    p_stream.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="surrogate scale factor for dataset graphs",
+    )
+    p_stream.add_argument(
+        "--on-error",
+        default="skip",
+        choices=("strict", "repair", "skip"),
+        help="malformed-record policy for the feed (default 'skip': "
+        "garbage is counted and dropped, never a crashed consumer)",
+    )
+    p_stream.add_argument(
+        "--batch-edges",
+        type=int,
+        default=512,
+        help="flush a batch into the engine at this many pending edits",
+    )
+    p_stream.add_argument(
+        "--batch-age",
+        type=float,
+        default=0.5,
+        help="flush a non-empty batch after this many seconds "
+        "(freshness bound for slow feeds)",
+    )
+    p_stream.add_argument(
+        "--dedup-window",
+        type=int,
+        default=1024,
+        help="seq-keyed duplicate-suppression window for "
+        "at-least-once feeds (0 disables)",
+    )
+    p_stream.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=8,
+        help="redials allowed before the feed fails typed (exit 21)",
+    )
+    p_stream.add_argument(
+        "--read-timeout",
+        type=float,
+        default=1.0,
+        help="per-read deadline on socket feeds, seconds",
+    )
+    p_stream.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        help="watchdog: seconds of peer silence before the feed is "
+        "declared stalled and redialed",
+    )
+    p_stream.add_argument(
+        "--degrade-log-ratio",
+        type=float,
+        default=None,
+        help="compaction-debt budget: when the session's delta-log "
+        "ratio exceeds this after a batch, degrade to one synchronous "
+        "snapshot fold",
+    )
+    p_stream.add_argument(
+        "--compact-ratio",
+        type=float,
+        default=None,
+        help="delta-log compaction ratio for the in-process session",
+    )
+    p_stream.add_argument(
+        "--damage-threshold",
+        type=float,
+        default=None,
+        help="intra-SCC delete rebuild threshold for the in-process "
+        "session",
+    )
+    p_stream.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop after applying this many batches (tests/benchmarks)",
+    )
+    p_stream.add_argument(
+        "--fault-plan",
+        default=None,
+        help="deterministic feed chaos at the 'stream' site: "
+        "'disconnect@3,stall@5,garbage@7,dup@9' — the index is the "
+        "source's read sequence number",
+    )
+    p_stream.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=None,
+        help="duration of injected 'stall' faults (default: the "
+        "spec's hang_seconds)",
+    )
+    p_stream.add_argument(
+        "--report",
+        default=None,
+        help="write the final consumer stats report here (atomic)",
+    )
 
     p_dist = sub.add_parser(
         "distributed",
@@ -945,6 +1092,8 @@ def _cmd_serve(args) -> int:
                 args.socket,
                 max_requests=args.max_requests,
                 report_path=args.report,
+                read_deadline=args.read_deadline,
+                max_line_bytes=args.max_line_bytes,
             )
         return serve_stdin(
             service,
@@ -953,6 +1102,181 @@ def _cmd_serve(args) -> int:
             max_requests=args.max_requests,
             report_path=args.report,
         )
+
+
+class _DaemonApplier:
+    """Apply stream batches through a serve daemon's Unix socket.
+
+    One connection per batch (the socket transport's contract);
+    shed/refused responses come back as ``ok=False`` dicts the
+    consumer's backpressure loop understands.
+    """
+
+    def __init__(self, path, graph, scale, on_error) -> None:
+        self.path = path
+        self.graph = graph
+        self.scale = scale
+        self.on_error = on_error
+
+    def _send(self, request: dict) -> dict:
+        import socket as socketlib
+
+        try:
+            with socketlib.socket(
+                socketlib.AF_UNIX, socketlib.SOCK_STREAM
+            ) as s:
+                s.settimeout(60.0)
+                s.connect(self.path)
+                s.sendall((json.dumps(request) + "\n").encode())
+                buf = bytearray()
+                while b"\n" not in buf:
+                    chunk = s.recv(1 << 16)
+                    if not chunk:
+                        break
+                    buf += chunk
+        except OSError as exc:
+            # daemon gone mid-stream: surface as a shed so the
+            # consumer's backpressure loop retries under backoff.
+            return {
+                "ok": False,
+                "error": f"daemon unreachable: {exc}",
+                "error_type": "ServiceOverloadError",
+            }
+        if not buf:
+            return {
+                "ok": False,
+                "error": "daemon closed the connection",
+                "error_type": "ServiceOverloadError",
+            }
+        return json.loads(bytes(buf).decode())
+
+    def _request(self, **fields) -> dict:
+        req = {"op": "update", "graph": self.graph}
+        if self.scale is not None:
+            req["scale"] = self.scale
+        if self.on_error is not None:
+            req["on_error"] = self.on_error
+        req.update(fields)
+        return req
+
+    def apply_batch(self, inserts, deletes) -> dict:
+        return self._send(
+            self._request(
+                inserts=[list(e) for e in inserts],
+                deletes=[list(e) for e in deletes],
+            )
+        )
+
+    def compact(self) -> dict:
+        return self._send(self._request(compact=True))
+
+
+def _cmd_stream(args) -> int:
+    from .ingest.checkpoint import StreamCheckpoint
+    from .ingest.consumer import EngineApplier, StreamConsumer
+    from .ingest.sources import open_source
+
+    fault_plan = None
+    if args.fault_plan:
+        import dataclasses
+
+        from .runtime import FaultPlan
+        from .runtime.faults import NETWORK_KINDS
+
+        try:
+            parsed = FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+        # network-kind specs fire inside the source at the "stream"
+        # site (index = the source's read sequence number).
+        fault_plan = FaultPlan(
+            dataclasses.replace(
+                s,
+                site="stream",
+                hang_seconds=(
+                    args.stall_seconds
+                    if args.stall_seconds is not None
+                    else s.hang_seconds
+                ),
+            )
+            if s.kind in NETWORK_KINDS
+            else s
+            for s in parsed.specs
+        )
+    source_kwargs = {
+        "fault_plan": fault_plan,
+        "max_reconnects": args.max_reconnects,
+        "read_timeout": args.read_timeout,
+    }
+    if args.stall_timeout is not None:
+        # only override the transport's own watchdog default when the
+        # operator asked for one.
+        source_kwargs["stall_timeout"] = args.stall_timeout
+    source = open_source(args.source, **source_kwargs)
+    engine = None
+    if args.connect:
+        applier = _DaemonApplier(
+            args.connect, args.graph, args.scale, args.on_error
+        )
+    else:
+        from .engine import Engine
+
+        engine = Engine(backend="serial")
+        target = args.graph
+        if args.scale is not None:
+            # resolve the surrogate once so every batch hits the same
+            # warm session.
+            target = engine.load(args.graph, scale=args.scale)
+        applier = EngineApplier(
+            engine,
+            target,
+            compact_ratio=args.compact_ratio,
+            damage_threshold=args.damage_threshold,
+        )
+    consumer = StreamConsumer(
+        source,
+        applier,
+        on_error=args.on_error,
+        dedup_window=args.dedup_window,
+        checkpoint=(
+            StreamCheckpoint(args.checkpoint)
+            if args.checkpoint
+            else None
+        ),
+        batch_edges=args.batch_edges,
+        batch_age=args.batch_age,
+        degrade_log_ratio=args.degrade_log_ratio,
+        max_batches=args.max_batches,
+    )
+    try:
+        stats = consumer.run()
+    finally:
+        source.close()
+        if engine is not None:
+            engine.close()
+    if args.report:
+        from .ioutil import atomic_path
+
+        with atomic_path(args.report, suffix=".json") as tmp:
+            with open(tmp, "w") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+    lag = stats["freshness_lag"]
+    print(
+        f"stream {args.source}: {stats['records_applied']} records in "
+        f"{stats['batches']} batches"
+        + (
+            f" (skipped {stats['records_skipped_committed']} committed)"
+            if stats["records_skipped_committed"]
+            else ""
+        )
+        + f"; version={stats['graph_version']} "
+        f"crc={stats['labels_crc32']} "
+        f"lag mean/p95 {lag['mean'] * 1e3:.1f}/{lag['p95'] * 1e3:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -1078,6 +1402,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "stream": _cmd_stream,
         "info": _cmd_info,
         "run": _cmd_run,
         "distributed": _cmd_distributed,

@@ -106,6 +106,10 @@ class UpdateReport:
     num_components: int
     labels_crc32: int
     stats: dict
+    #: delta-log size relative to the base edge count *after* this
+    #: batch — the compaction-debt signal streaming consumers watch to
+    #: decide when to degrade to a snapshot recompute.
+    log_ratio: float = 0.0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -654,6 +658,55 @@ class Engine:
             num_components=dyn.num_components,
             labels_crc32=crc32_chunks(labels.tobytes()),
             stats=dyn.stats.to_dict(),
+            log_ratio=session.delta.log_ratio,
+        )
+
+    def compact(
+        self, target: Union[str, CSRGraph, GraphSession]
+    ) -> UpdateReport:
+        """Fold a mutable session's delta log into a fresh base now.
+
+        The *degrade to snapshot-recompute* escape hatch for sustained
+        update streams: when a consumer sees compaction debt
+        (:attr:`UpdateReport.log_ratio`) exceed its budget — e.g. a
+        compact ratio tuned high for batch work starving a live feed —
+        it pays one synchronous snapshot fold here and resumes
+        incremental maintenance against a clean base.  Labels are
+        unchanged (compaction preserves the graph), so the session
+        version does not advance; the integrity sidecars are re-sealed
+        over the folded arrays.  A no-op on sessions that are not yet
+        mutable or have an empty log.
+        """
+        self._check_open()
+        if isinstance(target, str):
+            session = self.load(target)
+        else:
+            session = self.session(target)
+        session.verify_integrity(context="compact:borrow")
+        if session.dynamic is None:
+            # not yet promoted: an empty update promotes and reports.
+            return self.update(session)
+        dyn = session.dynamic
+        compacted = session.delta.log_size > 0
+        if compacted:
+            session.delta.compact()
+            session.reseal_integrity()
+        session.verify_integrity(context="compact:return")
+        labels = canonical_labels(
+            np.ascontiguousarray(dyn.labels, dtype=np.int64)
+        )
+        return UpdateReport(
+            fingerprint=session.fingerprint,
+            version=session.version,
+            applied=False,
+            changed=False,
+            compacted=compacted,
+            inserts=0,
+            deletes=0,
+            num_components=dyn.num_components,
+            labels_crc32=crc32_chunks(labels.tobytes()),
+            stats=dyn.stats.to_dict(),
+            log_ratio=session.delta.log_ratio,
         )
 
     def run_many(self, jobs, **kwargs):

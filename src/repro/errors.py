@@ -22,6 +22,7 @@ class                     exit  raised when
 ``MemoryBudgetError``       18  request refused: memory budget would be blown
 ``WorkerLostError``         19  a serving worker died and replay was impossible
 ``IntegrityError``          20  checksum/certification caught silent corruption
+``StreamFeedError``         21  a live edge feed died past its reconnect budget
 ========================  ====  =============================================
 
 Every exit code is unique across the taxonomy — a retry controller or
@@ -50,6 +51,7 @@ __all__ = [
     "MemoryBudgetError",
     "WorkerLostError",
     "IntegrityError",
+    "StreamFeedError",
     "exit_code_for",
 ]
 
@@ -226,6 +228,39 @@ class IntegrityError(ReproError, RuntimeError):
             detail.append(f"block={block}")
         if context:
             detail.append(f"at {context}")
+        if detail:
+            message = f"{message} ({', '.join(detail)})"
+        super().__init__(message)
+
+
+class StreamFeedError(ReproError, ConnectionError):
+    """A live edge feed could not be kept alive.
+
+    Raised by the streaming-ingestion tier (:mod:`repro.ingest`) when
+    a source exhausts its bounded reconnect budget, or when the
+    stalled-feed watchdog gives up on a peer that stopped sending.
+    ``ConnectionError`` is a secondary base on purpose: the retry
+    layer already classifies connection failures as *transient*, and
+    a feed that died now may answer a redial later — the consumer's
+    checkpointed watermark makes that resume exact.
+    """
+
+    exit_code = 21
+
+    def __init__(
+        self,
+        message: str = "stream feed lost",
+        *,
+        source: Optional[str] = None,
+        reconnects: Optional[int] = None,
+    ) -> None:
+        self.source = source
+        self.reconnects = reconnects
+        detail = []
+        if source is not None:
+            detail.append(f"source={source}")
+        if reconnects is not None:
+            detail.append(f"after {reconnects} reconnect(s)")
         if detail:
             message = f"{message} ({', '.join(detail)})"
         super().__init__(message)

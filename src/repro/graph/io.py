@@ -44,6 +44,7 @@ from typing import IO, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import GraphIngestError
+from ..ingest.framing import LineFramer
 from ..ioutil import atomic_path, atomic_write
 from .csr import CSRGraph
 from .build import from_edge_array
@@ -67,6 +68,14 @@ ON_ERROR_POLICIES = ("strict", "repair", "skip")
 
 #: default streaming chunk: bounds parser memory, amortizes NumPy calls.
 DEFAULT_CHUNK_LINES = 1 << 18
+
+#: bytes per raw read when streaming a text edge list through the
+#: shared line framer.
+_READ_CHUNK_BYTES = 1 << 20
+#: read size for the lenient salvage pass over a broken stream: small
+#: enough that a truncated gzip yields its decodable prefix instead of
+#: discarding it inside one failing large read.
+_SALVAGE_CHUNK_BYTES = 256
 
 _INT64_MAX = int(np.iinfo(np.int64).max)
 
@@ -179,6 +188,13 @@ def _open_text(path: PathLike) -> IO[str]:
     if p.endswith(".gz"):
         return gzip.open(p, "rt", encoding="utf-8", errors="replace")
     return open(p, "r", encoding="utf-8", errors="replace")
+
+
+def _open_binary(path: PathLike) -> IO[bytes]:
+    p = os.fspath(path)
+    if p.endswith(".gz"):
+        return gzip.open(p, "rb")
+    return open(p, "rb")
 
 
 # ---------------------------------------------------------------------------
@@ -338,33 +354,101 @@ def read_edge_list(
             dst_chunks.append(d)
             report.edges += int(s.size)
 
+    # The byte stream runs through the same LineFramer the live
+    # ingestion tier uses: CRLF, a final record with no trailing
+    # newline, and records torn at a truncation point are all handled
+    # once, byte-exactly, for both readers.
+    framer = LineFramer()
+    pending: List[Tuple[int, str]] = []
+
+    def take(frame) -> None:
+        nonlocal pending
+        report.lines += 1
+        line = frame.text.strip()
+        if not line:
+            report.blanks += 1
+            return
+        if line.startswith(comments):
+            report.comments += 1
+            return
+        pending.append((frame.lineno, line))
+        if len(pending) >= chunk_lines:
+            flush(pending)
+            pending = []
+
+    broken: Optional[BaseException] = None
     try:
-        with _open_text(path) as f:
-            pending: List[Tuple[int, str]] = []
-            for lineno, raw in enumerate(f, start=1):
-                report.lines += 1
-                line = raw.strip()
-                if not line:
-                    report.blanks += 1
-                    continue
-                if line.startswith(comments):
-                    report.comments += 1
-                    continue
-                pending.append((lineno, line))
-                if len(pending) >= chunk_lines:
-                    flush(pending)
-                    pending = []
-            if pending:
-                flush(pending)
+        with _open_binary(path) as f:
+            pos = 0
+            while True:
+                try:
+                    data = f.read(_READ_CHUNK_BYTES)
+                except (OSError, EOFError) as exc:
+                    # gzip truncation surfaces as EOFError mid-read;
+                    # raw I/O failures and bad gzip streams as OSError.
+                    broken = exc
+                    break
+                if not data:
+                    break
+                for frame in framer.feed_at(pos, data):
+                    take(frame)
+                pos += len(data)
+            if broken is None:
+                final = framer.flush()
+                if final is not None:
+                    take(final)
     except FileNotFoundError:
         raise
     except (OSError, EOFError, UnicodeDecodeError) as exc:
-        # gzip truncation surfaces as EOFError mid-iteration; raw I/O
-        # failures as OSError.  Either way: typed, located, actionable.
-        raise GraphIngestError(
-            f"unreadable edge list near line {report.lines + 1} ({exc})",
-            path=path,
-        ) from exc
+        broken = exc
+    if broken is not None and on_error != "strict":
+        # Salvage pass for the lenient policies.  A failing gzip read
+        # discards everything it decompressed in that call, so a large
+        # first-pass chunk can lose kilobytes that *are* recoverable.
+        # Replay the stream with small reads; the framer's offset-keyed
+        # overlap trim drops every byte already framed, so only the
+        # newly recovered tail parses, exactly once.
+        try:
+            with _open_binary(path) as f:
+                pos = 0
+                while True:
+                    data = f.read(_SALVAGE_CHUNK_BYTES)
+                    if not data:
+                        break
+                    for frame in framer.feed_at(pos, data):
+                        take(frame)
+                    pos += len(data)
+        except (OSError, EOFError, UnicodeDecodeError):
+            pass
+    if broken is not None:
+        if on_error == "strict":
+            raise GraphIngestError(
+                f"unreadable edge list near line {report.lines + 1} "
+                f"({broken})",
+                path=path,
+            ) from broken
+        # lenient policies keep the readable prefix — a multi-gigabyte
+        # download truncated in its last record should not cost every
+        # edge that parsed cleanly — and account for the torn tail.
+        tail = framer.partial
+        if tail:
+            report.lines += 1
+            report.note(
+                "malformed",
+                f"line {framer.lineno + 1}",
+                tail.decode("utf-8", "replace"),
+                f"unreadable tail ({broken})",
+            )
+            framer.discard_partial()
+        else:
+            report.note(
+                "malformed",
+                f"line {report.lines + 1}",
+                "",
+                f"stream broke mid-file ({broken})",
+            )
+    if pending:
+        flush(pending)
 
     if not src_chunks:
         g = from_edge_array(

@@ -1,0 +1,46 @@
+"""Live edge-stream ingestion: sources, framing, parsing, checkpoints,
+and the consumer loop that feeds incremental SCC maintenance.
+
+The package is the streaming twin of :mod:`repro.graph.io`: the same
+policy regime (``strict``/``repair``/``skip`` through
+:class:`~repro.graph.io.IngestReport`), the same byte-exact framing
+(shared :class:`~repro.ingest.framing.LineFramer`), applied to feeds
+that disconnect, stall, replay, and get killed mid-batch.
+
+Exports resolve lazily: :mod:`repro.graph.io` imports the framing leaf
+from here, so importing the parser (which imports :mod:`repro.graph.
+io` back) at package-import time would cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Frame": "framing",
+    "LineFramer": "framing",
+    "EdgeRecord": "parser",
+    "RecordParser": "parser",
+    "Watermark": "checkpoint",
+    "StreamCheckpoint": "checkpoint",
+    "StreamSource": "sources",
+    "FileTailSource": "sources",
+    "SocketSource": "sources",
+    "PipeSource": "sources",
+    "open_source": "sources",
+    "StreamConsumer": "consumer",
+    "EngineApplier": "consumer",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(
+        importlib.import_module(f".{module}", __name__), name
+    )

@@ -1,0 +1,178 @@
+"""Byte-exact incremental line framing, shared by file and stream
+ingestion.
+
+Both the chunked edge-list reader (:func:`repro.graph.io.
+read_edge_list`) and the live stream parser (:mod:`repro.ingest.
+parser`) face the same three framing hazards:
+
+* **CRLF line endings** — SNAP/KONECT mirrors and Windows-produced
+  feeds terminate records with ``\\r\\n``; the ``\\r`` must not leak
+  into the last token of a record.
+* **A final record with no trailing newline** — a file whose writer
+  was killed mid-append, or a feed flushed without a terminator, still
+  carries one complete record that must be parsed, not dropped.
+* **Torn records at disconnect boundaries** — a feed that drops
+  mid-record leaves a prefix in the buffer; when the peer replays from
+  an earlier offset after the redial, the overlap must be trimmed
+  byte-exactly rather than parsed twice.
+
+:class:`LineFramer` solves all three once.  It consumes raw byte
+chunks (which may arrive at arbitrary split points), emits complete
+records with their **absolute end offset** in the stream — the unit
+the checkpoint watermark and the dedup machinery are keyed on — and
+keeps at most one partial record buffered.  It deliberately knows
+nothing about record *content*: tokenizing and policy live in the
+callers, so the framer stays a leaf both ``repro.graph`` and
+``repro.ingest`` can import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Frame", "LineFramer"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One complete record produced by the framer.
+
+    ``end_offset`` is the absolute stream offset of the first byte
+    *after* this record's terminator (or after its last byte for an
+    unterminated final record): committing a watermark at
+    ``end_offset`` means exactly this record and everything before it.
+    """
+
+    end_offset: int
+    lineno: int
+    text: str
+
+
+class LineFramer:
+    """Incremental splitter of a byte stream into newline frames.
+
+    Feed it chunks in stream order with :meth:`feed` (or, for
+    at-least-once feeds that may replay, :meth:`feed_at` with the
+    chunk's absolute offset — overlap with already-framed bytes is
+    trimmed, which is byte-level duplicate suppression).  ``\\n``
+    terminates a frame; one trailing ``\\r`` is stripped so CRLF input
+    frames identically to LF input.  Call :meth:`flush` at end of
+    stream to surface a final unterminated record, or
+    :meth:`discard_partial` at a disconnect boundary whose tail will
+    never be completed.
+    """
+
+    def __init__(self, *, start_offset: int = 0) -> None:
+        #: absolute offset of the first byte of the partial buffer.
+        self._base = int(start_offset)
+        self._buf = bytearray()
+        #: 1-based line counter (frames emitted + partials discarded).
+        self.lineno = 0
+        #: torn partial records dropped at disconnect boundaries.
+        self.partial_discards = 0
+        #: duplicate bytes trimmed by :meth:`feed_at` overlap checks.
+        self.overlap_bytes = 0
+        #: bytes skipped over a forward gap (a feed that lost data).
+        self.gap_bytes = 0
+
+    # -- position -------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Absolute offset of the next byte the framer expects."""
+        return self._base + len(self._buf)
+
+    @property
+    def partial(self) -> bytes:
+        """The buffered (incomplete) record tail, if any."""
+        return bytes(self._buf)
+
+    # -- feeding --------------------------------------------------------
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append ``data`` at the current offset; return new frames."""
+        if data:
+            self._buf += data
+        return self._drain()
+
+    def feed_at(self, offset: int, data: bytes) -> List[Frame]:
+        """Feed a chunk that carries its own absolute stream offset.
+
+        At-least-once sources re-deliver bytes after a redial (and the
+        deterministic ``dup`` fault re-delivers the previous chunk on
+        purpose); any prefix of ``data`` the framer has already seen
+        is trimmed and counted instead of framed twice.  A *forward*
+        gap — a feed that skipped bytes — is tolerated and counted:
+        the chunk is consumed as if contiguous, so at worst one record
+        spanning the gap parses as garbage and is policed downstream.
+        """
+        expected = self.offset
+        offset = int(offset)
+        if offset < expected:
+            seen = expected - offset
+            if seen >= len(data):
+                self.overlap_bytes += len(data)
+                return []
+            self.overlap_bytes += seen
+            data = data[seen:]
+        elif offset > expected:
+            self.gap_bytes += offset - expected
+            self._base += offset - expected
+        return self.feed(data)
+
+    def _drain(self) -> List[Frame]:
+        frames: List[Frame] = []
+        while True:
+            i = self._buf.find(b"\n")
+            if i < 0:
+                return frames
+            raw = bytes(self._buf[:i])
+            del self._buf[: i + 1]
+            self._base += i + 1
+            if raw.endswith(b"\r"):
+                raw = raw[:-1]
+            self.lineno += 1
+            frames.append(
+                Frame(
+                    end_offset=self._base,
+                    lineno=self.lineno,
+                    text=raw.decode("utf-8", "replace"),
+                )
+            )
+
+    # -- end / disconnect boundaries ------------------------------------
+    def flush(self) -> Optional[Frame]:
+        """Emit the final unterminated record, if one is buffered.
+
+        Call exactly once at a *clean* end of stream: a writer killed
+        before its last newline still produced a parseable record.
+        """
+        if not self._buf:
+            return None
+        raw = bytes(self._buf)
+        self._base += len(raw)
+        self._buf.clear()
+        if raw.endswith(b"\r"):
+            raw = raw[:-1]
+        self.lineno += 1
+        return Frame(
+            end_offset=self._base,
+            lineno=self.lineno,
+            text=raw.decode("utf-8", "replace"),
+        )
+
+    def discard_partial(self) -> int:
+        """Drop a torn record tail at a disconnect boundary.
+
+        Returns the number of bytes dropped.  The framer's offset
+        still advances past them: the peer will either replay the
+        whole record (overlap-trimmed by :meth:`feed_at` back to the
+        record start it never completed) or has lost it for good —
+        either way the next complete line frames cleanly.
+        """
+        dropped = len(self._buf)
+        if dropped:
+            self._base += dropped
+            self._buf.clear()
+            self.lineno += 1
+            self.partial_discards += 1
+        return dropped

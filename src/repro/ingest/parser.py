@@ -1,0 +1,296 @@
+"""Incremental edge-record parsing over a live byte stream.
+
+The stream parser turns the byte chunks a :class:`~repro.ingest.
+sources.StreamSource` delivers into typed edge-edit records, under the
+same policy regime as file ingestion:
+
+* **Framing** is delegated to :class:`~repro.ingest.framing.
+  LineFramer` — CRLF, torn records at disconnect boundaries, and a
+  final record with no trailing newline are all handled byte-exactly,
+  and replayed bytes from an at-least-once feed are trimmed before
+  they can parse twice.
+* **Record syntax** accepts both the plain edge-list dialect the file
+  reader speaks and an NDJSON dialect for structured feeds::
+
+      0 17            # insert edge 0 -> 17 (bare pair = insert)
+      + 0 17          # insert, explicit
+      - 3 4           # delete edge 3 -> 4
+      {"add": [0, 17]}
+      {"remove": [3, 4], "seq": 812}
+      {"end": true}   # clean end-of-feed control record
+
+  Comment (``#``) and blank lines are counted and skipped, exactly
+  like the file reader.
+* **Policy** routes through the existing :class:`~repro.graph.io.
+  IngestReport` counters: ``strict`` raises a located
+  :class:`~repro.errors.GraphIngestError`, ``repair`` coerces what it
+  can (integral float ids), ``skip`` drops and counts.  Garbage
+  injected mid-feed therefore becomes a counted, sampled report entry
+  — never a crashed consumer.
+* **Dedup window** — at-least-once feeds may re-send records the
+  byte-offset trim cannot catch (a feeder that re-serializes rather
+  than replays).  Records carrying an explicit ``seq`` are remembered
+  in a bounded window and silent re-sends are dropped and counted as
+  ``duplicates``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import GraphIngestError
+from ..graph.io import IngestReport, _coerce_id
+from .framing import Frame, LineFramer
+
+__all__ = ["EdgeRecord", "RecordParser"]
+
+#: record kinds a parsed frame can produce.
+RECORD_KINDS = ("add", "remove", "end")
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """One parsed edge edit (or the ``end`` control record).
+
+    ``end_offset`` is the watermark value that commits this record:
+    a checkpoint at ``end_offset`` means this record and everything
+    before it has been applied.
+    """
+
+    kind: str
+    u: int
+    v: int
+    end_offset: int
+    lineno: int
+    seq: Optional[int] = None
+
+    @property
+    def edge(self) -> tuple:
+        return (self.u, self.v)
+
+
+class RecordParser:
+    """Incremental, policy-governed record parser for edge feeds."""
+
+    def __init__(
+        self,
+        *,
+        on_error: str = "skip",
+        num_nodes: Optional[int] = None,
+        report: Optional[IngestReport] = None,
+        dedup_window: int = 1024,
+        start_offset: int = 0,
+        path: str = "<stream>",
+    ) -> None:
+        from ..graph.io import _check_policy
+
+        _check_policy(on_error)
+        self.on_error = on_error
+        self.num_nodes = num_nodes
+        self.path = path
+        self.report = report or IngestReport(path=path, policy=on_error)
+        self.framer = LineFramer(start_offset=start_offset)
+        self._window_size = max(0, int(dedup_window))
+        self._window: "OrderedDict[int, None]" = OrderedDict()
+
+    # -- feeding --------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """The framer's absolute stream offset (next unseen byte)."""
+        return self.framer.offset
+
+    def feed(self, data: bytes) -> List[EdgeRecord]:
+        """Parse a chunk arriving at the current offset."""
+        return self._parse_frames(self.framer.feed(data))
+
+    def feed_at(self, offset: int, data: bytes) -> List[EdgeRecord]:
+        """Parse a chunk carrying its own absolute offset (replay-safe)."""
+        return self._parse_frames(self.framer.feed_at(offset, data))
+
+    def flush(self) -> List[EdgeRecord]:
+        """Parse the final unterminated record at a clean end of feed."""
+        frame = self.framer.flush()
+        return self._parse_frames([frame]) if frame is not None else []
+
+    def note_disconnect(self) -> int:
+        """Mark a disconnect boundary whose buffered tail is dead.
+
+        Only needed when the peer will *not* replay the torn record
+        (sources that resume contiguously just keep feeding and the
+        overlap trim heals the tear).  The dropped tail is counted as
+        one malformed record under the lenient policies.
+        """
+        partial = self.framer.partial
+        dropped = self.framer.discard_partial()
+        if dropped:
+            self.report.lines += 1
+            self.report.note(
+                "malformed",
+                f"line {self.framer.lineno}",
+                partial.decode("utf-8", "replace"),
+                f"torn record ({dropped} bytes) at disconnect boundary",
+            )
+        return dropped
+
+    # -- parsing --------------------------------------------------------
+    def _parse_frames(self, frames: List[Frame]) -> List[EdgeRecord]:
+        records: List[EdgeRecord] = []
+        for frame in frames:
+            self.report.lines += 1
+            text = frame.text.strip()
+            if not text:
+                self.report.blanks += 1
+                continue
+            if text.startswith("#"):
+                self.report.comments += 1
+                continue
+            record = (
+                self._parse_json(frame, text)
+                if text.startswith("{")
+                else self._parse_text(frame, text)
+            )
+            if record is None:
+                continue
+            if record.seq is not None and self._is_duplicate(record.seq):
+                self.report.duplicates += 1
+                continue
+            if record.kind != "end":
+                self.report.edges += 1
+            records.append(record)
+        return records
+
+    def _is_duplicate(self, seq: int) -> bool:
+        if self._window_size == 0:
+            return False
+        if seq in self._window:
+            return True
+        self._window[seq] = None
+        while len(self._window) > self._window_size:
+            self._window.popitem(last=False)
+        return False
+
+    def _reject(
+        self, frame: Frame, category: str, reason: str
+    ) -> None:
+        if self.on_error == "strict":
+            raise GraphIngestError(
+                f"{reason} in record {frame.text!r}",
+                path=self.path,
+                line=frame.lineno,
+            )
+        self.report.note(
+            category, f"line {frame.lineno}", frame.text, reason
+        )
+
+    def _parse_ids(
+        self, frame: Frame, toks: List[str]
+    ) -> Optional[tuple]:
+        vals = []
+        repaired = False
+        for tok in toks:
+            v, rep, problem = _coerce_id(
+                tok, self.on_error, self.num_nodes
+            )
+            if problem is not None:
+                self._reject(frame, problem[0], problem[1])
+                return None
+            repaired |= rep
+            vals.append(v)
+        if repaired:
+            self.report.repaired += 1
+        return tuple(vals)
+
+    def _parse_text(
+        self, frame: Frame, text: str
+    ) -> Optional[EdgeRecord]:
+        toks = text.split()
+        kind = "add"
+        if toks[0] in ("+", "-"):
+            kind = "add" if toks[0] == "+" else "remove"
+            toks = toks[1:]
+        if len(toks) < 2:
+            self._reject(
+                frame, "malformed", "expected at least two columns"
+            )
+            return None
+        if len(toks) > 2:
+            self.report.extra_columns += 1
+        ids = self._parse_ids(frame, toks[:2])
+        if ids is None:
+            return None
+        return EdgeRecord(
+            kind=kind,
+            u=ids[0],
+            v=ids[1],
+            end_offset=frame.end_offset,
+            lineno=frame.lineno,
+        )
+
+    def _parse_json(
+        self, frame: Frame, text: str
+    ) -> Optional[EdgeRecord]:
+        try:
+            obj = json.loads(text)
+            if not isinstance(obj, dict):
+                raise ValueError("record must be a JSON object")
+        except ValueError as exc:
+            self._reject(frame, "malformed", f"bad JSON record ({exc})")
+            return None
+        seq = obj.get("seq")
+        if seq is not None:
+            try:
+                seq = int(seq)
+            except (TypeError, ValueError):
+                self._reject(
+                    frame, "malformed", f"non-integer seq {seq!r}"
+                )
+                return None
+        if obj.get("end"):
+            return EdgeRecord(
+                kind="end",
+                u=-1,
+                v=-1,
+                end_offset=frame.end_offset,
+                lineno=frame.lineno,
+                seq=seq,
+            )
+        kind = None
+        pair = None
+        for key in ("add", "remove"):
+            if key in obj:
+                if kind is not None:
+                    self._reject(
+                        frame,
+                        "malformed",
+                        "record carries both 'add' and 'remove'",
+                    )
+                    return None
+                kind, pair = key, obj[key]
+        if kind is None:
+            self._reject(
+                frame,
+                "malformed",
+                "JSON record needs 'add', 'remove', or 'end'",
+            )
+            return None
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            self._reject(
+                frame,
+                "malformed",
+                f"{kind!r} needs a [u, v] pair, got {pair!r}",
+            )
+            return None
+        ids = self._parse_ids(frame, [str(pair[0]), str(pair[1])])
+        if ids is None:
+            return None
+        return EdgeRecord(
+            kind=kind,
+            u=ids[0],
+            v=ids[1],
+            end_offset=frame.end_offset,
+            lineno=frame.lineno,
+            seq=seq,
+        )

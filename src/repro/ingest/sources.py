@@ -1,0 +1,474 @@
+"""Resilient stream sources: where live edge feeds enter the system.
+
+A :class:`StreamSource` delivers the raw bytes of an edge feed as
+``(offset, chunk)`` pairs — the offset is the chunk's absolute
+position in the stream, which is what lets the parser trim at-least-
+once replays byte-exactly and the checkpoint watermark name a resume
+point.  Three transports cover the realistic feed shapes:
+
+* :class:`FileTailSource` — follow a growing file (``tail -f``
+  semantics); reconnects reopen and seek, so delivery is seamless.
+* :class:`SocketSource` — a Unix or TCP socket peer.  Real feeds
+  disconnect and stall; the source redials with **bounded reconnects
+  under exponential backoff with deterministic jitter** (the same
+  :class:`~repro.service.retry.RetryPolicy` arithmetic the serving
+  tier retries with), enforces a **per-read deadline** via socket
+  timeouts, and a **stalled-feed watchdog** forces a redial when the
+  peer goes quiet past ``stall_timeout``.  A reconnected peer is
+  assumed to replay its stream from the start (at-least-once); the
+  downstream overlap trim turns that into exactly-once parsing.
+* :class:`PipeSource` — a finite NDJSON pipe (stdin); EOF ends the
+  stream.
+
+Deterministic chaos rides the same path as real failures: a
+:class:`~repro.runtime.faults.FaultPlan` with ``site="stream"`` specs
+(``disconnect@3``, ``stall@5``, ``garbage@7``, ``dup@9`` — the index
+is the source's monotone read counter) makes the source degrade
+*itself* at exact, reproducible points, so the chaos drills exercise
+the identical reconnect/watchdog/policy machinery that absorbs real
+network weather.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import IO, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import StreamFeedError
+from ..service.retry import RetryPolicy
+from ..runtime.faults import FaultPlan, FaultSpec
+
+__all__ = [
+    "StreamSource",
+    "FileTailSource",
+    "SocketSource",
+    "PipeSource",
+    "open_source",
+]
+
+#: default bytes per read (small enough to interleave with faults in
+#: tests, large enough to amortize syscalls on real feeds).
+DEFAULT_CHUNK_BYTES = 1 << 14
+
+#: fault-plan injection site stream sources match against.
+FAULT_SITE = "stream"
+
+
+class StreamSource:
+    """Base class: offset-tracked reads, reconnects, watchdog, chaos.
+
+    Subclasses implement ``_open_raw`` / ``_read_raw`` / ``_close_raw``
+    and set :attr:`replays_from_start`; everything failure-shaped —
+    the bounded redial loop, the backoff arithmetic, the stall
+    watchdog, and the deterministic fault hooks — lives here so every
+    transport degrades identically.
+    """
+
+    #: True when a reconnected peer re-serves the stream from offset 0
+    #: (sockets); False when reconnects resume at the current offset
+    #: (files).  Consumers use this to know replay trimming applies.
+    replays_from_start = False
+
+    def __init__(
+        self,
+        *,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        max_reconnects: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        read_timeout: float = 1.0,
+        stall_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        self.chunk_bytes = int(chunk_bytes)
+        self.max_reconnects = int(max_reconnects)
+        # reuse the serving tier's deterministic backoff: same base /
+        # factor / crc32-jitter arithmetic, keyed by the source name.
+        self.retry = retry or RetryPolicy(
+            max_attempts=max(1, max_reconnects),
+            backoff_base=0.05,
+            backoff_max=2.0,
+        )
+        self.read_timeout = read_timeout
+        self.stall_timeout = stall_timeout
+        self.fault_plan = fault_plan
+        self._clock = clock
+        self._sleep = sleep
+        self._pos = 0
+        self._last_chunk: Optional[Tuple[int, bytes]] = None
+        self._last_byte_at: Optional[float] = None
+        self._closed = False
+        # stats
+        self.reads = 0
+        self.reconnects = 0
+        self.stalls = 0
+        self.faults = {k: 0 for k in ("disconnect", "stall", "garbage", "dup")}
+
+    # -- transport hooks (subclass responsibility) ----------------------
+    def _open_raw(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _read_raw(self) -> Tuple[int, bytes]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _close_raw(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _is_open(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Absolute stream offset of the next byte to deliver."""
+        return self._pos
+
+    def seek(self, offset: int) -> None:
+        """Best-effort resume position (before the first read).
+
+        Seekable transports (files) jump there; replaying transports
+        ignore it — the parser's overlap trim and the consumer's
+        watermark skip make replay-from-zero equivalent.
+        """
+        self._pos = int(offset)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._close_raw()
+
+    def __enter__(self) -> "StreamSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        return {
+            "source": self.describe(),
+            "offset": self._pos,
+            "reads": self.reads,
+            "reconnects": self.reconnects,
+            "stalls": self.stalls,
+            "faults": dict(self.faults),
+        }
+
+    # -- the read loop --------------------------------------------------
+    def read(self) -> Optional[Tuple[int, bytes]]:
+        """One bounded read: ``(offset, chunk)``.
+
+        ``(offset, b"")`` means *nothing right now* (an idle tail, a
+        timed-out socket read) — the caller decides how long to wait.
+        ``None`` means the stream has definitively ended (finite
+        transports only).  Raises :class:`~repro.errors.
+        StreamFeedError` once the reconnect budget is exhausted.
+        """
+        if self._closed:
+            return None
+        index = self.reads
+        self.reads += 1
+        spec = (
+            self.fault_plan.network(FAULT_SITE, index)
+            if self.fault_plan is not None
+            else None
+        )
+        if spec is not None and spec.kind == "dup":
+            # re-deliver the previous chunk at its old offset: the
+            # downstream overlap trim must absorb it byte-exactly.
+            self.faults["dup"] += 1
+            if self._last_chunk is not None:
+                return self._last_chunk
+        if spec is not None and spec.kind == "stall":
+            # the peer goes quiet; the watchdog below must notice.
+            self.faults["stall"] += 1
+            self._sleep(spec.hang_seconds)
+        if spec is not None and spec.kind == "disconnect":
+            # simulated peer drop: sever the transport; the normal
+            # read path below pays the redial.
+            self.faults["disconnect"] += 1
+            self._close_raw()
+        self._ensure_open()
+        result = self._read_raw()
+        if result is None:
+            return None
+        pos, data = result
+        now = self._clock()
+        if data:
+            self._last_byte_at = now
+            self._last_chunk = (pos, data)
+        elif (
+            self.stall_timeout is not None
+            and self._last_byte_at is not None
+            and now - self._last_byte_at > self.stall_timeout
+        ):
+            # stalled-feed watchdog: the peer is up but silent past
+            # the budget — treat it as dead and redial.
+            self.stalls += 1
+            self._last_byte_at = now
+            self._close_raw()
+            self._ensure_open()
+        if spec is not None and spec.kind == "garbage" and data:
+            self.faults["garbage"] += 1
+            data = _garble(data, spec)
+            self._last_chunk = (pos, data)
+        return pos, data
+
+    def _ensure_open(self) -> None:
+        """Open (or re-open) the transport under the bounded redial
+        loop: exponential backoff with deterministic jitter, a hard
+        reconnect budget, and a typed failure past it."""
+        attempt = 0
+        while not self._is_open():
+            if attempt > 0:
+                if self.reconnects >= self.max_reconnects:
+                    raise StreamFeedError(
+                        "reconnect budget exhausted",
+                        source=self.describe(),
+                        reconnects=self.reconnects,
+                    )
+                self.reconnects += 1
+                self._sleep(
+                    self.retry.delay(attempt, key=self.describe())
+                )
+            try:
+                self._open_raw()
+                return
+            except OSError:
+                attempt += 1
+                if attempt >= max(2, self.max_reconnects + 1):
+                    raise StreamFeedError(
+                        "could not (re)connect",
+                        source=self.describe(),
+                        reconnects=self.reconnects,
+                    )
+
+
+def _garble(data: bytes, spec: FaultSpec) -> bytes:
+    """Deterministically smash ``spec.bit_flips`` bytes of ``data``.
+
+    Same length in, same length out — stream offsets stay truthful,
+    which is what keeps the watermark/replay machinery honest while
+    the affected records parse as policed garbage.
+    """
+    out = bytearray(data)
+    rng = np.random.default_rng(spec.flip_seed)
+    for pos in rng.integers(0, len(out), size=spec.bit_flips):
+        out[int(pos)] = 0xFE
+    return bytes(out)
+
+
+class FileTailSource(StreamSource):
+    """Follow a growing edge-feed file (``tail -f`` semantics).
+
+    Reads resume at the recorded offset across reconnects *and*
+    consumer restarts (the checkpoint seeks before the first read).
+    ``follow=False`` ends the stream at EOF instead of idling — the
+    batch-replay shape used by tests and benchmarks.
+    """
+
+    replays_from_start = False
+
+    def __init__(self, path, *, follow: bool = True, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.path = os.fspath(path)
+        self.follow = follow
+        self._fh: Optional[IO[bytes]] = None
+
+    def describe(self) -> str:
+        return f"tail:{self.path}"
+
+    def _is_open(self) -> bool:
+        return self._fh is not None
+
+    def _open_raw(self) -> None:
+        fh = open(self.path, "rb")
+        fh.seek(self._pos)
+        self._fh = fh
+
+    def _close_raw(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._fh = None
+
+    def _read_raw(self) -> Optional[Tuple[int, bytes]]:
+        try:
+            data = self._fh.read(self.chunk_bytes)
+        except (OSError, ValueError):
+            self._close_raw()
+            return self._pos, b""
+        pos = self._pos
+        if data:
+            self._pos += len(data)
+            return pos, data
+        if not self.follow:
+            return None
+        return pos, b""
+
+
+class SocketSource(StreamSource):
+    """A Unix- or TCP-socket edge feed with full failure absorption.
+
+    ``address`` is a Unix socket path (str) or a ``(host, port)``
+    tuple.  Every ``recv`` runs under ``read_timeout`` (the per-read
+    deadline); a peer that closes or resets is redialed under the
+    bounded backoff budget; a peer that stays connected but silent
+    past ``stall_timeout`` is declared stalled and redialed too.  A
+    fresh connection is assumed to replay the feed from its start —
+    the at-least-once contract — so the stream offset resets to 0 and
+    the parser's overlap trim suppresses everything already seen.
+    """
+
+    replays_from_start = True
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        *,
+        stall_timeout: Optional[float] = 10.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(stall_timeout=stall_timeout, **kwargs)
+        self.address = address
+        self._sock: Optional[socket.socket] = None
+
+    def describe(self) -> str:
+        if isinstance(self.address, str):
+            return f"socket:{self.address}"
+        host, port = self.address
+        return f"tcp:{host}:{port}"
+
+    def _is_open(self) -> bool:
+        return self._sock is not None
+
+    def _open_raw(self) -> None:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.read_timeout)
+            sock.connect(self.address)
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+        # a fresh peer replays from the top: reset the stream offset
+        # so delivered chunks carry truthful replay positions.
+        self._pos = 0
+        self._last_byte_at = self._clock()
+
+    def _close_raw(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._sock = None
+
+    def _read_raw(self) -> Optional[Tuple[int, bytes]]:
+        try:
+            data = self._sock.recv(self.chunk_bytes)
+        except socket.timeout:
+            # per-read deadline expired with no bytes: idle, let the
+            # watchdog arithmetic decide whether that is a stall.
+            return self._pos, b""
+        except OSError:
+            self._close_raw()
+            return self._pos, b""
+        if data == b"":
+            # orderly peer close mid-feed: at-least-once peers come
+            # back and replay, so treat it as a disconnect to redial.
+            self._close_raw()
+            return self._pos, b""
+        pos = self._pos
+        self._pos += len(data)
+        return pos, data
+
+    def seek(self, offset: int) -> None:
+        # sockets cannot seek: the peer replays from the start and the
+        # consumer's watermark skip drops the committed prefix.
+        pass
+
+
+class PipeSource(StreamSource):
+    """A finite byte pipe (stdin / a FIFO): EOF ends the stream."""
+
+    replays_from_start = False
+
+    def __init__(self, stream: IO[bytes], *, name: str = "pipe:-", **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._stream = stream
+        self._name = name
+        self._eof = False
+
+    def describe(self) -> str:
+        return self._name
+
+    def _is_open(self) -> bool:
+        return not self._eof
+
+    def _open_raw(self) -> None:
+        pass
+
+    def _close_raw(self) -> None:
+        self._eof = True
+
+    def _read_raw(self) -> Optional[Tuple[int, bytes]]:
+        if self._eof:
+            return None
+        reader = getattr(self._stream, "read1", self._stream.read)
+        data = reader(self.chunk_bytes)
+        if data == b"":
+            self._eof = True
+            return None
+        pos = self._pos
+        self._pos += len(data)
+        return pos, data
+
+
+def open_source(spec: str, **kwargs) -> StreamSource:
+    """Build a source from a CLI/request spec string.
+
+    ``tail:<path>`` (or a bare path) follows a file;
+    ``tail-once:<path>`` reads a file to EOF and ends;
+    ``socket:<path>`` dials a Unix socket; ``tcp:<host>:<port>`` dials
+    TCP; ``pipe:-`` reads stdin.
+    """
+    scheme, sep, rest = spec.partition(":")
+    if not sep:
+        return FileTailSource(spec, **kwargs)
+    if scheme == "tail":
+        return FileTailSource(rest, **kwargs)
+    if scheme == "tail-once":
+        return FileTailSource(rest, follow=False, **kwargs)
+    if scheme == "socket":
+        return SocketSource(rest, **kwargs)
+    if scheme == "tcp":
+        host, _, port = rest.rpartition(":")
+        if not host:
+            raise ValueError(f"tcp source needs host:port, got {spec!r}")
+        return SocketSource((host, int(port)), **kwargs)
+    if scheme == "pipe":
+        import sys
+
+        if rest in ("-", ""):
+            return PipeSource(sys.stdin.buffer, **kwargs)
+        return PipeSource(
+            open(rest, "rb"), name=f"pipe:{rest}", **kwargs
+        )
+    # no known scheme: treat the whole spec as a file path (Windows
+    # drive letters would land here too).
+    return FileTailSource(spec, **kwargs)

@@ -36,6 +36,14 @@ Injection sites:
   index is the request admission sequence number, attempts count the
   retry policy's attempts.  Also a ``thread_site``: requests execute
   on service threads.
+* ``"stream"`` — the live-ingestion sources (:mod:`repro.ingest.
+  sources`); the index is the source's monotone read sequence number,
+  so a plan like ``disconnect@3,garbage@7`` drops the feed on exactly
+  the 4th read and injects garbage bytes on the 8th, every run.  Only
+  the :data:`NETWORK_KINDS` fire here, and they are *applied by the
+  source itself* (via :meth:`FaultPlan.network`), never by
+  :meth:`FaultPlan.fire` — a disconnect is a simulated peer failure
+  the source must absorb, not an exception the harness throws.
 
 Each fault fires at one *stage* of the task lifecycle:
 
@@ -65,6 +73,7 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "NETWORK_KINDS",
     "FAULT_STAGES",
     "CORRUPTIBLE_ARRAYS",
     "FaultInjected",
@@ -77,8 +86,15 @@ __all__ = [
     "injected",
 ]
 
+#: network failure modes (applied by stream sources, never by
+#: :meth:`FaultPlan.fire`): drop the connection, stall the read past
+#: the watchdog, inject garbage bytes, re-deliver the previous chunk.
+NETWORK_KINDS = ("disconnect", "stall", "garbage", "dup")
+
 #: supported failure modes.
-FAULT_KINDS = ("crash", "hang", "raise", "poison", "corrupt")
+FAULT_KINDS = (
+    "crash", "hang", "raise", "poison", "corrupt",
+) + NETWORK_KINDS
 
 #: array names a ``corrupt`` fault may target (warm session state the
 #: integrity tier seals; see :mod:`repro.integrity`).
@@ -276,9 +292,11 @@ class FaultPlan:
             spec is None
             or spec.stage != stage
             or spec.kind in ("poison", "corrupt")
+            or spec.kind in NETWORK_KINDS
         ):
-            # poison corrupts the commit, corrupt flips warm arrays —
-            # both are applied by their own call sites, never here.
+            # poison corrupts the commit, corrupt flips warm arrays,
+            # network kinds degrade a stream source's reads — all are
+            # applied by their own call sites, never here.
             return
         if spec.kind == "hang":
             time.sleep(spec.hang_seconds)
@@ -289,6 +307,24 @@ class FaultPlan:
             f"injected {spec.kind} at {site}[{index}] "
             f"stage={stage} attempt={attempt}"
         )
+
+    def network(
+        self, site: str, index: int, attempt: int = 0
+    ) -> Optional[FaultSpec]:
+        """The network-kind spec armed for this read, if any.
+
+        Stream sources call this once per read with their monotone
+        read counter; a hit tells the source to degrade *itself* —
+        drop and redial (``disconnect``), sleep ``hang_seconds``
+        so the watchdog sees a stalled feed (``stall``), splice
+        garbage bytes into the chunk (``garbage``), or re-deliver the
+        previous chunk at its old offset (``dup``) so the at-least-
+        once machinery downstream has something to deduplicate.
+        """
+        spec = self.match(site, index, attempt)
+        if spec is not None and spec.kind in NETWORK_KINDS:
+            return spec
+        return None
 
     def poison(self, site: str, index: int, attempt: int = 0) -> bool:
         """True when this task's commit should be corrupted."""

@@ -60,7 +60,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import (
     IntegrityError,
@@ -118,12 +118,59 @@ _UPDATE_KEYS = frozenset(
         "on_error",
         "inserts",
         "deletes",
+        "compact",
         "compact_ratio",
         "damage_threshold",
         "nodes",
         "edges",
     )
 )
+
+#: request keys a ``stream`` request may carry.  Streams attach a live
+#: edge feed to a warm mutable session; see :mod:`repro.ingest` and
+#: DESIGN.md §16.
+_STREAM_KEYS = frozenset(
+    (
+        "op",
+        "id",
+        "action",
+        "name",
+        "graph",
+        "scale",
+        "on_error",
+        "source",
+        "checkpoint",
+        "batch_edges",
+        "batch_age",
+        "max_batches",
+        "dedup_window",
+        "degrade_log_ratio",
+        "max_reconnects",
+        "read_timeout",
+        "stall_timeout",
+        "stall_seconds",
+        "fault_plan",
+    )
+)
+
+#: request keys an ``analysis`` request may carry.  Analyses run the
+#: structure suite (bow-tie, SCC histograms, clustering) over the
+#: session's *current* labels — live-maintained when a stream feeds it.
+_ANALYSIS_KEYS = frozenset(
+    (
+        "op",
+        "id",
+        "graph",
+        "scale",
+        "on_error",
+        "kind",
+        "samples",
+        "seed",
+    )
+)
+
+#: analysis kinds the ``analysis`` op accepts.
+ANALYSIS_KINDS = ("summary", "histogram", "bowtie", "clustering")
 
 
 @dataclass(frozen=True)
@@ -285,6 +332,9 @@ class SCCService:
                         )
                     ),
                 ).start()
+        #: attached live edge feeds, by name (``stream`` op registry).
+        self.streams: dict = {}
+        self._streams_lock = threading.Lock()
         self._seq = 0
         self._seq_lock = threading.Lock()
         # engine turnstile: one request runs at a time; waiters are
@@ -325,6 +375,10 @@ class SCCService:
         the worker tier refuses new dispatches; in-flight work — local
         or already on a worker — finishes (phase 2, :meth:`close`).
         """
+        with self._streams_lock:
+            feeds = list(self.streams.values())
+        for feed in feeds:
+            feed.consumer.stop()
         self.admission.drain()
         if self.supervisor is not None:
             self.supervisor.begin_drain()
@@ -338,6 +392,13 @@ class SCCService:
 
     def close(self) -> None:
         """Phase 2: drain the worker fleet, then release everything."""
+        with self._streams_lock:
+            feeds = list(self.streams.values())
+            self.streams.clear()
+        for feed in feeds:
+            feed.consumer.stop()
+            feed.thread.join(timeout=10.0)
+            feed.source.close()
         if self.supervisor is not None:
             self.supervisor.stop()
         if self.auditor is not None:
@@ -401,6 +462,10 @@ class SCCService:
                 return self._handle_run(request)
             if op == "update":
                 return self._handle_update(request)
+            if op == "stream":
+                return self._handle_stream(request)
+            if op == "analysis":
+                return self._handle_analysis(request)
             if op == "health":
                 return self._handle_health(request)
             if op == "stats":
@@ -651,17 +716,23 @@ class SCCService:
                 on_error=request.get("on_error", "strict"),
             )
             try:
-                report = self.engine.update(
-                    session,
-                    inserts,
-                    deletes,
-                    compact_ratio=request.get(
-                        "compact_ratio", self.config.compact_ratio
-                    ),
-                    damage_threshold=request.get(
-                        "damage_threshold", self.config.damage_threshold
-                    ),
-                )
+                if request.get("compact"):
+                    # explicit degrade-to-snapshot: fold the delta log
+                    # now (a streaming consumer over its compaction-
+                    # debt budget sends this).
+                    report = self.engine.compact(session)
+                else:
+                    report = self.engine.update(
+                        session,
+                        inserts,
+                        deletes,
+                        compact_ratio=request.get(
+                            "compact_ratio", self.config.compact_ratio
+                        ),
+                        damage_threshold=request.get(
+                            "damage_threshold", self.config.damage_threshold
+                        ),
+                    )
             except IntegrityError:
                 self.integrity_detected += 1
                 if self.config.on_corruption == "quarantine":
@@ -683,6 +754,7 @@ class SCCService:
             "labels_crc32": report.labels_crc32,
             "session_fingerprint": report.fingerprint,
             "stats": report.stats,
+            "log_ratio": report.log_ratio,
         }
 
     def _execute_update_sharded(self, request: dict, seq: int) -> dict:
@@ -700,6 +772,287 @@ class SCCService:
         response = dict(response)
         response["id"] = request.get("id")
         return response
+
+    # -- stream op: live edge feeds over mutable sessions ----------------
+    def _handle_stream(self, request: dict) -> dict:
+        """Attach / inspect / detach a live edge feed.
+
+        ``attach`` spawns a consumer thread that pulls the named
+        source, batches edits, and drives them through the service's
+        own ``update`` path — so every applied batch pays admission,
+        lands a journal stamp, and (on the sharded tier) pins to the
+        worker owning the mutable session, exactly like a client-sent
+        update.  ``status`` reports the consumer's counters and
+        freshness lag; ``detach`` stops the feed and returns the final
+        stats.  Feeds are stopped automatically on drain.
+        """
+        unknown = sorted(set(request) - _STREAM_KEYS)
+        if unknown:
+            return self._error_response(
+                request,
+                ValueError(
+                    f"unknown request key(s) {unknown}; "
+                    f"known: {sorted(_STREAM_KEYS)}"
+                ),
+            )
+        action = request.get("action", "status")
+        self.requests += 1
+        try:
+            if action == "attach":
+                response = self._stream_attach(request)
+            elif action == "status":
+                response = self._stream_status(request)
+            elif action == "detach":
+                response = self._stream_detach(request)
+            else:
+                raise ValueError(
+                    f"unknown stream action {action!r}; "
+                    f"known: ['attach', 'detach', 'status']"
+                )
+        except Exception as exc:
+            return self._error_response(request, exc)
+        self.completed += 1
+        return response
+
+    def _stream_fault_plan(self, request: dict):
+        """Per-feed chaos: network-kind specs retargeted at the
+        source's ``"stream"`` site, with the drill's stall duration."""
+        if not request.get("fault_plan"):
+            return None
+        import dataclasses
+
+        from ..runtime.faults import NETWORK_KINDS, FaultPlan
+
+        plan = FaultPlan.parse(request["fault_plan"])
+        stall = float(request.get("stall_seconds") or 0.0)
+        specs = []
+        for spec in plan.specs:
+            if spec.kind in NETWORK_KINDS:
+                spec = dataclasses.replace(
+                    spec,
+                    site="stream",
+                    hang_seconds=(stall or spec.hang_seconds),
+                )
+            specs.append(spec)
+        return FaultPlan(specs)
+
+    def _stream_attach(self, request: dict) -> dict:
+        from ..ingest.checkpoint import StreamCheckpoint
+        from ..ingest.consumer import StreamConsumer
+        from ..ingest.sources import open_source
+
+        if not request.get("graph"):
+            raise ValueError("stream attach needs a 'graph' source")
+        if not request.get("source"):
+            raise ValueError(
+                "stream attach needs a 'source' feed spec "
+                "(tail:<path>, tail-once:<path>, socket:<path>, "
+                "tcp:<host>:<port>)"
+            )
+        name = str(request.get("name") or request["graph"])
+        source_kwargs = {
+            "fault_plan": self._stream_fault_plan(request),
+        }
+        if request.get("max_reconnects") is not None:
+            source_kwargs["max_reconnects"] = int(request["max_reconnects"])
+        if request.get("read_timeout") is not None:
+            source_kwargs["read_timeout"] = float(request["read_timeout"])
+        if request.get("stall_timeout") is not None:
+            source_kwargs["stall_timeout"] = float(request["stall_timeout"])
+        source = open_source(str(request["source"]), **source_kwargs)
+        checkpoint = (
+            StreamCheckpoint(request["checkpoint"])
+            if request.get("checkpoint")
+            else None
+        )
+        applier = _ServiceApplier(self, request)
+        try:
+            consumer = StreamConsumer(
+                source,
+                applier,
+                on_error=request.get("on_error", "skip"),
+                dedup_window=int(request.get("dedup_window", 1024)),
+                checkpoint=checkpoint,
+                batch_edges=int(request.get("batch_edges", 512)),
+                batch_age=float(request.get("batch_age", 0.5)),
+                degrade_log_ratio=request.get("degrade_log_ratio"),
+                max_batches=request.get("max_batches"),
+            )
+        except Exception:
+            source.close()
+            raise
+        feed = _StreamFeed(name, request, source, consumer)
+        with self._streams_lock:
+            if name in self.streams:
+                source.close()
+                raise ValueError(f"stream {name!r} is already attached")
+            self.streams[name] = feed
+        feed.thread.start()
+        return {
+            "op": "stream",
+            "id": request.get("id"),
+            "ok": True,
+            "action": "attach",
+            "name": name,
+            "graph": request["graph"],
+            "source": source.describe(),
+            "resumed": consumer.resumed,
+        }
+
+    def _stream_get(self, request: dict):
+        name = request.get("name") or request.get("graph")
+        if not name:
+            raise ValueError("stream request needs a 'name' (or 'graph')")
+        with self._streams_lock:
+            feed = self.streams.get(str(name))
+        if feed is None:
+            with self._streams_lock:
+                known = sorted(self.streams)
+            raise ValueError(
+                f"no attached stream {name!r}; attached: {known}"
+            )
+        return feed
+
+    def _stream_status(self, request: dict) -> dict:
+        feed = self._stream_get(request)
+        return {
+            "op": "stream",
+            "id": request.get("id"),
+            "ok": True,
+            "action": "status",
+            "name": feed.name,
+            "alive": feed.thread.is_alive(),
+            "error": feed.error_text(),
+            "stats": feed.consumer.stats(),
+        }
+
+    def _stream_detach(self, request: dict) -> dict:
+        feed = self._stream_get(request)
+        feed.consumer.stop()
+        feed.thread.join(timeout=30.0)
+        feed.source.close()
+        with self._streams_lock:
+            self.streams.pop(feed.name, None)
+        return {
+            "op": "stream",
+            "id": request.get("id"),
+            "ok": True,
+            "action": "detach",
+            "name": feed.name,
+            "error": feed.error_text(),
+            "stats": feed.consumer.stats(),
+        }
+
+    # -- analysis op: structure suite over the live session --------------
+    def _handle_analysis(self, request: dict) -> dict:
+        """Run one structure analysis over a session's current labels.
+
+        On a stream-fed mutable session the labels are the live
+        incrementally-maintained ones — the response's
+        ``graph_version`` says exactly which update epoch the numbers
+        describe.  A cold session pays one full detection first.
+        """
+        unknown = sorted(set(request) - _ANALYSIS_KEYS)
+        if unknown:
+            return self._error_response(
+                request,
+                ValueError(
+                    f"unknown request key(s) {unknown}; "
+                    f"known: {sorted(_ANALYSIS_KEYS)}"
+                ),
+            )
+        if not request.get("graph"):
+            return self._error_response(
+                request, ValueError("analysis request needs a 'graph'")
+            )
+        kind = request.get("kind", "summary")
+        if kind not in ANALYSIS_KINDS:
+            return self._error_response(
+                request,
+                ValueError(
+                    f"unknown analysis kind {kind!r}; "
+                    f"known: {list(ANALYSIS_KINDS)}"
+                ),
+            )
+        self.requests += 1
+        t0 = time.perf_counter()
+        try:
+            with self.admission.admit(
+                backend=self.config.backend, num_workers=1
+            ):
+                with self._engine_turn():
+                    result, version, num_sccs = self._execute_analysis(
+                        request, kind
+                    )
+        except Exception as exc:
+            resp = self._error_response(request, exc)
+            resp["seconds"] = time.perf_counter() - t0
+            return resp
+        self.completed += 1
+        return {
+            "op": "analysis",
+            "id": request.get("id"),
+            "ok": True,
+            "kind": kind,
+            "graph": request["graph"],
+            "graph_version": version,
+            "num_sccs": num_sccs,
+            "result": result,
+            "seconds": time.perf_counter() - t0,
+        }
+
+    def _execute_analysis(self, request: dict, kind: str):
+        import dataclasses
+
+        import numpy as np
+
+        from .. import analysis
+        from ..core.result import canonical_labels
+
+        session = self.engine.load(
+            request["graph"],
+            scale=request.get("scale"),
+            seed=None,
+            on_error=request.get("on_error", "strict"),
+        )
+        if session.dynamic is not None:
+            labels = canonical_labels(
+                np.ascontiguousarray(
+                    session.dynamic.labels, dtype=np.int64
+                )
+            )
+        else:
+            labels = self.engine.run(session).labels
+        num_sccs = int(labels.max()) + 1 if labels.size else 0
+        if kind == "summary":
+            summary = analysis.summarize_scc_structure(labels)
+            result = dataclasses.asdict(summary)
+        elif kind == "histogram":
+            hist = analysis.size_histogram(labels)
+            result = {
+                "sizes": {str(k): int(v) for k, v in sorted(hist.items())},
+                "giant_fraction": analysis.giant_fraction(labels),
+            }
+        elif kind == "bowtie":
+            tie = analysis.bowtie_decomposition(session.graph, labels)
+            result = dict(
+                tie.fractions(),
+                counts={
+                    "core": tie.core,
+                    "in": tie.inset,
+                    "out": tie.outset,
+                    "other": tie.other,
+                },
+            )
+        else:  # clustering
+            result = {
+                "average_clustering": analysis.average_clustering(
+                    session.graph,
+                    samples=int(request.get("samples", 200)),
+                    rng=int(request.get("seed", 0)),
+                )
+            }
+        return result, session.version, num_sccs
 
     def _execute(
         self,
@@ -1055,6 +1408,14 @@ class SCCService:
                 self.governor.to_dict() if self.governor else None
             ),
             "sessions": sessions,
+            "streams": {
+                feed.name: {
+                    "alive": feed.thread.is_alive(),
+                    "error": feed.error_text(),
+                    "stats": feed.consumer.stats(),
+                }
+                for feed in list(self.streams.values())
+            },
             "workers": (
                 self.supervisor.to_dict() if self.supervisor else None
             ),
@@ -1087,6 +1448,65 @@ class SCCService:
             with open(tmp, "w") as fh:
                 json.dump(self.stats(), fh, indent=2, sort_keys=True)
                 fh.write("\n")
+
+
+class _StreamFeed:
+    """One attached live feed: its source, consumer, and thread."""
+
+    def __init__(self, name, request, source, consumer) -> None:
+        self.name = name
+        self.request = dict(request)
+        self.source = source
+        self.consumer = consumer
+        self.error: Optional[BaseException] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"stream-{name}", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self.consumer.run()
+        except BaseException as exc:  # surfaced via status/detach
+            self.error = exc
+        finally:
+            self.source.close()
+
+    def error_text(self) -> Optional[str]:
+        if self.error is None:
+            return None
+        return f"{type(self.error).__name__}: {self.error}"
+
+
+class _ServiceApplier:
+    """Consumer-side applier that drives the service's own ``update``
+    path, so streamed batches pay admission, land journal stamps, and
+    pin to the owning sharded worker exactly like client updates."""
+
+    def __init__(self, service: "SCCService", request: dict) -> None:
+        self.service = service
+        self.graph = request["graph"]
+        self.scale = request.get("scale")
+        self.on_error = request.get("on_error")
+
+    def _request(self, **fields) -> dict:
+        req = {"op": "update", "graph": self.graph}
+        if self.scale is not None:
+            req["scale"] = self.scale
+        if self.on_error is not None:
+            req["on_error"] = self.on_error
+        req.update(fields)
+        return req
+
+    def apply_batch(self, inserts, deletes) -> dict:
+        return self.service.handle(
+            self._request(
+                inserts=[list(e) for e in inserts],
+                deletes=[list(e) for e in deletes],
+            )
+        )
+
+    def compact(self) -> dict:
+        return self.service.handle(self._request(compact=True))
 
 
 # ---------------------------------------------------------------------------
@@ -1235,18 +1655,53 @@ def serve_stdin(
     return 0
 
 
+def _read_request_line(
+    conn, max_line_bytes: int
+) -> Tuple[Optional[bytes], Optional[str]]:
+    """Read one newline-terminated request under a byte cap.
+
+    Returns ``(line, None)`` on success and ``(None, reason)`` when
+    the client closed early or exceeded the cap.  The per-connection
+    ``settimeout`` (set by the caller) bounds every ``recv``, so a
+    slow-loris client dribbling bytes forever raises
+    ``socket.timeout`` instead of pinning the handler thread.
+    """
+    buf = bytearray()
+    while True:
+        chunk = conn.recv(4096)
+        if not chunk:
+            return None, "client closed before newline"
+        buf += chunk
+        i = buf.find(b"\n")
+        if i >= 0:
+            return bytes(buf[: i + 1]), None
+        if len(buf) > max_line_bytes:
+            return None, (
+                f"request line exceeds {max_line_bytes} bytes"
+            )
+
+
 def serve_socket(
     service: SCCService,
     path,
     *,
     max_requests: Optional[int] = None,
     report_path=None,
+    read_deadline: float = 30.0,
+    max_line_bytes: int = 1 << 20,
 ) -> int:
     """Serve one JSON request per Unix-socket connection.
 
     Each connection sends one newline-terminated JSON request and
     receives one JSON response line.  SIGTERM/SIGINT (or a
     ``shutdown`` request) drains exactly like the stdin transport.
+
+    Connections are hardened against hostile or broken clients: a
+    client must deliver its newline within ``read_deadline`` seconds
+    and ``max_line_bytes`` bytes, or the connection is dropped (a
+    typed error is answered for an over-length line) and counted in
+    ``transport_errors`` — a slow-loris holding bytes back can pin at
+    most one handler thread for one deadline, never the accept loop.
     """
     import os
 
@@ -1289,9 +1744,39 @@ def serve_socket(
                     # accept loop never sees the failure.
                     with conn:
                         try:
-                            data = conn.makefile("r").readline()
+                            conn.settimeout(read_deadline)
+                            data, refused = _read_request_line(
+                                conn, max_line_bytes
+                            )
+                        except socket.timeout:
+                            # slow-loris: deadline expired before the
+                            # newline arrived.  Drop, count, move on.
+                            service.note_transport_error()
+                            return
                         except OSError:
                             service.note_transport_error()
+                            return
+                        if data is None:
+                            service.note_transport_error()
+                            try:
+                                conn.sendall(
+                                    (
+                                        json.dumps(
+                                            {
+                                                "ok": False,
+                                                "error": (
+                                                    f"bad request: {refused}"
+                                                ),
+                                                "error_type": "ValueError",
+                                                "exit_code": 1,
+                                            },
+                                            sort_keys=True,
+                                        )
+                                        + "\n"
+                                    ).encode()
+                                )
+                            except OSError:
+                                pass
                             return
                         try:
                             request = json.loads(data)

@@ -244,6 +244,73 @@ class TestEdgeListShapes:
 
 
 # ---------------------------------------------------------------------------
+# Edge lists: byte-exact framing (shared with the stream parser)
+# ---------------------------------------------------------------------------
+class TestEdgeListFraming:
+    def test_final_record_without_newline_is_parsed(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n2 0")  # writer died mid-append
+        g, rep = read_edge_list(path, return_report=True)
+        assert g.num_edges == 3
+        assert g.has_edge(2, 0)
+        assert rep.lines == 3
+
+    def test_final_record_without_newline_chunked(self, tmp_path):
+        # the chunked slow path must agree with the one-shot fast path
+        path = write(tmp_path, "0 1\n1 2\n2 0")
+        assert read_edge_list(path, chunk_lines=1) == read_edge_list(path)
+
+    def test_final_record_without_newline_gzip(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2\n2 0", name="g.txt.gz")
+        g = read_edge_list(path)
+        assert g.num_edges == 3 and g.has_edge(2, 0)
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = write(tmp_path, "0 1\r\n1 2\r\n2 0\r\n")
+        g, rep = read_edge_list(path, return_report=True)
+        assert g.num_edges == 3
+        assert rep.clean
+
+    def test_crlf_chunked_matches_lf(self, tmp_path):
+        crlf = write(tmp_path, "0 1\r\n1 2\r\n2 0\r\n", name="crlf.txt")
+        lf = write(tmp_path, "0 1\n1 2\n2 0\n", name="lf.txt")
+        assert read_edge_list(crlf, chunk_lines=2) == read_edge_list(lf)
+
+    def test_crlf_final_record_no_newline(self, tmp_path):
+        path = write(tmp_path, "0 1\r\n2 0\r")  # lone CR tail
+        g = read_edge_list(path)
+        assert g.num_edges == 2 and g.has_edge(2, 0)
+
+    def test_truncated_gzip_lenient_keeps_parsed_prefix(self, tmp_path):
+        # strict raises (see test_truncated_gzip_is_typed); the lenient
+        # policies must keep everything framed before the stream broke
+        # and note the torn tail in the report.
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("".join(f"{i} {i+1}\n" for i in range(1000)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        g, rep = read_edge_list(
+            path, on_error="skip", return_report=True
+        )
+        assert 0 < g.num_edges < 1000
+        assert not rep.clean
+        assert any(
+            "unreadable tail" in reason or "stream broke" in reason
+            for _, _, reason in rep.samples
+        )
+
+    def test_truncated_gzip_strict_message_locates(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as f:
+            f.write("".join(f"{i} {i+1}\n" for i in range(1000)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphIngestError) as err:
+            read_edge_list(path)
+        assert "near line" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
 # npz
 # ---------------------------------------------------------------------------
 class TestNpzResilience:

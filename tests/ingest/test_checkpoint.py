@@ -1,0 +1,77 @@
+"""StreamCheckpoint: atomic CRC-guarded watermark persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.ingest.checkpoint import StreamCheckpoint, Watermark
+
+
+def test_round_trip(tmp_path):
+    ck = StreamCheckpoint(tmp_path / "wm.json")
+    wm = Watermark(
+        offset=1234,
+        graph_version=7,
+        labels_crc32=999,
+        batches=3,
+        records=41,
+    )
+    ck.save(wm)
+    assert ck.load() == wm
+
+
+def test_missing_file_is_fresh_stream(tmp_path):
+    ck = StreamCheckpoint(tmp_path / "absent.json")
+    assert ck.load() is None
+    assert ck.corrupt_loads == 0
+
+
+def test_corrupt_payload_reads_as_absent(tmp_path):
+    path = tmp_path / "wm.json"
+    ck = StreamCheckpoint(path)
+    ck.save(Watermark(offset=100, graph_version=2))
+    doc = json.loads(path.read_text())
+    # hand-edit the payload: the stored CRC no longer matches, so a
+    # resume must NOT trust the (wrong) offset.
+    doc["payload"] = doc["payload"].replace("100", "999")
+    path.write_text(json.dumps(doc))
+    assert ck.load() is None
+    assert ck.corrupt_loads == 1
+
+
+def test_corrupt_payload_strict_raises_typed(tmp_path):
+    path = tmp_path / "wm.json"
+    ck = StreamCheckpoint(path)
+    ck.save(Watermark(offset=100, graph_version=2))
+    path.write_text(path.read_text()[:-10])
+    with pytest.raises(CheckpointError):
+        ck.load(strict=True)
+
+
+def test_truncated_file_reads_as_absent(tmp_path):
+    path = tmp_path / "wm.json"
+    ck = StreamCheckpoint(path)
+    ck.save(Watermark(offset=55, graph_version=1))
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert ck.load() is None
+
+
+def test_unknown_format_reads_as_absent(tmp_path):
+    path = tmp_path / "wm.json"
+    path.write_text(json.dumps({"format": "other", "payload": "{}"}))
+    ck = StreamCheckpoint(path)
+    assert ck.load() is None
+    assert ck.corrupt_loads == 1
+
+
+def test_save_overwrites_atomically(tmp_path):
+    path = tmp_path / "wm.json"
+    ck = StreamCheckpoint(path)
+    for i in range(5):
+        ck.save(Watermark(offset=i * 10, graph_version=i))
+    wm = ck.load()
+    assert wm.offset == 40 and wm.graph_version == 4
+    # no temp droppings left behind
+    assert [p.name for p in tmp_path.iterdir()] == ["wm.json"]

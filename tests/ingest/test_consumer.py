@@ -1,0 +1,251 @@
+"""StreamConsumer: batching, backpressure, degrade, exact resume."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import canonical_labels
+from repro.core.tarjan import tarjan_scc
+from repro.engine import Engine
+from repro.errors import ReproError, ServiceOverloadError
+from repro.generators import generate
+from repro.graph.delta import DeltaCSR
+from repro.ingest.checkpoint import StreamCheckpoint
+from repro.ingest.consumer import EngineApplier, StreamConsumer
+from repro.ingest.sources import FileTailSource
+from repro.ioutil import crc32_chunks
+
+GRAPH, SCALE = "wiki", 0.05
+
+
+def write_feed(path, edits, end=True):
+    with open(path, "w") as f:
+        for kind, u, v in edits:
+            f.write(f"{'+' if kind == 'add' else '-'} {u} {v}\n")
+        if end:
+            f.write('{"end": true}\n')
+
+
+def oracle_crc(edits):
+    delta = DeltaCSR(generate(GRAPH, scale=SCALE, seed=None).graph)
+    for kind, u, v in edits:
+        if kind == "add":
+            delta.add_edge(u, v)
+        else:
+            delta.remove_edge(u, v)
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes())
+
+
+def make_edits(n, seed=7):
+    rng = np.random.default_rng(seed)
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    edits = []
+    for u, v in rng.integers(0, g.num_nodes, (n, 2)).tolist():
+        edits.append(("add", u, v))
+    src, dst = g.edge_array()
+    for i in rng.integers(0, src.shape[0], n // 2).tolist():
+        edits.append(("remove", int(src[i]), int(dst[i])))
+    return edits
+
+
+class StubApplier:
+    """Scriptable applier for backpressure/degrade behavior."""
+
+    def __init__(self, responses=None):
+        self.responses = list(responses or [])
+        self.batches = []
+        self.compactions = 0
+
+    def _next(self, default):
+        if self.responses:
+            return self.responses.pop(0)
+        return default
+
+    def apply_batch(self, inserts, deletes):
+        self.batches.append((list(inserts), list(deletes)))
+        return self._next(
+            {"ok": True, "graph_version": len(self.batches),
+             "labels_crc32": 0, "log_ratio": 0.0}
+        )
+
+    def compact(self):
+        self.compactions += 1
+        return {"ok": True, "log_ratio": 0.0}
+
+
+def test_end_to_end_labels_match_oracle(tmp_path):
+    edits = make_edits(60)
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, edits)
+    with Engine(backend="serial") as eng:
+        session = eng.load(GRAPH, scale=SCALE, seed=None)
+        src = FileTailSource(feed, follow=False)
+        consumer = StreamConsumer(
+            src, EngineApplier(eng, session), batch_edges=16
+        )
+        stats = consumer.run()
+        src.close()
+    assert stats["ended"]
+    assert stats["records_applied"] == len(edits)
+    assert stats["labels_crc32"] == oracle_crc(edits)
+
+
+def test_conflict_flush_preserves_edit_order(tmp_path):
+    # add then remove of the same edge must land in different batches
+    # (inserts apply before deletes within one update).
+    feed = tmp_path / "feed.txt"
+    write_feed(
+        feed,
+        [("add", 1, 2), ("add", 3, 4), ("remove", 1, 2)],
+    )
+    src = FileTailSource(feed, follow=False)
+    stub = StubApplier()
+    consumer = StreamConsumer(src, stub, batch_edges=64)
+    consumer.run()
+    src.close()
+    assert consumer.conflict_flushes == 1
+    assert stub.batches[0] == ([(1, 2), (3, 4)], [])
+    assert stub.batches[1] == ([], [(1, 2)])
+
+
+def test_sigkill_shaped_resume_applies_nothing_twice(tmp_path):
+    edits = make_edits(40)
+    feed = tmp_path / "feed.txt"
+    ck_path = tmp_path / "wm.json"
+    write_feed(feed, edits)
+    with Engine(backend="serial") as eng:
+        session = eng.load(GRAPH, scale=SCALE, seed=None)
+        applier = EngineApplier(eng, session)
+        # first consumer dies (stopped) after a few batches: the
+        # watermark names exactly the applied prefix.
+        src = FileTailSource(feed, follow=False, chunk_bytes=32)
+        first = StreamConsumer(
+            src,
+            applier,
+            checkpoint=StreamCheckpoint(ck_path),
+            batch_edges=8,
+            max_batches=2,
+        )
+        first.run()
+        src.close()
+        applied_before = first.records_applied
+        assert 0 < applied_before < len(edits)
+        version_before = first.graph_version
+
+        # a fresh consumer resumes from the committed watermark and
+        # applies only the tail.
+        src = FileTailSource(feed, follow=False)
+        second = StreamConsumer(
+            src,
+            applier,
+            checkpoint=StreamCheckpoint(ck_path),
+            batch_edges=8,
+        )
+        assert second.resumed
+        stats = second.run()
+        src.close()
+    assert stats["records_applied"] == len(edits)
+    assert stats["graph_version"] > version_before
+    assert stats["labels_crc32"] == oracle_crc(edits)
+
+
+def test_resume_with_nothing_new_applies_nothing(tmp_path):
+    edits = make_edits(20)
+    feed = tmp_path / "feed.txt"
+    ck_path = tmp_path / "wm.json"
+    write_feed(feed, edits)
+    with Engine(backend="serial") as eng:
+        session = eng.load(GRAPH, scale=SCALE, seed=None)
+        applier = EngineApplier(eng, session)
+        for _ in range(2):
+            src = FileTailSource(feed, follow=False)
+            consumer = StreamConsumer(
+                src,
+                applier,
+                checkpoint=StreamCheckpoint(ck_path),
+                batch_edges=8,
+            )
+            stats = consumer.run()
+            src.close()
+    # second run found the whole feed committed: same totals, and the
+    # graph version did not advance (no batch was re-applied).
+    assert stats["records_applied"] == len(edits)
+    assert consumer.batches == stats["batches"]
+    assert stats["labels_crc32"] == oracle_crc(edits)
+
+
+def test_backpressure_retries_then_succeeds(tmp_path):
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, [("add", 1, 2)])
+    shed = {"ok": False, "error": "full", "error_type": "ServiceOverloadError"}
+    stub = StubApplier(responses=[shed, shed])
+    naps = []
+    src = FileTailSource(feed, follow=False)
+    consumer = StreamConsumer(
+        src, stub, batch_edges=4, shed_retries=4, sleep=naps.append
+    )
+    consumer.run()
+    src.close()
+    assert consumer.sheds == 2
+    assert len(stub.batches) == 3  # two shed attempts + the success
+    assert len(naps) >= 2  # backed off between attempts
+
+
+def test_backpressure_budget_exhausted_raises_typed(tmp_path):
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, [("add", 1, 2)])
+    shed = {"ok": False, "error": "full", "error_type": "ServiceOverloadError"}
+    stub = StubApplier(responses=[shed] * 10)
+    src = FileTailSource(feed, follow=False)
+    consumer = StreamConsumer(
+        src, stub, batch_edges=4, shed_retries=2, sleep=lambda s: None
+    )
+    with pytest.raises(ServiceOverloadError):
+        consumer.run()
+    src.close()
+
+
+def test_fatal_applier_error_is_typed_not_retried(tmp_path):
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, [("add", 1, 2)])
+    bad = {"ok": False, "error": "boom", "error_type": "ValueError"}
+    stub = StubApplier(responses=[bad])
+    src = FileTailSource(feed, follow=False)
+    consumer = StreamConsumer(src, stub, batch_edges=4)
+    with pytest.raises(ReproError):
+        consumer.run()
+    src.close()
+    assert len(stub.batches) == 1
+
+
+def test_degrade_compacts_when_log_ratio_over_budget(tmp_path):
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, [("add", 1, 2), ("add", 3, 4)])
+    hot = {"ok": True, "graph_version": 1, "labels_crc32": 0,
+           "log_ratio": 0.9}
+    stub = StubApplier(responses=[hot])
+    src = FileTailSource(feed, follow=False)
+    consumer = StreamConsumer(
+        src, stub, batch_edges=64, degrade_log_ratio=0.5
+    )
+    consumer.run()
+    src.close()
+    assert consumer.degrades == 1
+    assert stub.compactions == 1
+
+
+def test_stats_shape(tmp_path):
+    feed = tmp_path / "feed.txt"
+    write_feed(feed, [("add", 1, 2)])
+    src = FileTailSource(feed, follow=False)
+    consumer = StreamConsumer(src, StubApplier(), batch_edges=4)
+    stats = consumer.run()
+    src.close()
+    for key in (
+        "ended", "resumed", "batches", "records_applied",
+        "conflict_flushes", "sheds", "degrades", "committed_offset",
+        "freshness_lag", "parser", "source",
+    ):
+        assert key in stats
+    assert stats["parser"]["edges"] == 1
+    assert stats["source"]["reads"] >= 1

@@ -1,0 +1,93 @@
+"""LineFramer: byte-exact framing under splits, CRLF, tears, replay."""
+
+from repro.ingest.framing import LineFramer
+
+
+def test_frames_across_arbitrary_chunk_splits():
+    payload = b"0 1\n2 3\n4 5\n"
+    for split in range(len(payload) + 1):
+        fr = LineFramer()
+        frames = fr.feed(payload[:split]) + fr.feed(payload[split:])
+        assert [f.text for f in frames] == ["0 1", "2 3", "4 5"]
+        assert [f.lineno for f in frames] == [1, 2, 3]
+        assert frames[-1].end_offset == len(payload)
+
+
+def test_crlf_frames_identically_to_lf():
+    lf = LineFramer()
+    crlf = LineFramer()
+    a = lf.feed(b"0 1\n2 3\n")
+    b = crlf.feed(b"0 1\r\n2 3\r\n")
+    assert [f.text for f in a] == [f.text for f in b] == ["0 1", "2 3"]
+    # offsets differ (CRLF is longer) but each names the byte after
+    # its own terminator.
+    assert b[0].end_offset == 5 and b[1].end_offset == 10
+
+
+def test_crlf_split_between_cr_and_lf():
+    fr = LineFramer()
+    frames = fr.feed(b"0 1\r")
+    assert frames == []
+    frames = fr.feed(b"\n2 3\n")
+    assert [f.text for f in frames] == ["0 1", "2 3"]
+
+
+def test_flush_surfaces_final_unterminated_record():
+    fr = LineFramer()
+    frames = fr.feed(b"0 1\n2 3")
+    assert [f.text for f in frames] == ["0 1"]
+    frame = fr.flush()
+    assert frame is not None
+    assert frame.text == "2 3"
+    assert frame.end_offset == len(b"0 1\n2 3")
+    # flush is idempotent on an empty buffer
+    assert fr.flush() is None
+
+
+def test_feed_at_trims_replayed_overlap_byte_exactly():
+    payload = b"0 1\r\n2 3\n"
+    fr = LineFramer()
+    fr.feed_at(0, payload[:7])  # "0 1\r\n2 " — partial second record
+    # peer dies and replays from the start of record 2 (offset 5)
+    frames = fr.feed_at(5, payload[5:])
+    assert [f.text for f in frames] == ["2 3"]
+    assert fr.overlap_bytes == 2  # "2 " fed twice, trimmed once
+
+
+def test_feed_at_full_duplicate_chunk_is_absorbed():
+    fr = LineFramer()
+    first = fr.feed_at(0, b"0 1\n")
+    dup = fr.feed_at(0, b"0 1\n")
+    assert [f.text for f in first] == ["0 1"]
+    assert dup == []
+    assert fr.overlap_bytes == 4
+    # stream continues where it left off
+    assert [f.text for f in fr.feed_at(4, b"2 3\n")] == ["2 3"]
+
+
+def test_feed_at_forward_gap_is_counted_and_consumed():
+    fr = LineFramer()
+    fr.feed_at(0, b"0 1\n")
+    frames = fr.feed_at(10, b"4 5\n")
+    assert [f.text for f in frames] == ["4 5"]
+    assert fr.gap_bytes == 6
+    assert fr.offset == 14
+
+
+def test_discard_partial_advances_past_torn_tail():
+    fr = LineFramer()
+    fr.feed(b"0 1\n2 ")
+    dropped = fr.discard_partial()
+    assert dropped == 2
+    assert fr.partial_discards == 1
+    assert fr.offset == 6
+    # replaying the torn record in full is trimmed up to the discard
+    # point, and the remainder frames cleanly
+    frames = fr.feed_at(4, b"2 3\n")
+    assert [f.text for f in frames] == ["3"]
+
+
+def test_start_offset_resume():
+    fr = LineFramer(start_offset=100)
+    frames = fr.feed_at(100, b"7 8\n")
+    assert frames[0].end_offset == 104

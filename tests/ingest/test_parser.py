@@ -1,0 +1,117 @@
+"""RecordParser: both dialects, policy routing, dedup, disconnects."""
+
+import pytest
+
+from repro.errors import GraphIngestError
+from repro.ingest.parser import RecordParser
+
+
+def test_text_dialect_bare_plus_minus():
+    p = RecordParser()
+    recs = p.feed(b"0 1\n+ 1 2\n- 3 4\n")
+    assert [(r.kind, r.u, r.v) for r in recs] == [
+        ("add", 0, 1),
+        ("add", 1, 2),
+        ("remove", 3, 4),
+    ]
+    assert p.report.edges == 3
+
+
+def test_ndjson_dialect_and_end_record():
+    p = RecordParser()
+    recs = p.feed(
+        b'{"add": [0, 17]}\n'
+        b'{"remove": [3, 4], "seq": 812}\n'
+        b'{"end": true}\n'
+    )
+    assert [(r.kind, r.u, r.v) for r in recs] == [
+        ("add", 0, 17),
+        ("remove", 3, 4),
+        ("end", -1, -1),
+    ]
+    assert recs[1].seq == 812
+    assert p.report.edges == 2  # end is a control record, not an edge
+
+
+def test_comments_and_blanks_counted_not_parsed():
+    p = RecordParser()
+    recs = p.feed(b"# header\n\n0 1\n")
+    assert len(recs) == 1
+    assert p.report.comments == 1
+    assert p.report.blanks == 1
+
+
+def test_records_carry_watermark_offsets():
+    payload = b"0 1\n+ 2 3\n"
+    p = RecordParser()
+    recs = p.feed(payload)
+    assert recs[0].end_offset == 4
+    assert recs[1].end_offset == len(payload)
+
+
+def test_strict_policy_raises_located_error():
+    p = RecordParser(on_error="strict")
+    with pytest.raises(GraphIngestError) as ei:
+        p.feed(b"0 1\nnonsense one\n")
+    assert ei.value.line == 2
+
+
+def test_skip_policy_counts_and_drops_garbage():
+    p = RecordParser(on_error="skip")
+    recs = p.feed(b"0 1\n\xfe\xfe\xfe\n2 3\n")
+    assert [(r.u, r.v) for r in recs] == [(0, 1), (2, 3)]
+    assert p.report.dropped == 1
+
+
+def test_repair_policy_coerces_float_ids():
+    p = RecordParser(on_error="repair")
+    recs = p.feed(b"+ 3.0 4.0\n")
+    assert [(r.u, r.v) for r in recs] == [(3, 4)]
+    assert p.report.repaired == 1
+
+
+def test_seq_dedup_window_drops_resends():
+    p = RecordParser(dedup_window=8)
+    first = p.feed(b'{"add": [0, 1], "seq": 5}\n')
+    again = p.feed(b'{"add": [0, 1], "seq": 5}\n')
+    assert len(first) == 1
+    assert again == []
+    assert p.report.duplicates == 1
+
+
+def test_seq_dedup_window_is_bounded():
+    p = RecordParser(dedup_window=2)
+    p.feed(b'{"add": [0, 1], "seq": 1}\n')
+    p.feed(b'{"add": [0, 2], "seq": 2}\n')
+    p.feed(b'{"add": [0, 3], "seq": 3}\n')  # evicts seq 1
+    recs = p.feed(b'{"add": [0, 1], "seq": 1}\n')
+    assert len(recs) == 1  # outside the window: applied again (idempotent)
+
+
+def test_note_disconnect_counts_torn_tail():
+    p = RecordParser(on_error="skip")
+    p.feed(b"0 1\n2 ")
+    dropped = p.note_disconnect()
+    assert dropped == 2
+    assert p.report.dropped == 1
+    # the next complete line parses cleanly
+    recs = p.feed(b"7 8\n")
+    assert [(r.u, r.v) for r in recs] == [(7, 8)]
+
+
+def test_feed_at_replay_does_not_double_parse():
+    payload = b"0 1\n2 3\n"
+    p = RecordParser()
+    p.feed_at(0, payload)
+    again = p.feed_at(0, payload)  # peer replayed from the start
+    assert again == []
+    assert p.report.edges == 2
+
+
+def test_flush_parses_final_unterminated_record():
+    p = RecordParser()
+    recs = p.feed(b"0 1\n9 9")
+    assert [(r.u, r.v) for r in recs] == [(0, 1)]
+    recs = p.flush()
+    assert [(r.u, r.v) for r in recs] == [(9, 9)]
+    assert recs[0].end_offset == 7

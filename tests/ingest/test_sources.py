@@ -1,0 +1,239 @@
+"""Stream sources: offsets, reconnects, watchdog, deterministic chaos."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import StreamFeedError
+from repro.ingest.sources import (
+    FileTailSource,
+    PipeSource,
+    SocketSource,
+    open_source,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+
+def stream_plan(kind, index, **kwargs):
+    return FaultPlan(
+        [FaultSpec(kind=kind, site="stream", index=index, **kwargs)]
+    )
+
+
+# -- file tail -----------------------------------------------------------
+def test_file_tail_once_reads_to_eof(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n2 3\n")
+    with FileTailSource(path, follow=False, chunk_bytes=4) as src:
+        chunks = []
+        while True:
+            got = src.read()
+            if got is None:
+                break
+            chunks.append(got)
+    assert chunks == [(0, b"0 1\n"), (4, b"2 3\n")]
+
+
+def test_file_tail_follow_idles_at_eof_then_sees_appends(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n")
+    with FileTailSource(path, follow=True) as src:
+        assert src.read() == (0, b"0 1\n")
+        assert src.read() == (4, b"")  # idle, not end
+        with open(path, "ab") as f:
+            f.write(b"2 3\n")
+        assert src.read() == (4, b"2 3\n")
+
+
+def test_file_tail_seek_resumes_mid_file(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n2 3\n")
+    with FileTailSource(path, follow=False) as src:
+        src.seek(4)
+        assert src.read() == (4, b"2 3\n")
+        assert not src.replays_from_start
+
+
+def test_missing_file_exhausts_reconnects_typed(tmp_path):
+    src = FileTailSource(
+        tmp_path / "absent.txt",
+        max_reconnects=2,
+        sleep=lambda s: None,
+    )
+    with pytest.raises(StreamFeedError) as ei:
+        src.read()
+    assert ei.value.exit_code == 21
+    assert isinstance(ei.value, ConnectionError)
+
+
+# -- deterministic chaos -------------------------------------------------
+def test_disconnect_fault_redials_and_resumes(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n2 3\n")
+    src = FileTailSource(
+        path,
+        follow=False,
+        chunk_bytes=4,
+        fault_plan=stream_plan("disconnect", 1),
+        sleep=lambda s: None,
+    )
+    assert src.read() == (0, b"0 1\n")
+    # read #1 severs the transport; the same call reopens and resumes
+    # at the recorded offset, so delivery is seamless.
+    assert src.read() == (4, b"2 3\n")
+    assert src.faults["disconnect"] == 1
+
+
+def test_dup_fault_redelivers_previous_chunk(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n2 3\n")
+    src = FileTailSource(
+        path,
+        follow=False,
+        chunk_bytes=4,
+        fault_plan=stream_plan("dup", 1),
+    )
+    first = src.read()
+    assert src.read() == first  # byte-identical replay at old offset
+    assert src.read() == (4, b"2 3\n")
+    assert src.faults["dup"] == 1
+
+
+def test_garbage_fault_garbles_in_place_same_length(tmp_path):
+    path = tmp_path / "feed.txt"
+    payload = b"0 1\n2 3\n"
+    path.write_bytes(payload)
+    src = FileTailSource(
+        path,
+        follow=False,
+        fault_plan=stream_plan("garbage", 0, bit_flips=2),
+    )
+    offset, data = src.read()
+    assert offset == 0
+    assert len(data) == len(payload)  # offsets stay truthful
+    assert data != payload
+    assert data.count(0xFE) >= 1
+    # determinism: a second source under the same plan reads the same
+    # garbled bytes (the chaos-drill oracle depends on this).
+    src2 = FileTailSource(
+        path,
+        follow=False,
+        fault_plan=stream_plan("garbage", 0, bit_flips=2),
+    )
+    assert src2.read() == (offset, data)
+
+
+def test_stall_fault_sleeps_hang_seconds(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n")
+    naps = []
+    src = FileTailSource(
+        path,
+        follow=False,
+        fault_plan=stream_plan("stall", 0, hang_seconds=7.5),
+        sleep=naps.append,
+    )
+    assert src.read() == (0, b"0 1\n")
+    assert naps == [7.5]
+    assert src.faults["stall"] == 1
+
+
+def test_stalled_feed_watchdog_forces_redial(tmp_path):
+    path = tmp_path / "feed.txt"
+    path.write_bytes(b"0 1\n")
+    now = [0.0]
+    src = FileTailSource(
+        path,
+        follow=True,
+        stall_timeout=5.0,
+        clock=lambda: now[0],
+        sleep=lambda s: None,
+    )
+    assert src.read() == (0, b"0 1\n")
+    now[0] = 2.0
+    assert src.read() == (4, b"")  # quiet but within budget
+    assert src.stalls == 0
+    now[0] = 20.0
+    assert src.read() == (4, b"")  # past budget: declared stalled
+    assert src.stalls == 1
+
+
+# -- sockets -------------------------------------------------------------
+def _serve_unix(path, payloads, accepts):
+    """Accept ``accepts`` connections; send the whole feed to each."""
+    srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    srv.bind(str(path))
+    srv.listen(4)
+
+    def run():
+        for _ in range(accepts):
+            conn, _ = srv.accept()
+            for chunk in payloads:
+                conn.sendall(chunk)
+            conn.close()
+        srv.close()
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t
+
+
+def test_socket_source_replays_from_start_after_peer_close(tmp_path):
+    sock_path = tmp_path / "feed.sock"
+    t = _serve_unix(sock_path, [b"0 1\n2 3\n"], accepts=2)
+    src = SocketSource(
+        str(sock_path),
+        read_timeout=2.0,
+        max_reconnects=4,
+        sleep=lambda s: None,
+    )
+    assert src.replays_from_start
+    first = src.read()
+    assert first[0] == 0 and first[1].startswith(b"0 1\n")
+    # drain until the peer closes (an empty read schedules a redial)
+    # and the second accept replays the stream from offset 0 — the
+    # at-least-once contract the downstream overlap trim absorbs.
+    replayed = None
+    for _ in range(50):
+        got = src.read()
+        if got[1] and got[0] == 0:
+            replayed = got
+            break
+    assert replayed is not None
+    assert replayed[1].startswith(b"0 1\n")
+    src.close()
+    t.join(timeout=5)
+
+
+def test_socket_seek_is_a_noop(tmp_path):
+    src = SocketSource(str(tmp_path / "never.sock"))
+    src.seek(999)
+    assert src.offset == 0
+    src.close()
+
+
+# -- pipes and specs -----------------------------------------------------
+def test_pipe_source_reads_to_eof():
+    import io
+
+    src = PipeSource(io.BytesIO(b"0 1\n2 3\n"), chunk_bytes=4)
+    assert src.read() == (0, b"0 1\n")
+    assert src.read() == (4, b"2 3\n")
+    assert src.read() is None
+
+
+def test_open_source_spec_dispatch(tmp_path):
+    p = tmp_path / "f.txt"
+    p.write_bytes(b"")
+    assert isinstance(open_source(f"tail:{p}"), FileTailSource)
+    assert open_source(f"tail:{p}").follow
+    assert not open_source(f"tail-once:{p}").follow
+    assert isinstance(open_source(str(p)), FileTailSource)
+    s = open_source("socket:/tmp/x.sock")
+    assert isinstance(s, SocketSource) and s.address == "/tmp/x.sock"
+    s = open_source("tcp:localhost:9999")
+    assert isinstance(s, SocketSource)
+    assert s.address == ("localhost", 9999)
+    with pytest.raises(ValueError):
+        open_source("tcp:9999")

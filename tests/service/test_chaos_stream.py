@@ -1,0 +1,321 @@
+"""Chaos drills for the live edge-stream ingestion tier.
+
+Two drills, both excluded from tier-1 (``-m 'not chaos'``) and run by
+the CI ``stream-ingest`` job with ``pytest -m chaos``:
+
+* **Fault gauntlet** — one consumer rides out every seeded network
+  fault kind (disconnect, stall, garbage, dup) in a single pass and
+  still converges to the labels an offline oracle computes over the
+  *same* (deterministically garbled) byte stream.
+* **SIGKILL resume** — a ``repro stream --connect`` consumer feeding a
+  serve daemon is SIGKILLed twice mid-stream and the feed is dropped
+  twice on top; each restart resumes from the CRC-guarded watermark,
+  re-applies nothing that was committed, and the daemon's final labels
+  are bit-identical to a from-scratch application of every edit.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.result import canonical_labels
+from repro.core.tarjan import tarjan_scc
+from repro.engine import Engine
+from repro.generators import generate
+from repro.graph.delta import DeltaCSR
+from repro.ingest.checkpoint import StreamCheckpoint
+from repro.ingest.consumer import EngineApplier, StreamConsumer
+from repro.ingest.parser import RecordParser
+from repro.ingest.sources import (
+    DEFAULT_CHUNK_BYTES,
+    FileTailSource,
+    _garble,
+)
+from repro.ioutil import crc32_chunks
+from repro.kernels import use_backend
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.service.journal import scan_journal
+from repro.service.server import SCCService, ServiceConfig, serve_socket
+
+pytestmark = pytest.mark.chaos
+
+GRAPH, SCALE = "wiki", 0.05
+BACKENDS = ("numpy", "numba")
+
+
+def make_edits(n, seed=1234):
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    rng = np.random.default_rng(seed)
+    edits = []
+    for u, v in rng.integers(0, g.num_nodes, (n, 2)):
+        kind = "add" if rng.random() < 0.75 else "remove"
+        edits.append((kind, int(u), int(v)))
+    return edits
+
+
+def write_feed(path, edits, *, garbage_every=None, end=True):
+    """Write a text-dialect feed; optionally salt it with garbage
+    lines (binary junk and non-edge tokens) the skip policy must eat."""
+    with open(path, "wb") as f:
+        for i, (kind, u, v) in enumerate(edits):
+            if garbage_every and i and i % garbage_every == 0:
+                f.write(b"?? not an edge\n")
+                f.write(b"+ \xfe\xfe 12\n")
+            op = b"+" if kind == "add" else b"-"
+            f.write(op + b" %d %d\n" % (u, v))
+        if end:
+            f.write(b'{"end": true}\n')
+
+
+def oracle_crc_from_bytes(data):
+    """From-scratch oracle over the exact bytes the consumer saw:
+    parse with the same skip policy, apply each record in order to a
+    fresh delta, then label the snapshot."""
+    parser = RecordParser(on_error="skip")
+    records = list(parser.feed(data)) + list(parser.flush())
+    delta = DeltaCSR(generate(GRAPH, scale=SCALE, seed=None).graph)
+    applied = 0
+    for rec in records:
+        if rec.kind == "end":
+            continue
+        (delta.add_edge if rec.kind == "add" else delta.remove_edge)(
+            rec.u, rec.v
+        )
+        applied += 1
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes()), applied
+
+
+class TestFaultGauntlet:
+    """All four network fault kinds in one pass, on both kernel
+    backends (numba falls back to numpy where it is not installed)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_fault_kinds_converge_to_oracle(self, tmp_path, backend):
+        C = DEFAULT_CHUNK_BYTES
+        edits = make_edits(9000)
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, edits)
+        raw = feed.read_bytes()
+        assert len(raw) > 4 * C, "feed must span the garbled chunk"
+
+        garble_spec = FaultSpec(
+            kind="garbage", site="stream", index=3,
+            bit_flips=64, flip_seed=7,
+        )
+        # read 0 -> [0,C); 1 -> disconnect, redial, [C,2C); 2 -> stall
+        # then [2C,3C); 3 -> garbage over [3C,4C); 4 -> dup of the
+        # garbled chunk (overlap-trimmed); 5.. -> the rest.  Only the
+        # garbage fault changes content, so the oracle re-garbles
+        # exactly chunk [3C,4C) and parses the same byte stream.
+        plan = FaultPlan([
+            FaultSpec(kind="disconnect", site="stream", index=1),
+            FaultSpec(kind="stall", site="stream", index=2,
+                      hang_seconds=0.05),
+            garble_spec,
+            FaultSpec(kind="dup", site="stream", index=4),
+        ])
+        garbled = raw[:3 * C] + _garble(raw[3 * C:4 * C], garble_spec) \
+            + raw[4 * C:]
+        want_crc, want_applied = oracle_crc_from_bytes(garbled)
+
+        with use_backend(backend):
+            eng = Engine(backend="serial")
+            try:
+                session = eng.load(GRAPH, scale=SCALE)
+                source = FileTailSource(
+                    str(feed), follow=False, fault_plan=plan
+                )
+                consumer = StreamConsumer(
+                    source,
+                    EngineApplier(eng, session),
+                    batch_edges=64,
+                    batch_age=0.05,
+                )
+                consumer.run()
+            finally:
+                eng.close()
+
+        faults = source.stats()["faults"]
+        for kind in ("disconnect", "stall", "garbage", "dup"):
+            assert faults[kind] == 1, faults
+        # no kill in this drill: every surviving record applies exactly
+        # once — the dup'd chunk is absorbed byte-exactly upstream
+        assert consumer.records_applied == want_applied
+        assert consumer.labels_crc32 == want_crc
+
+
+def _free_port_path(tmp_path, name):
+    return str(tmp_path / name)
+
+
+def start_daemon(tmp_path):
+    svc = SCCService(ServiceConfig(
+        worker_processes=0,
+        journal_path=str(tmp_path / "journal.ndjson"),
+    ))
+    sock_path = _free_port_path(tmp_path, "svc.sock")
+    t = threading.Thread(
+        target=serve_socket,
+        args=(svc, sock_path),
+        daemon=True,
+    )
+    t.start()
+    deadline = time.monotonic() + 10
+    while not os.path.exists(sock_path):
+        assert time.monotonic() < deadline, "daemon socket never appeared"
+        time.sleep(0.02)
+    return svc, sock_path, t
+
+
+def daemon_request(sock_path, request, timeout=60.0):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall((json.dumps(request) + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = s.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode())
+
+
+def consumer_cmd(feed, sock_path, ckpt, report, fault_plan,
+                 stall_seconds):
+    cmd = [
+        sys.executable, "-m", "repro", "stream", GRAPH,
+        "--scale", str(SCALE),
+        "--source", f"tail-once:{feed}",
+        "--connect", sock_path,
+        "--checkpoint", str(ckpt),
+        "--batch-edges", "32",
+        "--batch-age", "0.05",
+        "--report", str(report),
+    ]
+    if fault_plan:
+        cmd += ["--fault-plan", fault_plan]
+    if stall_seconds is not None:
+        cmd += ["--stall-seconds", str(stall_seconds)]
+    return cmd
+
+
+def spawn_consumer(*args):
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        consumer_cmd(*args),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def kill_when_offset_past(proc, ckpt, floor, timeout=60.0):
+    """SIGKILL the consumer once its committed watermark passes
+    ``floor`` — i.e. genuinely mid-stream, with progress on disk."""
+    cp = StreamCheckpoint(str(ckpt))
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        wm = cp.load()
+        if wm is not None and wm.offset > floor:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+            return wm.offset
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"consumer exited rc={proc.returncode} before the "
+                f"kill window (offset floor {floor})"
+            )
+        time.sleep(0.002)
+    raise AssertionError("watermark never passed the kill floor")
+
+
+class TestSigkillResumeDrill:
+    def test_killed_twice_dropped_twice_resumes_bit_identical(
+        self, tmp_path
+    ):
+        edits = make_edits(6000, seed=4321)
+        feed = tmp_path / "feed.txt"
+        # salt the feed itself with garbage records: resume must not
+        # depend on every line being clean
+        write_feed(feed, edits, garbage_every=500)
+        want_crc, want_applied = oracle_crc_from_bytes(feed.read_bytes())
+
+        ckpt = tmp_path / "stream.ckpt"
+        svc, sock_path, t = start_daemon(tmp_path)
+        try:
+            # runs 1 and 2: stall@1 holds the consumer mid-stream for
+            # a wide kill window; disconnect@2 drops the feed if the
+            # kill lands late.  SIGKILL as soon as progress commits.
+            p1 = spawn_consumer(
+                feed, sock_path, ckpt, tmp_path / "r1.json",
+                "stall@1,disconnect@2", 3.0,
+            )
+            off1 = kill_when_offset_past(p1, ckpt, 0)
+            assert off1 > 0
+
+            p2 = spawn_consumer(
+                feed, sock_path, ckpt, tmp_path / "r2.json",
+                "stall@1,disconnect@2", 3.0,
+            )
+            off2 = kill_when_offset_past(p2, ckpt, off1)
+            assert off2 > off1
+
+            # run 3: two more feed drops plus a dup and a short stall,
+            # then drain to the end marker
+            report3 = tmp_path / "r3.json"
+            p3 = spawn_consumer(
+                feed, sock_path, ckpt, report3,
+                "disconnect@1,dup@2,stall@3,disconnect@4", 0.1,
+            )
+            assert p3.wait(timeout=240) == 0
+            stats = json.loads(report3.read_text())
+            assert stats["ended"] is True
+            # the final run resumed from the committed watermark (a
+            # seekable source skips the prefix by seeking, so nothing
+            # before the watermark is even re-read)
+            assert stats["resumed"] is True
+            assert stats["committed_offset"] > off2
+            # the dup fault re-delivered a chunk and the overlap trim
+            # absorbed it byte-exactly
+            assert stats["parser"]["overlap_bytes"] > 0
+            # at-least-once: a batch applied but not yet committed at
+            # SIGKILL time may be re-sent (idempotent), never lost
+            assert stats["records_applied"] >= want_applied
+            # the feed was dropped twice in this run alone (an instant
+            # reopen succeeds on the first dial, so only the fault
+            # counter records the drop)
+            assert stats["source"]["faults"]["disconnect"] == 2
+            assert stats["source"]["faults"]["dup"] == 1
+            assert stats["source"]["faults"]["stall"] == 1
+
+            # the daemon's live session is bit-identical to the
+            # from-scratch oracle over every surviving record
+            final = daemon_request(sock_path, {
+                "op": "update", "graph": GRAPH, "scale": SCALE,
+                "inserts": [], "deletes": [],
+            })
+            assert final["ok"], final
+            assert final["labels_crc32"] == want_crc
+            assert final["graph_version"] >= 1
+
+            daemon_request(sock_path, {"op": "shutdown"})
+            t.join(timeout=30)
+        finally:
+            svc.close()
+        rec = scan_journal(str(tmp_path / "journal.ndjson"))
+        assert rec.balanced

@@ -1,0 +1,267 @@
+"""The ``stream`` and ``analysis`` request types: attach/status/detach
+lifecycle, journal stamps for streamed batches, analysis over the live
+mutable session."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.result import canonical_labels
+from repro.core.tarjan import tarjan_scc
+from repro.generators import generate
+from repro.graph.delta import DeltaCSR
+from repro.ioutil import crc32_chunks
+from repro.service.journal import scan_journal
+from repro.service.server import SCCService, ServiceConfig
+
+GRAPH, SCALE = "wiki", 0.05
+
+
+def in_process_service(**kwargs):
+    return SCCService(ServiceConfig(worker_processes=0, **kwargs))
+
+
+def write_feed(path, edits, end=True):
+    with open(path, "w") as f:
+        for kind, u, v in edits:
+            f.write(f"{'+' if kind == 'add' else '-'} {u} {v}\n")
+        if end:
+            f.write('{"end": true}\n')
+
+
+def make_edits(n, seed=11):
+    rng = np.random.default_rng(seed)
+    g = generate(GRAPH, scale=SCALE, seed=None).graph
+    return [
+        ("add", int(u), int(v))
+        for u, v in rng.integers(0, g.num_nodes, (n, 2))
+    ]
+
+
+def oracle_crc(edits):
+    delta = DeltaCSR(generate(GRAPH, scale=SCALE, seed=None).graph)
+    for kind, u, v in edits:
+        (delta.add_edge if kind == "add" else delta.remove_edge)(u, v)
+    labels = canonical_labels(tarjan_scc(delta.snapshot()))
+    return crc32_chunks(labels.tobytes())
+
+
+def attach_request(source, **extra):
+    req = {
+        "op": "stream",
+        "action": "attach",
+        "graph": GRAPH,
+        "scale": SCALE,
+        "source": source,
+        "batch_edges": 16,
+        "batch_age": 0.05,
+    }
+    req.update(extra)
+    return req
+
+
+def wait_drained(svc, name, timeout=30.0):
+    """Poll status until the feed's consumer thread finishes."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        resp = svc.handle(
+            {"op": "stream", "action": "status", "name": name}
+        )
+        assert resp["ok"], resp
+        if not resp["alive"]:
+            return resp
+        time.sleep(0.05)
+    raise AssertionError(f"stream {name!r} did not drain in {timeout}s")
+
+
+class TestStreamLifecycle:
+    def test_attach_drain_detach_matches_oracle(self, tmp_path):
+        edits = make_edits(40)
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, edits)
+        svc = in_process_service()
+        try:
+            resp = svc.handle(attach_request(f"tail-once:{feed}"))
+            assert resp["ok"], resp
+            assert resp["name"] == GRAPH
+            assert not resp["resumed"]
+            status = wait_drained(svc, GRAPH)
+            assert status["error"] is None
+            assert status["stats"]["ended"]
+            assert status["stats"]["records_applied"] == len(edits)
+            final = svc.handle(
+                {"op": "stream", "action": "detach", "name": GRAPH}
+            )
+            assert final["ok"]
+            assert final["stats"]["labels_crc32"] == oracle_crc(edits)
+        finally:
+            svc.close()
+
+    def test_streamed_batches_pay_journal_stamps(self, tmp_path):
+        edits = make_edits(24)
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, edits)
+        journal_path = tmp_path / "journal.ndjson"
+        svc = in_process_service(journal_path=str(journal_path))
+        try:
+            svc.handle(attach_request(f"tail-once:{feed}"))
+            status = wait_drained(svc, GRAPH)
+            batches = status["stats"]["batches"]
+            assert batches >= 1
+        finally:
+            svc.close()
+        scan = scan_journal(str(journal_path))
+        assert scan.balanced
+        assert scan.completed >= batches
+
+    def test_attach_duplicate_name_rejected(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, make_edits(4), end=False)  # keeps tailing
+        svc = in_process_service()
+        try:
+            assert svc.handle(
+                attach_request(f"tail:{feed}", name="live")
+            )["ok"]
+            dup = svc.handle(
+                attach_request(f"tail:{feed}", name="live")
+            )
+            assert not dup["ok"]
+            assert "already attached" in dup["error"]
+        finally:
+            svc.close()
+
+    def test_attach_requires_graph_and_source(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                {"op": "stream", "action": "attach", "graph": GRAPH}
+            )
+            assert not resp["ok"] and "source" in resp["error"]
+            resp = svc.handle(
+                {
+                    "op": "stream",
+                    "action": "attach",
+                    "source": "tail:/dev/null",
+                }
+            )
+            assert not resp["ok"] and "graph" in resp["error"]
+        finally:
+            svc.close()
+
+    def test_unknown_action_and_keys_rejected(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                {"op": "stream", "action": "explode", "name": "x"}
+            )
+            assert not resp["ok"] and "explode" in resp["error"]
+            resp = svc.handle(
+                {"op": "stream", "action": "status", "bogus": 1}
+            )
+            assert not resp["ok"] and "bogus" in resp["error"]
+        finally:
+            svc.close()
+
+    def test_status_of_unknown_stream_lists_attached(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                {"op": "stream", "action": "status", "name": "ghost"}
+            )
+            assert not resp["ok"]
+            assert "no attached stream" in resp["error"]
+        finally:
+            svc.close()
+
+    def test_close_stops_live_feeds(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, make_edits(4), end=False)
+        svc = in_process_service()
+        resp = svc.handle(attach_request(f"tail:{feed}", name="live"))
+        assert resp["ok"]
+        feed_obj = svc.streams["live"]
+        svc.close()  # must stop and join the consumer thread
+        assert not feed_obj.thread.is_alive()
+
+    def test_stats_exposes_streams(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, make_edits(8))
+        svc = in_process_service()
+        try:
+            svc.handle(attach_request(f"tail-once:{feed}", name="live"))
+            wait_drained(svc, "live")
+            stats = svc.stats()
+            assert "live" in stats["streams"]
+            assert "records_applied" in stats["streams"]["live"]["stats"]
+        finally:
+            svc.close()
+
+
+class TestAnalysisRequests:
+    def test_analysis_kinds_over_streamed_session(self, tmp_path):
+        edits = make_edits(30)
+        feed = tmp_path / "feed.txt"
+        write_feed(feed, edits)
+        svc = in_process_service()
+        try:
+            svc.handle(attach_request(f"tail-once:{feed}"))
+            status = wait_drained(svc, GRAPH)
+            version = status["stats"]["graph_version"]
+            for kind in ("summary", "histogram", "bowtie", "clustering"):
+                resp = svc.handle(
+                    {
+                        "op": "analysis",
+                        "graph": GRAPH,
+                        "scale": SCALE,
+                        "kind": kind,
+                    }
+                )
+                assert resp["ok"], resp
+                # the analysis names the live update epoch it describes
+                assert resp["graph_version"] == version
+            summary = svc.handle(
+                {
+                    "op": "analysis",
+                    "graph": GRAPH,
+                    "scale": SCALE,
+                    "kind": "summary",
+                }
+            )
+            assert summary["num_sccs"] >= 1
+            assert summary["result"]["num_sccs"] == summary["num_sccs"]
+        finally:
+            svc.close()
+
+    def test_analysis_on_cold_session_runs_detection(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle(
+                {
+                    "op": "analysis",
+                    "graph": GRAPH,
+                    "scale": SCALE,
+                    "kind": "histogram",
+                }
+            )
+            assert resp["ok"], resp
+            assert resp["num_sccs"] >= 1
+            assert resp["result"]["giant_fraction"] > 0
+        finally:
+            svc.close()
+
+    def test_analysis_validation(self):
+        svc = in_process_service()
+        try:
+            resp = svc.handle({"op": "analysis", "kind": "summary"})
+            assert not resp["ok"] and "graph" in resp["error"]
+            resp = svc.handle(
+                {"op": "analysis", "graph": GRAPH, "kind": "vibes"}
+            )
+            assert not resp["ok"] and "vibes" in resp["error"]
+            resp = svc.handle(
+                {"op": "analysis", "graph": GRAPH, "nope": 1}
+            )
+            assert not resp["ok"] and "nope" in resp["error"]
+        finally:
+            svc.close()
